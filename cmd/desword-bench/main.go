@@ -1,0 +1,191 @@
+// Command desword-bench regenerates every table and figure of the DE-Sword
+// paper's evaluation section (§VI) plus this repository's extension
+// experiments. See DESIGN.md §5 for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	desword-bench -exp all            # everything (several minutes)
+//	desword-bench -exp table2         # one experiment
+//	desword-bench -exp fig5 -fast     # reduced sweep for a quick look
+//
+// Experiments: tmc (E1), fig4a (E2), fig4b (E3), table2 (E4), fig5 (E5),
+// baseline (E6), incentive (E7), e2e (E8).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"desword/internal/bench"
+	"desword/internal/sim"
+	"desword/internal/zkedb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "desword-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "all", "experiment: all|tmc|fig4a|fig4b|table2|fig5|baseline|incentive|e2e|ablation")
+		modulus = flag.Int("modulus", 1024, "RSA modulus bits for the qTMC layer")
+		reps    = flag.Int("reps", 10, "repetitions per timing point (paper smooths over 50)")
+		dbSize  = flag.Int("db", 8, "committed traces per participant in macro benches")
+		fast    = flag.Bool("fast", false, "reduced parameter sweeps")
+	)
+	flag.Parse()
+
+	qs := bench.PaperQs()
+	qhs := bench.PaperQH()
+	lengths := []int{2, 4, 6, 8, 10}
+	if *fast {
+		qs = []int{8, 32, 128}
+		qhs = []bench.QH{{Q: 8, H: 43}, {Q: 32, H: 26}, {Q: 128, H: 19}}
+		lengths = []int{2, 4, 6}
+	}
+
+	selected := strings.Split(*exp, ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			if s == "all" || s == name {
+				return true
+			}
+		}
+		return false
+	}
+	ran := 0
+
+	if want("tmc") {
+		if err := bench.RunTMCMicro(*reps * 5).Render(os.Stdout); err != nil {
+			return err
+		}
+		ran++
+	}
+	if want("fig4a") {
+		t, err := bench.RunFig4a(qs, 128, *modulus, *reps)
+		if err != nil {
+			return fmt.Errorf("fig4a: %w", err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		ran++
+	}
+	if want("fig4b") {
+		t, err := bench.RunFig4b(qs, 128, *modulus, *reps*5)
+		if err != nil {
+			return fmt.Errorf("fig4b: %w", err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		ran++
+	}
+	if want("table2") {
+		t, err := bench.RunTable2(qhs, *modulus, *dbSize)
+		if err != nil {
+			return fmt.Errorf("table2: %w", err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		ran++
+	}
+	if want("fig5") {
+		t, err := bench.RunFig5(qhs, *modulus, *dbSize, *reps)
+		if err != nil {
+			return fmt.Errorf("fig5: %w", err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		ran++
+	}
+	if want("baseline") {
+		params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}
+		t, err := bench.RunBaselineComparison(params, 64)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		ran++
+	}
+	if want("incentive") {
+		cfg := sim.DefaultConfig()
+		pBads := []float64{0.005, 0.01, 0.02, cfg.BreakEvenPBad(), 0.1, 0.2}
+		t, err := bench.RunIncentive(cfg, pBads)
+		if err != nil {
+			return fmt.Errorf("incentive: %w", err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		ran++
+	}
+	if want("e2e") {
+		params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}
+		if *fast {
+			params = zkedb.TestParams()
+		}
+		t, err := bench.RunE2E(params, lengths, *reps)
+		if err != nil {
+			return fmt.Errorf("e2e: %w", err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		ran++
+	}
+	if want("ablation") {
+		params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}
+		sizes := []int{1, 4, 16, 64}
+		if *fast {
+			sizes = []int{1, 4, 16}
+		}
+		a1, err := bench.RunAblationDBSize(params, sizes, *reps)
+		if err != nil {
+			return fmt.Errorf("ablation A1: %w", err)
+		}
+		if err := a1.Render(os.Stdout); err != nil {
+			return err
+		}
+		moduli := []int{512, 1024, 2048}
+		if *fast {
+			moduli = []int{512, 1024}
+		}
+		a2, err := bench.RunAblationModulus(16, 32, moduli, *reps)
+		if err != nil {
+			return fmt.Errorf("ablation A2: %w", err)
+		}
+		if err := a2.Render(os.Stdout); err != nil {
+			return err
+		}
+		a3, err := bench.RunAblationSoftCache(params, *reps)
+		if err != nil {
+			return fmt.Errorf("ablation A3: %w", err)
+		}
+		if err := a3.Render(os.Stdout); err != nil {
+			return err
+		}
+		a4, err := bench.RunAblationTreeScheme(qhs, *modulus, *reps)
+		if err != nil {
+			return fmt.Errorf("ablation A4: %w", err)
+		}
+		if err := a4.Render(os.Stdout); err != nil {
+			return err
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+// Command desword-participant runs one supply-chain participant as a TCP
+// daemon, and doubles as the initial participant's POC-list assembly tool.
+//
+// Serve mode — fetch ps from the proxy, commit the local trace database into
+// a POC, then answer query interactions:
+//
+//	desword-participant -id v2 -listen 127.0.0.1:7702 \
+//	    -proxy 127.0.0.1:7700 -traces v2-traces.json -write-poc v2-poc.json
+//
+// The traces file describes one distribution task's local state:
+//
+//	{
+//	  "task_id": "task-1",
+//	  "traces":   [{"product": "id1", "data": "op=process;station=3"}],
+//	  "next_hops": {"id1": "v5"}
+//	}
+//
+// Assemble mode — run once by the initial participant after collecting the
+// POC files its descendants exported with -write-poc; composes the POC list
+// and submits it to the proxy (§IV.B):
+//
+//	desword-participant -assemble -task task-1 -proxy 127.0.0.1:7700 \
+//	    -pairs pairs.json -pocs v0-poc.json,v2-poc.json,v5-poc.json
+//
+// pairs.json: [{"parent": "v0", "child": "v2"}, {"parent": "v2", "child": "v5"}]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"desword/internal/core"
+	"desword/internal/node"
+	"desword/internal/poc"
+	"desword/internal/supplychain"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "desword-participant:", err)
+		os.Exit(1)
+	}
+}
+
+// scenario is the human-editable trace database format.
+type scenario struct {
+	TaskID   string                              `json:"task_id"`
+	Traces   []scenarioTrace                     `json:"traces"`
+	NextHops map[poc.ProductID]poc.ParticipantID `json:"next_hops"`
+}
+
+type scenarioTrace struct {
+	Product poc.ProductID `json:"product"`
+	Data    string        `json:"data"`
+}
+
+func run() error {
+	var (
+		id        = flag.String("id", "", "participant identity (serve mode)")
+		listen    = flag.String("listen", "127.0.0.1:0", "address to serve query interactions on")
+		proxyAddr = flag.String("proxy", "127.0.0.1:7700", "proxy address")
+		traces    = flag.String("traces", "", "JSON trace database file (serve mode)")
+		writePOC  = flag.String("write-poc", "", "optional file to export this participant's POC to")
+		assemble  = flag.Bool("assemble", false, "assemble and submit a POC list instead of serving")
+		task      = flag.String("task", "", "task id (assemble mode)")
+		pairs     = flag.String("pairs", "", "JSON POC-pair file (assemble mode)")
+		pocs      = flag.String("pocs", "", "comma-separated POC files (assemble mode)")
+	)
+	flag.Parse()
+	if *assemble {
+		return runAssemble(*proxyAddr, *task, *pairs, *pocs)
+	}
+	return runServe(*id, *listen, *proxyAddr, *traces, *writePOC)
+}
+
+func runServe(id, listen, proxyAddr, tracesFile, writePOC string) error {
+	if id == "" || tracesFile == "" {
+		return fmt.Errorf("-id and -traces are required in serve mode")
+	}
+	data, err := os.ReadFile(tracesFile)
+	if err != nil {
+		return fmt.Errorf("reading traces: %w", err)
+	}
+	var sc scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return fmt.Errorf("parsing traces: %w", err)
+	}
+	if sc.TaskID == "" {
+		return fmt.Errorf("traces file missing task_id")
+	}
+
+	client := node.NewProxyClient(proxyAddr)
+	ps, err := client.GetParams()
+	if err != nil {
+		return fmt.Errorf("fetching ps from proxy: %w", err)
+	}
+
+	member := core.NewMember(ps, supplychain.NewParticipant(poc.ParticipantID(id)))
+	for _, tr := range sc.Traces {
+		if err := member.Participant().RecordTrace(poc.Trace{Product: tr.Product, Data: []byte(tr.Data)}); err != nil {
+			return err
+		}
+	}
+	credential, err := member.CommitTask(sc.TaskID)
+	if err != nil {
+		return err
+	}
+	for product, next := range sc.NextHops {
+		if err := member.SetNextHop(sc.TaskID, product, next); err != nil {
+			return err
+		}
+	}
+	if writePOC != "" {
+		out, err := json.MarshalIndent(credential, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(writePOC, out, 0o644); err != nil {
+			return fmt.Errorf("writing POC: %w", err)
+		}
+		fmt.Printf("POC for %s written to %s\n", id, writePOC)
+	}
+
+	srv, err := node.ServeParticipant(listen, member)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("participant %s committed %d traces for %s; listening on %s\n",
+		id, len(sc.Traces), sc.TaskID, srv.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	<-sigCh
+	fmt.Println("shutting down")
+	return srv.Close()
+}
+
+func runAssemble(proxyAddr, task, pairsFile, pocsArg string) error {
+	if task == "" || pairsFile == "" || pocsArg == "" {
+		return fmt.Errorf("-task, -pairs and -pocs are required in assemble mode")
+	}
+	list := poc.NewList()
+	for _, file := range strings.Split(pocsArg, ",") {
+		data, err := os.ReadFile(strings.TrimSpace(file))
+		if err != nil {
+			return fmt.Errorf("reading POC %s: %w", file, err)
+		}
+		var credential poc.POC
+		if err := json.Unmarshal(data, &credential); err != nil {
+			return fmt.Errorf("parsing POC %s: %w", file, err)
+		}
+		if err := list.AddPOC(credential); err != nil {
+			return err
+		}
+	}
+	data, err := os.ReadFile(pairsFile)
+	if err != nil {
+		return fmt.Errorf("reading pairs: %w", err)
+	}
+	var pairList []poc.Pair
+	if err := json.Unmarshal(data, &pairList); err != nil {
+		return fmt.Errorf("parsing pairs: %w", err)
+	}
+	for _, p := range pairList {
+		list.AddPair(p.Parent, p.Child)
+	}
+	if err := list.Validate(); err != nil {
+		return err
+	}
+	client := node.NewProxyClient(proxyAddr)
+	if err := client.RegisterList(task, list); err != nil {
+		return err
+	}
+	fmt.Printf("POC list for %s (%d participants, %d pairs) submitted to %s\n",
+		task, len(list.Participants()), len(list.Pairs), proxyAddr)
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command desword-proxy runs DE-Sword's trustworthy query proxy as a TCP
+// daemon: it generates the public parameter ps, accepts POC-list submissions
+// from initial participants, answers product path information queries from
+// supply-chain applications, and maintains the public reputation ledger.
+//
+// Usage:
+//
+//	desword-proxy -listen 127.0.0.1:7700 -dir participants.json
+//
+// participants.json maps participant ids to their listen addresses:
+//
+//	{"v0": "127.0.0.1:7701", "v1": "127.0.0.1:7702"}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"desword/internal/core"
+	"desword/internal/node"
+	"desword/internal/poc"
+	"desword/internal/reputation"
+	"desword/internal/zkedb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "desword-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7700", "address to serve the proxy protocol on")
+		dirFile = flag.String("dir", "", "JSON file mapping participant ids to addresses (required)")
+		q       = flag.Int("q", 16, "ZK-EDB branching factor (power of two)")
+		height  = flag.Int("height", 32, "ZK-EDB tree height")
+		keyBits = flag.Int("keybits", 128, "product-id digest bits")
+		modulus = flag.Int("modulus", 1024, "RSA modulus bits")
+	)
+	flag.Parse()
+	if *dirFile == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	data, err := os.ReadFile(*dirFile)
+	if err != nil {
+		return fmt.Errorf("reading directory: %w", err)
+	}
+	var dir map[poc.ParticipantID]string
+	if err := json.Unmarshal(data, &dir); err != nil {
+		return fmt.Errorf("parsing directory: %w", err)
+	}
+
+	params := zkedb.Params{Q: *q, H: *height, KeyBits: *keyBits, ModulusBits: *modulus}
+	fmt.Printf("generating public parameter ps (q=%d h=%d keybits=%d modulus=%d)...\n",
+		params.Q, params.H, params.KeyBits, params.ModulusBits)
+	ps, err := poc.PSGen(params)
+	if err != nil {
+		return err
+	}
+
+	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), node.DirectoryResolver(dir))
+	srv, err := node.ServeProxy(*listen, proxy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("proxy listening on %s with %d known participants\n", srv.Addr(), len(dir))
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	<-sigCh
+	fmt.Println("shutting down")
+	return srv.Close()
+}

@@ -1,0 +1,110 @@
+// Command desword-query is the supply-chain application client: it asks a
+// running desword-proxy for a product's verifiable path information (good or
+// bad flavour) and for the public reputation table.
+//
+// Usage:
+//
+//	desword-query -proxy 127.0.0.1:7700 -product drug-1 -quality good
+//	desword-query -proxy 127.0.0.1:7700 -scores
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"desword/internal/core"
+	"desword/internal/node"
+	"desword/internal/poc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "desword-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		proxyAddr = flag.String("proxy", "127.0.0.1:7700", "proxy address")
+		product   = flag.String("product", "", "product id to query")
+		quality   = flag.String("quality", "good", "quality-check outcome: good|bad")
+		scores    = flag.Bool("scores", false, "fetch the public reputation table instead")
+		audit     = flag.Bool("audit", false, "fetch and verify the tamper-evident score history")
+	)
+	flag.Parse()
+	client := node.NewProxyClient(*proxyAddr)
+
+	if *audit {
+		entries, err := client.AuditLog()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("audit chain verified: %d entries\n", len(entries))
+		for _, entry := range entries {
+			fmt.Printf("  #%-4d %-12s %+6.2f  product=%s  %s\n",
+				entry.Seq, entry.Event.Participant, entry.Event.Delta,
+				entry.Event.Product, entry.Event.Reason)
+		}
+		return nil
+	}
+
+	if *scores {
+		table, err := client.Scores()
+		if err != nil {
+			return err
+		}
+		ids := make([]poc.ParticipantID, 0, len(table))
+		for v := range table {
+			ids = append(ids, v)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if table[ids[i]] != table[ids[j]] {
+				return table[ids[i]] > table[ids[j]]
+			}
+			return ids[i] < ids[j]
+		})
+		fmt.Println("public reputation scores:")
+		for _, v := range ids {
+			fmt.Printf("  %-12s %+.2f\n", v, table[v])
+		}
+		return nil
+	}
+
+	if *product == "" {
+		return fmt.Errorf("-product is required (or use -scores)")
+	}
+	var q core.Quality
+	switch *quality {
+	case "good":
+		q = core.Good
+	case "bad":
+		q = core.Bad
+	default:
+		return fmt.Errorf("unknown quality %q (want good|bad)", *quality)
+	}
+
+	result, err := client.QueryPath(poc.ProductID(*product), q)
+	if err != nil {
+		return err
+	}
+	if len(result.Path) == 0 {
+		fmt.Printf("no participant admits processing %s — no verifiable origin exists\n", *product)
+		return nil
+	}
+	fmt.Printf("product %s (%s query, task %s):\n", result.Product, *quality, result.TaskID)
+	for i, v := range result.Path {
+		if tr, ok := result.Traces[v]; ok {
+			fmt.Printf("  hop %d: %-12s trace=%q\n", i+1, v, tr.Data)
+		} else {
+			fmt.Printf("  hop %d: %-12s (identified, no trace recovered)\n", i+1, v)
+		}
+	}
+	fmt.Printf("  complete=%v\n", result.Complete)
+	for _, violation := range result.Violations {
+		fmt.Printf("  VIOLATION by %s: %s (%s)\n", violation.Participant, violation.Type, violation.Detail)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+// Command desword-sim runs the double-edged reputation incentive simulator
+// (experiment E7, quantifying the paper's Figure 3): it reports the
+// reputation distribution of honest, trace-deleting and trace-adding
+// participants under a configurable quality/query model, and the break-even
+// bad-product probability at which deviations stop paying.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"desword/internal/bench"
+	"desword/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "desword-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := sim.DefaultConfig()
+	var sweep string
+	flag.IntVar(&cfg.Products, "products", cfg.Products, "products processed per epoch")
+	flag.Float64Var(&cfg.PBad, "pbad", cfg.PBad, "probability a product is bad")
+	flag.Float64Var(&cfg.QueryRateGood, "qgood", cfg.QueryRateGood, "query probability for good products")
+	flag.Float64Var(&cfg.QueryRateBad, "qbad", cfg.QueryRateBad, "query probability for bad products")
+	flag.Float64Var(&cfg.PositiveUnit, "upos", cfg.PositiveUnit, "positive award unit")
+	flag.Float64Var(&cfg.NegativeUnit, "uneg", cfg.NegativeUnit, "negative award unit")
+	flag.Float64Var(&cfg.DeleteFrac, "delete", cfg.DeleteFrac, "fraction of traces the deleter omits")
+	flag.Float64Var(&cfg.AddFrac, "add", cfg.AddFrac, "fake traces the adder commits (fraction of products)")
+	flag.IntVar(&cfg.Trials, "trials", cfg.Trials, "Monte-Carlo trials per strategy")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.StringVar(&sweep, "sweep", "", "comma-separated p_bad values to sweep (overrides -pbad)")
+	flag.Parse()
+
+	pBads := []float64{cfg.PBad}
+	if sweep != "" {
+		pBads = pBads[:0]
+		for _, s := range strings.Split(sweep, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("parsing sweep value %q: %w", s, err)
+			}
+			pBads = append(pBads, v)
+		}
+	}
+	fmt.Printf("expected value per committed trace at p_bad=%.4f: %+.4f (break-even p_bad: %.4f)\n\n",
+		cfg.PBad, cfg.ExpectedPerTrace(), cfg.BreakEvenPBad())
+	table, err := bench.RunIncentive(cfg, pBads)
+	if err != nil {
+		return err
+	}
+	return table.Render(os.Stdout)
+}

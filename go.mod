@@ -1,0 +1,3 @@
+module desword
+
+go 1.22

@@ -1,0 +1,186 @@
+// Package adversary implements the dishonest-participant behaviours of
+// DE-Sword's threat model (§III), for security tests and incentive
+// experiments.
+//
+// Distribution-phase behaviours mutate a participant's trace database in the
+// window between processing products and committing the POC — deletion,
+// addition and modification of RFID-traces (§III.A). They are not
+// cryptographically detectable (that is the point of the paper: the
+// double-edged reputation incentive discourages them); the incentive
+// simulator quantifies their expected cost.
+//
+// Query-phase behaviours wrap an honest core.Member with a lying Responder —
+// claiming non-processing, claiming processing, returning wrong RFID-traces
+// or wrong next participants, or refusing demands (§III.B). Given a correct
+// POC list, every one of them is detected by the proxy through ZK-EDB
+// soundness, which the package's tests assert one by one.
+package adversary
+
+import (
+	"fmt"
+
+	"desword/internal/core"
+	"desword/internal/poc"
+	"desword/internal/supplychain"
+)
+
+// DistributionBehavior mutates a member's trace database before POC
+// construction (§III.A).
+type DistributionBehavior func(m *core.Member) error
+
+// Deletion removes the RFID-traces of the given products — the participant
+// hides that it processed them (Figure 3a).
+func Deletion(ids ...poc.ProductID) DistributionBehavior {
+	return func(m *core.Member) error {
+		for _, id := range ids {
+			if err := m.Participant().DeleteTrace(id); err != nil {
+				return fmt.Errorf("adversary: deletion: %w", err)
+			}
+		}
+		return nil
+	}
+}
+
+// Addition inserts fake RFID-traces for products the participant never
+// processed (Figure 3b).
+func Addition(traces ...poc.Trace) DistributionBehavior {
+	return func(m *core.Member) error {
+		for _, tr := range traces {
+			if err := m.Participant().AddFakeTrace(tr); err != nil {
+				return fmt.Errorf("adversary: addition: %w", err)
+			}
+		}
+		return nil
+	}
+}
+
+// Modification rewrites the information part of an existing trace, e.g. to
+// scrub sensitive production data before committing (§III.A).
+func Modification(id poc.ProductID, data []byte) DistributionBehavior {
+	return func(m *core.Member) error {
+		if err := m.Participant().ModifyTrace(id, data); err != nil {
+			return fmt.Errorf("adversary: modification: %w", err)
+		}
+		return nil
+	}
+}
+
+// Apply runs distribution-phase behaviours against a member. Call it after
+// the distribution task has executed but before BuildPOCList commits the
+// POCs — the paper's threat window.
+func Apply(m *core.Member, behaviors ...DistributionBehavior) error {
+	for _, b := range behaviors {
+		if err := b(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dishonest wraps an honest member with the query-phase behaviours of
+// §III.B. Zero-valued fields leave the corresponding behaviour honest.
+type Dishonest struct {
+	// Member is the underlying honest runtime (its POC was committed
+	// normally; lying happens only at query time).
+	Member *core.Member
+
+	// DenyProcessing lists products for which the participant claims
+	// non-processing in bad-product queries although it committed a trace
+	// ("claim non-processing").
+	DenyProcessing map[poc.ProductID]bool
+	// FakeProcessing lists products for which the participant claims
+	// processing in good-product queries although it committed no trace
+	// ("claim processing"). The forgery attempt relabels its non-ownership
+	// proof as an ownership proof.
+	FakeProcessing map[poc.ProductID]bool
+	// WrongTrace substitutes the returned RFID-trace data for the listed
+	// products ("return wrong RFID-trace").
+	WrongTrace map[poc.ProductID][]byte
+	// WrongNext substitutes the named next participant for the listed
+	// products ("return the identity of a wrong participant").
+	WrongNext map[poc.ProductID]supplychain.ParticipantID
+	// RefuseDemand makes the participant ignore ownership demands after a
+	// failed non-ownership claim, leaving the proxy with no valid proof.
+	RefuseDemand bool
+}
+
+// NewDishonest wraps a member with no lying behaviours enabled.
+func NewDishonest(m *core.Member) *Dishonest {
+	return &Dishonest{
+		Member:         m,
+		DenyProcessing: make(map[poc.ProductID]bool),
+		FakeProcessing: make(map[poc.ProductID]bool),
+		WrongTrace:     make(map[poc.ProductID][]byte),
+		WrongNext:      make(map[poc.ProductID]supplychain.ParticipantID),
+	}
+}
+
+var _ core.Responder = (*Dishonest)(nil)
+
+// Query implements core.Responder with the configured lies layered over the
+// honest response.
+func (d *Dishonest) Query(taskID string, id poc.ProductID, quality core.Quality) (*core.Response, error) {
+	resp, err := d.Member.Query(taskID, id, quality)
+	if err != nil {
+		return nil, err
+	}
+	if quality == core.Bad && d.DenyProcessing[id] && resp.Claim == core.ClaimProcessed {
+		// Claim non-processing: the best available forgery is to relabel the
+		// ownership proof — ZK-EDB soundness guarantees no valid
+		// non-ownership proof exists for a committed key.
+		forged := *resp.Proof
+		forged.Kind = poc.NonOwnership
+		return &core.Response{Claim: core.ClaimNotProcessed, Proof: &forged}, nil
+	}
+	if quality == core.Good && d.FakeProcessing[id] && resp.Claim == core.ClaimNotProcessed {
+		// Claim processing: relabel the non-ownership proof as ownership.
+		forged := *resp.Proof
+		forged.Kind = poc.Ownership
+		return &core.Response{Claim: core.ClaimProcessed, Proof: &forged, Next: resp.Next}, nil
+	}
+	d.tamper(id, resp)
+	return resp, nil
+}
+
+// DemandOwnership implements core.Responder.
+func (d *Dishonest) DemandOwnership(taskID string, id poc.ProductID) (*core.Response, error) {
+	if d.RefuseDemand {
+		// Stonewall: answer with a bare denial and no proof.
+		return &core.Response{Claim: core.ClaimNotProcessed}, nil
+	}
+	resp, err := d.Member.DemandOwnership(taskID, id)
+	if err != nil {
+		return nil, err
+	}
+	d.tamper(id, resp)
+	return resp, nil
+}
+
+// tamper applies the wrong-trace and wrong-next substitutions to an honest
+// response carrying an ownership proof.
+func (d *Dishonest) tamper(id poc.ProductID, resp *core.Response) {
+	if data, ok := d.WrongTrace[id]; ok && resp.Proof != nil && resp.Proof.Kind == poc.Ownership {
+		forged := *resp.Proof
+		forgedZK := *forged.ZK
+		forgedZK.Value = data
+		forged.ZK = &forgedZK
+		resp.Proof = &forged
+	}
+	if next, ok := d.WrongNext[id]; ok && resp.Claim == core.ClaimProcessed {
+		resp.Next = next
+	}
+}
+
+// Collude applies the same query-phase configuration to every member of a
+// path — the coordinated same-path attack the paper's threat model closes
+// with ("participants on a same path may coordinate to adopt same types of
+// dishonest behaviours").
+func Collude(members []*core.Member, configure func(*Dishonest)) []*Dishonest {
+	out := make([]*Dishonest, 0, len(members))
+	for _, m := range members {
+		d := NewDishonest(m)
+		configure(d)
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+// Package baseline implements the digital-signature POC strawman that
+// DE-Sword's design challenge section (§II.C) describes and rejects — the
+// comparison target for experiment E6.
+//
+// For each RFID-trace t_v^id the participant v (1) signs the trace, σ_t, and
+// (2) signs the binding v‖id‖σ_t, σ_v, then submits all signed messages
+// (v‖id‖σ_t, σ_v) as its POC. The proxy can later verify returned traces
+// against σ_t, and a refusal to answer is contradicted by σ_v.
+//
+// The strawman's two structural failures, which the experiments quantify:
+//
+//   - No privacy: the POC enumerates every processed product id in the clear
+//     (and its size grows linearly with the trace count), whereas a ZK-EDB
+//     POC is a constant-size commitment revealing nothing.
+//   - No non-ownership proofs: the scheme cannot prove that a participant
+//     did NOT process a product, so the bad-product query flow of §IV.C has
+//     no verification path, and omitted entries (deletion) are silently
+//     undetectable with no double-edged incentive hook.
+package baseline
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"desword/internal/poc"
+)
+
+// Errors reported by this package.
+var (
+	ErrBadSignature = errors.New("baseline: signature verification failed")
+	ErrNoEntry      = errors.New("baseline: POC has no entry for product")
+)
+
+// Signer holds a participant's ECDSA key pair.
+type Signer struct {
+	id  poc.ParticipantID
+	key *ecdsa.PrivateKey
+}
+
+// NewSigner generates a P-256 key pair for a participant.
+func NewSigner(id poc.ParticipantID) (*Signer, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: generating key: %w", err)
+	}
+	return &Signer{id: id, key: key}, nil
+}
+
+// ID returns the signer's participant identity.
+func (s *Signer) ID() poc.ParticipantID { return s.id }
+
+// PublicKey returns the verification key.
+func (s *Signer) PublicKey() *ecdsa.PublicKey { return &s.key.PublicKey }
+
+// Entry is one signed message (v‖id‖σ_t, σ_v) of the strawman POC. Note the
+// product id travels in the clear.
+type Entry struct {
+	Participant poc.ParticipantID `json:"participant"`
+	Product     poc.ProductID     `json:"product"`
+	SigTrace    []byte            `json:"sig_trace"`
+	SigBinding  []byte            `json:"sig_binding"`
+}
+
+// POC is the strawman credential: one entry per trace, size Θ(n).
+type POC struct {
+	Participant poc.ParticipantID `json:"participant"`
+	Entries     []Entry           `json:"entries"`
+}
+
+func traceDigest(tr poc.Trace) []byte {
+	h := sha256.New()
+	h.Write([]byte("baseline/trace/"))
+	h.Write([]byte(tr.Product))
+	h.Write([]byte{0})
+	h.Write(tr.Data)
+	return h.Sum(nil)
+}
+
+func bindingDigest(v poc.ParticipantID, id poc.ProductID, sigTrace []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("baseline/binding/"))
+	h.Write([]byte(v))
+	h.Write([]byte{0})
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	h.Write(sigTrace)
+	return h.Sum(nil)
+}
+
+// BuildPOC signs every trace into the strawman POC.
+func (s *Signer) BuildPOC(traces []poc.Trace) (POC, error) {
+	credential := POC{Participant: s.id, Entries: make([]Entry, 0, len(traces))}
+	for _, tr := range traces {
+		sigTrace, err := ecdsa.SignASN1(rand.Reader, s.key, traceDigest(tr))
+		if err != nil {
+			return POC{}, fmt.Errorf("baseline: signing trace %s: %w", tr.Product, err)
+		}
+		sigBinding, err := ecdsa.SignASN1(rand.Reader, s.key, bindingDigest(s.id, tr.Product, sigTrace))
+		if err != nil {
+			return POC{}, fmt.Errorf("baseline: signing binding %s: %w", tr.Product, err)
+		}
+		credential.Entries = append(credential.Entries, Entry{
+			Participant: s.id,
+			Product:     tr.Product,
+			SigTrace:    sigTrace,
+			SigBinding:  sigBinding,
+		})
+	}
+	return credential, nil
+}
+
+// Entry looks up the POC entry for a product — trivially possible because
+// the strawman leaks every processed product id.
+func (p *POC) Entry(id poc.ProductID) (Entry, error) {
+	for _, e := range p.Entries {
+		if e.Product == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("%w: %s", ErrNoEntry, id)
+}
+
+// Products lists every product id the POC reveals.
+func (p *POC) Products() []poc.ProductID {
+	out := make([]poc.ProductID, 0, len(p.Entries))
+	for _, e := range p.Entries {
+		out = append(out, e.Product)
+	}
+	return out
+}
+
+// VerifyBinding checks σ_v: the participant's commitment that it processed
+// the product. The proxy uses it to contradict a refusal to answer.
+func VerifyBinding(pub *ecdsa.PublicKey, e Entry) error {
+	if !ecdsa.VerifyASN1(pub, bindingDigest(e.Participant, e.Product, e.SigTrace), e.SigBinding) {
+		return fmt.Errorf("%w: binding for %s", ErrBadSignature, e.Product)
+	}
+	return nil
+}
+
+// VerifyTrace checks a returned trace against σ_t.
+func VerifyTrace(pub *ecdsa.PublicKey, e Entry, tr poc.Trace) error {
+	if tr.Product != e.Product {
+		return fmt.Errorf("%w: trace is for %s, entry for %s", ErrBadSignature, tr.Product, e.Product)
+	}
+	if !ecdsa.VerifyASN1(pub, traceDigest(tr), e.SigTrace) {
+		return fmt.Errorf("%w: trace for %s", ErrBadSignature, tr.Product)
+	}
+	return nil
+}
+
+// Query runs the strawman's query interaction for one product against one
+// participant's POC: fetch the entry, obtain the trace from the participant
+// (here: a callback), and verify it. A nil trace models refusal, which the
+// binding signature contradicts.
+func Query(pub *ecdsa.PublicKey, credential *POC, id poc.ProductID, fetch func(poc.ProductID) *poc.Trace) (*poc.Trace, error) {
+	entry, err := credential.Entry(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifyBinding(pub, entry); err != nil {
+		return nil, err
+	}
+	tr := fetch(id)
+	if tr == nil {
+		return nil, fmt.Errorf("baseline: %s refuses to answer for %s, contradicted by its binding signature",
+			credential.Participant, id)
+	}
+	if err := VerifyTrace(pub, entry, *tr); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

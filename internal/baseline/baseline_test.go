@@ -1,0 +1,166 @@
+package baseline
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"desword/internal/poc"
+)
+
+func sampleTraces(n int) []poc.Trace {
+	out := make([]poc.Trace, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, poc.Trace{
+			Product: poc.ProductID(fmt.Sprintf("id-%02d", i)),
+			Data:    []byte(fmt.Sprintf("secret production record %02d", i)),
+		})
+	}
+	return out
+}
+
+func TestBuildAndQuery(t *testing.T) {
+	signer, err := NewSigner("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := sampleTraces(4)
+	credential, err := signer.BuildPOC(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[poc.ProductID]poc.Trace, len(traces))
+	for _, tr := range traces {
+		byID[tr.Product] = tr
+	}
+	fetch := func(id poc.ProductID) *poc.Trace {
+		tr, ok := byID[id]
+		if !ok {
+			return nil
+		}
+		return &tr
+	}
+	got, err := Query(signer.PublicKey(), &credential, "id-02", fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Data) != string(byID["id-02"].Data) {
+		t.Fatal("query must return the signed trace")
+	}
+}
+
+func TestRefusalContradictedByBinding(t *testing.T) {
+	signer, err := NewSigner("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	credential, err := signer.BuildPOC(sampleTraces(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refuse := func(poc.ProductID) *poc.Trace { return nil }
+	if _, err := Query(signer.PublicKey(), &credential, "id-01", refuse); err == nil {
+		t.Fatal("refusal must be reported against the binding signature")
+	}
+}
+
+func TestWrongTraceRejected(t *testing.T) {
+	signer, err := NewSigner("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	credential, err := signer.BuildPOC(sampleTraces(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := func(id poc.ProductID) *poc.Trace {
+		return &poc.Trace{Product: id, Data: []byte("forged")}
+	}
+	if _, err := Query(signer.PublicKey(), &credential, "id-00", forged); err == nil {
+		t.Fatal("a substituted trace must fail σ_t verification")
+	}
+}
+
+func TestCrossSignerRejected(t *testing.T) {
+	a, err := NewSigner("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSigner("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	credential, err := a.BuildPOC(sampleTraces(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := credential.Entries[0]
+	if err := VerifyBinding(b.PublicKey(), entry); err == nil {
+		t.Fatal("binding must not verify under another key")
+	}
+}
+
+func TestMissingEntry(t *testing.T) {
+	signer, err := NewSigner("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	credential, err := signer.BuildPOC(sampleTraces(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := credential.Entry("ghost"); err == nil {
+		t.Fatal("missing entries must error")
+	}
+}
+
+func TestStrawmanLeaksProductIDs(t *testing.T) {
+	// The structural privacy failure the paper rejects the strawman for: a
+	// serialized baseline POC contains every processed product id in the
+	// clear. (The ZK-EDB POC counterpart is checked in zkedb's privacy test.)
+	signer, err := NewSigner("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	credential, err := signer.BuildPOC(sampleTraces(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(credential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("id-01")) {
+		t.Fatal("fixture broken: expected leak not present")
+	}
+	if got := credential.Products(); len(got) != 3 {
+		t.Fatalf("Products() = %v", got)
+	}
+}
+
+func TestPOCSizeGrowsLinearly(t *testing.T) {
+	signer, err := NewSigner("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := signer.BuildPOC(sampleTraces(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := signer.BuildPOC(sampleTraces(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallJSON, err := json.Marshal(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	largeJSON, err := json.Marshal(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(largeJSON) < 5*len(smallJSON) {
+		t.Fatalf("baseline POC must grow linearly: %dB vs %dB", len(smallJSON), len(largeJSON))
+	}
+}

@@ -1,0 +1,111 @@
+// Package bench is the experiment harness behind cmd/desword-bench: it
+// regenerates every table and figure of the paper's evaluation section
+// (§VI) plus the repository's extension experiments, printing aligned text
+// tables with the same rows/series the paper reports. See DESIGN.md §5 for
+// the experiment index.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+	"unicode/utf8"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if w := utf8.RuneCountInString(cell); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("== " + t.Title + " ==\n")
+	if t.Note != "" {
+		b.WriteString(t.Note + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - utf8.RuneCountInString(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Measure runs f reps times and returns the mean duration. The paper smooths
+// every experiment over 50 runs; callers pass the rep count they can afford.
+func Measure(reps int, f func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		f()
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+// Ms formats a duration in milliseconds with two decimals, the unit the
+// paper's figures use.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}
+
+// KB formats a byte count in binary kilobytes with two decimals, matching
+// Table II's unit.
+func KB(n int) string {
+	return fmt.Sprintf("%.2fKB", float64(n)/1024)
+}
+
+// QH is one (breaching factor, tree height) point of the macro sweeps, with
+// q^h covering the 128-bit product-id space.
+type QH struct {
+	Q int
+	H int
+}
+
+// PaperQH returns the exact (q, h) rows of the paper's Table II and Fig. 5.
+func PaperQH() []QH {
+	return []QH{{8, 43}, {16, 32}, {32, 26}, {64, 22}, {128, 19}}
+}
+
+// PaperQs returns the q sweep of the paper's Fig. 4.
+func PaperQs() []int { return []int{8, 16, 32, 64, 128} }

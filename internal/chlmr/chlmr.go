@@ -1,0 +1,442 @@
+// Package chlmr implements the classic Chase–Healy–Lysyanskaya–Malkin–Reyzin
+// zero-knowledge elementary database: a q-ary commitment tree whose internal
+// nodes carry a single plain trapdoor mercurial commitment to the hash of
+// ALL q children, so that opening any one path position reveals every
+// sibling commitment at every level.
+//
+// This is the construction the DE-Sword paper's reference [11]
+// (Libert–Yung, "Concise Mercurial Vector Commitments and Independent
+// Zero-Knowledge Sets with Short Proofs") improves upon: here proofs cost
+// Θ(q·h) bytes and non-membership proof generation costs Θ(q·h) group
+// operations, versus Θ(h) for the q-mercurial construction in package zkedb.
+// The package exists as an ablation baseline (experiment A4): benchmarking
+// the two side by side reproduces the motivation for vector commitments with
+// constant-size openings — with plain mercurial commitments, growing q makes
+// proofs *larger*, so the paper's Table II trend inverts.
+//
+// The external API mirrors package zkedb: CRSGen, Commit, Prove, Verify.
+package chlmr
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+
+	"desword/internal/mercurial"
+)
+
+// Errors reported by this package.
+var (
+	ErrBadParams       = errors.New("chlmr: invalid parameters")
+	ErrDigestCollision = errors.New("chlmr: two keys share a digest path")
+	ErrBadProof        = errors.New("chlmr: proof rejected")
+)
+
+// Params fixes the tree geometry (no RSA layer exists in this construction).
+type Params struct {
+	Q       int `json:"q"`
+	H       int `json:"h"`
+	KeyBits int `json:"key_bits"`
+}
+
+// TestParams returns a small geometry for fast tests.
+func TestParams() Params { return Params{Q: 8, H: 8, KeyBits: 24} }
+
+// Validate checks the geometry invariants.
+func (p Params) Validate() error {
+	if p.Q < 2 || p.Q&(p.Q-1) != 0 {
+		return fmt.Errorf("%w: Q must be a power of two ≥ 2, got %d", ErrBadParams, p.Q)
+	}
+	if p.H < 1 {
+		return fmt.Errorf("%w: H must be positive", ErrBadParams)
+	}
+	if p.KeyBits < 8 || p.KeyBits > 256 {
+		return fmt.Errorf("%w: KeyBits must be in [8,256]", ErrBadParams)
+	}
+	if p.H*p.digitBits() < p.KeyBits {
+		return fmt.Errorf("%w: Q^H does not cover 2^%d keys", ErrBadParams, p.KeyBits)
+	}
+	return nil
+}
+
+func (p Params) digitBits() int {
+	bits := 0
+	for q := p.Q; q > 1; q >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// CRS is the common reference string: the geometry plus the mercurial key.
+type CRS struct {
+	Params Params
+	Key    *mercurial.PublicKey
+}
+
+// CRSGen generates a CRS.
+func CRSGen(p Params) (*CRS, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &CRS{Params: p, Key: mercurial.KGen()}, nil
+}
+
+// Commitment is the constant-size database commitment (the root's mercurial
+// commitment).
+type Commitment struct {
+	Root mercurial.Commitment `json:"root"`
+}
+
+// Equal reports whether two commitments are identical.
+func (c Commitment) Equal(o Commitment) bool { return c.Root.Equal(o.Root) }
+
+func (c *CRS) digest(key string) []byte {
+	sum := sha256.Sum256([]byte("chlmr/key/" + key))
+	nBytes := (c.Params.KeyBits + 7) / 8
+	out := make([]byte, nBytes)
+	copy(out, sum[:nBytes])
+	if rem := c.Params.KeyBits % 8; rem != 0 {
+		out[nBytes-1] &= byte(0xff << (8 - rem))
+	}
+	return out
+}
+
+func (c *CRS) digits(digest []byte) []int {
+	b := c.Params.digitBits()
+	out := make([]int, c.Params.H)
+	for level := 0; level < c.Params.H; level++ {
+		v := 0
+		for k := 0; k < b; k++ {
+			bitPos := level*b + k
+			bit := 0
+			if byteIdx := bitPos / 8; byteIdx < len(digest) {
+				bit = int(digest[byteIdx]>>(7-bitPos%8)) & 1
+			}
+			v = v<<1 | bit
+		}
+		out[level] = v
+	}
+	return out
+}
+
+// nodeMessage hashes the full ordered child commitment list into the
+// mercurial message space — the defining Θ(q) step of this construction.
+func (c *CRS) nodeMessage(children []mercurial.Commitment) *big.Int {
+	parts := make([][]byte, 0, len(children)+1)
+	parts = append(parts, []byte("chlmr/node"))
+	for _, child := range children {
+		parts = append(parts, child.Bytes())
+	}
+	return c.Key.Group().HashToScalar(parts...)
+}
+
+func (c *CRS) leafMessage(key string, value []byte) *big.Int {
+	return c.Key.Group().HashToScalar([]byte("chlmr/leaf"), []byte(key), value)
+}
+
+func (c *CRS) absentMessage(key string) *big.Int {
+	return c.Key.Group().HashToScalar([]byte("chlmr/absent"), []byte(key))
+}
+
+// node is a materialized prover-side tree node.
+type node struct {
+	children map[int]*node
+	// siblings holds the full ordered child commitment list (materialized
+	// children plus pinned soft commitments), needed verbatim in proofs.
+	siblings []mercurial.Commitment
+
+	com mercurial.Commitment
+	dec mercurial.HardDecommit
+
+	leafKey   string
+	leafValue []byte
+}
+
+type softEntry struct {
+	com mercurial.Commitment
+	dec mercurial.SoftDecommit
+}
+
+// Decommitment is the prover's secret state.
+type Decommitment struct {
+	mu   sync.Mutex
+	crs  *CRS
+	db   map[string][]byte
+	root *node
+	soft map[string]*softEntry
+}
+
+type keyItem struct {
+	key    string
+	value  []byte
+	digits []int
+}
+
+// Commit commits to the database.
+func (c *CRS) Commit(db map[string][]byte) (Commitment, *Decommitment, error) {
+	items := make([]keyItem, 0, len(db))
+	for k, v := range db {
+		items = append(items, keyItem{key: k, value: v, digits: c.digits(c.digest(k))})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].key < items[j].key })
+	dec := &Decommitment{
+		crs:  c,
+		db:   make(map[string][]byte, len(db)),
+		soft: make(map[string]*softEntry),
+	}
+	for k, v := range db {
+		dec.db[k] = v
+	}
+	root, err := c.build(0, nil, items, dec)
+	if err != nil {
+		return Commitment{}, nil, err
+	}
+	dec.root = root
+	return Commitment{Root: root.com}, dec, nil
+}
+
+func (c *CRS) build(level int, prefix []int, items []keyItem, dec *Decommitment) (*node, error) {
+	if level == c.Params.H {
+		if len(items) != 1 {
+			return nil, fmt.Errorf("%w at %v", ErrDigestCollision, prefix)
+		}
+		it := items[0]
+		com, leafDec := c.Key.HCom(c.leafMessage(it.key, it.value))
+		return &node{com: com, dec: leafDec, leafKey: it.key, leafValue: it.value}, nil
+	}
+	bySlot := make(map[int][]keyItem)
+	for _, it := range items {
+		bySlot[it.digits[level]] = append(bySlot[it.digits[level]], it)
+	}
+	n := &node{
+		children: make(map[int]*node, len(bySlot)),
+		siblings: make([]mercurial.Commitment, c.Params.Q),
+	}
+	for slot := 0; slot < c.Params.Q; slot++ {
+		childPrefix := append(append(make([]int, 0, level+1), prefix...), slot)
+		if slotItems, ok := bySlot[slot]; ok {
+			child, err := c.build(level+1, childPrefix, slotItems, dec)
+			if err != nil {
+				return nil, err
+			}
+			n.children[slot] = child
+			n.siblings[slot] = child.com
+			continue
+		}
+		com, sdec := c.Key.SCom()
+		dec.soft[prefixKey(childPrefix)] = &softEntry{com: com, dec: sdec}
+		n.siblings[slot] = com
+	}
+	com, hdec := c.Key.HCom(c.nodeMessage(n.siblings))
+	n.com = com
+	n.dec = hdec
+	return n, nil
+}
+
+func prefixKey(prefix []int) string {
+	buf := make([]byte, len(prefix))
+	for i, d := range prefix {
+		buf[i] = byte(d)
+	}
+	return string(buf)
+}
+
+// LevelOpening opens one internal level: the node's (hard or soft) opening
+// to the hash of its children, plus ALL q child commitments — the Θ(q)
+// per-level payload that motivates vector commitments.
+type LevelOpening struct {
+	Hard     *mercurial.HardOpening `json:"hard,omitempty"`
+	Tease    *mercurial.Tease       `json:"tease,omitempty"`
+	Children []mercurial.Commitment `json:"children"`
+}
+
+// Proof is an ownership or non-ownership proof.
+type Proof struct {
+	Present   bool                   `json:"present"`
+	Value     []byte                 `json:"value,omitempty"`
+	Levels    []LevelOpening         `json:"levels"`
+	LeafHard  *mercurial.HardOpening `json:"leaf_hard,omitempty"`
+	LeafTease *mercurial.Tease       `json:"leaf_tease,omitempty"`
+}
+
+// Size returns the canonical byte size of the proof (points and scalars at
+// their wire sizes), the quantity experiment A4 compares against zkedb.
+func (p *Proof) Size() int {
+	const scalarLen = 32
+	size := 1 + len(p.Value)
+	for _, lo := range p.Levels {
+		if lo.Hard != nil {
+			size += 3 * scalarLen
+		}
+		if lo.Tease != nil {
+			size += 2 * scalarLen
+		}
+		for _, child := range lo.Children {
+			size += len(child.Bytes())
+		}
+	}
+	if p.LeafHard != nil {
+		size += 3 * scalarLen
+	}
+	if p.LeafTease != nil {
+		size += 2 * scalarLen
+	}
+	return size
+}
+
+// Prove generates the proof for key: ownership when present, non-ownership
+// otherwise.
+func (d *Decommitment) Prove(key string) (*Proof, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.db[key]; ok {
+		return d.proveOwnership(key)
+	}
+	return d.proveNonOwnership(key)
+}
+
+func (d *Decommitment) proveOwnership(key string) (*Proof, error) {
+	c := d.crs
+	digits := c.digits(c.digest(key))
+	proof := &Proof{Present: true, Levels: make([]LevelOpening, 0, c.Params.H)}
+	cur := d.root
+	for level := 0; level < c.Params.H; level++ {
+		child, ok := cur.children[digits[level]]
+		if !ok {
+			return nil, fmt.Errorf("chlmr: tree path broken at level %d", level)
+		}
+		op := c.Key.HOpen(cur.dec)
+		proof.Levels = append(proof.Levels, LevelOpening{Hard: &op, Children: cur.siblings})
+		cur = child
+	}
+	if cur.leafKey != key {
+		return nil, fmt.Errorf("%w: leaf holds %q", ErrDigestCollision, cur.leafKey)
+	}
+	leafOp := c.Key.HOpen(cur.dec)
+	proof.LeafHard = &leafOp
+	proof.Value = cur.leafValue
+	return proof, nil
+}
+
+func (d *Decommitment) proveNonOwnership(key string) (*Proof, error) {
+	c := d.crs
+	digits := c.digits(c.digest(key))
+	proof := &Proof{Levels: make([]LevelOpening, 0, c.Params.H)}
+
+	cur := d.root
+	level := 0
+	for ; level < c.Params.H; level++ {
+		child, ok := cur.children[digits[level]]
+		if !ok {
+			break
+		}
+		tease := c.Key.SOpenHard(cur.dec)
+		proof.Levels = append(proof.Levels, LevelOpening{Tease: &tease, Children: cur.siblings})
+		cur = child
+	}
+	if level == c.Params.H {
+		return nil, fmt.Errorf("chlmr: key %q is present", key)
+	}
+
+	// Hand over to the soft chain pinned at the empty slot.
+	entry := d.softAt(digits[:level+1])
+	tease := c.Key.SOpenHard(cur.dec)
+	proof.Levels = append(proof.Levels, LevelOpening{Tease: &tease, Children: cur.siblings})
+	level++
+
+	// Below the materialized frontier the prover must fabricate FULL sibling
+	// lists (q soft commitments per level) so the teased node message
+	// verifies — the Θ(q·h) generation cost of this construction.
+	for ; level < c.Params.H; level++ {
+		siblings := make([]mercurial.Commitment, c.Params.Q)
+		for slot := 0; slot < c.Params.Q; slot++ {
+			sibPrefix := append(append(make([]int, 0, level+1), digits[:level]...), slot)
+			siblings[slot] = d.softAt(sibPrefix).com
+		}
+		ts, err := c.Key.SOpenSoft(entry.dec, c.nodeMessage(siblings))
+		if err != nil {
+			return nil, fmt.Errorf("chlmr: soft-opening level %d: %w", level, err)
+		}
+		proof.Levels = append(proof.Levels, LevelOpening{Tease: &ts, Children: siblings})
+		entry = d.softAt(digits[:level+1])
+	}
+
+	leafTease, err := c.Key.SOpenSoft(entry.dec, c.absentMessage(key))
+	if err != nil {
+		return nil, fmt.Errorf("chlmr: teasing absent leaf: %w", err)
+	}
+	proof.LeafTease = &leafTease
+	return proof, nil
+}
+
+func (d *Decommitment) softAt(prefix []int) *softEntry {
+	k := prefixKey(prefix)
+	if entry, ok := d.soft[k]; ok {
+		return entry
+	}
+	com, sdec := d.crs.Key.SCom()
+	entry := &softEntry{com: com, dec: sdec}
+	d.soft[k] = entry
+	return entry
+}
+
+// Verify checks a proof for key against a commitment.
+func (c *CRS) Verify(com Commitment, key string, proof *Proof) (value []byte, present bool, err error) {
+	if proof == nil || len(proof.Levels) != c.Params.H {
+		return nil, false, fmt.Errorf("%w: wrong shape", ErrBadProof)
+	}
+	digits := c.digits(c.digest(key))
+	cur := com.Root
+	for level, lo := range proof.Levels {
+		if len(lo.Children) != c.Params.Q {
+			return nil, false, fmt.Errorf("%w: level %d has %d children", ErrBadProof, level, len(lo.Children))
+		}
+		want := c.nodeMessage(lo.Children)
+		switch {
+		case proof.Present && lo.Hard != nil:
+			if lo.Hard.M == nil || lo.Hard.M.Cmp(want) != 0 {
+				return nil, false, fmt.Errorf("%w: level %d message mismatch", ErrBadProof, level)
+			}
+			if !c.Key.VerHOpen(cur, *lo.Hard) {
+				return nil, false, fmt.Errorf("%w: level %d hard opening invalid", ErrBadProof, level)
+			}
+		case !proof.Present && lo.Tease != nil:
+			if lo.Tease.M == nil || lo.Tease.M.Cmp(want) != 0 {
+				return nil, false, fmt.Errorf("%w: level %d message mismatch", ErrBadProof, level)
+			}
+			if !c.Key.VerSOpen(cur, *lo.Tease) {
+				return nil, false, fmt.Errorf("%w: level %d tease invalid", ErrBadProof, level)
+			}
+		default:
+			return nil, false, fmt.Errorf("%w: level %d opening flavour mismatch", ErrBadProof, level)
+		}
+		cur = lo.Children[digits[level]]
+	}
+	if proof.Present {
+		if proof.LeafHard == nil {
+			return nil, false, fmt.Errorf("%w: missing leaf opening", ErrBadProof)
+		}
+		want := c.leafMessage(key, proof.Value)
+		if proof.LeafHard.M == nil || proof.LeafHard.M.Cmp(want) != 0 {
+			return nil, false, fmt.Errorf("%w: leaf message mismatch", ErrBadProof)
+		}
+		if !c.Key.VerHOpen(cur, *proof.LeafHard) {
+			return nil, false, fmt.Errorf("%w: leaf opening invalid", ErrBadProof)
+		}
+		return proof.Value, true, nil
+	}
+	if proof.LeafTease == nil {
+		return nil, false, fmt.Errorf("%w: missing leaf tease", ErrBadProof)
+	}
+	want := c.absentMessage(key)
+	if proof.LeafTease.M == nil || proof.LeafTease.M.Cmp(want) != 0 {
+		return nil, false, fmt.Errorf("%w: leaf tease mismatch", ErrBadProof)
+	}
+	if !c.Key.VerSOpen(cur, *proof.LeafTease) {
+		return nil, false, fmt.Errorf("%w: leaf tease invalid", ErrBadProof)
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,243 @@
+package chlmr
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+)
+
+var _testCRS *CRS
+
+func testCRS(t *testing.T) *CRS {
+	t.Helper()
+	if _testCRS == nil {
+		crs, err := CRSGen(TestParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_testCRS = crs
+	}
+	return _testCRS
+}
+
+func testDB(n int) map[string][]byte {
+	db := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		db[fmt.Sprintf("key-%03d", i)] = []byte(fmt.Sprintf("value-%03d", i))
+	}
+	return db
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := TestParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{Q: 6, H: 8, KeyBits: 24},
+		{Q: 8, H: 0, KeyBits: 24},
+		{Q: 8, H: 2, KeyBits: 24},
+		{Q: 8, H: 8, KeyBits: 300},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("%+v must be rejected", p)
+		}
+	}
+}
+
+func TestOwnershipRoundTrip(t *testing.T) {
+	crs := testCRS(t)
+	db := testDB(6)
+	com, dec, err := crs.Commit(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range db {
+		proof, err := dec.Prove(key)
+		if err != nil {
+			t.Fatalf("Prove(%q): %v", key, err)
+		}
+		value, present, err := crs.Verify(com, key, proof)
+		if err != nil || !present || string(value) != string(want) {
+			t.Fatalf("Verify(%q) = %q/%v/%v", key, value, present, err)
+		}
+	}
+}
+
+func TestNonOwnershipRoundTrip(t *testing.T) {
+	crs := testCRS(t)
+	com, dec, err := crs.Commit(testDB(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"ghost-1", "ghost-2"} {
+		proof, err := dec.Prove(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, present, err := crs.Verify(com, key, proof); err != nil || present {
+			t.Fatalf("Verify(%q): %v", key, err)
+		}
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	crs := testCRS(t)
+	com, dec, err := crs.Commit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, present, err := crs.Verify(com, "anything", proof); err != nil || present {
+		t.Fatalf("empty DB must prove absence: %v", err)
+	}
+}
+
+func TestProofReplayRejected(t *testing.T) {
+	crs := testCRS(t)
+	com, dec, err := crs.Commit(testDB(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("key-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := crs.Verify(com, "key-002", proof); err == nil {
+		t.Fatal("replayed proof must fail")
+	}
+	com2, _, err := crs.Commit(testDB(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := crs.Verify(com2, "key-001", proof); err == nil {
+		t.Fatal("proof against another commitment must fail")
+	}
+}
+
+func TestTamperedProofRejected(t *testing.T) {
+	crs := testCRS(t)
+	com, dec, err := crs.Commit(testDB(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("key-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Value = []byte("forged")
+	if _, _, err := crs.Verify(com, "key-000", proof); err == nil {
+		t.Fatal("forged value must be rejected")
+	}
+	proof, err = dec.Prove("key-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Levels[1].Hard.M = new(big.Int).Add(proof.Levels[1].Hard.M, big.NewInt(1))
+	if _, _, err := crs.Verify(com, "key-000", proof); err == nil {
+		t.Fatal("tampered level must be rejected")
+	}
+	proof, err = dec.Prove("key-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Levels[2].Children[3] = proof.Levels[2].Children[4]
+	if _, _, err := crs.Verify(com, "key-000", proof); err == nil {
+		t.Fatal("substituted sibling must be rejected")
+	}
+	if _, _, err := crs.Verify(com, "key-000", nil); err == nil {
+		t.Fatal("nil proof must be rejected")
+	}
+}
+
+func TestKindFlipRejected(t *testing.T) {
+	crs := testCRS(t)
+	com, dec, err := crs.Commit(testDB(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("key-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Present = false
+	if _, _, err := crs.Verify(com, "key-000", proof); err == nil {
+		t.Fatal("flipped kind must be rejected")
+	}
+}
+
+func TestRepeatedNonOwnershipConsistent(t *testing.T) {
+	crs := testCRS(t)
+	_, dec, err := crs.Commit(testDB(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dec.Prove("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dec.Prove("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Levels {
+		for j := range a.Levels[i].Children {
+			if !a.Levels[i].Children[j].Equal(b.Levels[i].Children[j]) {
+				t.Fatalf("level %d sibling %d differs across queries", i, j)
+			}
+		}
+	}
+}
+
+func TestProofSizeGrowsWithQ(t *testing.T) {
+	// The defining weakness vs the qTMC construction: proofs are Θ(q·h).
+	small, err := CRSGen(Params{Q: 4, H: 12, KeyBits: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := CRSGen(Params{Q: 64, H: 4, KeyBits: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := map[string][]byte{"k": []byte("v")}
+	_, decS, err := small.Commit(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, decL, err := large.Commit(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pS, err := decS.Prove("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pL, err := decL.Prove("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q·h: 4·12=48 vs 64·4=256 — the larger-q tree must have larger proofs
+	// despite being much shallower (the inverse of zkedb's Table II trend).
+	if pL.Size() <= pS.Size() {
+		t.Fatalf("plain-TMC proofs must grow with q·h: q=4·h=12 %dB vs q=64·h=4 %dB",
+			pS.Size(), pL.Size())
+	}
+}
+
+func TestCommitmentConstantSize(t *testing.T) {
+	crs := testCRS(t)
+	c1, _, err := crs.Commit(testDB(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := crs.Commit(testDB(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Root.Bytes()) != len(c2.Root.Bytes()) {
+		t.Fatal("commitment size must not depend on database size")
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"desword/internal/poc"
+	"desword/internal/rfid"
+	"desword/internal/supplychain"
+)
+
+// Member is a DE-Sword participant runtime: a supply-chain participant plus
+// its cryptographic state — one DPOC and next-hop table per distribution
+// task. A Member answers queries honestly; the adversary package wraps it to
+// implement the threat model.
+type Member struct {
+	ps   *poc.PublicParams
+	part *supplychain.Participant
+
+	mu    sync.RWMutex
+	tasks map[string]*memberTask
+}
+
+// memberTask is the per-distribution-task state a member keeps.
+type memberTask struct {
+	credential poc.POC
+	dpoc       *poc.DPOC
+	next       map[poc.ProductID]poc.ParticipantID
+}
+
+// NewMember wraps a supply-chain participant with DE-Sword state.
+func NewMember(ps *poc.PublicParams, part *supplychain.Participant) *Member {
+	return &Member{ps: ps, part: part, tasks: make(map[string]*memberTask)}
+}
+
+// ID returns the member's participant identity.
+func (m *Member) ID() poc.ParticipantID { return m.part.ID() }
+
+// Participant exposes the underlying supply-chain participant.
+func (m *Member) Participant() *supplychain.Participant { return m.part }
+
+// CommitTask aggregates the member's current trace database into a POC for
+// the given task and stores the DPOC (distribution phase, §IV.B). The traces
+// snapshot is taken at call time, so any dishonest database mutation must
+// happen before this call — exactly the paper's threat window.
+func (m *Member) CommitTask(taskID string) (poc.POC, error) {
+	credential, dpoc, err := poc.Agg(m.ps, m.part.ID(), m.part.Traces())
+	if err != nil {
+		return poc.POC{}, fmt.Errorf("core: %s committing task %s: %w", m.part.ID(), taskID, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tasks[taskID] = &memberTask{
+		credential: credential,
+		dpoc:       dpoc,
+		next:       make(map[poc.ProductID]poc.ParticipantID),
+	}
+	return credential, nil
+}
+
+// SetNextHop records which child received the product after this member in
+// the given task — the knowledge a real participant has from its own
+// shipping manifests.
+func (m *Member) SetNextHop(taskID string, id poc.ProductID, next poc.ParticipantID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	entry, ok := m.tasks[taskID]
+	if !ok {
+		return fmt.Errorf("%w: %s at %s", ErrNotCommitted, taskID, m.part.ID())
+	}
+	entry.next[id] = next
+	return nil
+}
+
+// POC returns the member's credential for a task.
+func (m *Member) POC(taskID string) (poc.POC, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	entry, ok := m.tasks[taskID]
+	if !ok {
+		return poc.POC{}, fmt.Errorf("%w: %s at %s", ErrNotCommitted, taskID, m.part.ID())
+	}
+	return entry.credential, nil
+}
+
+func (m *Member) task(taskID string) (*memberTask, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	entry, ok := m.tasks[taskID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s at %s", ErrNotCommitted, taskID, m.part.ID())
+	}
+	return entry, nil
+}
+
+// Query implements Responder honestly: it proves ownership when it holds a
+// committed trace for the product and non-ownership when it does not, and
+// names the recorded next hop.
+func (m *Member) Query(taskID string, id poc.ProductID, quality Quality) (*Response, error) {
+	entry, err := m.task(taskID)
+	if err != nil {
+		return nil, err
+	}
+	proof, err := entry.dpoc.Prove(id)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s proving %s: %w", m.part.ID(), id, err)
+	}
+	resp := &Response{Proof: proof}
+	if proof.Kind == poc.Ownership {
+		resp.Claim = ClaimProcessed
+		m.mu.RLock()
+		resp.Next = entry.next[id]
+		m.mu.RUnlock()
+	} else {
+		resp.Claim = ClaimNotProcessed
+	}
+	return resp, nil
+}
+
+// DemandOwnership implements Responder honestly.
+func (m *Member) DemandOwnership(taskID string, id poc.ProductID) (*Response, error) {
+	entry, err := m.task(taskID)
+	if err != nil {
+		return nil, err
+	}
+	proof, err := entry.dpoc.Prove(id)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s proving %s: %w", m.part.ID(), id, err)
+	}
+	if proof.Kind != poc.Ownership {
+		// An honest member that holds no trace answers truthfully.
+		return &Response{Claim: ClaimNotProcessed, Proof: proof}, nil
+	}
+	m.mu.RLock()
+	next := entry.next[id]
+	m.mu.RUnlock()
+	return &Response{Claim: ClaimProcessed, Proof: proof, Next: next}, nil
+}
+
+var _ Responder = (*Member)(nil)
+
+// memberTaskState is the serialized image of one task's member state.
+type memberTaskState struct {
+	Credential poc.POC                             `json:"credential"`
+	DPOC       json.RawMessage                     `json:"dpoc"`
+	Next       map[poc.ProductID]poc.ParticipantID `json:"next"`
+}
+
+// ExportTask serializes the member's state for one task — credential, DPOC
+// and next-hop table — so a participant daemon can survive restarts without
+// re-aggregating (which would orphan the POC the proxy already stores). The
+// output contains all of the participant's secrets for the task.
+func (m *Member) ExportTask(taskID string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	entry, ok := m.tasks[taskID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s at %s", ErrNotCommitted, taskID, m.part.ID())
+	}
+	dpoc, err := json.Marshal(entry.dpoc)
+	if err != nil {
+		return nil, fmt.Errorf("core: exporting task %s: %w", taskID, err)
+	}
+	return json.Marshal(memberTaskState{
+		Credential: entry.credential,
+		DPOC:       dpoc,
+		Next:       entry.next,
+	})
+}
+
+// ImportTask restores task state produced by ExportTask. The imported
+// credential must belong to this member.
+func (m *Member) ImportTask(taskID string, data []byte) error {
+	var state memberTaskState
+	if err := json.Unmarshal(data, &state); err != nil {
+		return fmt.Errorf("core: parsing task state: %w", err)
+	}
+	if state.Credential.Participant != m.part.ID() {
+		return fmt.Errorf("core: task state belongs to %s, not %s",
+			state.Credential.Participant, m.part.ID())
+	}
+	dpoc, err := poc.RestoreDPOC(m.ps, state.DPOC)
+	if err != nil {
+		return fmt.Errorf("core: importing task %s: %w", taskID, err)
+	}
+	next := state.Next
+	if next == nil {
+		next = make(map[poc.ProductID]poc.ParticipantID)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tasks[taskID] = &memberTask{
+		credential: state.Credential,
+		dpoc:       dpoc,
+		next:       next,
+	}
+	return nil
+}
+
+// DistributionResult bundles everything the distribution phase produces.
+type DistributionResult struct {
+	// TaskID names the distribution task.
+	TaskID string
+	// List is the POC list the initial participant submits to the proxy.
+	List *poc.List
+	// Ground is the ground-truth task outcome, used by tests and experiments
+	// (the deployed system has no global observer).
+	Ground *supplychain.TaskResult
+}
+
+// RunDistribution executes a full honest distribution phase: the products
+// flow through the supply chain (each participant processing and recording
+// traces), then every involved member commits its POC and the POC list is
+// assembled (§IV.B).
+func RunDistribution(
+	ps *poc.PublicParams,
+	g *supplychain.Graph,
+	members map[poc.ParticipantID]*Member,
+	initial poc.ParticipantID,
+	tags []*rfid.Tag,
+	data supplychain.TraceData,
+	split supplychain.Splitter,
+	taskID string,
+) (*DistributionResult, error) {
+	parts := make(map[supplychain.ParticipantID]*supplychain.Participant, len(members))
+	for id, m := range members {
+		parts[id] = m.Participant()
+	}
+	ground, err := supplychain.RunTask(g, parts, initial, tags, data, split)
+	if err != nil {
+		return nil, fmt.Errorf("core: distribution task %s: %w", taskID, err)
+	}
+	list, err := BuildPOCList(members, ground, taskID)
+	if err != nil {
+		return nil, err
+	}
+	return &DistributionResult{TaskID: taskID, List: list, Ground: ground}, nil
+}
+
+// BuildPOCList runs the commitment half of the distribution phase for an
+// already-executed task: each involved member aggregates its traces into a
+// POC, records its per-product next hops, and the POC pairs are assembled
+// into the list the initial participant submits. It is split from
+// RunDistribution so adversaries can mutate trace databases in between —
+// the deletion/addition/modification window of §III.A.
+func BuildPOCList(
+	members map[poc.ParticipantID]*Member,
+	ground *supplychain.TaskResult,
+	taskID string,
+) (*poc.List, error) {
+	list := poc.NewList()
+	for _, v := range ground.Involved {
+		m, ok := members[v]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoResponder, v)
+		}
+		credential, err := m.CommitTask(taskID)
+		if err != nil {
+			return nil, err
+		}
+		if err := list.AddPOC(credential); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range ground.UsedEdges {
+		list.AddPair(e.From, e.To)
+	}
+	for id, path := range ground.Paths {
+		for i := 0; i+1 < len(path); i++ {
+			if err := members[path[i]].SetNextHop(taskID, id, path[i+1]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := list.Validate(); err != nil {
+		return nil, fmt.Errorf("core: assembling POC list for %s: %w", taskID, err)
+	}
+	return list, nil
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"desword/internal/poc"
+	"desword/internal/reputation"
+)
+
+// Proxy is DE-Sword's trustworthy query proxy (e.g. the FDA): it generates
+// the public parameter, stores submitted POC lists, maintains one POC-queue
+// per initial participant (§IV.D), answers product path information queries,
+// and maintains the public reputation ledger.
+type Proxy struct {
+	ps       *poc.PublicParams
+	strategy reputation.Strategy
+	ledger   *reputation.Ledger
+	resolve  Resolver
+
+	mu     sync.RWMutex
+	lists  map[string]*poc.List // task id → POC list
+	queues map[poc.ParticipantID][]queueEntry
+
+	counters statsCounter
+}
+
+// queueEntry is one element of an initial participant's POC-queue: the pair
+// (ps, POC_v̄) of §IV.D, tagged with the task whose list contains it.
+type queueEntry struct {
+	taskID     string
+	credential poc.POC
+}
+
+// NewProxy creates a proxy. The resolver supplies reachable endpoints for
+// participants; the strategy configures the double-edged award.
+func NewProxy(ps *poc.PublicParams, strategy reputation.Strategy, resolve Resolver) *Proxy {
+	return &Proxy{
+		ps:       ps,
+		strategy: strategy,
+		ledger:   reputation.NewLedger(),
+		resolve:  resolve,
+		lists:    make(map[string]*poc.List),
+		queues:   make(map[poc.ParticipantID][]queueEntry),
+	}
+}
+
+// PublicParams returns the public parameter ps that participants use to
+// build POCs.
+func (px *Proxy) PublicParams() *poc.PublicParams { return px.ps }
+
+// Ledger returns the public reputation ledger.
+func (px *Proxy) Ledger() *reputation.Ledger { return px.ledger }
+
+// RegisterList stores a POC list submitted by an initial participant at the
+// end of a distribution task, and inserts (ps, POC_v̄) into the POC-queue of
+// each of the list's initial participants (§IV.D).
+func (px *Proxy) RegisterList(taskID string, list *poc.List) error {
+	if err := list.Validate(); err != nil {
+		return fmt.Errorf("core: rejecting POC list for %s: %w", taskID, err)
+	}
+	px.mu.Lock()
+	defer px.mu.Unlock()
+	if _, dup := px.lists[taskID]; dup {
+		return fmt.Errorf("%w: %s", ErrAlreadyRegistered, taskID)
+	}
+	px.lists[taskID] = list
+	for _, initial := range list.Initials() {
+		credential, err := list.POC(initial)
+		if err != nil {
+			return err
+		}
+		px.queues[initial] = append(px.queues[initial], queueEntry{taskID: taskID, credential: credential})
+	}
+	px.counters.addTask()
+	return nil
+}
+
+// Tasks returns the registered task ids, sorted.
+func (px *Proxy) Tasks() []string {
+	px.mu.RLock()
+	defer px.mu.RUnlock()
+	out := make([]string, 0, len(px.lists))
+	for id := range px.lists {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QueryPath runs a full product path information query (§IV.C/§IV.D): it
+// locates the distribution task through the POC-queues of the initial
+// participants, walks the path hop by hop verifying proofs against the POC
+// list, detects the dishonest behaviours of §III.B, and applies the
+// double-edged reputation award to the identified path.
+func (px *Proxy) QueryPath(id poc.ProductID, quality Quality) (*Result, error) {
+	if quality != Good && quality != Bad {
+		return nil, fmt.Errorf("core: invalid quality %v", quality)
+	}
+	px.counters.addQuery(quality)
+	result := &Result{
+		Product: id,
+		Quality: quality,
+		Traces:  make(map[poc.ParticipantID]poc.Trace),
+	}
+
+	start, entry, firstNext := px.findStart(id, quality, result)
+	if start == "" {
+		// No initial participant admits processing the product in any task.
+		px.settle(result)
+		return result, nil
+	}
+	result.TaskID = entry.taskID
+
+	px.mu.RLock()
+	list := px.lists[entry.taskID]
+	px.mu.RUnlock()
+	px.walk(list, entry.taskID, start, firstNext, id, quality, result)
+	px.settle(result)
+	return result, nil
+}
+
+// findStart probes each initial participant's POC-queue (§IV.D) and returns
+// the first initial identified as having processed the product, along with
+// the queue entry that anchored the identification.
+func (px *Proxy) findStart(id poc.ProductID, quality Quality, result *Result) (poc.ParticipantID, queueEntry, poc.ParticipantID) {
+	px.mu.RLock()
+	initials := make([]poc.ParticipantID, 0, len(px.queues))
+	for v := range px.queues {
+		initials = append(initials, v)
+	}
+	sort.Slice(initials, func(i, j int) bool { return initials[i] < initials[j] })
+	queues := make(map[poc.ParticipantID][]queueEntry, len(px.queues))
+	for v, q := range px.queues {
+		queues[v] = append([]queueEntry(nil), q...)
+	}
+	px.mu.RUnlock()
+
+	for _, initial := range initials {
+		for _, entry := range queues[initial] {
+			outcome := px.identify(entry.taskID, entry.credential, initial, id, quality)
+			result.Violations = append(result.Violations, outcome.violations...)
+			if outcome.identified {
+				if outcome.trace != nil {
+					result.Traces[initial] = *outcome.trace
+				}
+				result.Path = append(result.Path, initial)
+				return initial, entry, outcome.next
+			}
+		}
+	}
+	return "", queueEntry{}, ""
+}
+
+// identifyOutcome is the result of one query interaction with a participant.
+type identifyOutcome struct {
+	identified bool
+	trace      *poc.Trace
+	next       poc.ParticipantID
+	violations []Violation
+}
+
+// identify runs one query interaction (§IV.C step 1–2) with participant v
+// under its POC for the given task.
+func (px *Proxy) identify(taskID string, credential poc.POC, v poc.ParticipantID, id poc.ProductID, quality Quality) (outcome identifyOutcome) {
+	defer func() { px.counters.addInteraction(outcome.identified) }()
+	responder, err := px.resolve(v)
+	if err != nil {
+		return identifyOutcome{violations: []Violation{{
+			Participant: v, Type: ViolationUnreachable,
+			Detail: fmt.Sprintf("resolving endpoint: %v", err),
+		}}}
+	}
+	resp, err := responder.Query(taskID, id, quality)
+	if err != nil || resp == nil {
+		return identifyOutcome{violations: []Violation{{
+			Participant: v, Type: ViolationUnreachable,
+			Detail: fmt.Sprintf("query failed: %v", err),
+		}}}
+	}
+
+	switch quality {
+	case Good:
+		return px.identifyGood(credential, v, id, resp)
+	default:
+		return px.identifyBad(taskID, credential, v, id, resp, responder)
+	}
+}
+
+// identifyGood implements the good-product interaction: only a valid
+// ownership proof identifies v (§IV.C good case).
+func (px *Proxy) identifyGood(credential poc.POC, v poc.ParticipantID, id poc.ProductID, resp *Response) identifyOutcome {
+	if resp.Claim != ClaimProcessed {
+		// Not identified; in the good case a participant renouncing its
+		// positive score needs no proof.
+		return identifyOutcome{}
+	}
+	if resp.Proof == nil || resp.Proof.Kind != poc.Ownership {
+		return identifyOutcome{violations: []Violation{{
+			Participant: v, Type: ViolationClaimProcessing,
+			Detail: "claimed processing without an ownership proof",
+		}}}
+	}
+	trace, err := poc.Verify(px.ps, credential, id, resp.Proof)
+	if err != nil {
+		return identifyOutcome{violations: []Violation{{
+			Participant: v, Type: ViolationClaimProcessing,
+			Detail: fmt.Sprintf("ownership proof rejected: %v", err),
+		}}}
+	}
+	return identifyOutcome{identified: true, trace: trace, next: resp.Next}
+}
+
+// identifyBad implements the bad-product interaction: a valid non-ownership
+// proof clears v; anything else identifies it, with an ownership demand to
+// recover the trace (§IV.C bad case).
+func (px *Proxy) identifyBad(taskID string, credential poc.POC, v poc.ParticipantID, id poc.ProductID, resp *Response, responder Responder) identifyOutcome {
+	if resp.Claim == ClaimNotProcessed {
+		if resp.Proof != nil && resp.Proof.Kind == poc.NonOwnership {
+			if _, err := poc.Verify(px.ps, credential, id, resp.Proof); err == nil {
+				return identifyOutcome{} // cleared
+			}
+		}
+		// The non-ownership claim did not hold up: demand an ownership proof.
+		demand, err := responder.DemandOwnership(taskID, id)
+		if err == nil && demand != nil && demand.Proof != nil && demand.Proof.Kind == poc.Ownership {
+			if trace, verr := poc.Verify(px.ps, credential, id, demand.Proof); verr == nil {
+				return identifyOutcome{
+					identified: true,
+					trace:      trace,
+					next:       demand.Next,
+					violations: []Violation{{
+						Participant: v, Type: ViolationClaimNonProcessing,
+						Detail: "claimed non-processing but holds a committed trace",
+					}},
+				}
+			}
+		}
+		// Neither proof verified: impossible for an honest holder of a
+		// correct POC. Identify v as dishonest without a trace.
+		return identifyOutcome{
+			identified: true,
+			violations: []Violation{{
+				Participant: v, Type: ViolationNoValidProof,
+				Detail: "produced neither a valid ownership nor non-ownership proof",
+			}},
+		}
+	}
+	// Claims processing in the bad case: verify the ownership proof.
+	if resp.Proof != nil && resp.Proof.Kind == poc.Ownership {
+		if trace, err := poc.Verify(px.ps, credential, id, resp.Proof); err == nil {
+			return identifyOutcome{identified: true, trace: trace, next: resp.Next}
+		}
+	}
+	return identifyOutcome{
+		identified: true,
+		violations: []Violation{{
+			Participant: v, Type: ViolationNoValidProof,
+			Detail: "claimed processing with an invalid ownership proof",
+		}},
+	}
+}
+
+// walk continues the query from the identified start down the POC list,
+// hop by hop (§IV.C step 3), with the next-hop checks of §III.B.
+func (px *Proxy) walk(list *poc.List, taskID string, start, firstNext poc.ParticipantID, id poc.ProductID, quality Quality, result *Result) {
+	visited := map[poc.ParticipantID]bool{start: true}
+	cur := start
+	next := firstNext
+	for {
+		if next == "" {
+			// No next hop named. If the POC list records children, the
+			// product may still have moved on — probe them.
+			child, childNext := px.probeChildren(list, taskID, cur, id, quality, visited, result)
+			if child == "" {
+				result.Complete = len(list.Children(cur)) == 0
+				return
+			}
+			result.Violations = append(result.Violations, Violation{
+				Participant: cur, Type: ViolationWrongNextHop,
+				Detail: fmt.Sprintf("omitted next hop; %s identified among children", child),
+			})
+			cur = child
+			next = childNext
+			continue
+		}
+		if !list.HasPair(cur, next) {
+			// §III.B "wrong participant", case 2: the named next is not a
+			// recorded child of cur.
+			result.Violations = append(result.Violations, Violation{
+				Participant: cur, Type: ViolationWrongNextHop,
+				Detail: fmt.Sprintf("named %s, which is not a recorded child", next),
+			})
+			next = ""
+			continue
+		}
+		if visited[next] {
+			result.Violations = append(result.Violations, Violation{
+				Participant: cur, Type: ViolationWrongNextHop,
+				Detail: fmt.Sprintf("named already-visited %s", next),
+			})
+			next = ""
+			continue
+		}
+		credential, err := list.POC(next)
+		if err != nil {
+			result.Violations = append(result.Violations, Violation{
+				Participant: cur, Type: ViolationWrongNextHop,
+				Detail: fmt.Sprintf("named %s, which holds no POC", next),
+			})
+			next = ""
+			continue
+		}
+		visited[next] = true
+		outcome := px.identify(taskID, credential, next, id, quality)
+		result.Violations = append(result.Violations, outcome.violations...)
+		if !outcome.identified {
+			// §III.B "wrong participant", case 1: the named next provably
+			// did not process the product.
+			result.Violations = append(result.Violations, Violation{
+				Participant: cur, Type: ViolationWrongNextHop,
+				Detail: fmt.Sprintf("named %s, which did not process the product", next),
+			})
+			next = ""
+			continue
+		}
+		result.Path = append(result.Path, next)
+		if outcome.trace != nil {
+			result.Traces[next] = *outcome.trace
+		}
+		cur = next
+		next = outcome.next
+	}
+}
+
+// probeChildren asks each recorded child of cur (not yet visited) whether it
+// processed the product, returning the first identified child and that
+// child's claimed next hop.
+func (px *Proxy) probeChildren(list *poc.List, taskID string, cur poc.ParticipantID, id poc.ProductID, quality Quality, visited map[poc.ParticipantID]bool, result *Result) (poc.ParticipantID, poc.ParticipantID) {
+	for _, child := range list.Children(cur) {
+		if visited[child] {
+			continue
+		}
+		credential, err := list.POC(child)
+		if err != nil {
+			continue
+		}
+		visited[child] = true
+		outcome := px.identify(taskID, credential, child, id, quality)
+		result.Violations = append(result.Violations, outcome.violations...)
+		if outcome.identified {
+			result.Path = append(result.Path, child)
+			if outcome.trace != nil {
+				result.Traces[child] = *outcome.trace
+			}
+			return child, outcome.next
+		}
+	}
+	return "", ""
+}
+
+// settle applies the double-edged award to the identified path and penalizes
+// every detected violation (§II.C).
+func (px *Proxy) settle(result *Result) {
+	px.counters.addViolations(result.Violations)
+	px.strategy.AwardPath(px.ledger, result.Product, result.Quality, result.Path)
+	for _, v := range result.Violations {
+		px.strategy.PenalizeViolation(px.ledger, v.Participant, result.Product, result.Quality, v.Detail)
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"desword/internal/poc"
+)
+
+// This file implements the proxy's self-issued sampling queries: "the proxy
+// can also adjust the query frequency by sampling products from the market,
+// and issue queries for them by itself" (§II.C). Sampling is what arms the
+// double edge — participants cannot predict which products the proxy will
+// pick, so good products carry real reward probability and bad ones real
+// penalty probability.
+
+// QualityCheck is the proxy's product quality inspection: given a sampled
+// product, it reports whether the physical check found it good or bad.
+type QualityCheck func(id poc.ProductID) Quality
+
+// SampleReport summarizes one sampling campaign.
+type SampleReport struct {
+	// Sampled lists the products the campaign actually queried.
+	Sampled []poc.ProductID
+	// Results holds one query result per sampled product, in order.
+	Results []*Result
+	// GoodCount and BadCount tally the inspected qualities.
+	GoodCount int
+	BadCount  int
+}
+
+// SampleAndQuery draws each market product independently with the given
+// rate, inspects its quality, and issues the corresponding good/bad path
+// query. The caller supplies the randomness source so campaigns are
+// reproducible in tests and experiments.
+func (px *Proxy) SampleAndQuery(rng *rand.Rand, market []poc.ProductID, rate float64, check QualityCheck) (*SampleReport, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("core: sampling requires a randomness source")
+	}
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("core: sampling rate %v outside [0,1]", rate)
+	}
+	if check == nil {
+		return nil, fmt.Errorf("core: sampling requires a quality check")
+	}
+	report := &SampleReport{}
+	for _, id := range market {
+		if rng.Float64() >= rate {
+			continue
+		}
+		quality := check(id)
+		result, err := px.QueryPath(id, quality)
+		if err != nil {
+			return nil, fmt.Errorf("core: sampling query for %s: %w", id, err)
+		}
+		report.Sampled = append(report.Sampled, id)
+		report.Results = append(report.Results, result)
+		switch quality {
+		case Good:
+			report.GoodCount++
+		case Bad:
+			report.BadCount++
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import "sync"
+
+// Stats are the proxy's operational counters — what an operator dashboards:
+// query volume by flavour, per-participant interactions, and detected
+// violations by type.
+type Stats struct {
+	// TasksRegistered counts accepted POC lists.
+	TasksRegistered uint64 `json:"tasks_registered"`
+	// Queries counts path queries by flavour.
+	GoodQueries uint64 `json:"good_queries"`
+	BadQueries  uint64 `json:"bad_queries"`
+	// Interactions counts individual proxy↔participant query interactions.
+	Interactions uint64 `json:"interactions"`
+	// IdentifiedHops counts interactions that identified the participant.
+	IdentifiedHops uint64 `json:"identified_hops"`
+	// Violations tallies detections by type.
+	Violations map[ViolationType]uint64 `json:"violations"`
+}
+
+// statsCounter is the mutable, locked version embedded in the proxy.
+type statsCounter struct {
+	mu    sync.Mutex
+	stats Stats
+}
+
+func (s *statsCounter) addTask() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.TasksRegistered++
+}
+
+func (s *statsCounter) addQuery(q Quality) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch q {
+	case Good:
+		s.stats.GoodQueries++
+	case Bad:
+		s.stats.BadQueries++
+	}
+}
+
+func (s *statsCounter) addInteraction(identified bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Interactions++
+	if identified {
+		s.stats.IdentifiedHops++
+	}
+}
+
+func (s *statsCounter) addViolations(violations []Violation) {
+	if len(violations) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stats.Violations == nil {
+		s.stats.Violations = make(map[ViolationType]uint64)
+	}
+	for _, v := range violations {
+		s.stats.Violations[v.Type]++
+	}
+}
+
+// snapshot returns a deep copy.
+func (s *statsCounter) snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.Violations = make(map[ViolationType]uint64, len(s.stats.Violations))
+	for k, v := range s.stats.Violations {
+		out.Violations[k] = v
+	}
+	return out
+}
+
+// Stats returns a snapshot of the proxy's counters.
+func (px *Proxy) Stats() Stats { return px.counters.snapshot() }

@@ -1,0 +1,290 @@
+// Package group provides a prime-order group abstraction over the NIST P-256
+// elliptic curve, used as the algebraic substrate for all commitment schemes
+// in this repository (trapdoor mercurial commitments and the mercurial wrapper
+// of the q-mercurial commitments).
+//
+// The package exposes two independent generators G (the standard base point)
+// and H (derived by hashing a domain-separation tag to the curve, so that
+// nobody knows log_G H). Scalars are integers modulo the group order.
+package group
+
+import (
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// domainTagH seeds the try-and-increment derivation of the secondary
+// generator H. Changing it changes H and therefore every commitment key.
+const domainTagH = "desword/group/generator-H/v1"
+
+// ErrInvalidPoint reports that a decoded byte string is not a valid
+// group element.
+var ErrInvalidPoint = errors.New("group: invalid point encoding")
+
+// Point is an element of the P-256 group. The zero value (or a Point with
+// nil coordinates) is the identity element.
+type Point struct {
+	x, y *big.Int
+}
+
+// Group bundles the curve with its two generators. All methods are safe for
+// concurrent use: the struct is immutable after construction.
+type Group struct {
+	curve elliptic.Curve
+	order *big.Int
+	g     Point
+	h     Point
+}
+
+// P256 returns the shared P-256 group instance. The returned value is
+// immutable and safe to share across goroutines.
+func P256() *Group {
+	return _p256
+}
+
+var _p256 = newP256()
+
+func newP256() *Group {
+	curve := elliptic.P256()
+	params := curve.Params()
+	grp := &Group{
+		curve: curve,
+		order: new(big.Int).Set(params.N),
+		g:     Point{x: new(big.Int).Set(params.Gx), y: new(big.Int).Set(params.Gy)},
+	}
+	grp.h = grp.deriveH()
+	return grp
+}
+
+// deriveH hashes the domain tag to a curve point by try-and-increment on the
+// candidate x coordinate. The discrete log of H with respect to G is unknown,
+// which the Pedersen-style schemes built on this package require.
+func (g *Group) deriveH() Point {
+	p := g.curve.Params().P
+	for ctr := uint32(0); ; ctr++ {
+		digest := sha256.Sum256([]byte(fmt.Sprintf("%s/%d", domainTagH, ctr)))
+		x := new(big.Int).SetBytes(digest[:])
+		x.Mod(x, p)
+		// y^2 = x^3 - 3x + b (mod p)
+		y2 := new(big.Int).Mul(x, x)
+		y2.Mul(y2, x)
+		threeX := new(big.Int).Lsh(x, 1)
+		threeX.Add(threeX, x)
+		y2.Sub(y2, threeX)
+		y2.Add(y2, g.curve.Params().B)
+		y2.Mod(y2, p)
+		y := new(big.Int).ModSqrt(y2, p)
+		if y == nil {
+			continue
+		}
+		if !g.curve.IsOnCurve(x, y) {
+			continue
+		}
+		return Point{x: x, y: y}
+	}
+}
+
+// Order returns a copy of the group order.
+func (g *Group) Order() *big.Int { return new(big.Int).Set(g.order) }
+
+// Generator returns the primary generator G.
+func (g *Group) Generator() Point { return g.g }
+
+// GeneratorH returns the secondary generator H with unknown log_G H.
+func (g *Group) GeneratorH() Point { return g.h }
+
+// Identity returns the identity element.
+func (g *Group) Identity() Point { return Point{} }
+
+// IsIdentity reports whether p is the identity element.
+func (p Point) IsIdentity() bool { return p.x == nil || p.y == nil }
+
+// Equal reports whether two points are the same group element.
+func (p Point) Equal(q Point) bool {
+	if p.IsIdentity() || q.IsIdentity() {
+		return p.IsIdentity() && q.IsIdentity()
+	}
+	return p.x.Cmp(q.x) == 0 && p.y.Cmp(q.y) == 0
+}
+
+// RandomScalar returns a uniformly random scalar in [1, order).
+func (g *Group) RandomScalar() *big.Int {
+	for {
+		k, err := rand.Int(rand.Reader, g.order)
+		if err != nil {
+			// crypto/rand failure is unrecoverable for key material.
+			panic(fmt.Sprintf("group: crypto/rand failed: %v", err))
+		}
+		if k.Sign() != 0 {
+			return k
+		}
+	}
+}
+
+// HashToScalar hashes arbitrary byte strings into a scalar with domain
+// separation between the individual inputs (length-prefixed).
+func (g *Group) HashToScalar(parts ...[]byte) *big.Int {
+	hsh := sha256.New()
+	for _, part := range parts {
+		var lenBuf [8]byte
+		putUint64(lenBuf[:], uint64(len(part)))
+		hsh.Write(lenBuf[:])
+		hsh.Write(part)
+	}
+	out := new(big.Int).SetBytes(hsh.Sum(nil))
+	return out.Mod(out, g.order)
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// ReduceScalar returns s mod order, never mutating s.
+func (g *Group) ReduceScalar(s *big.Int) *big.Int {
+	return new(big.Int).Mod(s, g.order)
+}
+
+// InvertScalar returns the multiplicative inverse of s modulo the group
+// order. It returns an error when s ≡ 0.
+func (g *Group) InvertScalar(s *big.Int) (*big.Int, error) {
+	reduced := g.ReduceScalar(s)
+	if reduced.Sign() == 0 {
+		return nil, errors.New("group: cannot invert zero scalar")
+	}
+	return new(big.Int).ModInverse(reduced, g.order), nil
+}
+
+// ScalarBaseMult returns k·G.
+func (g *Group) ScalarBaseMult(k *big.Int) Point {
+	kb := g.ReduceScalar(k)
+	if kb.Sign() == 0 {
+		return Point{}
+	}
+	x, y := g.curve.ScalarBaseMult(kb.Bytes())
+	return Point{x: x, y: y}
+}
+
+// ScalarMult returns k·P.
+func (g *Group) ScalarMult(p Point, k *big.Int) Point {
+	if p.IsIdentity() {
+		return Point{}
+	}
+	kb := g.ReduceScalar(k)
+	if kb.Sign() == 0 {
+		return Point{}
+	}
+	x, y := g.curve.ScalarMult(p.x, p.y, kb.Bytes())
+	return Point{x: x, y: y}
+}
+
+// Add returns p + q.
+func (g *Group) Add(p, q Point) Point {
+	if p.IsIdentity() {
+		return q
+	}
+	if q.IsIdentity() {
+		return p
+	}
+	if p.x.Cmp(q.x) == 0 {
+		// elliptic.Curve.Add mishandles doubling and inverse points; route
+		// explicitly.
+		if p.y.Cmp(q.y) == 0 {
+			x, y := g.curve.Double(p.x, p.y)
+			return Point{x: x, y: y}
+		}
+		return Point{}
+	}
+	x, y := g.curve.Add(p.x, p.y, q.x, q.y)
+	return Point{x: x, y: y}
+}
+
+// Neg returns -p.
+func (g *Group) Neg(p Point) Point {
+	if p.IsIdentity() {
+		return p
+	}
+	negY := new(big.Int).Sub(g.curve.Params().P, p.y)
+	negY.Mod(negY, g.curve.Params().P)
+	return Point{x: new(big.Int).Set(p.x), y: negY}
+}
+
+// Sub returns p - q.
+func (g *Group) Sub(p, q Point) Point { return g.Add(p, g.Neg(q)) }
+
+// Commit2 returns a·P + b·Q, the workhorse of Pedersen-style verification.
+func (g *Group) Commit2(p Point, a *big.Int, q Point, b *big.Int) Point {
+	return g.Add(g.ScalarMult(p, a), g.ScalarMult(q, b))
+}
+
+// pointEncodingLen is the length of a marshaled non-identity point
+// (uncompressed SEC1: 0x04 || X || Y for a 256-bit curve).
+const pointEncodingLen = 65
+
+// Bytes encodes the point. The identity encodes to a single zero byte so the
+// encoding is unambiguous and fixed-prefix.
+func (p Point) Bytes() []byte {
+	if p.IsIdentity() {
+		return []byte{0}
+	}
+	out := make([]byte, pointEncodingLen)
+	out[0] = 4
+	p.x.FillBytes(out[1:33])
+	p.y.FillBytes(out[33:65])
+	return out
+}
+
+// DecodePoint parses the encoding produced by Point.Bytes and checks curve
+// membership.
+func (g *Group) DecodePoint(b []byte) (Point, error) {
+	if len(b) == 1 && b[0] == 0 {
+		return Point{}, nil
+	}
+	if len(b) != pointEncodingLen || b[0] != 4 {
+		return Point{}, ErrInvalidPoint
+	}
+	x := new(big.Int).SetBytes(b[1:33])
+	y := new(big.Int).SetBytes(b[33:65])
+	if !g.curve.IsOnCurve(x, y) {
+		return Point{}, ErrInvalidPoint
+	}
+	return Point{x: x, y: y}, nil
+}
+
+// String renders a short hex prefix of the encoding, for logs and tests.
+func (p Point) String() string {
+	enc := p.Bytes()
+	if len(enc) > 9 {
+		enc = enc[:9]
+	}
+	return "P(" + hex.EncodeToString(enc) + "…)"
+}
+
+// MarshalJSON encodes the point as a hex string.
+func (p Point) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + hex.EncodeToString(p.Bytes()) + `"`), nil
+}
+
+// UnmarshalJSON decodes the hex string form and validates membership.
+func (p *Point) UnmarshalJSON(data []byte) error {
+	if len(data) < 2 || data[0] != '"' || data[len(data)-1] != '"' {
+		return ErrInvalidPoint
+	}
+	raw, err := hex.DecodeString(string(data[1 : len(data)-1]))
+	if err != nil {
+		return fmt.Errorf("group: decoding point hex: %w", err)
+	}
+	pt, err := P256().DecodePoint(raw)
+	if err != nil {
+		return err
+	}
+	*p = pt
+	return nil
+}

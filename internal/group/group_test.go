@@ -1,0 +1,261 @@
+package group
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorsDistinct(t *testing.T) {
+	g := P256()
+	if g.Generator().Equal(g.GeneratorH()) {
+		t.Fatal("G and H must be distinct")
+	}
+	if g.Generator().IsIdentity() || g.GeneratorH().IsIdentity() {
+		t.Fatal("generators must not be the identity")
+	}
+}
+
+func TestDeriveHDeterministic(t *testing.T) {
+	a := newP256()
+	b := newP256()
+	if !a.GeneratorH().Equal(b.GeneratorH()) {
+		t.Fatal("H derivation must be deterministic")
+	}
+}
+
+func TestScalarBaseMultMatchesScalarMult(t *testing.T) {
+	g := P256()
+	k := g.RandomScalar()
+	p1 := g.ScalarBaseMult(k)
+	p2 := g.ScalarMult(g.Generator(), k)
+	if !p1.Equal(p2) {
+		t.Fatal("ScalarBaseMult and ScalarMult disagree on G")
+	}
+}
+
+func TestAddCommutativeAssociative(t *testing.T) {
+	g := P256()
+	p := g.ScalarBaseMult(g.RandomScalar())
+	q := g.ScalarBaseMult(g.RandomScalar())
+	r := g.ScalarBaseMult(g.RandomScalar())
+	if !g.Add(p, q).Equal(g.Add(q, p)) {
+		t.Fatal("addition must commute")
+	}
+	left := g.Add(g.Add(p, q), r)
+	right := g.Add(p, g.Add(q, r))
+	if !left.Equal(right) {
+		t.Fatal("addition must associate")
+	}
+}
+
+func TestAddDoubling(t *testing.T) {
+	g := P256()
+	k := g.RandomScalar()
+	p := g.ScalarBaseMult(k)
+	doubled := g.Add(p, p)
+	two := new(big.Int).Lsh(k, 1)
+	if !doubled.Equal(g.ScalarBaseMult(two)) {
+		t.Fatal("P+P must equal 2k·G")
+	}
+}
+
+func TestAddInverseGivesIdentity(t *testing.T) {
+	g := P256()
+	p := g.ScalarBaseMult(g.RandomScalar())
+	sum := g.Add(p, g.Neg(p))
+	if !sum.IsIdentity() {
+		t.Fatal("P + (-P) must be the identity")
+	}
+}
+
+func TestIdentityIsNeutral(t *testing.T) {
+	g := P256()
+	p := g.ScalarBaseMult(g.RandomScalar())
+	if !g.Add(p, g.Identity()).Equal(p) || !g.Add(g.Identity(), p).Equal(p) {
+		t.Fatal("identity must be neutral for addition")
+	}
+	if !g.ScalarMult(p, big.NewInt(0)).IsIdentity() {
+		t.Fatal("0·P must be the identity")
+	}
+	if !g.ScalarMult(g.Identity(), big.NewInt(5)).IsIdentity() {
+		t.Fatal("k·identity must be the identity")
+	}
+}
+
+func TestSub(t *testing.T) {
+	g := P256()
+	a := g.RandomScalar()
+	b := g.RandomScalar()
+	diff := new(big.Int).Sub(a, b)
+	want := g.ScalarBaseMult(diff)
+	got := g.Sub(g.ScalarBaseMult(a), g.ScalarBaseMult(b))
+	if !got.Equal(want) {
+		t.Fatal("aG - bG must equal (a-b)G")
+	}
+}
+
+func TestCommit2(t *testing.T) {
+	g := P256()
+	a, b := g.RandomScalar(), g.RandomScalar()
+	got := g.Commit2(g.Generator(), a, g.GeneratorH(), b)
+	want := g.Add(g.ScalarBaseMult(a), g.ScalarMult(g.GeneratorH(), b))
+	if !got.Equal(want) {
+		t.Fatal("Commit2 must equal aG + bH")
+	}
+}
+
+func TestScalarMultDistributes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in short mode")
+	}
+	g := P256()
+	prop := func(seedA, seedB int64) bool {
+		a := g.ReduceScalar(big.NewInt(seedA))
+		b := g.ReduceScalar(big.NewInt(seedB))
+		sum := new(big.Int).Add(a, b)
+		left := g.ScalarBaseMult(sum)
+		right := g.Add(g.ScalarBaseMult(a), g.ScalarBaseMult(b))
+		return left.Equal(right)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointEncodingRoundTrip(t *testing.T) {
+	g := P256()
+	p := g.ScalarBaseMult(g.RandomScalar())
+	decoded, err := g.DecodePoint(p.Bytes())
+	if err != nil {
+		t.Fatalf("decoding valid point: %v", err)
+	}
+	if !decoded.Equal(p) {
+		t.Fatal("round trip must preserve the point")
+	}
+}
+
+func TestIdentityEncoding(t *testing.T) {
+	g := P256()
+	enc := g.Identity().Bytes()
+	if !bytes.Equal(enc, []byte{0}) {
+		t.Fatalf("identity must encode to a single zero byte, got %x", enc)
+	}
+	decoded, err := g.DecodePoint(enc)
+	if err != nil || !decoded.IsIdentity() {
+		t.Fatal("identity encoding must round-trip")
+	}
+}
+
+func TestDecodeRejectsOffCurve(t *testing.T) {
+	g := P256()
+	p := g.ScalarBaseMult(g.RandomScalar())
+	enc := p.Bytes()
+	enc[10] ^= 0xff
+	if _, err := g.DecodePoint(enc); err == nil {
+		t.Fatal("off-curve encoding must be rejected")
+	}
+}
+
+func TestDecodeRejectsBadLength(t *testing.T) {
+	g := P256()
+	if _, err := g.DecodePoint([]byte{4, 1, 2}); err == nil {
+		t.Fatal("truncated encoding must be rejected")
+	}
+	if _, err := g.DecodePoint(nil); err == nil {
+		t.Fatal("empty encoding must be rejected")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := P256()
+	p := g.ScalarBaseMult(g.RandomScalar())
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Point
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !back.Equal(p) {
+		t.Fatal("JSON round trip must preserve the point")
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	var p Point
+	if err := json.Unmarshal([]byte(`"zznothex"`), &p); err == nil {
+		t.Fatal("non-hex JSON must be rejected")
+	}
+	if err := json.Unmarshal([]byte(`123`), &p); err == nil {
+		t.Fatal("non-string JSON must be rejected")
+	}
+}
+
+func TestHashToScalarDomainSeparated(t *testing.T) {
+	g := P256()
+	a := g.HashToScalar([]byte("ab"), []byte("c"))
+	b := g.HashToScalar([]byte("a"), []byte("bc"))
+	if a.Cmp(b) == 0 {
+		t.Fatal("length-prefixing must separate (ab,c) from (a,bc)")
+	}
+}
+
+func TestHashToScalarInRange(t *testing.T) {
+	g := P256()
+	s := g.HashToScalar([]byte("payload"))
+	if s.Sign() < 0 || s.Cmp(g.Order()) >= 0 {
+		t.Fatal("hashed scalar must lie in [0, order)")
+	}
+}
+
+func TestInvertScalar(t *testing.T) {
+	g := P256()
+	s := g.RandomScalar()
+	inv, err := g.InvertScalar(s)
+	if err != nil {
+		t.Fatalf("inverting nonzero scalar: %v", err)
+	}
+	prod := new(big.Int).Mul(s, inv)
+	prod.Mod(prod, g.Order())
+	if prod.Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("s · s⁻¹ must be 1")
+	}
+	if _, err := g.InvertScalar(big.NewInt(0)); err == nil {
+		t.Fatal("inverting zero must fail")
+	}
+	if _, err := g.InvertScalar(g.Order()); err == nil {
+		t.Fatal("inverting a multiple of the order must fail")
+	}
+}
+
+func TestRandomScalarRange(t *testing.T) {
+	g := P256()
+	for i := 0; i < 32; i++ {
+		s := g.RandomScalar()
+		if s.Sign() <= 0 || s.Cmp(g.Order()) >= 0 {
+			t.Fatal("random scalar must lie in (0, order)")
+		}
+	}
+}
+
+func BenchmarkScalarBaseMult(b *testing.B) {
+	g := P256()
+	k := g.RandomScalar()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ScalarBaseMult(k)
+	}
+}
+
+func BenchmarkScalarMultH(b *testing.B) {
+	g := P256()
+	k := g.RandomScalar()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ScalarMult(g.GeneratorH(), k)
+	}
+}

@@ -1,0 +1,219 @@
+// Package mercurial implements a trapdoor mercurial commitment (TMC) scheme
+// in the style of Chase, Healy, Lysyanskaya, Malkin and Reyzin
+// ("Mercurial commitments with applications to zero-knowledge sets",
+// EUROCRYPT 2005), instantiated over the P-256 group.
+//
+// A mercurial commitment supports two flavours of commitments and two
+// flavours of openings:
+//
+//   - A hard commitment binds to a single message. It can be hard-opened
+//     (a full opening) or soft-opened ("teased") — but only to the committed
+//     message.
+//   - A soft commitment commits to nothing. It can never be hard-opened, but
+//     can be soft-opened to any message of the committer's choice.
+//
+// DE-Sword (ICDCS 2017, §VI.A) micro-benchmarks the seven algorithms of this
+// scheme: key generation, hard commit, soft commit, hard open, soft open,
+// hard-opening verification, and soft-opening verification. All seven are
+// exported here with exactly those semantics.
+//
+// Construction (discrete-log based): with generators G, H of a prime-order
+// group where log_G H is unknown,
+//
+//	HCom(m; r0, r1) = (m·G + r0·C1, C1)   where C1 = r1·H
+//	SCom(; r0, r1)  = (r0·G, r1·G)
+//
+// A hard opening reveals (m, r0, r1); a tease reveals (m, τ) with
+// C0 = m·G + τ·C1. Teasing a hard commitment to a different message, or
+// hard-opening a soft commitment, requires computing log_G H.
+package mercurial
+
+import (
+	"errors"
+	"math/big"
+
+	"desword/internal/group"
+)
+
+// Errors returned by opening helpers.
+var (
+	// ErrSoftHasNoHardOpening reports an attempt to hard-open a soft
+	// commitment without the trapdoor: the scheme forbids it by design.
+	ErrSoftHasNoHardOpening = errors.New("mercurial: soft commitments cannot be hard-opened")
+	// ErrDegenerateRandomness reports soft-commitment randomness for which a
+	// tease cannot be computed (r1 = 0); KGen-produced randomness never hits it.
+	ErrDegenerateRandomness = errors.New("mercurial: degenerate soft-commitment randomness")
+)
+
+// PublicKey holds the commitment key: the group and its two generators.
+type PublicKey struct {
+	grp *group.Group
+	g   group.Point
+	h   group.Point
+}
+
+// Trapdoor is the simulation trapdoor t = log_G H. It exists only for keys
+// made by KGenWithTrapdoor and enables equivocation of soft commitments.
+type Trapdoor struct {
+	t *big.Int
+}
+
+// Commitment is a (hard or soft) mercurial commitment. The two flavours are
+// indistinguishable to anyone not holding the decommitment.
+type Commitment struct {
+	C0 group.Point `json:"c0"`
+	C1 group.Point `json:"c1"`
+}
+
+// HardDecommit is the committer's secret state for a hard commitment.
+type HardDecommit struct {
+	M  *big.Int
+	R0 *big.Int
+	R1 *big.Int
+}
+
+// SoftDecommit is the committer's secret state for a soft commitment.
+type SoftDecommit struct {
+	R0 *big.Int
+	R1 *big.Int
+}
+
+// HardOpening is a full opening of a hard commitment.
+type HardOpening struct {
+	M  *big.Int `json:"m"`
+	R0 *big.Int `json:"r0"`
+	R1 *big.Int `json:"r1"`
+}
+
+// Tease is a soft opening: it convinces the verifier the commitment *could*
+// open to M, without certifying the commitment is hard.
+type Tease struct {
+	M   *big.Int `json:"m"`
+	Tau *big.Int `json:"tau"`
+}
+
+// KGen generates the standard (trapdoor-free) public key: H is derived by
+// hashing into the curve, so nobody knows log_G H.
+func KGen() *PublicKey {
+	grp := group.P256()
+	return &PublicKey{grp: grp, g: grp.Generator(), h: grp.GeneratorH()}
+}
+
+// KGenWithTrapdoor generates a key together with the simulation trapdoor
+// t = log_G H. Only simulators (and tests demonstrating equivocation) should
+// hold the trapdoor.
+func KGenWithTrapdoor() (*PublicKey, *Trapdoor) {
+	grp := group.P256()
+	t := grp.RandomScalar()
+	return &PublicKey{grp: grp, g: grp.Generator(), h: grp.ScalarBaseMult(t)},
+		&Trapdoor{t: t}
+}
+
+// Group exposes the underlying group, for callers that need to hash messages
+// to scalars consistently with this key.
+func (pk *PublicKey) Group() *group.Group { return pk.grp }
+
+// HCom produces a hard commitment to message m (a scalar) and its secret
+// decommitment.
+func (pk *PublicKey) HCom(m *big.Int) (Commitment, HardDecommit) {
+	r0 := pk.grp.RandomScalar()
+	r1 := pk.grp.RandomScalar()
+	c1 := pk.grp.ScalarMult(pk.h, r1)
+	c0 := pk.grp.Add(pk.grp.ScalarBaseMult(m), pk.grp.ScalarMult(c1, r0))
+	return Commitment{C0: c0, C1: c1},
+		HardDecommit{M: pk.grp.ReduceScalar(m), R0: r0, R1: r1}
+}
+
+// SCom produces a soft commitment (committing to nothing) and its secret
+// decommitment.
+func (pk *PublicKey) SCom() (Commitment, SoftDecommit) {
+	r0 := pk.grp.RandomScalar()
+	r1 := pk.grp.RandomScalar()
+	return Commitment{
+		C0: pk.grp.ScalarBaseMult(r0),
+		C1: pk.grp.ScalarBaseMult(r1),
+	}, SoftDecommit{R0: r0, R1: r1}
+}
+
+// HOpen produces the hard opening of a hard commitment.
+func (pk *PublicKey) HOpen(dec HardDecommit) HardOpening {
+	return HardOpening{M: dec.M, R0: dec.R0, R1: dec.R1}
+}
+
+// SOpenHard teases a hard commitment. A hard commitment can only ever be
+// teased to its committed message.
+func (pk *PublicKey) SOpenHard(dec HardDecommit) Tease {
+	return Tease{M: dec.M, Tau: dec.R0}
+}
+
+// SOpenSoft teases a soft commitment to an arbitrary message m: this is the
+// defining "mercurial" capability.
+func (pk *PublicKey) SOpenSoft(dec SoftDecommit, m *big.Int) (Tease, error) {
+	inv, err := pk.grp.InvertScalar(dec.R1)
+	if err != nil {
+		return Tease{}, ErrDegenerateRandomness
+	}
+	// C0 = r0·G and C1 = r1·G, so τ = (r0 - m)/r1 satisfies C0 = m·G + τ·C1.
+	tau := new(big.Int).Sub(dec.R0, m)
+	tau.Mul(tau, inv)
+	return Tease{M: pk.grp.ReduceScalar(m), Tau: pk.grp.ReduceScalar(tau)}, nil
+}
+
+// VerHOpen verifies a hard opening against a commitment.
+func (pk *PublicKey) VerHOpen(c Commitment, op HardOpening) bool {
+	if op.M == nil || op.R0 == nil || op.R1 == nil {
+		return false
+	}
+	if !c.C1.Equal(pk.grp.ScalarMult(pk.h, op.R1)) {
+		return false
+	}
+	want := pk.grp.Add(pk.grp.ScalarBaseMult(op.M), pk.grp.ScalarMult(c.C1, op.R0))
+	return c.C0.Equal(want)
+}
+
+// VerSOpen verifies a tease against a commitment (hard or soft).
+func (pk *PublicKey) VerSOpen(c Commitment, ts Tease) bool {
+	if ts.M == nil || ts.Tau == nil {
+		return false
+	}
+	want := pk.grp.Add(pk.grp.ScalarBaseMult(ts.M), pk.grp.ScalarMult(c.C1, ts.Tau))
+	return c.C0.Equal(want)
+}
+
+// HEquivocate hard-opens a *soft* commitment to an arbitrary message using
+// the trapdoor. It exists to demonstrate the simulation (zero-knowledge)
+// property; honest protocol participants never call it.
+func (pk *PublicKey) HEquivocate(td *Trapdoor, dec SoftDecommit, m *big.Int) (HardOpening, error) {
+	// C1 = r1·G = (r1/t)·H and C0 = r0·G = m·G + r0'·C1 with r0' = (r0-m)/r1.
+	invT, err := pk.grp.InvertScalar(td.t)
+	if err != nil {
+		return HardOpening{}, ErrDegenerateRandomness
+	}
+	invR1, err := pk.grp.InvertScalar(dec.R1)
+	if err != nil {
+		return HardOpening{}, ErrDegenerateRandomness
+	}
+	r1 := new(big.Int).Mul(dec.R1, invT)
+	r0 := new(big.Int).Sub(dec.R0, m)
+	r0.Mul(r0, invR1)
+	return HardOpening{
+		M:  pk.grp.ReduceScalar(m),
+		R0: pk.grp.ReduceScalar(r0),
+		R1: pk.grp.ReduceScalar(r1),
+	}, nil
+}
+
+// Equal reports whether two commitments are identical.
+func (c Commitment) Equal(o Commitment) bool {
+	return c.C0.Equal(o.C0) && c.C1.Equal(o.C1)
+}
+
+// Bytes returns a canonical encoding of the commitment, suitable for hashing
+// into parent nodes of the ZK-EDB tree.
+func (c Commitment) Bytes() []byte {
+	b0 := c.C0.Bytes()
+	b1 := c.C1.Bytes()
+	out := make([]byte, 0, len(b0)+len(b1))
+	out = append(out, b0...)
+	return append(out, b1...)
+}

@@ -1,0 +1,264 @@
+package mercurial
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"desword/internal/group"
+)
+
+func msg(s string) *big.Int {
+	return group.P256().HashToScalar([]byte(s))
+}
+
+func TestHardCommitHardOpenRoundTrip(t *testing.T) {
+	pk := KGen()
+	c, dec := pk.HCom(msg("hello"))
+	if !pk.VerHOpen(c, pk.HOpen(dec)) {
+		t.Fatal("honest hard opening must verify")
+	}
+}
+
+func TestHardCommitSoftOpenRoundTrip(t *testing.T) {
+	pk := KGen()
+	c, dec := pk.HCom(msg("hello"))
+	if !pk.VerSOpen(c, pk.SOpenHard(dec)) {
+		t.Fatal("honest tease of a hard commitment must verify")
+	}
+}
+
+func TestSoftCommitTeasesToAnything(t *testing.T) {
+	pk := KGen()
+	c, dec := pk.SCom()
+	for _, m := range []string{"alpha", "beta", "gamma"} {
+		ts, err := pk.SOpenSoft(dec, msg(m))
+		if err != nil {
+			t.Fatalf("soft opening to %q: %v", m, err)
+		}
+		if !pk.VerSOpen(c, ts) {
+			t.Fatalf("tease of soft commitment to %q must verify", m)
+		}
+	}
+}
+
+func TestHardOpeningWrongMessageRejected(t *testing.T) {
+	pk := KGen()
+	c, dec := pk.HCom(msg("real"))
+	op := pk.HOpen(dec)
+	op.M = msg("forged")
+	if pk.VerHOpen(c, op) {
+		t.Fatal("hard opening with a substituted message must fail")
+	}
+}
+
+func TestTeaseWrongMessageRejected(t *testing.T) {
+	pk := KGen()
+	c, dec := pk.HCom(msg("real"))
+	ts := pk.SOpenHard(dec)
+	ts.M = msg("forged")
+	if pk.VerSOpen(c, ts) {
+		t.Fatal("tease of a hard commitment to a different message must fail")
+	}
+}
+
+func TestHardOpeningAgainstWrongCommitmentRejected(t *testing.T) {
+	pk := KGen()
+	_, dec := pk.HCom(msg("one"))
+	c2, _ := pk.HCom(msg("two"))
+	if pk.VerHOpen(c2, pk.HOpen(dec)) {
+		t.Fatal("an opening must not verify against another commitment")
+	}
+}
+
+func TestSoftCommitmentCannotBeHardOpenedNaively(t *testing.T) {
+	pk := KGen()
+	c, dec := pk.SCom()
+	// The only plausible cheat without the trapdoor: present the soft
+	// randomness as if it were a hard opening.
+	forged := HardOpening{M: msg("forged"), R0: dec.R0, R1: dec.R1}
+	if pk.VerHOpen(c, forged) {
+		t.Fatal("soft commitment must not hard-open from its own randomness")
+	}
+}
+
+func TestNilFieldsRejected(t *testing.T) {
+	pk := KGen()
+	c, dec := pk.HCom(msg("x"))
+	if pk.VerHOpen(c, HardOpening{}) {
+		t.Fatal("empty hard opening must fail")
+	}
+	if pk.VerSOpen(c, Tease{}) {
+		t.Fatal("empty tease must fail")
+	}
+	op := pk.HOpen(dec)
+	op.R1 = nil
+	if pk.VerHOpen(c, op) {
+		t.Fatal("hard opening with nil randomness must fail")
+	}
+}
+
+func TestTrapdoorEquivocation(t *testing.T) {
+	pk, td := KGenWithTrapdoor()
+	c, dec := pk.SCom()
+	op, err := pk.HEquivocate(td, dec, msg("anything"))
+	if err != nil {
+		t.Fatalf("equivocating: %v", err)
+	}
+	if !pk.VerHOpen(c, op) {
+		t.Fatal("trapdoor equivocation must produce a verifying hard opening")
+	}
+	// And to a second, different message: full equivocation.
+	op2, err := pk.HEquivocate(td, dec, msg("something else"))
+	if err != nil {
+		t.Fatalf("equivocating twice: %v", err)
+	}
+	if !pk.VerHOpen(c, op2) {
+		t.Fatal("second equivocation must also verify")
+	}
+}
+
+func TestHardAndSoftCommitmentsLookAlike(t *testing.T) {
+	// Structural indistinguishability smoke test: both flavours are a pair of
+	// non-identity group elements with no flavour marker.
+	pk := KGen()
+	hc, _ := pk.HCom(msg("m"))
+	sc, _ := pk.SCom()
+	for _, c := range []Commitment{hc, sc} {
+		if c.C0.IsIdentity() || c.C1.IsIdentity() {
+			t.Fatal("commitments must consist of non-identity elements")
+		}
+		if len(c.Bytes()) != 130 {
+			t.Fatalf("unexpected commitment encoding length %d", len(c.Bytes()))
+		}
+	}
+}
+
+func TestCommitmentHidingAcrossMessages(t *testing.T) {
+	// Fresh randomness must make commitments to the same message differ.
+	pk := KGen()
+	c1, _ := pk.HCom(msg("same"))
+	c2, _ := pk.HCom(msg("same"))
+	if c1.Equal(c2) {
+		t.Fatal("two commitments to the same message must differ (hiding)")
+	}
+}
+
+func TestPropertyRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in short mode")
+	}
+	pk := KGen()
+	prop := func(seed int64) bool {
+		m := pk.Group().ReduceScalar(big.NewInt(seed))
+		c, dec := pk.HCom(m)
+		if !pk.VerHOpen(c, pk.HOpen(dec)) {
+			return false
+		}
+		if !pk.VerSOpen(c, pk.SOpenHard(dec)) {
+			return false
+		}
+		sc, sdec := pk.SCom()
+		ts, err := pk.SOpenSoft(sdec, m)
+		return err == nil && pk.VerSOpen(sc, ts)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTeaseBindingForHardCommitments(t *testing.T) {
+	// Exhaustively check that perturbing τ or M breaks verification — the
+	// computational claim (teasing to a different message needs log_G H) is
+	// spot-checked by these algebraic probes.
+	pk := KGen()
+	c, dec := pk.HCom(msg("bound"))
+	ts := pk.SOpenHard(dec)
+	perturbed := ts
+	perturbed.Tau = new(big.Int).Add(ts.Tau, big.NewInt(1))
+	if pk.VerSOpen(c, perturbed) {
+		t.Fatal("perturbed τ must not verify")
+	}
+	perturbed = ts
+	perturbed.M = new(big.Int).Add(ts.M, big.NewInt(1))
+	if pk.VerSOpen(c, perturbed) {
+		t.Fatal("perturbed message must not verify")
+	}
+}
+
+// Micro-benchmarks for the seven TMC algorithms (paper §VI.A, experiment E1).
+
+func BenchmarkTMCKGen(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		KGen()
+	}
+}
+
+func BenchmarkTMCHCom(b *testing.B) {
+	pk := KGen()
+	m := msg("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pk.HCom(m)
+	}
+}
+
+func BenchmarkTMCSCom(b *testing.B) {
+	pk := KGen()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pk.SCom()
+	}
+}
+
+func BenchmarkTMCHOpen(b *testing.B) {
+	pk := KGen()
+	_, dec := pk.HCom(msg("bench"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pk.HOpen(dec)
+	}
+}
+
+func BenchmarkTMCSOpen(b *testing.B) {
+	pk := KGen()
+	_, dec := pk.SCom()
+	m := msg("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.SOpenSoft(dec, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTMCVerHOpen(b *testing.B) {
+	pk := KGen()
+	c, dec := pk.HCom(msg("bench"))
+	op := pk.HOpen(dec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !pk.VerHOpen(c, op) {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+func BenchmarkTMCVerSOpen(b *testing.B) {
+	pk := KGen()
+	c, dec := pk.HCom(msg("bench"))
+	ts := pk.SOpenHard(dec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !pk.VerSOpen(c, ts) {
+			b.Fatal("verification failed")
+		}
+	}
+}

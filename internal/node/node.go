@@ -1,0 +1,395 @@
+// Package node deploys DE-Sword over TCP: a proxy server, participant
+// servers, and dial-per-request clients. The same protocol logic as the
+// in-process engine runs here — node.ResponderClient implements
+// core.Responder, so a core.Proxy can drive remote participants, and
+// node.ProxyServer exposes the proxy to applications and initial
+// participants.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"desword/internal/core"
+	"desword/internal/poc"
+	"desword/internal/reputation"
+	"desword/internal/wire"
+)
+
+// DefaultTimeout bounds each dial and each request/response exchange.
+const DefaultTimeout = 10 * time.Second
+
+// ErrServerClosed reports use of a closed server.
+var ErrServerClosed = errors.New("node: server closed")
+
+// server is the shared accept-loop machinery.
+type server struct {
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+func (s *server) start(ln net.Listener, handle func(*wire.Envelope) (string, any)) {
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer func() {
+					if cerr := conn.Close(); cerr != nil {
+						_ = cerr // already answering or tearing down
+					}
+				}()
+				s.serveConn(conn, handle)
+			}()
+		}
+	}()
+}
+
+// serveConn answers framed requests on one connection until the peer hangs
+// up or sends garbage.
+func (s *server) serveConn(conn net.Conn, handle func(*wire.Envelope) (string, any)) {
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(DefaultTimeout)); err != nil {
+			return
+		}
+		env, err := wire.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		respType, payload := handle(env)
+		if err := conn.SetWriteDeadline(time.Now().Add(DefaultTimeout)); err != nil {
+			return
+		}
+		if err := wire.WriteMessage(conn, respType, payload); err != nil {
+			return
+		}
+	}
+}
+
+// Addr returns the server's listen address.
+func (s *server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// ParticipantServer exposes one participant endpoint (honest member or
+// adversary wrapper) over TCP.
+type ParticipantServer struct {
+	server
+	responder core.Responder
+}
+
+// ServeParticipant listens on addr (use "127.0.0.1:0" for an ephemeral port)
+// and serves query interactions against the responder.
+func ServeParticipant(addr string, responder core.Responder) (*ParticipantServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("node: listening on %s: %w", addr, err)
+	}
+	s := &ParticipantServer{responder: responder}
+	s.start(ln, s.handle)
+	return s, nil
+}
+
+func (s *ParticipantServer) handle(env *wire.Envelope) (string, any) {
+	switch env.Type {
+	case wire.TypeQuery:
+		var req wire.QueryRequest
+		if err := env.Decode(&req); err != nil {
+			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
+		}
+		resp, err := s.responder.Query(req.TaskID, req.Product, core.Quality(req.Quality))
+		if err != nil {
+			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
+		}
+		encoded, err := wire.EncodeResponse(resp)
+		if err != nil {
+			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
+		}
+		return wire.TypeResponse, encoded
+	case wire.TypeDemandOwnership:
+		var req wire.DemandRequest
+		if err := env.Decode(&req); err != nil {
+			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
+		}
+		resp, err := s.responder.DemandOwnership(req.TaskID, req.Product)
+		if err != nil {
+			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
+		}
+		encoded, err := wire.EncodeResponse(resp)
+		if err != nil {
+			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
+		}
+		return wire.TypeResponse, encoded
+	default:
+		return wire.TypeError, wire.ErrorResponse{Message: "unknown message type " + env.Type}
+	}
+}
+
+// ResponderClient reaches a remote participant; it implements
+// core.Responder, so the proxy's resolver can hand it straight to the
+// protocol engine.
+type ResponderClient struct {
+	addr    string
+	timeout time.Duration
+}
+
+// NewResponderClient creates a client for one participant address.
+func NewResponderClient(addr string) *ResponderClient {
+	return &ResponderClient{addr: addr, timeout: DefaultTimeout}
+}
+
+var _ core.Responder = (*ResponderClient)(nil)
+
+// Query implements core.Responder over TCP.
+func (c *ResponderClient) Query(taskID string, id poc.ProductID, quality core.Quality) (*core.Response, error) {
+	return c.roundTrip(wire.TypeQuery, wire.QueryRequest{
+		TaskID: taskID, Product: id, Quality: int(quality),
+	})
+}
+
+// DemandOwnership implements core.Responder over TCP.
+func (c *ResponderClient) DemandOwnership(taskID string, id poc.ProductID) (*core.Response, error) {
+	return c.roundTrip(wire.TypeDemandOwnership, wire.DemandRequest{
+		TaskID: taskID, Product: id,
+	})
+}
+
+func (c *ResponderClient) roundTrip(msgType string, payload any) (*core.Response, error) {
+	env, err := exchange(c.addr, c.timeout, msgType, payload)
+	if err != nil {
+		return nil, err
+	}
+	if env.Type != wire.TypeResponse {
+		return nil, remoteError(env)
+	}
+	var resp wire.QueryResponse
+	if err := env.Decode(&resp); err != nil {
+		return nil, err
+	}
+	return wire.DecodeResponse(&resp)
+}
+
+// DirectoryResolver builds a core.Resolver from a participant→address map.
+func DirectoryResolver(dir map[poc.ParticipantID]string) core.Resolver {
+	return func(v poc.ParticipantID) (core.Responder, error) {
+		addr, ok := dir[v]
+		if !ok {
+			return nil, fmt.Errorf("node: no address for participant %s", v)
+		}
+		return NewResponderClient(addr), nil
+	}
+}
+
+// ProxyServer exposes a core.Proxy over TCP to applications and initial
+// participants.
+type ProxyServer struct {
+	server
+	proxy *core.Proxy
+}
+
+// ServeProxy listens on addr and serves the proxy protocol.
+func ServeProxy(addr string, proxy *core.Proxy) (*ProxyServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("node: listening on %s: %w", addr, err)
+	}
+	s := &ProxyServer{proxy: proxy}
+	s.start(ln, s.handle)
+	return s, nil
+}
+
+func (s *ProxyServer) handle(env *wire.Envelope) (string, any) {
+	switch env.Type {
+	case wire.TypeGetParams:
+		return wire.TypeParams, s.proxy.PublicParams()
+	case wire.TypeRegisterList:
+		var req wire.RegisterListRequest
+		if err := env.Decode(&req); err != nil {
+			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
+		}
+		if req.List == nil {
+			return wire.TypeError, wire.ErrorResponse{Message: "missing POC list"}
+		}
+		if err := s.proxy.RegisterList(req.TaskID, req.List); err != nil {
+			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
+		}
+		return wire.TypeAck, nil
+	case wire.TypeQueryPath:
+		var req wire.QueryPathRequest
+		if err := env.Decode(&req); err != nil {
+			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
+		}
+		result, err := s.proxy.QueryPath(req.Product, core.Quality(req.Quality))
+		if err != nil {
+			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
+		}
+		return wire.TypePathResult, wire.EncodePathResult(result)
+	case wire.TypeScores:
+		return wire.TypeScoreTable, wire.ScoreTable{Scores: s.proxy.Ledger().Scores()}
+	case wire.TypeAuditLog:
+		head, count := s.proxy.Ledger().Head()
+		return wire.TypeAuditChain, wire.AuditChain{
+			Entries: s.proxy.Ledger().AuditLog(),
+			Head:    head[:],
+			Count:   count,
+		}
+	default:
+		return wire.TypeError, wire.ErrorResponse{Message: "unknown message type " + env.Type}
+	}
+}
+
+// ProxyClient reaches a remote proxy.
+type ProxyClient struct {
+	addr    string
+	timeout time.Duration
+}
+
+// NewProxyClient creates a client for a proxy address.
+func NewProxyClient(addr string) *ProxyClient {
+	return &ProxyClient{addr: addr, timeout: DefaultTimeout}
+}
+
+// GetParams fetches and rehydrates the public parameter ps.
+func (c *ProxyClient) GetParams() (*poc.PublicParams, error) {
+	env, err := exchange(c.addr, c.timeout, wire.TypeGetParams, struct{}{})
+	if err != nil {
+		return nil, err
+	}
+	if env.Type != wire.TypeParams {
+		return nil, remoteError(env)
+	}
+	var ps poc.PublicParams
+	if err := env.Decode(&ps); err != nil {
+		return nil, err
+	}
+	if err := ps.Rehydrate(); err != nil {
+		return nil, fmt.Errorf("node: rehydrating params: %w", err)
+	}
+	return &ps, nil
+}
+
+// RegisterList submits a POC list on behalf of an initial participant.
+func (c *ProxyClient) RegisterList(taskID string, list *poc.List) error {
+	env, err := exchange(c.addr, c.timeout, wire.TypeRegisterList,
+		wire.RegisterListRequest{TaskID: taskID, List: list})
+	if err != nil {
+		return err
+	}
+	if env.Type != wire.TypeAck {
+		return remoteError(env)
+	}
+	return nil
+}
+
+// QueryPath runs a full product path query at the proxy.
+func (c *ProxyClient) QueryPath(id poc.ProductID, quality core.Quality) (*core.Result, error) {
+	env, err := exchange(c.addr, c.timeout, wire.TypeQueryPath,
+		wire.QueryPathRequest{Product: id, Quality: int(quality)})
+	if err != nil {
+		return nil, err
+	}
+	if env.Type != wire.TypePathResult {
+		return nil, remoteError(env)
+	}
+	var result wire.PathResult
+	if err := env.Decode(&result); err != nil {
+		return nil, err
+	}
+	return wire.DecodePathResult(&result), nil
+}
+
+// Scores fetches the public reputation table.
+func (c *ProxyClient) Scores() (map[poc.ParticipantID]float64, error) {
+	env, err := exchange(c.addr, c.timeout, wire.TypeScores, struct{}{})
+	if err != nil {
+		return nil, err
+	}
+	if env.Type != wire.TypeScoreTable {
+		return nil, remoteError(env)
+	}
+	var table wire.ScoreTable
+	if err := env.Decode(&table); err != nil {
+		return nil, err
+	}
+	return table.Scores, nil
+}
+
+// AuditLog fetches the proxy's chained score history and verifies it
+// end-to-end before returning it — a customer-side audit in one call.
+func (c *ProxyClient) AuditLog() ([]reputation.AuditEntry, error) {
+	env, err := exchange(c.addr, c.timeout, wire.TypeAuditLog, struct{}{})
+	if err != nil {
+		return nil, err
+	}
+	if env.Type != wire.TypeAuditChain {
+		return nil, remoteError(env)
+	}
+	var chain wire.AuditChain
+	if err := env.Decode(&chain); err != nil {
+		return nil, err
+	}
+	var head [32]byte
+	if len(chain.Head) != len(head) {
+		return nil, fmt.Errorf("node: malformed audit head (%d bytes)", len(chain.Head))
+	}
+	copy(head[:], chain.Head)
+	if err := reputation.VerifyAuditChain(chain.Entries, head, chain.Count); err != nil {
+		return nil, fmt.Errorf("node: proxy published a broken audit chain: %w", err)
+	}
+	return chain.Entries, nil
+}
+
+// exchange performs one dial-request-response cycle.
+func exchange(addr string, timeout time.Duration, msgType string, payload any) (*wire.Envelope, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("node: dialing %s: %w", addr, err)
+	}
+	defer func() {
+		if cerr := conn.Close(); cerr != nil {
+			_ = cerr // response already in hand
+		}
+	}()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, fmt.Errorf("node: setting deadline: %w", err)
+	}
+	if err := wire.WriteMessage(conn, msgType, payload); err != nil {
+		return nil, err
+	}
+	return wire.ReadMessage(conn)
+}
+
+// remoteError converts an unexpected envelope into an error.
+func remoteError(env *wire.Envelope) error {
+	if env.Type == wire.TypeError {
+		var er wire.ErrorResponse
+		if err := env.Decode(&er); err == nil {
+			return fmt.Errorf("node: remote error: %s", er.Message)
+		}
+	}
+	return fmt.Errorf("node: unexpected response type %q", env.Type)
+}

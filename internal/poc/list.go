@@ -1,0 +1,149 @@
+package poc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file implements the POC list of §IV.B: a sub-digraph whose vertices
+// store the POCs of the participants involved in one distribution task. The
+// initial participant composes it from the POC pairs its descendants send up
+// and submits it to the proxy as (ps, {(POC_vi, POC_vj)}).
+
+// Errors reported by List operations.
+var (
+	ErrUnknownParticipant = errors.New("poc: participant not in POC list")
+	ErrDuplicatePOC       = errors.New("poc: participant already has a POC in the list")
+	ErrDanglingPair       = errors.New("poc: POC pair references a participant without a POC")
+)
+
+// Pair records the parent→child relation between two POCs: the paper's POC
+// pair (POC_vi, POC_vj) with vi the parent of vj.
+type Pair struct {
+	Parent ParticipantID `json:"parent"`
+	Child  ParticipantID `json:"child"`
+}
+
+// List is the POC list for one distribution task.
+type List struct {
+	POCs  map[ParticipantID]POC `json:"pocs"`
+	Pairs []Pair                `json:"pairs"`
+}
+
+// NewList returns an empty POC list.
+func NewList() *List {
+	return &List{POCs: make(map[ParticipantID]POC)}
+}
+
+// AddPOC inserts a participant's POC. Each participant appears at most once
+// per distribution task.
+func (l *List) AddPOC(credential POC) error {
+	if _, exists := l.POCs[credential.Participant]; exists {
+		return fmt.Errorf("%w: %s", ErrDuplicatePOC, credential.Participant)
+	}
+	l.POCs[credential.Participant] = credential
+	return nil
+}
+
+// AddPair records that parent distributed products to child in this task.
+func (l *List) AddPair(parent, child ParticipantID) {
+	l.Pairs = append(l.Pairs, Pair{Parent: parent, Child: child})
+}
+
+// POC returns the credential of a participant.
+func (l *List) POC(v ParticipantID) (POC, error) {
+	credential, ok := l.POCs[v]
+	if !ok {
+		return POC{}, fmt.Errorf("%w: %s", ErrUnknownParticipant, v)
+	}
+	return credential, nil
+}
+
+// Has reports whether the participant has a POC in the list.
+func (l *List) Has(v ParticipantID) bool {
+	_, ok := l.POCs[v]
+	return ok
+}
+
+// HasPair reports whether the list records child as a child of parent — the
+// check the proxy runs when a queried participant names the next hop
+// (§III.B, "return the identity of a wrong participant", case 2).
+func (l *List) HasPair(parent, child ParticipantID) bool {
+	for _, p := range l.Pairs {
+		if p.Parent == parent && p.Child == child {
+			return true
+		}
+	}
+	return false
+}
+
+// Children returns the recorded children of a participant, sorted for
+// determinism.
+func (l *List) Children(parent ParticipantID) []ParticipantID {
+	var out []ParticipantID
+	for _, p := range l.Pairs {
+		if p.Parent == parent {
+			out = append(out, p.Child)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Parents returns the recorded parents of a participant, sorted for
+// determinism.
+func (l *List) Parents(child ParticipantID) []ParticipantID {
+	var out []ParticipantID
+	for _, p := range l.Pairs {
+		if p.Child == child {
+			out = append(out, p.Parent)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Participants returns every participant holding a POC, sorted.
+func (l *List) Participants() []ParticipantID {
+	out := make([]ParticipantID, 0, len(l.POCs))
+	for v := range l.POCs {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Initials returns the participants with no incoming pair — the initial
+// participants of the distribution task.
+func (l *List) Initials() []ParticipantID {
+	hasParent := make(map[ParticipantID]bool)
+	for _, p := range l.Pairs {
+		hasParent[p.Child] = true
+	}
+	var out []ParticipantID
+	for v := range l.POCs {
+		if !hasParent[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks structural integrity: every pair endpoint must hold a POC
+// and no pair may be self-referential.
+func (l *List) Validate() error {
+	for _, p := range l.Pairs {
+		if p.Parent == p.Child {
+			return fmt.Errorf("poc: self-loop at %s", p.Parent)
+		}
+		if !l.Has(p.Parent) {
+			return fmt.Errorf("%w: parent %s", ErrDanglingPair, p.Parent)
+		}
+		if !l.Has(p.Child) {
+			return fmt.Errorf("%w: child %s", ErrDanglingPair, p.Child)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package poc
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"desword/internal/zkedb"
+)
+
+var _testPS *PublicParams
+
+func testPS(t *testing.T) *PublicParams {
+	t.Helper()
+	if _testPS == nil {
+		ps, err := PSGen(zkedb.TestParams())
+		if err != nil {
+			t.Fatalf("PSGen: %v", err)
+		}
+		_testPS = ps
+	}
+	return _testPS
+}
+
+func sampleTraces(v ParticipantID, n int) []Trace {
+	out := make([]Trace, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Trace{
+			Product: ProductID(fmt.Sprintf("id-%02d", i)),
+			Data:    []byte(fmt.Sprintf("%s processed id-%02d at station 7", v, i)),
+		})
+	}
+	return out
+}
+
+func TestAggProveVerifyOwnership(t *testing.T) {
+	ps := testPS(t)
+	traces := sampleTraces("v1", 5)
+	credential, dpoc, err := Agg(ps, "v1", traces)
+	if err != nil {
+		t.Fatalf("Agg: %v", err)
+	}
+	if credential.Participant != "v1" {
+		t.Fatal("POC must carry the participant identity")
+	}
+	for _, tr := range traces {
+		proof, err := dpoc.Prove(tr.Product)
+		if err != nil {
+			t.Fatalf("Prove(%s): %v", tr.Product, err)
+		}
+		if proof.Kind != Ownership {
+			t.Fatalf("expected ownership proof for %s", tr.Product)
+		}
+		got, err := Verify(ps, credential, tr.Product, proof)
+		if err != nil {
+			t.Fatalf("Verify(%s): %v", tr.Product, err)
+		}
+		if got == nil || got.Product != tr.Product || string(got.Data) != string(tr.Data) {
+			t.Fatalf("Verify(%s) recovered wrong trace %+v", tr.Product, got)
+		}
+	}
+}
+
+func TestAggProveVerifyNonOwnership(t *testing.T) {
+	ps := testPS(t)
+	credential, dpoc, err := Agg(ps, "v1", sampleTraces("v1", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dpoc.Prove("unprocessed-product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof.Kind != NonOwnership {
+		t.Fatal("expected non-ownership proof")
+	}
+	got, err := Verify(ps, credential, "unprocessed-product", proof)
+	if err != nil {
+		t.Fatalf("valid non-ownership proof must verify: %v", err)
+	}
+	if got != nil {
+		t.Fatal("non-ownership verification must not return a trace")
+	}
+}
+
+func TestEmptyTraceSet(t *testing.T) {
+	ps := testPS(t)
+	credential, dpoc, err := Agg(ps, "leafless", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dpoc.Prove("anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(ps, credential, "anything", proof); err != nil {
+		t.Fatalf("empty POC must prove non-ownership of everything: %v", err)
+	}
+}
+
+func TestDuplicateTraceRejected(t *testing.T) {
+	ps := testPS(t)
+	traces := []Trace{
+		{Product: "dup", Data: []byte("a")},
+		{Product: "dup", Data: []byte("b")},
+	}
+	if _, _, err := Agg(ps, "v1", traces); err == nil {
+		t.Fatal("duplicate product ids must be rejected")
+	}
+}
+
+func TestVerifyRejectsKindMismatch(t *testing.T) {
+	ps := testPS(t)
+	credential, dpoc, err := Agg(ps, "v1", sampleTraces("v1", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dpoc.Prove("id-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Kind = NonOwnership // lie about the kind
+	if _, err := Verify(ps, credential, "id-00", proof); err == nil {
+		t.Fatal("relabeled proof kind must be rejected")
+	}
+	if _, err := Verify(ps, credential, "id-00", nil); err == nil {
+		t.Fatal("nil proof must be rejected")
+	}
+	if _, err := Verify(ps, credential, "id-00", &Proof{Kind: ProofKind(5), ZK: proof.ZK}); err == nil {
+		t.Fatal("unknown proof kind must be rejected")
+	}
+}
+
+func TestVerifyRejectsCrossParticipantProof(t *testing.T) {
+	// Claim 2 in action at the POC layer: v2 cannot answer a query with v1's
+	// proof because the POC commits to the participant's own database.
+	ps := testPS(t)
+	_, dpoc1, err := Agg(ps, "v1", sampleTraces("v1", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poc2, _, err := Agg(ps, "v2", sampleTraces("v2", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dpoc1.Prove("id-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(ps, poc2, "id-00", proof); err == nil {
+		t.Fatal("a proof against v1's POC must not verify against v2's")
+	}
+}
+
+func TestProofKindString(t *testing.T) {
+	if Ownership.String() != "Ow-proof" || NonOwnership.String() != "Now-proof" {
+		t.Fatal("proof kind strings must match the paper's prefixes")
+	}
+	if ProofKind(9).String() == "" {
+		t.Fatal("unknown kinds must render non-empty")
+	}
+}
+
+func TestListAddAndLookup(t *testing.T) {
+	ps := testPS(t)
+	list := NewList()
+	for _, v := range []ParticipantID{"v0", "v2", "v5"} {
+		credential, _, err := Agg(ps, v, sampleTraces(v, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := list.AddPOC(credential); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list.AddPair("v0", "v2")
+	list.AddPair("v2", "v5")
+	if err := list.Validate(); err != nil {
+		t.Fatalf("valid list must validate: %v", err)
+	}
+	if !list.HasPair("v0", "v2") || list.HasPair("v2", "v0") {
+		t.Fatal("HasPair must respect direction")
+	}
+	if got := list.Children("v0"); len(got) != 1 || got[0] != "v2" {
+		t.Fatalf("Children(v0) = %v", got)
+	}
+	if got := list.Parents("v5"); len(got) != 1 || got[0] != "v2" {
+		t.Fatalf("Parents(v5) = %v", got)
+	}
+	if got := list.Initials(); len(got) != 1 || got[0] != "v0" {
+		t.Fatalf("Initials() = %v", got)
+	}
+	if got := list.Participants(); len(got) != 3 {
+		t.Fatalf("Participants() = %v", got)
+	}
+	if _, err := list.POC("v2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := list.POC("missing"); err == nil {
+		t.Fatal("missing participant must error")
+	}
+}
+
+func TestListRejectsDuplicatesAndDangling(t *testing.T) {
+	ps := testPS(t)
+	list := NewList()
+	credential, _, err := Agg(ps, "v0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := list.AddPOC(credential); err != nil {
+		t.Fatal(err)
+	}
+	if err := list.AddPOC(credential); err == nil {
+		t.Fatal("duplicate POC must be rejected")
+	}
+	list.AddPair("v0", "ghost")
+	if err := list.Validate(); err == nil {
+		t.Fatal("dangling pair must fail validation")
+	}
+	list.Pairs = []Pair{{Parent: "v0", Child: "v0"}}
+	if err := list.Validate(); err == nil {
+		t.Fatal("self-loop must fail validation")
+	}
+}
+
+func TestDPOCPersistence(t *testing.T) {
+	ps := testPS(t)
+	traces := sampleTraces("v1", 3)
+	credential, dpoc, err := Agg(ps, "v1", traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(dpoc)
+	if err != nil {
+		t.Fatalf("marshal DPOC: %v", err)
+	}
+	restored, err := RestoreDPOC(ps, data)
+	if err != nil {
+		t.Fatalf("restore DPOC: %v", err)
+	}
+	if restored.Participant != "v1" {
+		t.Fatalf("restored participant = %s", restored.Participant)
+	}
+	// Proofs from the restored DPOC must verify against the original POC.
+	proof, err := restored.Prove("id-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Verify(ps, credential, "id-01", proof)
+	if err != nil || got == nil {
+		t.Fatalf("restored ownership proof failed: %v", err)
+	}
+	absent, err := restored.Prove("never-processed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(ps, credential, "never-processed", absent); err != nil {
+		t.Fatalf("restored non-ownership proof failed: %v", err)
+	}
+}
+
+func TestRestoreDPOCRejectsGarbage(t *testing.T) {
+	ps := testPS(t)
+	if _, err := RestoreDPOC(ps, []byte("junk")); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	if _, err := RestoreDPOC(ps, []byte(`{"participant":"x","state":{}}`)); err == nil {
+		t.Fatal("empty state must be rejected")
+	}
+}

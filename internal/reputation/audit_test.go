@@ -1,0 +1,94 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+)
+
+func buildAuditedLedger() *Ledger {
+	l := NewLedger()
+	l.Adjust(Event{Participant: "a", Product: "p1", Quality: Good, Delta: 1, Reason: "good path"})
+	l.Adjust(Event{Participant: "b", Product: "p1", Quality: Good, Delta: 1, Reason: "good path"})
+	l.Adjust(Event{Participant: "a", Product: "p2", Quality: Bad, Delta: -1, Reason: "bad path"})
+	l.Adjust(Event{Participant: "c", Product: "p2", Quality: Bad, Delta: -5, Reason: "violation: lied"})
+	return l
+}
+
+func TestAuditChainVerifies(t *testing.T) {
+	l := buildAuditedLedger()
+	head, count := l.Head()
+	if count != 4 {
+		t.Fatalf("count = %d", count)
+	}
+	if err := VerifyAuditChain(l.AuditLog(), head, count); err != nil {
+		t.Fatalf("honest history must verify: %v", err)
+	}
+}
+
+func TestAuditChainEmptyLedger(t *testing.T) {
+	l := NewLedger()
+	head, count := l.Head()
+	if count != 0 {
+		t.Fatalf("count = %d", count)
+	}
+	if err := VerifyAuditChain(nil, head, 0); err != nil {
+		t.Fatalf("empty history must verify: %v", err)
+	}
+	if err := VerifyAuditChain(nil, [32]byte{1}, 0); err == nil {
+		t.Fatal("nonzero head with empty history must fail")
+	}
+}
+
+func TestAuditChainDetectsTamperedDelta(t *testing.T) {
+	l := buildAuditedLedger()
+	head, count := l.Head()
+	entries := l.AuditLog()
+	entries[2].Event.Delta = +1 // flip the penalty into a reward
+	if err := VerifyAuditChain(entries, head, count); err == nil {
+		t.Fatal("tampered delta must break the chain")
+	}
+}
+
+func TestAuditChainDetectsDeletion(t *testing.T) {
+	l := buildAuditedLedger()
+	head, count := l.Head()
+	entries := l.AuditLog()
+	// Drop the violation entry.
+	shortened := entries[:3:3]
+	if err := VerifyAuditChain(shortened, head, count); err == nil {
+		t.Fatal("deleted entry must break the chain")
+	}
+	if err := VerifyAuditChain(shortened, shortened[2].Digest, 3); err != nil {
+		t.Fatal("prefix must verify against its own head — truncation is only caught by head pinning")
+	}
+}
+
+func TestAuditChainDetectsReordering(t *testing.T) {
+	l := buildAuditedLedger()
+	head, count := l.Head()
+	entries := l.AuditLog()
+	entries[0], entries[1] = entries[1], entries[0]
+	if err := VerifyAuditChain(entries, head, count); err == nil {
+		t.Fatal("reordered entries must break the chain")
+	}
+}
+
+func TestAuditChainDetectsForgedSeq(t *testing.T) {
+	l := buildAuditedLedger()
+	head, count := l.Head()
+	entries := l.AuditLog()
+	entries[1].Seq = 7
+	if err := VerifyAuditChain(entries, head, count); err == nil {
+		t.Fatal("forged sequence number must break the chain")
+	}
+}
+
+func TestReplayScoresMatchesLedger(t *testing.T) {
+	l := buildAuditedLedger()
+	replayed := ReplayScores(l.AuditLog())
+	for v, want := range l.Scores() {
+		if got := replayed[v]; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("replayed score for %s = %v, want %v", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package reputation implements DE-Sword's double-edged reputation award
+// strategy (§II.C, Figure 2): after a product path information query, the
+// trusted proxy assigns positive reputation scores to the identified
+// participants when the queried product is good, and negative scores when it
+// is bad. Scores are public — customers read them — which is what makes the
+// incentive bind.
+//
+// The package provides the score ledger, configurable award strategies
+// (including the paper's "diverse positive/negative reputation scores based
+// on the responsibilities of the identified participants"), and violation
+// penalties for participants caught cheating during a query.
+package reputation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"desword/internal/supplychain"
+)
+
+// Quality classifies a queried product. Products are usually good and
+// occasionally bad — the unpredictability that powers the double edge.
+type Quality int
+
+// Quality values start at 1 so the zero value is invalid.
+const (
+	Good Quality = iota + 1
+	Bad
+)
+
+// String implements fmt.Stringer.
+func (q Quality) String() string {
+	switch q {
+	case Good:
+		return "good"
+	case Bad:
+		return "bad"
+	default:
+		return fmt.Sprintf("Quality(%d)", int(q))
+	}
+}
+
+// Event records one reputation adjustment, for public audit.
+type Event struct {
+	Participant supplychain.ParticipantID `json:"participant"`
+	Product     supplychain.ProductID     `json:"product"`
+	Quality     Quality                   `json:"quality"`
+	Delta       float64                   `json:"delta"`
+	Reason      string                    `json:"reason"`
+}
+
+// Ledger holds publicly accessible reputation scores. Safe for concurrent
+// use.
+type Ledger struct {
+	mu     sync.RWMutex
+	scores map[supplychain.ParticipantID]float64
+	events []Event
+	audit  []AuditEntry
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{scores: make(map[supplychain.ParticipantID]float64)}
+}
+
+// Adjust applies a score delta, records the audit event, and extends the
+// tamper-evident hash chain.
+func (l *Ledger) Adjust(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.scores[e.Participant] += e.Delta
+	l.events = append(l.events, e)
+	var prev [32]byte
+	if n := len(l.audit); n > 0 {
+		prev = l.audit[n-1].Digest
+	}
+	seq := uint64(len(l.audit))
+	l.audit = append(l.audit, AuditEntry{
+		Seq:    seq,
+		Event:  e,
+		Digest: chainDigest(prev, seq, e),
+	})
+}
+
+// Score returns a participant's current reputation score.
+func (l *Ledger) Score(v supplychain.ParticipantID) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.scores[v]
+}
+
+// Scores returns a copy of all scores.
+func (l *Ledger) Scores() map[supplychain.ParticipantID]float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[supplychain.ParticipantID]float64, len(l.scores))
+	for k, v := range l.scores {
+		out[k] = v
+	}
+	return out
+}
+
+// Events returns a copy of the audit log.
+func (l *Ledger) Events() []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Ranking returns participants ordered by descending score (ties broken by
+// id), the view a customer would consult.
+func (l *Ledger) Ranking() []supplychain.ParticipantID {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]supplychain.ParticipantID, 0, len(l.scores))
+	for v := range l.scores {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := l.scores[out[i]], l.scores[out[j]]
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Weigher scales the award for the participant at position pos (0-based) of
+// an identified path of length n, modelling "diverse reputation scores based
+// on the responsibilities of the identified participants".
+type Weigher func(pos, n int) float64
+
+// UniformWeigher treats every participant on the path equally.
+func UniformWeigher(pos, n int) float64 { return 1 }
+
+// ResponsibilityWeigher weights upstream participants more heavily: the
+// earlier a participant processed a bad product, the more of the path it
+// contaminated (and symmetrically, the more of a good product's quality it
+// established). Weights fall linearly from 1 at the head to 1/n at the tail.
+func ResponsibilityWeigher(pos, n int) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return float64(n-pos) / float64(n)
+}
+
+// Strategy is the proxy's double-edged award policy.
+type Strategy struct {
+	// PositiveUnit is the base score for each identified participant of a
+	// good product's path.
+	PositiveUnit float64
+	// NegativeUnit is the base (positive-valued) penalty for each identified
+	// participant of a bad product's path.
+	NegativeUnit float64
+	// ViolationPenalty is the extra penalty for a participant caught
+	// cheating during the query itself.
+	ViolationPenalty float64
+	// Weigh scales awards by path responsibility; nil means uniform.
+	Weigh Weigher
+}
+
+// DefaultStrategy mirrors the paper's symmetric double edge with a stiff
+// penalty for detected protocol violations.
+func DefaultStrategy() Strategy {
+	return Strategy{PositiveUnit: 1, NegativeUnit: 1, ViolationPenalty: 5, Weigh: UniformWeigher}
+}
+
+// AwardPath applies the double-edged award to an identified path: positive
+// scores for a good product, negative scores for a bad one (Figure 2).
+func (s Strategy) AwardPath(l *Ledger, id supplychain.ProductID, q Quality, path []supplychain.ParticipantID) {
+	weigh := s.Weigh
+	if weigh == nil {
+		weigh = UniformWeigher
+	}
+	for pos, v := range path {
+		w := weigh(pos, len(path))
+		var e Event
+		switch q {
+		case Good:
+			e = Event{Participant: v, Product: id, Quality: q,
+				Delta: s.PositiveUnit * w, Reason: "identified on good product path"}
+		case Bad:
+			e = Event{Participant: v, Product: id, Quality: q,
+				Delta: -s.NegativeUnit * w, Reason: "identified on bad product path"}
+		default:
+			continue
+		}
+		l.Adjust(e)
+	}
+}
+
+// PenalizeViolation applies the extra penalty for a participant whose
+// dishonest behaviour was cryptographically detected during a query.
+func (s Strategy) PenalizeViolation(l *Ledger, v supplychain.ParticipantID, id supplychain.ProductID, q Quality, reason string) {
+	l.Adjust(Event{Participant: v, Product: id, Quality: q,
+		Delta: -s.ViolationPenalty, Reason: "violation: " + reason})
+}

@@ -1,0 +1,153 @@
+package reputation
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"desword/internal/supplychain"
+)
+
+func TestLedgerAdjustAndScore(t *testing.T) {
+	l := NewLedger()
+	l.Adjust(Event{Participant: "v1", Delta: 2})
+	l.Adjust(Event{Participant: "v1", Delta: -0.5})
+	l.Adjust(Event{Participant: "v2", Delta: 1})
+	if got := l.Score("v1"); got != 1.5 {
+		t.Fatalf("Score(v1) = %v", got)
+	}
+	if got := l.Score("unknown"); got != 0 {
+		t.Fatalf("unknown participant must score 0, got %v", got)
+	}
+	if len(l.Events()) != 3 {
+		t.Fatalf("Events() = %d entries", len(l.Events()))
+	}
+}
+
+func TestLedgerScoresCopy(t *testing.T) {
+	l := NewLedger()
+	l.Adjust(Event{Participant: "v1", Delta: 1})
+	scores := l.Scores()
+	scores["v1"] = 99
+	if l.Score("v1") != 1 {
+		t.Fatal("Scores() must return a copy")
+	}
+}
+
+func TestLedgerRanking(t *testing.T) {
+	l := NewLedger()
+	l.Adjust(Event{Participant: "low", Delta: -1})
+	l.Adjust(Event{Participant: "high", Delta: 3})
+	l.Adjust(Event{Participant: "mid", Delta: 1})
+	l.Adjust(Event{Participant: "mid2", Delta: 1})
+	rank := l.Ranking()
+	if rank[0] != "high" || rank[len(rank)-1] != "low" {
+		t.Fatalf("Ranking() = %v", rank)
+	}
+	// Ties broken by id.
+	if rank[1] != "mid" || rank[2] != "mid2" {
+		t.Fatalf("tie break wrong: %v", rank)
+	}
+}
+
+func TestLedgerConcurrentAdjust(t *testing.T) {
+	l := NewLedger()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Adjust(Event{Participant: "v", Delta: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Score("v"); got != 1600 {
+		t.Fatalf("Score(v) = %v, want 1600", got)
+	}
+}
+
+func TestAwardPathDoubleEdge(t *testing.T) {
+	s := DefaultStrategy()
+	path := []supplychain.ParticipantID{"a", "b", "c"}
+
+	good := NewLedger()
+	s.AwardPath(good, "id1", Good, path)
+	for _, v := range path {
+		if good.Score(v) <= 0 {
+			t.Fatalf("good product must award positive score to %s", v)
+		}
+	}
+
+	bad := NewLedger()
+	s.AwardPath(bad, "id1", Bad, path)
+	for _, v := range path {
+		if bad.Score(v) >= 0 {
+			t.Fatalf("bad product must award negative score to %s", v)
+		}
+	}
+}
+
+func TestAwardPathUnknownQualityNoop(t *testing.T) {
+	s := DefaultStrategy()
+	l := NewLedger()
+	s.AwardPath(l, "id1", Quality(0), []supplychain.ParticipantID{"a"})
+	if len(l.Events()) != 0 {
+		t.Fatal("unknown quality must not award")
+	}
+}
+
+func TestResponsibilityWeigher(t *testing.T) {
+	n := 4
+	prev := math.Inf(1)
+	for pos := 0; pos < n; pos++ {
+		w := ResponsibilityWeigher(pos, n)
+		if w <= 0 || w > 1 {
+			t.Fatalf("weight at pos %d out of range: %v", pos, w)
+		}
+		if w >= prev {
+			t.Fatalf("weights must strictly decrease along the path")
+		}
+		prev = w
+	}
+	if ResponsibilityWeigher(0, 0) != 1 {
+		t.Fatal("degenerate path must weigh 1")
+	}
+	if UniformWeigher(3, 9) != 1 {
+		t.Fatal("uniform weigher must always return 1")
+	}
+}
+
+func TestAwardPathWithResponsibilityWeights(t *testing.T) {
+	s := Strategy{NegativeUnit: 2, Weigh: ResponsibilityWeigher}
+	l := NewLedger()
+	path := []supplychain.ParticipantID{"head", "mid", "tail"}
+	s.AwardPath(l, "id1", Bad, path)
+	if !(l.Score("head") < l.Score("mid") && l.Score("mid") < l.Score("tail")) {
+		t.Fatalf("upstream participants must be penalized more: head=%v mid=%v tail=%v",
+			l.Score("head"), l.Score("mid"), l.Score("tail"))
+	}
+}
+
+func TestPenalizeViolation(t *testing.T) {
+	s := DefaultStrategy()
+	l := NewLedger()
+	s.PenalizeViolation(l, "cheater", "id1", Bad, "claim non-processing")
+	if got := l.Score("cheater"); got != -s.ViolationPenalty {
+		t.Fatalf("Score(cheater) = %v", got)
+	}
+	events := l.Events()
+	if len(events) != 1 || events[0].Reason == "" {
+		t.Fatal("violation must be recorded with a reason")
+	}
+}
+
+func TestQualityString(t *testing.T) {
+	if Good.String() != "good" || Bad.String() != "bad" {
+		t.Fatal("quality strings wrong")
+	}
+	if Quality(7).String() == "" {
+		t.Fatal("unknown quality must render non-empty")
+	}
+}

@@ -1,0 +1,136 @@
+// Package rfid simulates the RFID layer of the supply chain: passive tags
+// carrying short unique product identifiers with a small amount of user
+// memory, and readers that identify tags as products flow through a
+// participant's facility.
+//
+// DE-Sword deliberately keeps this layer thin — the paper requires tags only
+// to "carry short product identifiers and support basic read operation with
+// RFID-reader" (§VI) — all protocol cost lives at the backend. The simulation
+// still models the two tag constraints that shape the system: identifiers are
+// short, and tag memory is tiny (production data therefore lives in
+// participant databases, not on tags).
+package rfid
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Tag memory limits. EPC Class-1 Gen-2 user memory is typically 32–512 bytes;
+// the default models a 128-byte tag.
+const (
+	DefaultMemoryCapacity = 128
+	// MaxIDLength bounds the identifier, mirroring a 96-bit EPC code plus
+	// headroom for human-readable ids in examples.
+	MaxIDLength = 64
+)
+
+// Errors reported by this package.
+var (
+	ErrMemoryFull = errors.New("rfid: tag memory full")
+	ErrIDTooLong  = errors.New("rfid: identifier exceeds tag capacity")
+)
+
+// Tag is a passive RFID tag attached to one product.
+type Tag struct {
+	mu     sync.Mutex
+	id     string
+	memory []byte
+	cap    int
+	reads  int
+}
+
+// NewTag mints a tag with the given identifier and DefaultMemoryCapacity
+// bytes of user memory.
+func NewTag(id string) (*Tag, error) {
+	return NewTagWithCapacity(id, DefaultMemoryCapacity)
+}
+
+// NewTagWithCapacity mints a tag with an explicit memory capacity.
+func NewTagWithCapacity(id string, capacity int) (*Tag, error) {
+	if len(id) == 0 || len(id) > MaxIDLength {
+		return nil, fmt.Errorf("%w: %d bytes", ErrIDTooLong, len(id))
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("rfid: negative capacity %d", capacity)
+	}
+	return &Tag{id: id, cap: capacity}, nil
+}
+
+// ID returns the tag's product identifier.
+func (t *Tag) ID() string { return t.id }
+
+// WriteMemory appends data to the tag's user memory, failing when the tiny
+// tag memory would overflow — the constraint that forces RFID-traces into
+// backend databases.
+func (t *Tag) WriteMemory(data []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.memory)+len(data) > t.cap {
+		return fmt.Errorf("%w: %d/%d bytes used, writing %d",
+			ErrMemoryFull, len(t.memory), t.cap, len(data))
+	}
+	t.memory = append(t.memory, data...)
+	return nil
+}
+
+// ReadMemory returns a copy of the tag's user memory.
+func (t *Tag) ReadMemory() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]byte, len(t.memory))
+	copy(out, t.memory)
+	return out
+}
+
+// ReadCount returns how many times the tag has been identified by a reader.
+func (t *Tag) ReadCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reads
+}
+
+// Observation is the result of a reader identifying a tag.
+type Observation struct {
+	TagID  string `json:"tag_id"`
+	Reader string `json:"reader"`
+	Seq    uint64 `json:"seq"`
+}
+
+// Reader is an RFID reader installed at one participant's facility.
+type Reader struct {
+	mu    sync.Mutex
+	owner string
+	seq   uint64
+}
+
+// NewReader creates a reader owned by the named participant.
+func NewReader(owner string) *Reader {
+	return &Reader{owner: owner}
+}
+
+// Owner returns the participant operating this reader.
+func (r *Reader) Owner() string { return r.owner }
+
+// Read identifies a tag, incrementing both the tag's read counter and the
+// reader's observation sequence.
+func (r *Reader) Read(t *Tag) Observation {
+	t.mu.Lock()
+	t.reads++
+	t.mu.Unlock()
+	r.mu.Lock()
+	r.seq++
+	seq := r.seq
+	r.mu.Unlock()
+	return Observation{TagID: t.id, Reader: r.owner, Seq: seq}
+}
+
+// ReadBatch identifies every tag in a batch, in order.
+func (r *Reader) ReadBatch(tags []*Tag) []Observation {
+	out := make([]Observation, 0, len(tags))
+	for _, t := range tags {
+		out = append(out, r.Read(t))
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package rfid
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewTagValidation(t *testing.T) {
+	if _, err := NewTag(""); err == nil {
+		t.Fatal("empty id must be rejected")
+	}
+	if _, err := NewTag(strings.Repeat("x", MaxIDLength+1)); err == nil {
+		t.Fatal("oversized id must be rejected")
+	}
+	if _, err := NewTagWithCapacity("ok", -1); err == nil {
+		t.Fatal("negative capacity must be rejected")
+	}
+	tag, err := NewTag("id1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag.ID() != "id1" {
+		t.Fatalf("ID() = %q", tag.ID())
+	}
+}
+
+func TestTagMemoryLimit(t *testing.T) {
+	tag, err := NewTagWithCapacity("id1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tag.WriteMemory([]byte("12345678")); err != nil {
+		t.Fatalf("write within capacity: %v", err)
+	}
+	if err := tag.WriteMemory([]byte("x")); err == nil {
+		t.Fatal("overflow write must fail")
+	}
+	if got := string(tag.ReadMemory()); got != "12345678" {
+		t.Fatalf("ReadMemory() = %q", got)
+	}
+}
+
+func TestReadMemoryReturnsCopy(t *testing.T) {
+	tag, err := NewTagWithCapacity("id1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tag.WriteMemory([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	mem := tag.ReadMemory()
+	mem[0] = 'z'
+	if string(tag.ReadMemory()) != "abc" {
+		t.Fatal("ReadMemory must return a defensive copy")
+	}
+}
+
+func TestReaderReadsAndCounts(t *testing.T) {
+	reader := NewReader("v0")
+	if reader.Owner() != "v0" {
+		t.Fatalf("Owner() = %q", reader.Owner())
+	}
+	tag, err := NewTag("id1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := reader.Read(tag)
+	if obs.TagID != "id1" || obs.Reader != "v0" || obs.Seq != 1 {
+		t.Fatalf("unexpected observation %+v", obs)
+	}
+	if tag.ReadCount() != 1 {
+		t.Fatalf("ReadCount() = %d", tag.ReadCount())
+	}
+	reader.Read(tag)
+	if tag.ReadCount() != 2 {
+		t.Fatal("read counter must increment")
+	}
+}
+
+func TestReadBatchPreservesOrder(t *testing.T) {
+	reader := NewReader("v0")
+	var tags []*Tag
+	for _, id := range []string{"a", "b", "c"} {
+		tag, err := NewTag(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tags = append(tags, tag)
+	}
+	obs := reader.ReadBatch(tags)
+	if len(obs) != 3 {
+		t.Fatalf("got %d observations", len(obs))
+	}
+	for i, id := range []string{"a", "b", "c"} {
+		if obs[i].TagID != id {
+			t.Fatalf("observation %d = %q, want %q", i, obs[i].TagID, id)
+		}
+		if obs[i].Seq != uint64(i+1) {
+			t.Fatalf("observation %d seq = %d", i, obs[i].Seq)
+		}
+	}
+}

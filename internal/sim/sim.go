@@ -1,0 +1,274 @@
+// Package sim quantifies DE-Sword's double-edged reputation incentive
+// (§II.C, Figure 3) by Monte-Carlo simulation. The cryptographic layer is
+// exercised elsewhere (core and adversary tests); here only the incentive
+// arithmetic runs, so millions of product outcomes are cheap.
+//
+// Model. A participant processes Products products per epoch. Each product
+// independently turns out bad with probability PBad. The proxy queries a
+// good product with probability QueryRateGood (market sampling) and a bad
+// product with probability QueryRateBad (complaints and recalls make bad
+// products far more likely to be queried). An identified participant earns
+// +PositiveUnit on a good query and -NegativeUnit on a bad query.
+//
+// Strategies:
+//
+//   - Honest commits every trace: it is identified whenever one of its
+//     products is queried.
+//   - Deleter omits a fraction DeleteFrac of its traces from the POC: it is
+//     never identified for those products — forfeiting good-query rewards
+//     and dodging bad-query penalties (Figure 3a).
+//   - Adder additionally commits fake traces for AddFrac·Products products
+//     it never processed: it collects rewards when they are queried good and
+//     penalties when they are queried bad (Figure 3b).
+//
+// The simulator reports the reputation distribution per strategy; the
+// experiment harness (E7) sweeps PBad to locate the region where deviation
+// stops paying.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Strategy enumerates the simulated POC-construction strategies.
+type Strategy int
+
+// Strategies start at 1 so the zero value is invalid.
+const (
+	Honest Strategy = iota + 1
+	Deleter
+	Adder
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Honest:
+		return "honest"
+	case Deleter:
+		return "deleter"
+	case Adder:
+		return "adder"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists all simulated strategies in display order.
+func Strategies() []Strategy { return []Strategy{Honest, Deleter, Adder} }
+
+// Config parameterizes one simulation.
+type Config struct {
+	// Products processed per participant per epoch.
+	Products int
+	// PBad is the probability a product turns out bad.
+	PBad float64
+	// QueryRateGood is the probability a good product is queried (sampling).
+	QueryRateGood float64
+	// QueryRateBad is the probability a bad product is queried (recalls).
+	QueryRateBad float64
+	// PositiveUnit and NegativeUnit are the award magnitudes.
+	PositiveUnit float64
+	NegativeUnit float64
+	// DeleteFrac is the fraction of traces the Deleter omits.
+	DeleteFrac float64
+	// AddFrac is the number of fake traces the Adder commits, as a fraction
+	// of Products.
+	AddFrac float64
+	// Trials is the number of independent epochs simulated per strategy.
+	Trials int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig models a pharmaceutical-style chain: bad products are rare
+// (2%) but almost always investigated, while good products are sampled
+// rarely.
+func DefaultConfig() Config {
+	return Config{
+		Products:      200,
+		PBad:          0.02,
+		QueryRateGood: 0.05,
+		QueryRateBad:  0.9,
+		PositiveUnit:  1,
+		NegativeUnit:  1,
+		DeleteFrac:    0.5,
+		AddFrac:       0.5,
+		Trials:        2000,
+		Seed:          1,
+	}
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	if c.Products <= 0 || c.Trials <= 0 {
+		return errors.New("sim: Products and Trials must be positive")
+	}
+	for _, p := range []float64{c.PBad, c.QueryRateGood, c.QueryRateBad, c.DeleteFrac} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("sim: probability %v outside [0,1]", p)
+		}
+	}
+	if c.AddFrac < 0 {
+		return errors.New("sim: AddFrac must be non-negative")
+	}
+	if c.PositiveUnit < 0 || c.NegativeUnit < 0 {
+		return errors.New("sim: award units must be non-negative")
+	}
+	return nil
+}
+
+// Outcome summarizes a strategy's reputation distribution across trials.
+type Outcome struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	// P05 and P95 bound the middle 90% of outcomes — the "risk band" that
+	// makes the double edge visible even when means are close.
+	P05 float64 `json:"p05"`
+	P95 float64 `json:"p95"`
+}
+
+// Run simulates every strategy under the configuration.
+func Run(cfg Config) (map[Strategy]Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make(map[Strategy]Outcome, 3)
+	for _, s := range Strategies() {
+		samples := make([]float64, cfg.Trials)
+		for t := range samples {
+			samples[t] = cfg.epoch(rng, s)
+		}
+		out[s] = summarize(samples)
+	}
+	return out, nil
+}
+
+// epoch simulates one participant-epoch under a strategy and returns the
+// reputation delta.
+func (c Config) epoch(rng *rand.Rand, s Strategy) float64 {
+	score := 0.0
+	// Real products.
+	for i := 0; i < c.Products; i++ {
+		committed := true
+		if s == Deleter && rng.Float64() < c.DeleteFrac {
+			committed = false // trace omitted from the POC: never identified
+		}
+		score += c.productOutcome(rng, committed)
+	}
+	// Fake products (Adder only): committed although never processed.
+	if s == Adder {
+		fakes := int(math.Round(c.AddFrac * float64(c.Products)))
+		for i := 0; i < fakes; i++ {
+			score += c.productOutcome(rng, true)
+		}
+	}
+	return score
+}
+
+// productOutcome rolls one product's quality and query lottery.
+func (c Config) productOutcome(rng *rand.Rand, committed bool) float64 {
+	if !committed {
+		return 0 // not in the POC → cannot be identified either way
+	}
+	if rng.Float64() < c.PBad {
+		if rng.Float64() < c.QueryRateBad {
+			return -c.NegativeUnit
+		}
+		return 0
+	}
+	if rng.Float64() < c.QueryRateGood {
+		return c.PositiveUnit
+	}
+	return 0
+}
+
+// ExpectedPerTrace returns the analytic expected reputation delta of one
+// committed trace: q_g·(1-p)·u⁺ − q_b·p·u⁻. The Deleter forgoes it per
+// deleted trace; the Adder collects it per fake trace. Its sign therefore
+// decides which deviation pays in expectation — the published mechanism is
+// expectation-neutral only on the q_g·(1-p)·u⁺ = q_b·p·u⁻ surface, and the
+// simulator's risk bands show the variance cost away from it.
+func (c Config) ExpectedPerTrace() float64 {
+	return c.QueryRateGood*(1-c.PBad)*c.PositiveUnit - c.QueryRateBad*c.PBad*c.NegativeUnit
+}
+
+// BreakEvenPBad returns the bad-product probability at which one committed
+// trace is expectation-neutral, holding the other parameters fixed.
+func (c Config) BreakEvenPBad() float64 {
+	denom := c.QueryRateGood*c.PositiveUnit + c.QueryRateBad*c.NegativeUnit
+	if denom == 0 {
+		return 0
+	}
+	return c.QueryRateGood * c.PositiveUnit / denom
+}
+
+func summarize(samples []float64) Outcome {
+	n := float64(len(samples))
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	mean := sum / n
+	varSum := 0.0
+	minV, maxV := samples[0], samples[0]
+	for _, v := range samples {
+		d := v - mean
+		varSum += d * d
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	return Outcome{
+		Mean: mean,
+		Std:  math.Sqrt(varSum / n),
+		Min:  minV,
+		Max:  maxV,
+		P05:  percentile(sorted, 0.05),
+		P95:  percentile(sorted, 0.95),
+	}
+}
+
+// percentile reads the p-quantile from a sorted sample.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// SweepPBad runs the simulation across a range of bad-product probabilities,
+// returning one row per point — the data behind experiment E7's table.
+type SweepRow struct {
+	PBad     float64              `json:"p_bad"`
+	Outcomes map[Strategy]Outcome `json:"outcomes"`
+}
+
+// SweepPBad sweeps cfg.PBad over the given values.
+func SweepPBad(cfg Config, pBads []float64) ([]SweepRow, error) {
+	rows := make([]SweepRow, 0, len(pBads))
+	for _, p := range pBads {
+		c := cfg
+		c.PBad = p
+		outcomes, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SweepRow{PBad: p, Outcomes: outcomes})
+	}
+	return rows, nil
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunDeterministicWithSeed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Trials = 200
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range Strategies() {
+		if a[s] != b[s] {
+			t.Fatalf("same seed must reproduce outcomes for %v", s)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Products = 0
+	if _, err := Run(bad); err == nil {
+		t.Fatal("zero products must be rejected")
+	}
+	bad = DefaultConfig()
+	bad.PBad = 1.5
+	if _, err := Run(bad); err == nil {
+		t.Fatal("probability > 1 must be rejected")
+	}
+	bad = DefaultConfig()
+	bad.AddFrac = -1
+	if _, err := Run(bad); err == nil {
+		t.Fatal("negative AddFrac must be rejected")
+	}
+	bad = DefaultConfig()
+	bad.NegativeUnit = -1
+	if _, err := Run(bad); err == nil {
+		t.Fatal("negative unit must be rejected")
+	}
+}
+
+func TestHonestBeatsDeleterWhenTracesPayOff(t *testing.T) {
+	// With ExpectedPerTrace > 0, every deleted trace is a forfeited reward:
+	// the honest strategy must dominate the deleter in the mean.
+	cfg := DefaultConfig()
+	cfg.PBad = 0.01 // well below break-even: committed traces pay
+	cfg.Trials = 3000
+	if cfg.ExpectedPerTrace() <= 0 {
+		t.Fatalf("fixture broken: expected per-trace value %v", cfg.ExpectedPerTrace())
+	}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[Honest].Mean <= out[Deleter].Mean {
+		t.Fatalf("honest (%v) must out-earn deleter (%v)", out[Honest].Mean, out[Deleter].Mean)
+	}
+}
+
+func TestAdditionBackfiresWhenBadProductsAreHunted(t *testing.T) {
+	// Above break-even (bad products likely and heavily queried), each extra
+	// committed trace has negative expected value: the adder must underperform.
+	cfg := DefaultConfig()
+	cfg.PBad = 0.2
+	cfg.NegativeUnit = 2
+	cfg.Trials = 3000
+	if cfg.ExpectedPerTrace() >= 0 {
+		t.Fatalf("fixture broken: expected per-trace value %v", cfg.ExpectedPerTrace())
+	}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[Adder].Mean >= out[Honest].Mean {
+		t.Fatalf("adder (%v) must underperform honest (%v)", out[Adder].Mean, out[Honest].Mean)
+	}
+}
+
+func TestDeviationsWidenRiskAtBreakEven(t *testing.T) {
+	// At the expectation-neutral point the double edge is pure risk: the
+	// adder faces a wider outcome band than honest (it holds strictly more
+	// lottery tickets), even though the means are close.
+	cfg := DefaultConfig()
+	cfg.PBad = cfg.BreakEvenPBad()
+	cfg.Trials = 4000
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[Honest].Mean-out[Adder].Mean) > 3*out[Honest].Std {
+		t.Fatalf("at break-even the means must be close: honest %v, adder %v",
+			out[Honest].Mean, out[Adder].Mean)
+	}
+	if out[Adder].Std <= out[Honest].Std {
+		t.Fatalf("adder must carry more variance: %v vs %v", out[Adder].Std, out[Honest].Std)
+	}
+}
+
+func TestExpectedPerTraceFormula(t *testing.T) {
+	cfg := Config{
+		PBad: 0.1, QueryRateGood: 0.2, QueryRateBad: 0.5,
+		PositiveUnit: 1, NegativeUnit: 2,
+	}
+	want := 0.2*0.9*1 - 0.5*0.1*2
+	if got := cfg.ExpectedPerTrace(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ExpectedPerTrace() = %v, want %v", got, want)
+	}
+}
+
+func TestBreakEvenPBadIsNeutral(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PBad = cfg.BreakEvenPBad()
+	if got := cfg.ExpectedPerTrace(); math.Abs(got) > 1e-12 {
+		t.Fatalf("per-trace value at break-even must be 0, got %v", got)
+	}
+	zero := Config{}
+	if zero.BreakEvenPBad() != 0 {
+		t.Fatal("degenerate config must not divide by zero")
+	}
+}
+
+func TestMonteCarloMatchesAnalyticMean(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Trials = 5000
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(cfg.Products) * cfg.ExpectedPerTrace()
+	tolerance := 4 * out[Honest].Std / math.Sqrt(float64(cfg.Trials))
+	if math.Abs(out[Honest].Mean-want) > tolerance+1 {
+		t.Fatalf("simulated mean %v too far from analytic %v", out[Honest].Mean, want)
+	}
+}
+
+func TestSweepPBad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Trials = 300
+	rows, err := SweepPBad(cfg, []float64{0.01, 0.1, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Monotonicity: everyone's mean falls as products get worse.
+	for _, s := range Strategies() {
+		if rows[0].Outcomes[s].Mean < rows[2].Outcomes[s].Mean {
+			t.Fatalf("%v mean must fall as PBad rises", s)
+		}
+	}
+	if _, err := SweepPBad(cfg, []float64{2}); err == nil {
+		t.Fatal("invalid sweep point must be rejected")
+	}
+}
+
+func TestOutcomeBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Trials = 500
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, o := range out {
+		if o.Min > o.P05 || o.P05 > o.P95 || o.P95 > o.Max {
+			t.Fatalf("%v: order Min ≤ P05 ≤ P95 ≤ Max violated: %+v", s, o)
+		}
+		if o.Std < 0 {
+			t.Fatalf("%v: negative std", s)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Honest.String() != "honest" || Deleter.String() != "deleter" || Adder.String() != "adder" {
+		t.Fatal("strategy strings wrong")
+	}
+	if Strategy(9).String() == "" {
+		t.Fatal("unknown strategy must render non-empty")
+	}
+}

@@ -1,0 +1,305 @@
+// Package supplychain models the RFID-enabled supply chain of DE-Sword §II.A:
+// a dynamic digraph of participants, products labeled with RFID tags,
+// participant trace databases, and distribution tasks that move product
+// batches from an initial participant down to leaf participants.
+package supplychain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ParticipantID names a supply-chain participant (a vertex of the digraph).
+type ParticipantID string
+
+// ProductID is the unique identifier carried in a product's RFID tag.
+type ProductID string
+
+// Trace is an RFID-trace t_v^id = (id, da_v^id): the record a participant
+// creates in its database when a product flows through it.
+type Trace struct {
+	Product ProductID `json:"product"`
+	Data    []byte    `json:"data"`
+}
+
+// Errors reported by graph operations.
+var (
+	ErrUnknownParticipant = errors.New("supplychain: unknown participant")
+	ErrDuplicateEdge      = errors.New("supplychain: edge already exists")
+	ErrSelfLoop           = errors.New("supplychain: self-loop not allowed")
+	ErrCycle              = errors.New("supplychain: digraph contains a cycle")
+)
+
+// Edge is a directed edge vi→vj: products may proceed to vj after vi.
+type Edge struct {
+	From ParticipantID `json:"from"`
+	To   ParticipantID `json:"to"`
+}
+
+// Graph is the dynamic participant digraph of Figure 1. Participants and
+// edges can be added and removed at any time, matching the paper's dynamic
+// supply chain. All methods are safe for concurrent use.
+type Graph struct {
+	mu    sync.RWMutex
+	nodes map[ParticipantID]struct{}
+	succ  map[ParticipantID]map[ParticipantID]struct{}
+	pred  map[ParticipantID]map[ParticipantID]struct{}
+}
+
+// NewGraph returns an empty digraph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes: make(map[ParticipantID]struct{}),
+		succ:  make(map[ParticipantID]map[ParticipantID]struct{}),
+		pred:  make(map[ParticipantID]map[ParticipantID]struct{}),
+	}
+}
+
+// AddParticipant inserts a vertex; adding an existing vertex is a no-op.
+func (g *Graph) AddParticipant(v ParticipantID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[v]; ok {
+		return
+	}
+	g.nodes[v] = struct{}{}
+	g.succ[v] = make(map[ParticipantID]struct{})
+	g.pred[v] = make(map[ParticipantID]struct{})
+}
+
+// RemoveParticipant deletes a vertex and all incident edges.
+func (g *Graph) RemoveParticipant(v ParticipantID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[v]; !ok {
+		return
+	}
+	for child := range g.succ[v] {
+		delete(g.pred[child], v)
+	}
+	for parent := range g.pred[v] {
+		delete(g.succ[parent], v)
+	}
+	delete(g.nodes, v)
+	delete(g.succ, v)
+	delete(g.pred, v)
+}
+
+// AddEdge inserts a directed edge from→to.
+func (g *Graph) AddEdge(from, to ParticipantID) error {
+	if from == to {
+		return fmt.Errorf("%w: %s", ErrSelfLoop, from)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownParticipant, from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownParticipant, to)
+	}
+	if _, ok := g.succ[from][to]; ok {
+		return fmt.Errorf("%w: %s→%s", ErrDuplicateEdge, from, to)
+	}
+	g.succ[from][to] = struct{}{}
+	g.pred[to][from] = struct{}{}
+	return nil
+}
+
+// RemoveEdge deletes a directed edge; removing a missing edge is a no-op.
+func (g *Graph) RemoveEdge(from, to ParticipantID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m, ok := g.succ[from]; ok {
+		delete(m, to)
+	}
+	if m, ok := g.pred[to]; ok {
+		delete(m, from)
+	}
+}
+
+// HasParticipant reports whether v is a vertex.
+func (g *Graph) HasParticipant(v ParticipantID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.nodes[v]
+	return ok
+}
+
+// HasEdge reports whether from→to is an edge.
+func (g *Graph) HasEdge(from, to ParticipantID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.succ[from][to]
+	return ok
+}
+
+// Children returns the direct successors of v, sorted.
+func (g *Graph) Children(v ParticipantID) []ParticipantID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return sortedKeys(g.succ[v])
+}
+
+// Parents returns the direct predecessors of v, sorted.
+func (g *Graph) Parents(v ParticipantID) []ParticipantID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return sortedKeys(g.pred[v])
+}
+
+// Participants returns all vertices, sorted.
+func (g *Graph) Participants() []ParticipantID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return sortedKeys(g.nodes)
+}
+
+// Initials returns the participants with no incoming edges.
+func (g *Graph) Initials() []ParticipantID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []ParticipantID
+	for v := range g.nodes {
+		if len(g.pred[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// Leaves returns the participants with no outgoing edges.
+func (g *Graph) Leaves() []ParticipantID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []ParticipantID
+	for v := range g.nodes {
+		if len(g.succ[v]) == 0 {
+			out = append(out, v)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// Edges returns all edges, sorted.
+func (g *Graph) Edges() []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Edge
+	for from, tos := range g.succ {
+		for to := range tos {
+			out = append(out, Edge{From: from, To: to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// CheckAcyclic verifies the digraph has no directed cycle; distribution
+// tasks require acyclic flow.
+func (g *Graph) CheckAcyclic() error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make(map[ParticipantID]int, len(g.nodes))
+	var visit func(v ParticipantID) error
+	visit = func(v ParticipantID) error {
+		switch state[v] {
+		case inStack:
+			return fmt.Errorf("%w: through %s", ErrCycle, v)
+		case done:
+			return nil
+		}
+		state[v] = inStack
+		for child := range g.succ[v] {
+			if err := visit(child); err != nil {
+				return err
+			}
+		}
+		state[v] = done
+		return nil
+	}
+	for v := range g.nodes {
+		if err := visit(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PathExists reports whether a directed path from→to exists.
+func (g *Graph) PathExists(from, to ParticipantID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, ok := g.nodes[from]; !ok {
+		return false
+	}
+	seen := map[ParticipantID]bool{from: true}
+	queue := []ParticipantID{from}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == to {
+			return true
+		}
+		for child := range g.succ[v] {
+			if !seen[child] {
+				seen[child] = true
+				queue = append(queue, child)
+			}
+		}
+	}
+	return false
+}
+
+func sortedKeys[M ~map[ParticipantID]V, V any](m M) []ParticipantID {
+	out := make([]ParticipantID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []ParticipantID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// FigureOneGraph builds the 10-participant example digraph of the paper's
+// Figure 1: initial participants v0 and v1, leaf participants v5, v7, v8 and
+// v9, and the path v0→v2→v5 taken by product id1.
+func FigureOneGraph() *Graph {
+	g := NewGraph()
+	for i := 0; i <= 9; i++ {
+		g.AddParticipant(ParticipantID(fmt.Sprintf("v%d", i)))
+	}
+	edges := []Edge{
+		{"v0", "v2"}, {"v0", "v3"},
+		{"v1", "v3"}, {"v1", "v4"},
+		{"v2", "v5"}, {"v2", "v6"},
+		{"v3", "v6"}, {"v3", "v8"},
+		{"v4", "v8"}, {"v4", "v9"},
+		{"v6", "v7"}, {"v6", "v9"},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.From, e.To); err != nil {
+			// The edge list above is a fixed valid constant; failure here is
+			// a programming error.
+			panic(fmt.Sprintf("supplychain: building Figure 1 graph: %v", err))
+		}
+	}
+	return g
+}

@@ -1,0 +1,140 @@
+package supplychain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"desword/internal/rfid"
+)
+
+// Errors reported by participant operations.
+var (
+	ErrTraceExists  = errors.New("supplychain: trace already recorded for product")
+	ErrTraceMissing = errors.New("supplychain: no trace recorded for product")
+)
+
+// TraceData produces the production-information part da_v^id of an
+// RFID-trace: process operation, ingredients, parameters, and so on.
+type TraceData func(v ParticipantID, id ProductID) []byte
+
+// DefaultTraceData is a simple production record generator used by examples
+// and tests.
+func DefaultTraceData(v ParticipantID, id ProductID) []byte {
+	return []byte(fmt.Sprintf("participant=%s;product=%s;op=process;station=1", v, id))
+}
+
+// Participant is a supply-chain participant: it operates an RFID reader and
+// keeps a private database of the RFID-traces it created. Safe for
+// concurrent use.
+type Participant struct {
+	id     ParticipantID
+	reader *rfid.Reader
+
+	mu     sync.RWMutex
+	traces map[ProductID]Trace
+}
+
+// NewParticipant creates a participant with an empty trace database.
+func NewParticipant(id ParticipantID) *Participant {
+	return &Participant{
+		id:     id,
+		reader: rfid.NewReader(string(id)),
+		traces: make(map[ProductID]Trace),
+	}
+}
+
+// ID returns the participant's identity.
+func (p *Participant) ID() ParticipantID { return p.id }
+
+// Reader returns the participant's RFID reader.
+func (p *Participant) Reader() *rfid.Reader { return p.reader }
+
+// Process receives a product batch: the participant reads every tag and
+// records an RFID-trace for each product in its database (§II.A).
+func (p *Participant) Process(batch []*rfid.Tag, data TraceData) error {
+	if data == nil {
+		data = DefaultTraceData
+	}
+	for _, obs := range p.reader.ReadBatch(batch) {
+		id := ProductID(obs.TagID)
+		if err := p.RecordTrace(Trace{Product: id, Data: data(p.id, id)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecordTrace stores one RFID-trace. A participant records at most one trace
+// per product per distribution task.
+func (p *Participant) RecordTrace(tr Trace) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.traces[tr.Product]; exists {
+		return fmt.Errorf("%w: %s at %s", ErrTraceExists, tr.Product, p.id)
+	}
+	p.traces[tr.Product] = tr
+	return nil
+}
+
+// Trace looks up the trace for one product.
+func (p *Participant) Trace(id ProductID) (Trace, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	tr, ok := p.traces[id]
+	return tr, ok
+}
+
+// Traces returns a sorted copy of the participant's trace database.
+func (p *Participant) Traces() []Trace {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]Trace, 0, len(p.traces))
+	for _, tr := range p.traces {
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Product < out[j].Product })
+	return out
+}
+
+// TraceCount returns the number of recorded traces.
+func (p *Participant) TraceCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.traces)
+}
+
+// The three distribution-phase dishonest behaviours of §III.A operate
+// directly on the trace database before POC construction. They are exposed
+// so the adversary package can exercise the threat model; honest code never
+// calls them.
+
+// DeleteTrace removes the trace for id (the "Deletion" behaviour).
+func (p *Participant) DeleteTrace(id ProductID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.traces[id]; !ok {
+		return fmt.Errorf("%w: %s at %s", ErrTraceMissing, id, p.id)
+	}
+	delete(p.traces, id)
+	return nil
+}
+
+// AddFakeTrace inserts a trace for a product the participant never processed
+// (the "Addition" behaviour).
+func (p *Participant) AddFakeTrace(tr Trace) error {
+	return p.RecordTrace(tr)
+}
+
+// ModifyTrace rewrites the information part of an existing trace (the
+// "Modification" behaviour).
+func (p *Participant) ModifyTrace(id ProductID, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.traces[id]; !ok {
+		return fmt.Errorf("%w: %s at %s", ErrTraceMissing, id, p.id)
+	}
+	p.traces[id] = Trace{Product: id, Data: data}
+	return nil
+}

@@ -1,0 +1,90 @@
+package supplychain
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"desword/internal/rfid"
+)
+
+// graphJSON is the serialized digraph form: sorted vertices and edges, so
+// output is deterministic and diff-friendly for ops tooling.
+type graphJSON struct {
+	Participants []ParticipantID `json:"participants"`
+	Edges        []Edge          `json:"edges"`
+}
+
+// MarshalJSON serializes the digraph deterministically.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	return json.Marshal(graphJSON{
+		Participants: g.Participants(),
+		Edges:        g.Edges(),
+	})
+}
+
+// UnmarshalJSON reconstructs a digraph, validating every edge.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var decoded graphJSON
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		return fmt.Errorf("supplychain: parsing graph: %w", err)
+	}
+	fresh := NewGraph()
+	for _, v := range decoded.Participants {
+		if v == "" {
+			return fmt.Errorf("supplychain: empty participant id in graph")
+		}
+		fresh.AddParticipant(v)
+	}
+	for _, e := range decoded.Edges {
+		if err := fresh.AddEdge(e.From, e.To); err != nil {
+			return fmt.Errorf("supplychain: graph edge %s→%s: %w", e.From, e.To, err)
+		}
+	}
+	*g = Graph{nodes: fresh.nodes, succ: fresh.succ, pred: fresh.pred}
+	return nil
+}
+
+// Equal reports whether two digraphs have the same vertices and edges.
+func (g *Graph) Equal(o *Graph) bool {
+	gp, op := g.Participants(), o.Participants()
+	if len(gp) != len(op) {
+		return false
+	}
+	for i := range gp {
+		if gp[i] != op[i] {
+			return false
+		}
+	}
+	ge, oe := g.Edges(), o.Edges()
+	if len(ge) != len(oe) {
+		return false
+	}
+	for i := range ge {
+		if ge[i] != oe[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomSplitter deals each tag to an independently, uniformly chosen child
+// using the given source — the workload generator for randomized
+// distribution experiments. A nil rng panics early rather than silently
+// derandomizing.
+func RandomSplitter(rng *rand.Rand) Splitter {
+	if rng == nil {
+		panic("supplychain: RandomSplitter requires a rand source")
+	}
+	return func(children []ParticipantID, batch []*rfid.Tag) map[ParticipantID][]*rfid.Tag {
+		if len(children) == 0 {
+			return nil
+		}
+		out := make(map[ParticipantID][]*rfid.Tag, len(children))
+		for _, tag := range batch {
+			child := children[rng.Intn(len(children))]
+			out[child] = append(out[child], tag)
+		}
+		return out
+	}
+}

@@ -1,0 +1,143 @@
+package supplychain
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestGraphJSONRoundTrip(t *testing.T) {
+	g := FigureOneGraph()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(&back) {
+		t.Fatal("graph must survive a JSON round trip")
+	}
+	// Deterministic output: re-marshaling yields identical bytes.
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Fatal("graph serialization must be deterministic")
+	}
+}
+
+func TestGraphJSONRejectsBadEdges(t *testing.T) {
+	var g Graph
+	bad := `{"participants":["a"],"edges":[{"from":"a","to":"ghost"}]}`
+	if err := json.Unmarshal([]byte(bad), &g); err == nil {
+		t.Fatal("edge to unknown vertex must be rejected")
+	}
+	loop := `{"participants":["a"],"edges":[{"from":"a","to":"a"}]}`
+	if err := json.Unmarshal([]byte(loop), &g); err == nil {
+		t.Fatal("self-loop must be rejected")
+	}
+	empty := `{"participants":[""],"edges":[]}`
+	if err := json.Unmarshal([]byte(empty), &g); err == nil {
+		t.Fatal("empty participant id must be rejected")
+	}
+	if err := json.Unmarshal([]byte("not json"), &g); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestGraphEqual(t *testing.T) {
+	a := FigureOneGraph()
+	b := FigureOneGraph()
+	if !a.Equal(b) {
+		t.Fatal("identical graphs must compare equal")
+	}
+	b.RemoveEdge("v0", "v2")
+	if a.Equal(b) {
+		t.Fatal("edge removal must break equality")
+	}
+	c := FigureOneGraph()
+	c.AddParticipant("extra")
+	if a.Equal(c) {
+		t.Fatal("extra vertex must break equality")
+	}
+}
+
+func TestRandomSplitterCoversAllTags(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	split := RandomSplitter(rng)
+	children := []ParticipantID{"a", "b", "c"}
+	tags, err := MintTags("r", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := split(children, tags)
+	total := 0
+	for child, batch := range out {
+		found := false
+		for _, c := range children {
+			if c == child {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("splitter routed to unknown child %s", child)
+		}
+		total += len(batch)
+	}
+	if total != 30 {
+		t.Fatalf("splitter must assign every tag: %d/30", total)
+	}
+	if split(nil, tags) != nil {
+		t.Fatal("no children must yield nil split")
+	}
+}
+
+func TestRandomSplitterDeterministicWithSeed(t *testing.T) {
+	tags, err := MintTags("d", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	children := []ParticipantID{"a", "b"}
+	a := RandomSplitter(rand.New(rand.NewSource(9)))(children, tags)
+	b := RandomSplitter(rand.New(rand.NewSource(9)))(children, tags)
+	for child := range a {
+		if len(a[child]) != len(b[child]) {
+			t.Fatal("same seed must reproduce the split")
+		}
+	}
+}
+
+func TestRandomSplitterNilRNGPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil rng must panic")
+		}
+	}()
+	RandomSplitter(nil)
+}
+
+func TestRunTaskWithRandomSplitter(t *testing.T) {
+	g := FigureOneGraph()
+	parts := NewParticipants(g)
+	tags, err := MintTags("rnd", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := RunTask(g, parts, "v0", tags, nil, RandomSplitter(rand.New(rand.NewSource(3))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(result.Paths) != 6 {
+		t.Fatalf("all products must have paths, got %d", len(result.Paths))
+	}
+	for id, path := range result.Paths {
+		for i := 1; i < len(path); i++ {
+			if !g.HasEdge(path[i-1], path[i]) {
+				t.Fatalf("product %s hop %s→%s has no edge", id, path[i-1], path[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package supplychain
+
+import (
+	"testing"
+
+	"desword/internal/rfid"
+)
+
+func TestGraphBasicOperations(t *testing.T) {
+	g := NewGraph()
+	g.AddParticipant("a")
+	g.AddParticipant("b")
+	g.AddParticipant("a") // idempotent
+	if err := g.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") {
+		t.Fatal("edges must be directed")
+	}
+	if err := g.AddEdge("a", "b"); err == nil {
+		t.Fatal("duplicate edge must be rejected")
+	}
+	if err := g.AddEdge("a", "a"); err == nil {
+		t.Fatal("self-loop must be rejected")
+	}
+	if err := g.AddEdge("a", "ghost"); err == nil {
+		t.Fatal("edge to unknown vertex must be rejected")
+	}
+	if got := g.Children("a"); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Children(a) = %v", got)
+	}
+	if got := g.Parents("b"); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Parents(b) = %v", got)
+	}
+	g.RemoveEdge("a", "b")
+	if g.HasEdge("a", "b") {
+		t.Fatal("removed edge must be gone")
+	}
+}
+
+func TestGraphRemoveParticipantCleansEdges(t *testing.T) {
+	g := NewGraph()
+	for _, v := range []ParticipantID{"a", "b", "c"} {
+		g.AddParticipant(v)
+	}
+	mustEdge(t, g, "a", "b")
+	mustEdge(t, g, "b", "c")
+	g.RemoveParticipant("b")
+	if g.HasParticipant("b") {
+		t.Fatal("b must be removed")
+	}
+	if len(g.Children("a")) != 0 || len(g.Parents("c")) != 0 {
+		t.Fatal("incident edges must be removed with the vertex")
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, from, to ParticipantID) {
+	t.Helper()
+	if err := g.AddEdge(from, to); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialsAndLeaves(t *testing.T) {
+	g := FigureOneGraph()
+	initials := g.Initials()
+	if len(initials) != 2 || initials[0] != "v0" || initials[1] != "v1" {
+		t.Fatalf("Initials() = %v, want [v0 v1]", initials)
+	}
+	leaves := g.Leaves()
+	want := []ParticipantID{"v5", "v7", "v8", "v9"}
+	if len(leaves) != len(want) {
+		t.Fatalf("Leaves() = %v, want %v", leaves, want)
+	}
+	for i := range want {
+		if leaves[i] != want[i] {
+			t.Fatalf("Leaves() = %v, want %v", leaves, want)
+		}
+	}
+}
+
+func TestFigureOnePathExists(t *testing.T) {
+	g := FigureOneGraph()
+	// The paper's example: id1 follows v0→v2→v5.
+	if !g.HasEdge("v0", "v2") || !g.HasEdge("v2", "v5") {
+		t.Fatal("Figure 1 path v0→v2→v5 must exist")
+	}
+	if !g.PathExists("v0", "v9") {
+		t.Fatal("products from v0 must be able to reach v9")
+	}
+	if g.PathExists("v5", "v0") {
+		t.Fatal("no backward paths")
+	}
+	if g.PathExists("ghost", "v0") {
+		t.Fatal("unknown source must report no path")
+	}
+}
+
+func TestCheckAcyclic(t *testing.T) {
+	g := FigureOneGraph()
+	if err := g.CheckAcyclic(); err != nil {
+		t.Fatalf("Figure 1 graph must be acyclic: %v", err)
+	}
+	c := NewGraph()
+	for _, v := range []ParticipantID{"a", "b", "c"} {
+		c.AddParticipant(v)
+	}
+	mustEdge(t, c, "a", "b")
+	mustEdge(t, c, "b", "c")
+	mustEdge(t, c, "c", "a")
+	if err := c.CheckAcyclic(); err == nil {
+		t.Fatal("cycle must be detected")
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := FigureOneGraph()
+	edges := g.Edges()
+	if len(edges) != 12 {
+		t.Fatalf("Figure 1 has 12 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		prev, cur := edges[i-1], edges[i]
+		if prev.From > cur.From || (prev.From == cur.From && prev.To > cur.To) {
+			t.Fatal("edges must be sorted")
+		}
+	}
+}
+
+func TestParticipantProcessRecordsTraces(t *testing.T) {
+	p := NewParticipant("v2")
+	tags, err := MintTags("id", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Process(tags, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.TraceCount() != 3 {
+		t.Fatalf("TraceCount() = %d", p.TraceCount())
+	}
+	tr, ok := p.Trace("id2")
+	if !ok {
+		t.Fatal("trace for id2 must exist")
+	}
+	if tr.Product != "id2" || len(tr.Data) == 0 {
+		t.Fatalf("unexpected trace %+v", tr)
+	}
+	for _, tag := range tags {
+		if tag.ReadCount() != 1 {
+			t.Fatal("every tag must be read exactly once")
+		}
+	}
+}
+
+func TestParticipantDuplicateTraceRejected(t *testing.T) {
+	p := NewParticipant("v2")
+	if err := p.RecordTrace(Trace{Product: "id1", Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RecordTrace(Trace{Product: "id1", Data: []byte("y")}); err == nil {
+		t.Fatal("duplicate trace must be rejected")
+	}
+}
+
+func TestParticipantDishonestMutations(t *testing.T) {
+	p := NewParticipant("v2")
+	if err := p.RecordTrace(Trace{Product: "id1", Data: []byte("real")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DeleteTrace("id1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Trace("id1"); ok {
+		t.Fatal("deleted trace must be gone")
+	}
+	if err := p.DeleteTrace("id1"); err == nil {
+		t.Fatal("deleting a missing trace must error")
+	}
+	if err := p.AddFakeTrace(Trace{Product: "fake", Data: []byte("forged")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ModifyTrace("fake", []byte("changed")); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := p.Trace("fake")
+	if string(tr.Data) != "changed" {
+		t.Fatal("modified trace must carry new data")
+	}
+	if err := p.ModifyTrace("missing", nil); err == nil {
+		t.Fatal("modifying a missing trace must error")
+	}
+}
+
+func TestRunTaskFigureOne(t *testing.T) {
+	g := FigureOneGraph()
+	parts := NewParticipants(g)
+	tags, err := MintTags("id", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := RunTask(g, parts, "v0", tags, nil, RoundRobinSplitter)
+	if err != nil {
+		t.Fatalf("RunTask: %v", err)
+	}
+	if len(result.Paths) != 8 {
+		t.Fatalf("all 8 products must have paths, got %d", len(result.Paths))
+	}
+	for id, path := range result.Paths {
+		if path[0] != "v0" {
+			t.Fatalf("product %s must start at v0", id)
+		}
+		last := path[len(path)-1]
+		if len(g.Children(last)) != 0 {
+			t.Fatalf("product %s must end at a leaf, ended at %s", id, last)
+		}
+		// Every hop must follow a real edge, and the participant must hold a
+		// trace for the product.
+		for i := 1; i < len(path); i++ {
+			if !g.HasEdge(path[i-1], path[i]) {
+				t.Fatalf("product %s hop %s→%s has no edge", id, path[i-1], path[i])
+			}
+		}
+		for _, v := range path {
+			if _, ok := parts[v].Trace(id); !ok {
+				t.Fatalf("%s must hold a trace for %s", v, id)
+			}
+		}
+	}
+	for _, e := range result.UsedEdges {
+		if !g.HasEdge(e.From, e.To) {
+			t.Fatalf("used edge %v not in graph", e)
+		}
+	}
+}
+
+func TestRunTaskLineGraph(t *testing.T) {
+	g, parts := LineGraph(5)
+	tags, err := MintTags("id", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := RunTask(g, parts, "p0", tags, nil, FirstChildSplitter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, ok := result.PathOf("id1")
+	if !ok || len(path) != 5 {
+		t.Fatalf("line graph path must have 5 hops, got %v", path)
+	}
+	if len(result.Involved) != 5 {
+		t.Fatalf("all 5 participants must be involved, got %v", result.Involved)
+	}
+}
+
+func TestRunTaskValidation(t *testing.T) {
+	g := FigureOneGraph()
+	parts := NewParticipants(g)
+	tags, err := MintTags("id", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunTask(g, parts, "ghost", tags, nil, nil); err == nil {
+		t.Fatal("unknown initial must be rejected")
+	}
+	if _, err := RunTask(g, parts, "v2", tags, nil, nil); err == nil {
+		t.Fatal("non-initial start must be rejected")
+	}
+	delete(parts, "v2")
+	if _, err := RunTask(g, parts, "v0", tags, nil, nil); err == nil {
+		t.Fatal("missing participant runtime must be rejected")
+	}
+	// Cyclic graph.
+	c := NewGraph()
+	c.AddParticipant("a")
+	c.AddParticipant("b")
+	mustEdge(t, c, "a", "b")
+	mustEdge(t, c, "b", "a")
+	if _, err := RunTask(c, map[ParticipantID]*Participant{}, "a", tags, nil, nil); err == nil {
+		t.Fatal("cyclic graph must be rejected")
+	}
+}
+
+func TestSplitterRoutingWithoutEdgeRejected(t *testing.T) {
+	g, parts := LineGraph(3)
+	tags, err := MintTags("id", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := func(children []ParticipantID, batch []*rfid.Tag) map[ParticipantID][]*rfid.Tag {
+		return map[ParticipantID][]*rfid.Tag{"p2": batch} // skips p1
+	}
+	if _, err := RunTask(g, parts, "p0", tags, nil, evil); err == nil {
+		t.Fatal("routing without an edge must be rejected")
+	}
+}
+
+func TestRoundRobinSplitterCoversAllTags(t *testing.T) {
+	children := []ParticipantID{"a", "b", "c"}
+	tags, err := MintTags("id", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := RoundRobinSplitter(children, tags)
+	total := 0
+	for _, batch := range split {
+		total += len(batch)
+	}
+	if total != 7 {
+		t.Fatalf("splitter must assign every tag, assigned %d/7", total)
+	}
+	if RoundRobinSplitter(nil, tags) != nil {
+		t.Fatal("no children must yield nil split")
+	}
+}

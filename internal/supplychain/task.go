@@ -1,0 +1,193 @@
+package supplychain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"desword/internal/rfid"
+)
+
+// This file implements distribution tasks (§II.A): a batch of products flows
+// from an initial participant toward leaf participants along directed edges;
+// every participant on a product's path processes it (reads its tag, records
+// a trace) and splits its batch among its children.
+
+// Errors reported by distribution tasks.
+var (
+	ErrNotInitial    = errors.New("supplychain: task must start at an initial participant")
+	ErrNoParticipant = errors.New("supplychain: graph vertex has no participant runtime")
+)
+
+// Splitter decides how a participant divides its processed batch among its
+// children. Implementations must assign every tag to exactly one child (or
+// to none only if children is empty).
+type Splitter func(children []ParticipantID, batch []*rfid.Tag) map[ParticipantID][]*rfid.Tag
+
+// RoundRobinSplitter deals tags to children in rotation — the default batch
+// division policy.
+func RoundRobinSplitter(children []ParticipantID, batch []*rfid.Tag) map[ParticipantID][]*rfid.Tag {
+	if len(children) == 0 {
+		return nil
+	}
+	out := make(map[ParticipantID][]*rfid.Tag, len(children))
+	for i, tag := range batch {
+		child := children[i%len(children)]
+		out[child] = append(out[child], tag)
+	}
+	return out
+}
+
+// FirstChildSplitter sends the whole batch to the first child, producing a
+// single linear path — useful for path-length-controlled experiments.
+func FirstChildSplitter(children []ParticipantID, batch []*rfid.Tag) map[ParticipantID][]*rfid.Tag {
+	if len(children) == 0 {
+		return nil
+	}
+	return map[ParticipantID][]*rfid.Tag{children[0]: batch}
+}
+
+// TaskResult is the ground truth of one distribution task, kept by the test
+// harness and experiments (the real system has no global observer).
+type TaskResult struct {
+	// Initial is the participant the task started from.
+	Initial ParticipantID
+	// Paths maps every product to the ordered participant path it took.
+	Paths map[ProductID][]ParticipantID
+	// Involved lists every participant that processed at least one product.
+	Involved []ParticipantID
+	// UsedEdges lists every parent→child edge that carried at least one
+	// product.
+	UsedEdges []Edge
+}
+
+// PathOf returns the recorded path of one product.
+func (r *TaskResult) PathOf(id ProductID) ([]ParticipantID, bool) {
+	path, ok := r.Paths[id]
+	return path, ok
+}
+
+// RunTask executes a distribution task: the initial participant receives the
+// full batch, and batches propagate down the digraph with each participant
+// processing then splitting. The graph must be acyclic and the initial
+// participant must have no incoming edges.
+func RunTask(
+	g *Graph,
+	participants map[ParticipantID]*Participant,
+	initial ParticipantID,
+	tags []*rfid.Tag,
+	data TraceData,
+	split Splitter,
+) (*TaskResult, error) {
+	if err := g.CheckAcyclic(); err != nil {
+		return nil, err
+	}
+	if !g.HasParticipant(initial) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownParticipant, initial)
+	}
+	if len(g.Parents(initial)) != 0 {
+		return nil, fmt.Errorf("%w: %s has parents", ErrNotInitial, initial)
+	}
+	if split == nil {
+		split = RoundRobinSplitter
+	}
+
+	result := &TaskResult{
+		Initial: initial,
+		Paths:   make(map[ProductID][]ParticipantID, len(tags)),
+	}
+	involved := make(map[ParticipantID]bool)
+	usedEdge := make(map[Edge]bool)
+
+	type delivery struct {
+		to    ParticipantID
+		batch []*rfid.Tag
+	}
+	queue := []delivery{{to: initial, batch: tags}}
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		if len(d.batch) == 0 {
+			continue
+		}
+		p, ok := participants[d.to]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoParticipant, d.to)
+		}
+		if err := p.Process(d.batch, data); err != nil {
+			return nil, fmt.Errorf("supplychain: %s processing batch: %w", d.to, err)
+		}
+		involved[d.to] = true
+		for _, tag := range d.batch {
+			result.Paths[ProductID(tag.ID())] = append(result.Paths[ProductID(tag.ID())], d.to)
+		}
+		children := g.Children(d.to)
+		if len(children) == 0 {
+			continue // leaf participant: products stop here
+		}
+		for child, subBatch := range split(children, d.batch) {
+			if len(subBatch) == 0 {
+				continue
+			}
+			if !g.HasEdge(d.to, child) {
+				return nil, fmt.Errorf("supplychain: splitter routed %s→%s without an edge", d.to, child)
+			}
+			usedEdge[Edge{From: d.to, To: child}] = true
+			queue = append(queue, delivery{to: child, batch: subBatch})
+		}
+	}
+
+	result.Involved = sortedKeys(involved)
+	for e := range usedEdge {
+		result.UsedEdges = append(result.UsedEdges, e)
+	}
+	sort.Slice(result.UsedEdges, func(i, j int) bool {
+		if result.UsedEdges[i].From != result.UsedEdges[j].From {
+			return result.UsedEdges[i].From < result.UsedEdges[j].From
+		}
+		return result.UsedEdges[i].To < result.UsedEdges[j].To
+	})
+	return result, nil
+}
+
+// MintTags creates n product tags with ids prefix-1 … prefix-n.
+func MintTags(prefix string, n int) ([]*rfid.Tag, error) {
+	tags := make([]*rfid.Tag, 0, n)
+	for i := 1; i <= n; i++ {
+		tag, err := rfid.NewTag(fmt.Sprintf("%s%d", prefix, i))
+		if err != nil {
+			return nil, fmt.Errorf("supplychain: minting tag %d: %w", i, err)
+		}
+		tags = append(tags, tag)
+	}
+	return tags, nil
+}
+
+// LineGraph builds a linear chain p0→p1→…→p(n-1) with its participant
+// runtimes — the fixture for path-length-controlled experiments.
+func LineGraph(n int) (*Graph, map[ParticipantID]*Participant) {
+	g := NewGraph()
+	parts := make(map[ParticipantID]*Participant, n)
+	var prev ParticipantID
+	for i := 0; i < n; i++ {
+		id := ParticipantID(fmt.Sprintf("p%d", i))
+		g.AddParticipant(id)
+		parts[id] = NewParticipant(id)
+		if i > 0 {
+			if err := g.AddEdge(prev, id); err != nil {
+				panic(fmt.Sprintf("supplychain: building line graph: %v", err))
+			}
+		}
+		prev = id
+	}
+	return g, parts
+}
+
+// NewParticipants builds participant runtimes for every vertex of a graph.
+func NewParticipants(g *Graph) map[ParticipantID]*Participant {
+	out := make(map[ParticipantID]*Participant)
+	for _, v := range g.Participants() {
+		out[v] = NewParticipant(v)
+	}
+	return out
+}

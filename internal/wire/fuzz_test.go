@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage hammers the TCP frame parser with arbitrary byte streams:
+// it must reject garbage with an error, never panic, and never allocate
+// beyond the frame cap.
+func FuzzReadMessage(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteMessage(&seed, TypeQuery, QueryRequest{TaskID: "t", Product: "p", Quality: 1}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if env.Type == "" {
+			t.Fatal("accepted envelope must carry a type")
+		}
+		// Accepted envelopes must re-frame.
+		var out bytes.Buffer
+		if err := WriteMessage(&out, env.Type, env.Payload); err != nil {
+			t.Fatalf("re-framing accepted envelope: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeProof hammers the base64+binary proof layer used inside query
+// responses.
+func FuzzDecodeProof(f *testing.F) {
+	f.Add(1, "AQ==")
+	f.Add(2, "")
+	f.Add(0, "####")
+	f.Fuzz(func(t *testing.T, kind int, zk string) {
+		p, err := DecodeProof(&Proof{Kind: kind, ZK: zk})
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("nil proof with nil error")
+		}
+	})
+}

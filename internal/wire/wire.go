@@ -1,0 +1,274 @@
+// Package wire defines the message framing and payload types of DE-Sword's
+// multi-party deployment: length-prefixed JSON envelopes over TCP, carrying
+// query interactions between the proxy and participants, POC-list
+// submissions, and public-parameter distribution. ZK-EDB proofs travel in
+// their compact binary encoding inside the JSON envelope.
+package wire
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"desword/internal/core"
+	"desword/internal/poc"
+	"desword/internal/reputation"
+	"desword/internal/zkedb"
+)
+
+// MaxMessageSize bounds a single frame; anything larger is rejected before
+// allocation, so a malicious peer cannot force huge buffers.
+const MaxMessageSize = 16 << 20
+
+// Message types exchanged between nodes.
+const (
+	// TypeQuery is a proxy→participant query interaction request.
+	TypeQuery = "query"
+	// TypeDemandOwnership is the proxy's follow-up ownership demand.
+	TypeDemandOwnership = "demand_ownership"
+	// TypeResponse is a participant's answer to either of the above.
+	TypeResponse = "response"
+	// TypeGetParams asks the proxy for the public parameter ps.
+	TypeGetParams = "get_params"
+	// TypeParams carries the public parameter ps.
+	TypeParams = "params"
+	// TypeRegisterList submits a POC list to the proxy.
+	TypeRegisterList = "register_list"
+	// TypeQueryPath asks the proxy to run a full path query (application →
+	// proxy).
+	TypeQueryPath = "query_path"
+	// TypePathResult carries the outcome of a path query.
+	TypePathResult = "path_result"
+	// TypeScores asks the proxy for the public reputation scores.
+	TypeScores = "scores"
+	// TypeScoreTable carries the public reputation scores.
+	TypeScoreTable = "score_table"
+	// TypeAuditLog asks the proxy for the tamper-evident score history.
+	TypeAuditLog = "audit_log"
+	// TypeAuditChain carries the chained score history and its head.
+	TypeAuditChain = "audit_chain"
+	// TypeAck acknowledges a request with no payload.
+	TypeAck = "ack"
+	// TypeError reports a failure.
+	TypeError = "error"
+)
+
+// Errors reported by this package.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxMessageSize")
+	ErrBadEnvelope   = errors.New("wire: malformed envelope")
+)
+
+// Envelope is the framed unit: a type tag plus a JSON payload.
+type Envelope struct {
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, msgType string, payload any) error {
+	var raw json.RawMessage
+	if payload != nil {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return fmt.Errorf("wire: encoding %s payload: %w", msgType, err)
+		}
+		raw = data
+	}
+	frame, err := json.Marshal(Envelope{Type: msgType, Payload: raw})
+	if err != nil {
+		return fmt.Errorf("wire: encoding envelope: %w", err)
+	}
+	if len(frame) > MaxMessageSize {
+		return ErrFrameTooLarge
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("wire: writing frame length: %w", err)
+	}
+	if _, err := w.Write(frame); err != nil {
+		return fmt.Errorf("wire: writing frame: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (*Envelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxMessageSize {
+		return nil, ErrFrameTooLarge
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, fmt.Errorf("wire: reading frame: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(frame, &env); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+	}
+	if env.Type == "" {
+		return nil, fmt.Errorf("%w: missing type", ErrBadEnvelope)
+	}
+	return &env, nil
+}
+
+// Decode unmarshals the envelope payload into v.
+func (e *Envelope) Decode(v any) error {
+	if len(e.Payload) == 0 {
+		return fmt.Errorf("%w: empty %s payload", ErrBadEnvelope, e.Type)
+	}
+	if err := json.Unmarshal(e.Payload, v); err != nil {
+		return fmt.Errorf("wire: decoding %s payload: %w", e.Type, err)
+	}
+	return nil
+}
+
+// QueryRequest is the proxy's (query request, id, POC_v) message; the POC is
+// implied by the task id, which both sides resolve against the registered
+// list.
+type QueryRequest struct {
+	TaskID  string        `json:"task_id"`
+	Product poc.ProductID `json:"product"`
+	Quality int           `json:"quality"`
+}
+
+// DemandRequest is the proxy's ownership demand.
+type DemandRequest struct {
+	TaskID  string        `json:"task_id"`
+	Product poc.ProductID `json:"product"`
+}
+
+// Proof is the wire form of a poc.Proof: the kind tag plus the compact
+// binary ZK-EDB proof, base64-encoded for JSON transport.
+type Proof struct {
+	Kind int    `json:"kind"`
+	ZK   string `json:"zk"`
+}
+
+// EncodeProof converts a poc.Proof to its wire form.
+func EncodeProof(p *poc.Proof) (*Proof, error) {
+	if p == nil {
+		return nil, nil
+	}
+	data, err := p.ZK.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("wire: encoding proof: %w", err)
+	}
+	return &Proof{Kind: int(p.Kind), ZK: base64.StdEncoding.EncodeToString(data)}, nil
+}
+
+// DecodeProof converts a wire proof back to a poc.Proof.
+func DecodeProof(p *Proof) (*poc.Proof, error) {
+	if p == nil {
+		return nil, nil
+	}
+	data, err := base64.StdEncoding.DecodeString(p.ZK)
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding proof base64: %w", err)
+	}
+	var zk zkedb.Proof
+	if err := zk.UnmarshalBinary(data); err != nil {
+		return nil, fmt.Errorf("wire: decoding proof: %w", err)
+	}
+	return &poc.Proof{Kind: poc.ProofKind(p.Kind), ZK: &zk}, nil
+}
+
+// QueryResponse is a participant's wire answer to a query or demand.
+type QueryResponse struct {
+	Claim int               `json:"claim"`
+	Proof *Proof            `json:"proof,omitempty"`
+	Next  poc.ParticipantID `json:"next,omitempty"`
+}
+
+// EncodeResponse converts a core.Response to its wire form.
+func EncodeResponse(r *core.Response) (*QueryResponse, error) {
+	proof, err := EncodeProof(r.Proof)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResponse{Claim: int(r.Claim), Proof: proof, Next: r.Next}, nil
+}
+
+// DecodeResponse converts a wire response back to a core.Response.
+func DecodeResponse(r *QueryResponse) (*core.Response, error) {
+	proof, err := DecodeProof(r.Proof)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Response{Claim: core.Claim(r.Claim), Proof: proof, Next: r.Next}, nil
+}
+
+// RegisterListRequest submits a POC list for a finished distribution task.
+type RegisterListRequest struct {
+	TaskID string    `json:"task_id"`
+	List   *poc.List `json:"list"`
+}
+
+// QueryPathRequest asks the proxy to run a full product path query.
+type QueryPathRequest struct {
+	Product poc.ProductID `json:"product"`
+	Quality int           `json:"quality"`
+}
+
+// PathResult is the wire form of a core.Result.
+type PathResult struct {
+	Product    poc.ProductID                   `json:"product"`
+	Quality    int                             `json:"quality"`
+	TaskID     string                          `json:"task_id"`
+	Path       []poc.ParticipantID             `json:"path"`
+	Traces     map[poc.ParticipantID]poc.Trace `json:"traces"`
+	Violations []core.Violation                `json:"violations"`
+	Complete   bool                            `json:"complete"`
+}
+
+// EncodePathResult converts a core.Result to its wire form.
+func EncodePathResult(r *core.Result) *PathResult {
+	return &PathResult{
+		Product:    r.Product,
+		Quality:    int(r.Quality),
+		TaskID:     r.TaskID,
+		Path:       r.Path,
+		Traces:     r.Traces,
+		Violations: r.Violations,
+		Complete:   r.Complete,
+	}
+}
+
+// DecodePathResult converts a wire path result back to a core.Result.
+func DecodePathResult(r *PathResult) *core.Result {
+	return &core.Result{
+		Product:    r.Product,
+		Quality:    core.Quality(r.Quality),
+		TaskID:     r.TaskID,
+		Path:       r.Path,
+		Traces:     r.Traces,
+		Violations: r.Violations,
+		Complete:   r.Complete,
+	}
+}
+
+// ErrorResponse carries a remote failure.
+type ErrorResponse struct {
+	Message string `json:"message"`
+}
+
+// ScoreTable carries the public reputation scores.
+type ScoreTable struct {
+	Scores map[poc.ParticipantID]float64 `json:"scores"`
+}
+
+// AuditChain carries the proxy's chained score history: customers verify it
+// with reputation.VerifyAuditChain against the pinned head.
+type AuditChain struct {
+	Entries []reputation.AuditEntry `json:"entries"`
+	Head    []byte                  `json:"head"`
+	Count   uint64                  `json:"count"`
+}

@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"desword/internal/core"
+	"desword/internal/poc"
+	"desword/internal/zkedb"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, TypeQuery, QueryRequest{TaskID: "t", Product: "id1", Quality: 1}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TypeQuery {
+		t.Fatalf("type = %q", env.Type)
+	}
+	var req QueryRequest
+	if err := env.Decode(&req); err != nil {
+		t.Fatal(err)
+	}
+	if req.TaskID != "t" || req.Product != "id1" || req.Quality != 1 {
+		t.Fatalf("decoded %+v", req)
+	}
+}
+
+func TestMultipleFramesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := WriteMessage(&buf, TypeAck, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		env, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if env.Type != TypeAck {
+			t.Fatalf("frame %d type = %q", i, env.Type)
+		}
+	}
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Fatal("reading past the last frame must fail")
+	}
+}
+
+func TestReadRejectsOversizedFrame(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadMessage(buf); err == nil {
+		t.Fatal("oversized frame must be rejected before allocation")
+	}
+}
+
+func TestReadRejectsTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, TypeAck, nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadMessage(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated frame must be rejected")
+	}
+}
+
+func TestReadRejectsMissingType(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-craft an envelope without a type.
+	frame := []byte(`{"payload":{}}`)
+	buf.Write([]byte{0, 0, 0, byte(len(frame))})
+	buf.Write(frame)
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Fatal("envelope without a type must be rejected")
+	}
+}
+
+func TestDecodeEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, TypeAck, nil); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct{}
+	if err := env.Decode(&v); err == nil {
+		t.Fatal("decoding an empty payload must fail")
+	}
+}
+
+func TestProofRoundTrip(t *testing.T) {
+	ps, err := poc.PSGen(zkedb.TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	credential, dpoc, err := poc.Agg(ps, "v1", []poc.Trace{{Product: "id1", Data: []byte("d")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, product := range []poc.ProductID{"id1", "missing"} {
+		proof, err := dpoc.Prove(product)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encoded, err := EncodeProof(proof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := DecodeProof(encoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if decoded.Kind != proof.Kind {
+			t.Fatal("kind must survive the round trip")
+		}
+		if _, err := poc.Verify(ps, credential, product, decoded); err != nil {
+			t.Fatalf("round-tripped proof must verify: %v", err)
+		}
+	}
+	if p, err := EncodeProof(nil); err != nil || p != nil {
+		t.Fatal("nil proof must encode to nil")
+	}
+	if p, err := DecodeProof(nil); err != nil || p != nil {
+		t.Fatal("nil wire proof must decode to nil")
+	}
+	if _, err := DecodeProof(&Proof{Kind: 1, ZK: "!!!not-base64"}); err == nil {
+		t.Fatal("bad base64 must be rejected")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	ps, err := poc.PSGen(zkedb.TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dpoc, err := poc.Agg(ps, "v1", []poc.Trace{{Product: "id1", Data: []byte("d")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dpoc.Prove("id1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := &core.Response{Claim: core.ClaimProcessed, Proof: proof, Next: "v2"}
+	encoded, err := EncodeResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeResponse(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Claim != resp.Claim || decoded.Next != resp.Next || decoded.Proof.Kind != proof.Kind {
+		t.Fatalf("decoded %+v", decoded)
+	}
+}
+
+func TestPathResultRoundTrip(t *testing.T) {
+	r := &core.Result{
+		Product: "id1",
+		Quality: core.Good,
+		TaskID:  "t",
+		Path:    []poc.ParticipantID{"a", "b"},
+		Traces: map[poc.ParticipantID]poc.Trace{
+			"a": {Product: "id1", Data: []byte("x")},
+		},
+		Violations: []core.Violation{{Participant: "b", Type: core.ViolationWrongNextHop, Detail: "d"}},
+		Complete:   true,
+	}
+	back := DecodePathResult(EncodePathResult(r))
+	if back.Product != r.Product || back.Quality != r.Quality || !back.Complete {
+		t.Fatalf("decoded %+v", back)
+	}
+	if len(back.Path) != 2 || len(back.Violations) != 1 || string(back.Traces["a"].Data) != "x" {
+		t.Fatalf("decoded %+v", back)
+	}
+}

@@ -1,0 +1,233 @@
+package zkedb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"desword/internal/group"
+	"desword/internal/mercurial"
+	"desword/internal/qmercurial"
+)
+
+// This file makes the prover's secret state (Decommitment / DE-Sword's DPOC)
+// durable. A participant stores its DPOC in its own database to answer
+// queries later (§IV.B); re-running Commit after a restart would produce a
+// *different* commitment (fresh randomness) and orphan the POC already
+// submitted to the proxy, so the exact tree — including the position-pinned
+// soft commitments already shown to verifiers — must round-trip.
+
+// ErrBadState reports a malformed serialized decommitment.
+var ErrBadState = errors.New("zkedb: malformed decommitment state")
+
+// persistState is the serializable image of a Decommitment.
+type persistState struct {
+	Params Params            `json:"params"`
+	DB     map[string][]byte `json:"db"`
+	Root   *persistNode      `json:"root"`
+	Soft   []persistSoft     `json:"soft"`
+}
+
+// persistNode mirrors node.
+type persistNode struct {
+	Level    int                  `json:"level"`
+	Children map[int]*persistNode `json:"children,omitempty"`
+
+	QCom *persistCommitment `json:"q_com,omitempty"`
+	QDec *persistHardDec    `json:"q_dec,omitempty"`
+
+	LeafCom   *persistCommitment `json:"leaf_com,omitempty"`
+	LeafDec   *persistMercHard   `json:"leaf_dec,omitempty"`
+	LeafKey   string             `json:"leaf_key,omitempty"`
+	LeafValue []byte             `json:"leaf_value,omitempty"`
+}
+
+// persistCommitment carries a mercurial commitment's two points.
+type persistCommitment struct {
+	C0 []byte `json:"c0"`
+	C1 []byte `json:"c1"`
+}
+
+// persistHardDec mirrors qmercurial.HardDecommit.
+type persistHardDec struct {
+	Messages []*big.Int      `json:"messages"`
+	Hiding   *big.Int        `json:"hiding"`
+	V        *big.Int        `json:"v"`
+	MCDec    persistMercHard `json:"mc_dec"`
+}
+
+// persistMercHard mirrors mercurial.HardDecommit.
+type persistMercHard struct {
+	M  *big.Int `json:"m"`
+	R0 *big.Int `json:"r0"`
+	R1 *big.Int `json:"r1"`
+}
+
+// persistSoft mirrors one soft-cache entry.
+type persistSoft struct {
+	Prefix []int             `json:"prefix"`
+	Com    persistCommitment `json:"com"`
+	R0     *big.Int          `json:"r0"`
+	R1     *big.Int          `json:"r1"`
+}
+
+func encodeCommitment(c mercurial.Commitment) *persistCommitment {
+	return &persistCommitment{C0: c.C0.Bytes(), C1: c.C1.Bytes()}
+}
+
+func decodeCommitment(p *persistCommitment) (mercurial.Commitment, error) {
+	if p == nil {
+		return mercurial.Commitment{}, ErrBadState
+	}
+	grp := group.P256()
+	c0, err := grp.DecodePoint(p.C0)
+	if err != nil {
+		return mercurial.Commitment{}, fmt.Errorf("%w: %v", ErrBadState, err)
+	}
+	c1, err := grp.DecodePoint(p.C1)
+	if err != nil {
+		return mercurial.Commitment{}, fmt.Errorf("%w: %v", ErrBadState, err)
+	}
+	return mercurial.Commitment{C0: c0, C1: c1}, nil
+}
+
+func encodeNode(n *node) *persistNode {
+	out := &persistNode{Level: n.level}
+	if n.children == nil {
+		leafCom := n.leafCom
+		out.LeafCom = encodeCommitment(leafCom)
+		out.LeafDec = &persistMercHard{M: n.leafDec.M, R0: n.leafDec.R0, R1: n.leafDec.R1}
+		out.LeafKey = n.leafKey
+		out.LeafValue = n.leafValue
+		return out
+	}
+	out.QCom = encodeCommitment(n.qCom.MC)
+	out.QDec = &persistHardDec{
+		Messages: n.qDec.Messages,
+		Hiding:   n.qDec.Hiding,
+		V:        n.qDec.V,
+		MCDec:    persistMercHard{M: n.qDec.MCDec.M, R0: n.qDec.MCDec.R0, R1: n.qDec.MCDec.R1},
+	}
+	out.Children = make(map[int]*persistNode, len(n.children))
+	for slot, child := range n.children {
+		out.Children[slot] = encodeNode(child)
+	}
+	return out
+}
+
+func decodeNode(p *persistNode, params Params) (*node, error) {
+	if p == nil {
+		return nil, ErrBadState
+	}
+	n := &node{level: p.Level}
+	if p.Children == nil && p.QCom == nil {
+		// Leaf node.
+		if p.LeafDec == nil || p.LeafKey == "" {
+			return nil, fmt.Errorf("%w: leaf at level %d incomplete", ErrBadState, p.Level)
+		}
+		com, err := decodeCommitment(p.LeafCom)
+		if err != nil {
+			return nil, err
+		}
+		n.leafCom = com
+		n.leafDec = mercurial.HardDecommit{M: p.LeafDec.M, R0: p.LeafDec.R0, R1: p.LeafDec.R1}
+		n.leafKey = p.LeafKey
+		n.leafValue = p.LeafValue
+		return n, nil
+	}
+	if p.QDec == nil || len(p.QDec.Messages) != params.Q {
+		return nil, fmt.Errorf("%w: internal node at level %d incomplete", ErrBadState, p.Level)
+	}
+	com, err := decodeCommitment(p.QCom)
+	if err != nil {
+		return nil, err
+	}
+	n.qCom = qmercurial.Commitment{MC: com}
+	n.qDec = qmercurial.HardDecommit{
+		Messages: p.QDec.Messages,
+		Hiding:   p.QDec.Hiding,
+		V:        p.QDec.V,
+		MCDec:    mercurial.HardDecommit{M: p.QDec.MCDec.M, R0: p.QDec.MCDec.R0, R1: p.QDec.MCDec.R1},
+	}
+	n.children = make(map[int]*node, len(p.Children))
+	for slot, child := range p.Children {
+		if slot < 0 || slot >= params.Q {
+			return nil, fmt.Errorf("%w: child slot %d out of range", ErrBadState, slot)
+		}
+		decoded, err := decodeNode(child, params)
+		if err != nil {
+			return nil, err
+		}
+		n.children[slot] = decoded
+	}
+	return n, nil
+}
+
+// MarshalJSON serializes the full prover state. The output contains every
+// secret the participant holds (trace values, decommitment randomness) and
+// must be stored as confidentially as the database itself.
+func (d *Decommitment) MarshalJSON() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	state := persistState{
+		Params: d.crs.Params,
+		DB:     d.db,
+		Root:   encodeNode(d.root),
+		Soft:   make([]persistSoft, 0, len(d.soft)),
+	}
+	for prefix, entry := range d.soft {
+		digits := make([]int, len(prefix))
+		for i := 0; i < len(prefix); i++ {
+			digits[i] = int(prefix[i])
+		}
+		state.Soft = append(state.Soft, persistSoft{
+			Prefix: digits,
+			Com:    *encodeCommitment(entry.com),
+			R0:     entry.dec.R0,
+			R1:     entry.dec.R1,
+		})
+	}
+	return json.Marshal(state)
+}
+
+// RestoreDecommitment reconstructs a Decommitment under the given CRS from
+// the JSON produced by MarshalJSON. The CRS must be the one the state was
+// committed under (the geometry is checked; the key material is trusted).
+func RestoreDecommitment(crs *CRS, data []byte) (*Decommitment, error) {
+	var state persistState
+	if err := json.Unmarshal(data, &state); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadState, err)
+	}
+	if state.Params != crs.Params {
+		return nil, fmt.Errorf("%w: state geometry %+v does not match CRS %+v",
+			ErrBadState, state.Params, crs.Params)
+	}
+	root, err := decodeNode(state.Root, crs.Params)
+	if err != nil {
+		return nil, err
+	}
+	dec := &Decommitment{
+		crs:  crs,
+		db:   state.DB,
+		root: root,
+		soft: make(map[string]*softEntry, len(state.Soft)),
+	}
+	if dec.db == nil {
+		dec.db = make(map[string][]byte)
+	}
+	for _, s := range state.Soft {
+		com, err := decodeCommitment(&s.Com)
+		if err != nil {
+			return nil, err
+		}
+		if s.R0 == nil || s.R1 == nil {
+			return nil, fmt.Errorf("%w: soft entry missing randomness", ErrBadState)
+		}
+		dec.soft[prefixKey(s.Prefix)] = &softEntry{
+			com: com,
+			dec: mercurial.SoftDecommit{R0: s.R0, R1: s.R1},
+		}
+	}
+	return dec, nil
+}

@@ -1,0 +1,134 @@
+package zkedb
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestDecommitmentRoundTrip(t *testing.T) {
+	crs := testCRS(t)
+	db := testDB(6)
+	com, dec, err := crs.Commit(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force some lazily created soft-chain entries into the cache first, so
+	// their pinning survives the round trip.
+	preRestart, err := dec.Prove("ghost-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(dec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	restored, err := RestoreDecommitment(crs, data)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+
+	// Ownership proofs from the restored state must verify against the
+	// ORIGINAL commitment — the whole point of persistence.
+	for key, want := range db {
+		proof, err := restored.Prove(key)
+		if err != nil {
+			t.Fatalf("Prove(%q) after restore: %v", key, err)
+		}
+		value, present, err := crs.Verify(com, key, proof)
+		if err != nil || !present || string(value) != string(want) {
+			t.Fatalf("restored proof for %q failed: %v", key, err)
+		}
+	}
+
+	// Non-ownership proofs must reuse the same pinned soft chain: the child
+	// commitments shown before and after the restart must be identical.
+	postRestart, err := restored.Prove("ghost-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range preRestart.Levels {
+		if !preRestart.Levels[i].Child.Equal(postRestart.Levels[i].Child) {
+			t.Fatalf("level %d soft chain changed across restart", i)
+		}
+	}
+	if _, _, err := crs.Verify(com, "ghost-key", postRestart); err != nil {
+		t.Fatalf("restored non-ownership proof failed: %v", err)
+	}
+}
+
+func TestRestoreRejectsWrongGeometry(t *testing.T) {
+	crs := testCRS(t)
+	_, dec, err := crs.Commit(testDB(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := CRSGen(Params{Q: 4, H: 12, KeyBits: 24, ModulusBits: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreDecommitment(other, data); err == nil {
+		t.Fatal("geometry mismatch must be rejected")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	crs := testCRS(t)
+	if _, err := RestoreDecommitment(crs, []byte("not json")); err == nil {
+		t.Fatal("non-JSON must be rejected")
+	}
+	if _, err := RestoreDecommitment(crs, []byte(`{"params":{}}`)); err == nil {
+		t.Fatal("missing fields must be rejected")
+	}
+}
+
+func TestRestoreRejectsTamperedState(t *testing.T) {
+	crs := testCRS(t)
+	_, dec, err := crs.Commit(testDB(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state map[string]any
+	if err := json.Unmarshal(data, &state); err != nil {
+		t.Fatal(err)
+	}
+	state["root"] = map[string]any{"level": 0}
+	tampered, err := json.Marshal(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreDecommitment(crs, tampered); err == nil {
+		t.Fatal("incomplete root must be rejected")
+	}
+}
+
+func TestEmptyDatabaseRoundTrip(t *testing.T) {
+	crs := testCRS(t)
+	com, dec, err := crs.Commit(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreDecommitment(crs, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := restored.Prove("anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, present, err := crs.Verify(com, "anything", proof); err != nil || present {
+		t.Fatalf("restored empty DB must prove absence: %v", err)
+	}
+}

@@ -1,0 +1,142 @@
+package zkedb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over randomized databases: for any committed database,
+// every present key yields a verifying ownership proof recovering its exact
+// value, and every absent key yields a verifying non-ownership proof —
+// including adversarially similar key names.
+
+func TestPropertyCommitProveVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in short mode")
+	}
+	crs := testCRS(t)
+	prop := func(seed int64, sizeByte uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(sizeByte)%12 + 1
+		db := make(map[string][]byte, size)
+		for i := 0; i < size; i++ {
+			key := fmt.Sprintf("k%d-%d", rng.Int63(), i)
+			val := make([]byte, rng.Intn(48))
+			rng.Read(val)
+			db[key] = val
+		}
+		com, dec, err := crs.Commit(db)
+		if err != nil {
+			t.Logf("commit: %v", err)
+			return false
+		}
+		for key, want := range db {
+			proof, err := dec.Prove(key)
+			if err != nil {
+				t.Logf("prove %q: %v", key, err)
+				return false
+			}
+			got, present, err := crs.Verify(com, key, proof)
+			if err != nil || !present || string(got) != string(want) {
+				t.Logf("verify %q: %v", key, err)
+				return false
+			}
+			// A near-collision key (same prefix, one char appended) must be
+			// provably absent.
+			near := key + "x"
+			if _, inDB := db[near]; inDB {
+				continue
+			}
+			nProof, err := dec.Prove(near)
+			if err != nil {
+				t.Logf("prove absent %q: %v", near, err)
+				return false
+			}
+			if _, present, err := crs.Verify(com, near, nProof); err != nil || present {
+				t.Logf("verify absent %q: %v", near, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyProofsNeverCrossVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in short mode")
+	}
+	crs := testCRS(t)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dbA := map[string][]byte{fmt.Sprintf("a-%d", rng.Int63()): []byte("va")}
+		dbB := map[string][]byte{fmt.Sprintf("b-%d", rng.Int63()): []byte("vb")}
+		comA, decA, err := crs.Commit(dbA)
+		if err != nil {
+			return false
+		}
+		comB, _, err := crs.Commit(dbB)
+		if err != nil {
+			return false
+		}
+		var keyA string
+		for k := range dbA {
+			keyA = k
+		}
+		proofA, err := decA.Prove(keyA)
+		if err != nil {
+			return false
+		}
+		// Must verify under its own commitment, never under B's.
+		if _, _, err := crs.Verify(comA, keyA, proofA); err != nil {
+			return false
+		}
+		if _, _, err := crs.Verify(comB, keyA, proofA); err == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBinaryEncodingTotal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in short mode")
+	}
+	crs := testCRS(t)
+	_, dec, err := crs.Commit(map[string][]byte{"k": []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(key string) bool {
+		if key == "" {
+			key = "empty"
+		}
+		proof, err := dec.Prove(key)
+		if err != nil {
+			return false
+		}
+		data, err := proof.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Proof
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		re, err := back.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		return string(re) == string(data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,332 @@
+package zkedb
+
+import (
+	"testing"
+
+	"desword/internal/mercurial"
+)
+
+// This file plays the malicious prover of the paper's §V: each test crafts
+// the strongest forgery available without breaking the underlying
+// commitments, and asserts the verifier rejects it. The tests map onto
+// Claim 1 (no key can have both an ownership and a non-ownership proof) and
+// Claim 2 (no key can have two ownership proofs with different values).
+
+// claim1Fixture commits a database and returns a valid ownership proof for a
+// present key.
+func claim1Fixture(t *testing.T) (*CRS, Commitment, *Decommitment, string) {
+	t.Helper()
+	crs := testCRS(t)
+	db := map[string][]byte{
+		"committed-key": []byte("committed-value"),
+		"other-key":     []byte("other-value"),
+	}
+	com, dec, err := crs.Commit(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return crs, com, dec, "committed-key"
+}
+
+func TestClaim1ForgedNonOwnershipViaTeases(t *testing.T) {
+	// The strongest Claim-1 forgery: every hard opening along the committed
+	// key's path can legitimately be converted into a tease (SOpenHard), so
+	// the adversary builds a structurally perfect non-ownership proof — and
+	// is stopped only at the leaf, which is hard-committed to the key/value
+	// message and therefore cannot tease to the "absent" message.
+	crs, com, dec, key := claim1Fixture(t)
+	own, err := dec.Prove(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	forged := &Proof{Kind: ProofNonOwnership, Levels: make([]LevelOpening, 0, len(own.Levels))}
+	dec.mu.Lock()
+	cur := dec.root
+	digits := crs.digits(crs.digest(key))
+	for level := 0; level < crs.Params.H; level++ {
+		sop, serr := crs.Key.SOpenHard(cur.qDec, digits[level])
+		if serr != nil {
+			dec.mu.Unlock()
+			t.Fatal(serr)
+		}
+		child := cur.children[digits[level]]
+		forged.Levels = append(forged.Levels, LevelOpening{Soft: &sop, Child: child.commitment()})
+		cur = child
+	}
+	// Best effort at the leaf: tease with the REAL leaf randomness but claim
+	// the absent message.
+	leafTease := crs.Key.TMC.SOpenHard(cur.leafDec)
+	leafTease.M = crs.absentMessage(key)
+	dec.mu.Unlock()
+	forged.LeafTease = &leafTease
+
+	if _, _, err := crs.Verify(com, key, forged); err == nil {
+		t.Fatal("Claim 1 violated: forged non-ownership proof for a committed key verified")
+	}
+	// Sanity: the honest ownership proof does verify.
+	if _, present, err := crs.Verify(com, key, own); err != nil || !present {
+		t.Fatalf("honest ownership proof must verify: %v", err)
+	}
+}
+
+func TestClaim1ForgedOwnershipForAbsentKey(t *testing.T) {
+	// Dual forgery: the adversary holds a valid non-ownership proof for an
+	// absent key and tries to flip it into an ownership proof by appending a
+	// self-made hard leaf. The parent's teased slot message binds the soft
+	// chain, not the forged leaf.
+	crs, com, dec, _ := claim1Fixture(t)
+	absent := "never-committed"
+	nOwn, err := dec.Prove(absent)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build a fresh hard leaf committing to (absent, forged value).
+	forgedValue := []byte("fabricated")
+	leafCom, leafDec := crs.Key.TMC.HCom(crs.leafMessage(absent, forgedValue))
+	leafOpen := crs.Key.TMC.HOpen(leafDec)
+
+	forged := &Proof{
+		Kind:     ProofOwnership,
+		Value:    forgedValue,
+		Levels:   make([]LevelOpening, len(nOwn.Levels)),
+		LeafHard: &leafOpen,
+	}
+	copy(forged.Levels, nOwn.Levels)
+	// Swap the last child for the forged leaf commitment.
+	forged.Levels[len(forged.Levels)-1].Child = leafCom
+	if _, _, err := crs.Verify(com, absent, forged); err == nil {
+		t.Fatal("Claim 1 violated: forged ownership proof for an absent key verified")
+	}
+}
+
+func TestClaim2SecondValueViaForgedLeaf(t *testing.T) {
+	// Claim 2: substitute a different value by re-building the leaf. The
+	// level-H-1 hard opening binds the real leaf's hash, so the swapped leaf
+	// commitment must be rejected by the slot-message check.
+	crs, com, dec, key := claim1Fixture(t)
+	own, err := dec.Prove(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forgedValue := []byte("a different trace")
+	leafCom, leafDec := crs.Key.TMC.HCom(crs.leafMessage(key, forgedValue))
+	leafOpen := crs.Key.TMC.HOpen(leafDec)
+
+	forged := &Proof{
+		Kind:     ProofOwnership,
+		Value:    forgedValue,
+		Levels:   make([]LevelOpening, len(own.Levels)),
+		LeafHard: &leafOpen,
+	}
+	copy(forged.Levels, own.Levels)
+	forged.Levels[len(forged.Levels)-1].Child = leafCom
+	if _, _, err := crs.Verify(com, key, forged); err == nil {
+		t.Fatal("Claim 2 violated: second ownership proof with a different value verified")
+	}
+}
+
+func TestSpliceAttackAcrossKeys(t *testing.T) {
+	// Splice the hard prefix of one key's proof with the soft tail of
+	// another's: every hybrid must die at the seam, where the presented
+	// child no longer matches the opened slot message (or the slot index no
+	// longer matches the queried key's digits).
+	crs := testCRS(t)
+	db := map[string][]byte{"key-a": []byte("va"), "key-b": []byte("vb")}
+	com, dec, err := crs.Commit(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownA, err := dec.Prove("key-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nOwnGhost, err := dec.Prove("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < crs.Params.H; cut++ {
+		spliced := &Proof{
+			Kind:      ProofNonOwnership,
+			Levels:    make([]LevelOpening, 0, crs.Params.H),
+			LeafTease: nOwnGhost.LeafTease,
+		}
+		// Hard prefix converted to teases is not directly available to an
+		// outsider; instead splice the ghost's own soft levels onto key-a's
+		// children, which an eavesdropper of both proofs holds.
+		for i := 0; i < cut; i++ {
+			lo := nOwnGhost.Levels[i]
+			lo.Child = ownA.Levels[i].Child
+			spliced.Levels = append(spliced.Levels, lo)
+		}
+		spliced.Levels = append(spliced.Levels, nOwnGhost.Levels[cut:]...)
+		if _, _, err := crs.Verify(com, "ghost", spliced); err == nil {
+			t.Fatalf("splice at level %d verified", cut)
+		}
+	}
+}
+
+func TestReplayOwnershipUnderOtherCRS(t *testing.T) {
+	crs := testCRS(t)
+	other, err := CRSGen(TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := map[string][]byte{"k": []byte("v")}
+	com, dec, err := crs.Commit(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same commitment bytes, different CRS (different RSA modulus/primes):
+	// the RSA witnesses cannot verify.
+	if _, _, err := other.Verify(com, "k", proof); err == nil {
+		t.Fatal("proof must not verify under a different CRS")
+	}
+}
+
+func TestSlotIndexForgery(t *testing.T) {
+	// Open the right node at the WRONG slot whose content the adversary
+	// controls: verification must pin the slot to the queried key's digit.
+	crs, com, dec, key := claim1Fixture(t)
+	own, err := dec.Prove(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digits := crs.digits(crs.digest(key))
+	// Re-open level 0 at a different slot (valid opening of that slot!) and
+	// present the soft commitment pinned there as the child.
+	wrongSlot := (digits[0] + 1) % crs.Params.Q
+	dec.mu.Lock()
+	op, oerr := crs.Key.HOpen(dec.root.qDec, wrongSlot)
+	var child mercurial.Commitment
+	if c, ok := dec.root.children[wrongSlot]; ok {
+		child = c.commitment()
+	} else {
+		prefix := []int{wrongSlot}
+		child = dec.soft[prefixKey(prefix)].com
+	}
+	dec.mu.Unlock()
+	if oerr != nil {
+		t.Fatal(oerr)
+	}
+	forged := &Proof{
+		Kind:     ProofOwnership,
+		Value:    own.Value,
+		Levels:   make([]LevelOpening, len(own.Levels)),
+		LeafHard: own.LeafHard,
+	}
+	copy(forged.Levels, own.Levels)
+	forged.Levels[0] = LevelOpening{Hard: &op, Child: child}
+	if _, _, err := crs.Verify(com, key, forged); err == nil {
+		t.Fatal("opening a different slot must be rejected")
+	}
+}
+
+func TestSoftRootCannotAnchorOwnership(t *testing.T) {
+	// A committer who publishes a SOFT root (hoping to equivocate later)
+	// cannot hard-open it: ownership proofs against such a "commitment" must
+	// always fail.
+	crs := testCRS(t)
+	softCom, _ := crs.Key.SCom()
+	fakeCom := Commitment{Root: softCom}
+	_, dec, err := crs.Commit(map[string][]byte{"k": []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := crs.Verify(fakeCom, "k", proof); err == nil {
+		t.Fatal("ownership proof must not verify against a soft root")
+	}
+}
+
+func TestMixedFlavourLevels(t *testing.T) {
+	// A proof that claims ownership but smuggles a soft opening at one level
+	// (or vice versa) must be rejected by the flavour check, not silently
+	// accepted.
+	crs, com, dec, key := claim1Fixture(t)
+	own, err := dec.Prove(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ghost, err := dec.Prove("some-ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid := &Proof{
+		Kind:     ProofOwnership,
+		Value:    own.Value,
+		Levels:   make([]LevelOpening, len(own.Levels)),
+		LeafHard: own.LeafHard,
+	}
+	copy(hybrid.Levels, own.Levels)
+	hybrid.Levels[2] = ghost.Levels[2] // a Soft opening inside an ownership proof
+	if _, _, err := crs.Verify(com, key, hybrid); err == nil {
+		t.Fatal("soft opening inside an ownership proof must be rejected")
+	}
+}
+
+func TestForgedWitnessAgainstRealV(t *testing.T) {
+	// Strong-RSA probe at the zkedb layer: keep the real V but present a
+	// witness for a different message at the queried slot.
+	crs, com, dec, key := claim1Fixture(t)
+	own, err := dec.Prove(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := &Proof{
+		Kind:     ProofOwnership,
+		Value:    own.Value,
+		Levels:   make([]LevelOpening, len(own.Levels)),
+		LeafHard: own.LeafHard,
+	}
+	copy(forged.Levels, own.Levels)
+	lvl := *forged.Levels[1].Hard
+	// Fabricate a (V', Λ') pair that opens the slot to the real message —
+	// but V' ≠ V means the mercurial layer's H(V) binding must reject it.
+	vPrime, wPrime, err := crs.Key.VC.Fabricate(lvl.Slot, lvl.Message)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl.V = vPrime
+	lvl.Witness = wPrime
+	forged.Levels[1].Hard = &lvl
+	if _, _, err := crs.Verify(com, key, forged); err == nil {
+		t.Fatal("substituted (V, Λ) must be rejected by the mercurial binding")
+	}
+}
+
+func TestLeafFlavourConfusion(t *testing.T) {
+	// Present a non-ownership proof whose leaf tease reuses the committed
+	// leaf's tease (which binds to the key/value message, not the absent
+	// message): rejected by the absent-message check.
+	crs, com, dec, key := claim1Fixture(t)
+	ghost, err := dec.Prove("ghost-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.mu.Lock()
+	digits := crs.digits(crs.digest(key))
+	cur := dec.root
+	for level := 0; level < crs.Params.H; level++ {
+		cur = cur.children[digits[level]]
+	}
+	leafTease := crs.Key.TMC.SOpenHard(cur.leafDec)
+	dec.mu.Unlock()
+
+	forged := &Proof{
+		Kind:      ProofNonOwnership,
+		Levels:    ghost.Levels,
+		LeafTease: &leafTease,
+	}
+	if _, _, err := crs.Verify(com, "ghost-key", forged); err == nil {
+		t.Fatal("leaf tease bound to another message must be rejected")
+	}
+}

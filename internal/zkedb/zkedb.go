@@ -1,0 +1,569 @@
+// Package zkedb implements a zero-knowledge elementary database (ZK-EDB) in
+// the tree paradigm of Micali–Rabin–Kilian and Chase et al., with q-ary
+// fan-out and constant-size per-level openings as in Catalano–Fiore and
+// Libert–Yung — the primitive DE-Sword (ICDCS 2017, §IV.A) builds its product
+// ownership credentials on.
+//
+// An elementary database D is a set of key/value pairs. The committer
+// produces a single constant-size commitment to D and can later prove, for
+// any key x, either that D(x) = y (an ownership proof, in DE-Sword's terms)
+// or that x ∉ [D] (a non-ownership proof), revealing nothing else about D —
+// not even its cardinality.
+//
+// Construction. Keys are hashed to KeyBits-bit digests, which index the
+// leaves of a q-ary tree of height H (q^H ≥ 2^KeyBits). A leaf holding key x
+// carries a hard trapdoor mercurial commitment (package mercurial) to
+// H(x, D(x)); each internal node carries a hard q-mercurial commitment
+// (package qmercurial) to the vector of its children's hashes. Child slots
+// whose subtree contains no keys hold soft mercurial commitments: they commit
+// to nothing, and during a non-ownership proof the prover extends a chain of
+// fresh soft commitments down to the queried leaf and teases it to a
+// designated "absent" message. Soft chains are cached per tree position so
+// repeated queries answer consistently.
+//
+// Soundness: the root is hard, hard commitments tease only to their committed
+// message, the committed slot message fixes the child commitment by collision
+// resistance, and soft commitments can never be hard-opened — so no
+// polynomial-time committer can produce both an ownership and a
+// non-ownership proof for the same key (DE-Sword Claim 1), nor two ownership
+// proofs with different values (Claim 2).
+//
+// The four algorithms match the paper's ZK-EDB API: CRSGen, (crs) Commit
+// [EDB-commit], (dec) Prove [EDB-proof], (crs) Verify [EDB-Verify].
+package zkedb
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+	"sort"
+	"sync"
+
+	"desword/internal/mercurial"
+	"desword/internal/qmercurial"
+	"desword/internal/rsavc"
+)
+
+// slotMessageBits is the size of the hash binding a child commitment into
+// its parent's vector slot.
+const slotMessageBits = 128
+
+// Errors reported by this package.
+var (
+	ErrBadParams       = errors.New("zkedb: invalid parameters")
+	ErrDigestCollision = errors.New("zkedb: two keys share a digest path")
+	ErrBadProof        = errors.New("zkedb: proof rejected")
+	ErrUnknownKey      = errors.New("zkedb: key not covered by this decommitment")
+)
+
+// Params fixes the tree geometry. Q is the branching factor (a power of
+// two), H the tree height, KeyBits the digest length; Q^H must cover
+// 2^KeyBits. ModulusBits sizes the RSA layer of the q-mercurial commitments.
+type Params struct {
+	Q           int `json:"q"`
+	H           int `json:"h"`
+	KeyBits     int `json:"key_bits"`
+	ModulusBits int `json:"modulus_bits"`
+}
+
+// DefaultParams returns the production geometry: a 16-ary tree of height 32
+// covering 128-bit digests, the middle row of the paper's Table II.
+func DefaultParams() Params {
+	return Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: rsavc.DefaultModulusBits}
+}
+
+// TestParams returns a small geometry (24-bit digests) for fast unit tests.
+func TestParams() Params {
+	return Params{Q: 8, H: 8, KeyBits: 24, ModulusBits: 512}
+}
+
+// Validate checks the geometry invariants.
+func (p Params) Validate() error {
+	if p.Q < 2 || p.Q&(p.Q-1) != 0 {
+		return fmt.Errorf("%w: Q must be a power of two ≥ 2, got %d", ErrBadParams, p.Q)
+	}
+	if p.H < 1 {
+		return fmt.Errorf("%w: H must be positive, got %d", ErrBadParams, p.H)
+	}
+	if p.KeyBits < 8 || p.KeyBits > 256 {
+		return fmt.Errorf("%w: KeyBits must be in [8,256], got %d", ErrBadParams, p.KeyBits)
+	}
+	if p.H*p.digitBits() < p.KeyBits {
+		return fmt.Errorf("%w: Q^H = 2^%d does not cover 2^%d keys",
+			ErrBadParams, p.H*p.digitBits(), p.KeyBits)
+	}
+	if p.ModulusBits < 256 {
+		return fmt.Errorf("%w: modulus too small: %d bits", ErrBadParams, p.ModulusBits)
+	}
+	return nil
+}
+
+// digitBits returns log2(Q).
+func (p Params) digitBits() int {
+	bits := 0
+	for q := p.Q; q > 1; q >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// CRS is the common reference string: tree geometry plus the q-mercurial
+// commitment key. DE-Sword's trusted proxy runs CRSGen and publishes the
+// result as the public parameter ps.
+type CRS struct {
+	Params Params                `json:"params"`
+	Key    *qmercurial.PublicKey `json:"key"`
+}
+
+// CRSGen generates a common reference string for the given geometry
+// (the paper's CRS-Gen(λ) → σ).
+func CRSGen(p Params) (*CRS, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	key, err := qmercurial.KGen(p.Q, slotMessageBits, p.ModulusBits)
+	if err != nil {
+		return nil, fmt.Errorf("zkedb: generating qTMC key: %w", err)
+	}
+	return &CRS{Params: p, Key: key}, nil
+}
+
+// Rehydrate restores cached key material after JSON decoding.
+func (c *CRS) Rehydrate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.Key == nil {
+		return errors.New("zkedb: CRS missing commitment key")
+	}
+	return c.Key.Rehydrate()
+}
+
+// Commitment is the constant-size database commitment (the root node's
+// q-mercurial commitment).
+type Commitment struct {
+	Root qmercurial.Commitment `json:"root"`
+}
+
+// Equal reports whether two commitments are identical.
+func (c Commitment) Equal(o Commitment) bool { return c.Root.Equal(o.Root) }
+
+// Bytes returns a canonical encoding of the commitment.
+func (c Commitment) Bytes() []byte { return c.Root.Bytes() }
+
+// digest hashes a key to its KeyBits-bit digest.
+func (c *CRS) digest(key string) []byte {
+	sum := sha256.Sum256([]byte("zkedb/key/" + key))
+	nBytes := (c.Params.KeyBits + 7) / 8
+	d := sum[:nBytes]
+	// Mask trailing bits beyond KeyBits so the digest is exactly KeyBits wide.
+	if rem := c.Params.KeyBits % 8; rem != 0 {
+		masked := make([]byte, nBytes)
+		copy(masked, d)
+		masked[nBytes-1] &= byte(0xff << (8 - rem))
+		return masked
+	}
+	out := make([]byte, nBytes)
+	copy(out, d)
+	return out
+}
+
+// digits expands a digest into H base-Q digits, MSB first. Bit positions at
+// or beyond KeyBits read as zero.
+func (c *CRS) digits(digest []byte) []int {
+	b := c.Params.digitBits()
+	out := make([]int, c.Params.H)
+	for level := 0; level < c.Params.H; level++ {
+		v := 0
+		for k := 0; k < b; k++ {
+			bitPos := level*b + k
+			bit := 0
+			if byteIdx := bitPos / 8; byteIdx < len(digest) {
+				bit = int(digest[byteIdx]>>(7-bitPos%8)) & 1
+			}
+			v = v<<1 | bit
+		}
+		out[level] = v
+	}
+	return out
+}
+
+// slotHash binds a child commitment into its parent's vector slot: the
+// truncated hash of the child's canonical encoding.
+func slotHash(child mercurial.Commitment) *big.Int {
+	sum := sha256.Sum256(child.Bytes())
+	return new(big.Int).SetBytes(sum[:slotMessageBits/8])
+}
+
+// leafMessage is the mercurial message a present leaf hard-commits to.
+func (c *CRS) leafMessage(key string, value []byte) *big.Int {
+	return c.Key.TMC.Group().HashToScalar([]byte("zkedb/leaf"), []byte(key), value)
+}
+
+// absentMessage is the designated tease message for an absent leaf.
+func (c *CRS) absentMessage(key string) *big.Int {
+	return c.Key.TMC.Group().HashToScalar([]byte("zkedb/absent"), []byte(key))
+}
+
+// node is a materialized tree node held by the prover. Internal nodes
+// (level < H) carry a hard q-mercurial commitment; the leaf level (level == H)
+// carries a hard mercurial commitment to the key/value.
+type node struct {
+	level    int
+	children map[int]*node
+
+	qCom qmercurial.Commitment
+	qDec qmercurial.HardDecommit
+
+	leafCom   mercurial.Commitment
+	leafDec   mercurial.HardDecommit
+	leafKey   string
+	leafValue []byte
+}
+
+// softEntry is a soft commitment pinned to a tree position, created either at
+// commit time (empty child slots of materialized nodes) or lazily during
+// non-ownership proofs.
+type softEntry struct {
+	com mercurial.Commitment
+	dec mercurial.SoftDecommit
+}
+
+// Decommitment is the prover's secret state (the paper's Dec / DE-Sword's
+// DPOC): the materialized tree, the underlying database, and the cache of
+// position-pinned soft commitments. Safe for concurrent Prove calls.
+type Decommitment struct {
+	mu   sync.Mutex
+	crs  *CRS
+	db   map[string][]byte
+	root *node
+	soft map[string]*softEntry // key: digit path prefix, one byte per digit
+}
+
+type keyItem struct {
+	key    string
+	value  []byte
+	digits []int
+}
+
+// Commit commits to the database db (the paper's EDB-commit(D, σ) →
+// (Com, Dec)). The commitment hides everything about db, including its size.
+func (c *CRS) Commit(db map[string][]byte) (Commitment, *Decommitment, error) {
+	items := make([]keyItem, 0, len(db))
+	for k, v := range db {
+		items = append(items, keyItem{key: k, value: v, digits: c.digits(c.digest(k))})
+	}
+	// Deterministic build order keeps error behaviour reproducible.
+	sort.Slice(items, func(i, j int) bool { return items[i].key < items[j].key })
+	dec := &Decommitment{
+		crs:  c,
+		db:   make(map[string][]byte, len(db)),
+		soft: make(map[string]*softEntry),
+	}
+	for k, v := range db {
+		cp := make([]byte, len(v))
+		copy(cp, v)
+		dec.db[k] = cp
+	}
+	root, err := c.build(0, nil, items, dec)
+	if err != nil {
+		return Commitment{}, nil, err
+	}
+	dec.root = root
+	return Commitment{Root: root.qCom}, dec, nil
+}
+
+// build materializes the subtree at the given level/prefix covering items.
+func (c *CRS) build(level int, prefix []int, items []keyItem, dec *Decommitment) (*node, error) {
+	if level == c.Params.H {
+		if len(items) != 1 {
+			return nil, fmt.Errorf("%w: %d keys at leaf %v", ErrDigestCollision, len(items), prefix)
+		}
+		it := items[0]
+		com, leafDec := c.Key.TMC.HCom(c.leafMessage(it.key, it.value))
+		return &node{
+			level:     level,
+			leafCom:   com,
+			leafDec:   leafDec,
+			leafKey:   it.key,
+			leafValue: it.value,
+		}, nil
+	}
+	bySlot := make(map[int][]keyItem)
+	for _, it := range items {
+		d := it.digits[level]
+		bySlot[d] = append(bySlot[d], it)
+	}
+	n := &node{level: level, children: make(map[int]*node, len(bySlot))}
+	messages := make([]*big.Int, c.Params.Q)
+	for slot := 0; slot < c.Params.Q; slot++ {
+		childPrefix := append(append(make([]int, 0, level+1), prefix...), slot)
+		if slotItems, ok := bySlot[slot]; ok {
+			child, err := c.build(level+1, childPrefix, slotItems, dec)
+			if err != nil {
+				return nil, err
+			}
+			n.children[slot] = child
+			messages[slot] = slotHash(child.commitment())
+			continue
+		}
+		// Empty subtree: pin a soft commitment to this position now so the
+		// parent's vector is fixed; non-ownership proofs extend from here.
+		com, sdec := c.Key.TMC.SCom()
+		entry := &softEntry{com: com, dec: sdec}
+		dec.soft[prefixKey(childPrefix)] = entry
+		messages[slot] = slotHash(com)
+	}
+	qCom, qDec, err := c.Key.HCom(messages)
+	if err != nil {
+		return nil, fmt.Errorf("zkedb: committing node at level %d: %w", level, err)
+	}
+	n.qCom = qCom
+	n.qDec = qDec
+	return n, nil
+}
+
+// commitment returns the node's mercurial-layer commitment regardless of
+// whether it is internal or a leaf.
+func (n *node) commitment() mercurial.Commitment {
+	if n.children == nil {
+		return n.leafCom
+	}
+	return n.qCom.MC
+}
+
+// prefixKey encodes a digit path as a cache key.
+func prefixKey(prefix []int) string {
+	buf := make([]byte, len(prefix))
+	for i, d := range prefix {
+		buf[i] = byte(d)
+	}
+	return string(buf)
+}
+
+// ProofKind distinguishes ownership from non-ownership proofs.
+type ProofKind int
+
+// Proof kinds. Following the repository style, enum values start at 1 so the
+// zero value is invalid.
+const (
+	ProofOwnership ProofKind = iota + 1
+	ProofNonOwnership
+)
+
+// String implements fmt.Stringer.
+func (k ProofKind) String() string {
+	switch k {
+	case ProofOwnership:
+		return "ownership"
+	case ProofNonOwnership:
+		return "non-ownership"
+	default:
+		return fmt.Sprintf("ProofKind(%d)", int(k))
+	}
+}
+
+// LevelOpening opens one internal level of the proof path and presents the
+// next commitment on the path.
+type LevelOpening struct {
+	Hard  *qmercurial.HardOpening `json:"hard,omitempty"`
+	Soft  *qmercurial.SoftOpening `json:"soft,omitempty"`
+	Child mercurial.Commitment    `json:"child"`
+}
+
+// Proof is an ownership or non-ownership proof for one key (the paper's
+// ZK-π_x). Ownership proofs hard-open every level and carry the value;
+// non-ownership proofs tease every level and end in an "absent" leaf tease.
+type Proof struct {
+	Kind      ProofKind              `json:"kind"`
+	Value     []byte                 `json:"value,omitempty"`
+	Levels    []LevelOpening         `json:"levels"`
+	LeafHard  *mercurial.HardOpening `json:"leaf_hard,omitempty"`
+	LeafTease *mercurial.Tease       `json:"leaf_tease,omitempty"`
+}
+
+// Prove generates the proof for key (the paper's EDB-proof): an ownership
+// proof when the key is in the committed database, a non-ownership proof
+// otherwise.
+func (d *Decommitment) Prove(key string) (*Proof, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.db[key]; ok {
+		return d.proveOwnership(key)
+	}
+	return d.proveNonOwnership(key)
+}
+
+func (d *Decommitment) proveOwnership(key string) (*Proof, error) {
+	c := d.crs
+	digits := c.digits(c.digest(key))
+	proof := &Proof{Kind: ProofOwnership, Levels: make([]LevelOpening, 0, c.Params.H)}
+	cur := d.root
+	for level := 0; level < c.Params.H; level++ {
+		slot := digits[level]
+		child, ok := cur.children[slot]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q (tree path broken at level %d)", ErrUnknownKey, key, level)
+		}
+		op, err := c.Key.HOpen(cur.qDec, slot)
+		if err != nil {
+			return nil, fmt.Errorf("zkedb: opening level %d: %w", level, err)
+		}
+		proof.Levels = append(proof.Levels, LevelOpening{Hard: &op, Child: child.commitment()})
+		cur = child
+	}
+	if cur.leafKey != key {
+		return nil, fmt.Errorf("%w: leaf holds %q, wanted %q", ErrDigestCollision, cur.leafKey, key)
+	}
+	leafOpen := c.Key.TMC.HOpen(cur.leafDec)
+	proof.LeafHard = &leafOpen
+	proof.Value = cur.leafValue
+	return proof, nil
+}
+
+func (d *Decommitment) proveNonOwnership(key string) (*Proof, error) {
+	c := d.crs
+	digits := c.digits(c.digest(key))
+	proof := &Proof{Kind: ProofNonOwnership, Levels: make([]LevelOpening, 0, c.Params.H)}
+
+	// Hard segment: tease materialized hard nodes along the path.
+	cur := d.root
+	level := 0
+	for ; level < c.Params.H; level++ {
+		slot := digits[level]
+		child, ok := cur.children[slot]
+		if !ok {
+			break // transition to the soft segment
+		}
+		op, err := c.Key.SOpenHard(cur.qDec, slot)
+		if err != nil {
+			return nil, fmt.Errorf("zkedb: teasing level %d: %w", level, err)
+		}
+		proof.Levels = append(proof.Levels, LevelOpening{Soft: &op, Child: child.commitment()})
+		cur = child
+	}
+	if level == c.Params.H {
+		return nil, fmt.Errorf("zkedb: key %q is present; cannot prove non-ownership", key)
+	}
+
+	// The child slot at `level` is empty: its pinned soft commitment was
+	// created at commit time. Tease the hard node toward it, then descend a
+	// (cached) chain of soft commitments to the leaf.
+	slot := digits[level]
+	entry := d.softAt(digits[:level+1])
+	op, err := c.Key.SOpenHard(cur.qDec, slot)
+	if err != nil {
+		return nil, fmt.Errorf("zkedb: teasing level %d: %w", level, err)
+	}
+	proof.Levels = append(proof.Levels, LevelOpening{Soft: &op, Child: entry.com})
+	level++
+
+	for ; level < c.Params.H; level++ {
+		next := d.softAt(digits[:level+1])
+		sop, err := c.Key.SOpenSoft(
+			qmercurial.SoftDecommit{MCDec: entry.dec}, digits[level], slotHash(next.com))
+		if err != nil {
+			return nil, fmt.Errorf("zkedb: soft-opening level %d: %w", level, err)
+		}
+		proof.Levels = append(proof.Levels, LevelOpening{Soft: &sop, Child: next.com})
+		entry = next
+	}
+
+	tease, err := c.Key.TMC.SOpenSoft(entry.dec, c.absentMessage(key))
+	if err != nil {
+		return nil, fmt.Errorf("zkedb: teasing absent leaf: %w", err)
+	}
+	proof.LeafTease = &tease
+	return proof, nil
+}
+
+// softAt returns the soft commitment pinned at the given digit path,
+// creating and caching it if this is the first query to pass through.
+func (d *Decommitment) softAt(prefix []int) *softEntry {
+	k := prefixKey(prefix)
+	if entry, ok := d.soft[k]; ok {
+		return entry
+	}
+	com, sdec := d.crs.Key.TMC.SCom()
+	entry := &softEntry{com: com, dec: sdec}
+	d.soft[k] = entry
+	return entry
+}
+
+// Verify checks a proof for key against a commitment (the paper's
+// EDB-Verify(σ, Com, x, π) → y / ⊥ / bad). On success it returns the proven
+// value and present=true for ownership proofs, or (nil, false) for
+// non-ownership proofs. Any inconsistency yields ErrBadProof.
+func (c *CRS) Verify(com Commitment, key string, proof *Proof) (value []byte, present bool, err error) {
+	if proof == nil {
+		return nil, false, fmt.Errorf("%w: nil proof", ErrBadProof)
+	}
+	if proof.Kind != ProofOwnership && proof.Kind != ProofNonOwnership {
+		return nil, false, fmt.Errorf("%w: unknown proof kind %d", ErrBadProof, proof.Kind)
+	}
+	if len(proof.Levels) != c.Params.H {
+		return nil, false, fmt.Errorf("%w: %d levels, want %d", ErrBadProof, len(proof.Levels), c.Params.H)
+	}
+	digits := c.digits(c.digest(key))
+	cur := com.Root
+	for level, lo := range proof.Levels {
+		want := slotHash(lo.Child)
+		switch proof.Kind {
+		case ProofOwnership:
+			if lo.Hard == nil {
+				return nil, false, fmt.Errorf("%w: level %d missing hard opening", ErrBadProof, level)
+			}
+			if lo.Hard.Slot != digits[level] {
+				return nil, false, fmt.Errorf("%w: level %d opens slot %d, want %d",
+					ErrBadProof, level, lo.Hard.Slot, digits[level])
+			}
+			if lo.Hard.Message == nil || lo.Hard.Message.Cmp(want) != 0 {
+				return nil, false, fmt.Errorf("%w: level %d slot message does not bind child", ErrBadProof, level)
+			}
+			if !c.Key.VerHOpen(cur, *lo.Hard) {
+				return nil, false, fmt.Errorf("%w: level %d hard opening invalid", ErrBadProof, level)
+			}
+		case ProofNonOwnership:
+			if lo.Soft == nil {
+				return nil, false, fmt.Errorf("%w: level %d missing soft opening", ErrBadProof, level)
+			}
+			if lo.Soft.Slot != digits[level] {
+				return nil, false, fmt.Errorf("%w: level %d opens slot %d, want %d",
+					ErrBadProof, level, lo.Soft.Slot, digits[level])
+			}
+			if lo.Soft.Message == nil || lo.Soft.Message.Cmp(want) != 0 {
+				return nil, false, fmt.Errorf("%w: level %d slot message does not bind child", ErrBadProof, level)
+			}
+			if !c.Key.VerSOpen(cur, *lo.Soft) {
+				return nil, false, fmt.Errorf("%w: level %d soft opening invalid", ErrBadProof, level)
+			}
+		}
+		cur = qmercurial.Commitment{MC: lo.Child}
+	}
+	leafCom := cur.MC
+	if proof.Kind == ProofOwnership {
+		if proof.LeafHard == nil {
+			return nil, false, fmt.Errorf("%w: missing leaf opening", ErrBadProof)
+		}
+		wantMsg := c.leafMessage(key, proof.Value)
+		if proof.LeafHard.M == nil || proof.LeafHard.M.Cmp(wantMsg) != 0 {
+			return nil, false, fmt.Errorf("%w: leaf message does not bind key/value", ErrBadProof)
+		}
+		if !c.Key.TMC.VerHOpen(leafCom, *proof.LeafHard) {
+			return nil, false, fmt.Errorf("%w: leaf hard opening invalid", ErrBadProof)
+		}
+		return proof.Value, true, nil
+	}
+	if proof.LeafTease == nil {
+		return nil, false, fmt.Errorf("%w: missing leaf tease", ErrBadProof)
+	}
+	wantMsg := c.absentMessage(key)
+	if proof.LeafTease.M == nil || proof.LeafTease.M.Cmp(wantMsg) != 0 {
+		return nil, false, fmt.Errorf("%w: leaf tease does not bind key", ErrBadProof)
+	}
+	if !c.Key.TMC.VerSOpen(leafCom, *proof.LeafTease) {
+		return nil, false, fmt.Errorf("%w: leaf tease invalid", ErrBadProof)
+	}
+	return nil, false, nil
+}

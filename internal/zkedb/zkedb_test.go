@@ -1,0 +1,491 @@
+package zkedb
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+
+	"desword/internal/qmercurial"
+)
+
+// testCRS builds one small CRS shared by the tests in this file; CRS
+// generation involves RSA keygen, so amortize it.
+var _testCRS *CRS
+
+func testCRS(t *testing.T) *CRS {
+	t.Helper()
+	if _testCRS == nil {
+		crs, err := CRSGen(TestParams())
+		if err != nil {
+			t.Fatalf("CRSGen: %v", err)
+		}
+		_testCRS = crs
+	}
+	return _testCRS
+}
+
+func testDB(n int) map[string][]byte {
+	db := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		db[fmt.Sprintf("product-%03d", i)] = []byte(fmt.Sprintf("trace-data-%03d", i))
+	}
+	return db
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"default", DefaultParams(), true},
+		{"test", TestParams(), true},
+		{"q not power of two", Params{Q: 6, H: 16, KeyBits: 32, ModulusBits: 512}, false},
+		{"q too small", Params{Q: 1, H: 16, KeyBits: 32, ModulusBits: 512}, false},
+		{"zero height", Params{Q: 8, H: 0, KeyBits: 32, ModulusBits: 512}, false},
+		{"coverage too small", Params{Q: 8, H: 4, KeyBits: 32, ModulusBits: 512}, false},
+		{"keybits too large", Params{Q: 16, H: 80, KeyBits: 300, ModulusBits: 512}, false},
+		{"tiny modulus", Params{Q: 8, H: 8, KeyBits: 24, ModulusBits: 64}, false},
+		{"table2 row q8", Params{Q: 8, H: 43, KeyBits: 128, ModulusBits: 512}, true},
+		{"table2 row q128", Params{Q: 128, H: 19, KeyBits: 128, ModulusBits: 512}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("expected valid, got %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestDigitsCoverDigestExactly(t *testing.T) {
+	crs := testCRS(t)
+	digest := crs.digest("some-key")
+	digits := crs.digits(digest)
+	if len(digits) != crs.Params.H {
+		t.Fatalf("got %d digits, want %d", len(digits), crs.Params.H)
+	}
+	// Reassemble the digest from digits and compare.
+	b := crs.Params.digitBits()
+	var bits []byte
+	for _, d := range digits {
+		for k := b - 1; k >= 0; k-- {
+			bits = append(bits, byte(d>>k)&1)
+		}
+	}
+	for i := 0; i < crs.Params.KeyBits; i++ {
+		want := (digest[i/8] >> (7 - i%8)) & 1
+		if bits[i] != want {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+	for _, d := range digits {
+		if d < 0 || d >= crs.Params.Q {
+			t.Fatalf("digit %d out of range", d)
+		}
+	}
+}
+
+func TestCommitProveVerifyOwnership(t *testing.T) {
+	crs := testCRS(t)
+	db := testDB(8)
+	com, dec, err := crs.Commit(db)
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	for key, want := range db {
+		proof, err := dec.Prove(key)
+		if err != nil {
+			t.Fatalf("Prove(%q): %v", key, err)
+		}
+		if proof.Kind != ProofOwnership {
+			t.Fatalf("expected ownership proof for %q", key)
+		}
+		value, present, err := crs.Verify(com, key, proof)
+		if err != nil {
+			t.Fatalf("Verify(%q): %v", key, err)
+		}
+		if !present || string(value) != string(want) {
+			t.Fatalf("Verify(%q) = (%q, %v), want (%q, true)", key, value, present, want)
+		}
+	}
+}
+
+func TestCommitProveVerifyNonOwnership(t *testing.T) {
+	crs := testCRS(t)
+	db := testDB(8)
+	com, dec, err := crs.Commit(db)
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	for _, key := range []string{"absent-1", "absent-2", "never-seen"} {
+		proof, err := dec.Prove(key)
+		if err != nil {
+			t.Fatalf("Prove(%q): %v", key, err)
+		}
+		if proof.Kind != ProofNonOwnership {
+			t.Fatalf("expected non-ownership proof for %q", key)
+		}
+		value, present, err := crs.Verify(com, key, proof)
+		if err != nil {
+			t.Fatalf("Verify(%q): %v", key, err)
+		}
+		if present || value != nil {
+			t.Fatalf("Verify(%q) must report absence", key)
+		}
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	crs := testCRS(t)
+	com, dec, err := crs.Commit(nil)
+	if err != nil {
+		t.Fatalf("Commit(nil): %v", err)
+	}
+	proof, err := dec.Prove("anything")
+	if err != nil {
+		t.Fatalf("Prove: %v", err)
+	}
+	if _, present, err := crs.Verify(com, "anything", proof); err != nil || present {
+		t.Fatalf("empty DB must prove absence for all keys: %v", err)
+	}
+}
+
+func TestSingleKeyDatabase(t *testing.T) {
+	crs := testCRS(t)
+	db := map[string][]byte{"only": []byte("value")}
+	com, dec, err := crs.Commit(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, present, err := crs.Verify(com, "only", proof)
+	if err != nil || !present || string(v) != "value" {
+		t.Fatalf("single key must verify: %v", err)
+	}
+}
+
+func TestRepeatedNonOwnershipQueriesConsistent(t *testing.T) {
+	crs := testCRS(t)
+	_, dec, err := crs.Commit(testDB(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := dec.Prove("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := dec.Prove("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The soft-commitment chain must be reused: the presented child
+	// commitments must be identical across queries.
+	if len(p1.Levels) != len(p2.Levels) {
+		t.Fatal("level counts differ")
+	}
+	for i := range p1.Levels {
+		if !p1.Levels[i].Child.Equal(p2.Levels[i].Child) {
+			t.Fatalf("level %d child commitment differs across repeated queries", i)
+		}
+	}
+}
+
+func TestProofWrongKeyRejected(t *testing.T) {
+	crs := testCRS(t)
+	db := testDB(4)
+	com, dec, err := crs.Commit(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("product-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := crs.Verify(com, "product-002", proof); err == nil {
+		t.Fatal("ownership proof replayed for a different key must fail")
+	}
+	absent, err := dec.Prove("ghost-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := crs.Verify(com, "ghost-b", absent); err == nil {
+		t.Fatal("non-ownership proof replayed for a different key must fail")
+	}
+}
+
+func TestProofWrongCommitmentRejected(t *testing.T) {
+	crs := testCRS(t)
+	com1, dec1, err := crs.Commit(testDB(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	com2, _, err := crs.Commit(map[string][]byte{"other": []byte("db")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if com1.Equal(com2) {
+		t.Fatal("distinct databases must have distinct commitments")
+	}
+	proof, err := dec1.Prove("product-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := crs.Verify(com2, "product-001", proof); err == nil {
+		t.Fatal("proof must not verify against another commitment")
+	}
+}
+
+func TestTamperedValueRejected(t *testing.T) {
+	crs := testCRS(t)
+	db := testDB(4)
+	com, dec, err := crs.Commit(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("product-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Value = []byte("forged trace data")
+	if _, _, err := crs.Verify(com, "product-000", proof); err == nil {
+		t.Fatal("tampered value must be rejected")
+	}
+}
+
+func TestTamperedLevelRejected(t *testing.T) {
+	crs := testCRS(t)
+	com, dec, err := crs.Commit(testDB(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("product-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Levels[2].Hard.Message = new(big.Int).Add(proof.Levels[2].Hard.Message, big.NewInt(1))
+	if _, _, err := crs.Verify(com, "product-000", proof); err == nil {
+		t.Fatal("tampered level message must be rejected")
+	}
+}
+
+func TestTruncatedProofRejected(t *testing.T) {
+	crs := testCRS(t)
+	com, dec, err := crs.Commit(testDB(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("product-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Levels = proof.Levels[:len(proof.Levels)-1]
+	if _, _, err := crs.Verify(com, "product-000", proof); err == nil {
+		t.Fatal("truncated proof must be rejected")
+	}
+}
+
+func TestMixedKindProofRejected(t *testing.T) {
+	crs := testCRS(t)
+	com, dec, err := crs.Commit(testDB(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned, err := dec.Prove("product-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim it's a non-ownership proof while all levels are hard openings.
+	owned.Kind = ProofNonOwnership
+	if _, _, err := crs.Verify(com, "product-000", owned); err == nil {
+		t.Fatal("kind/opening mismatch must be rejected")
+	}
+	if _, _, err := crs.Verify(com, "product-000", nil); err == nil {
+		t.Fatal("nil proof must be rejected")
+	}
+	bad := &Proof{Kind: ProofKind(9)}
+	if _, _, err := crs.Verify(com, "product-000", bad); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+}
+
+func TestCannotProveNonOwnershipOfPresentKey(t *testing.T) {
+	crs := testCRS(t)
+	_, dec, err := crs.Commit(testDB(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.proveNonOwnership("product-000"); err == nil {
+		t.Fatal("honest prover must refuse non-ownership of a present key")
+	}
+}
+
+func TestCommitmentHidesCardinality(t *testing.T) {
+	crs := testCRS(t)
+	comSmall, _, err := crs.Commit(testDB(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comLarge, _, err := crs.Commit(testDB(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comSmall.Bytes()) != len(comLarge.Bytes()) {
+		t.Fatal("commitment size must not depend on database size")
+	}
+}
+
+func TestProofBinaryRoundTrip(t *testing.T) {
+	crs := testCRS(t)
+	com, dec, err := crs.Commit(testDB(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"product-001", "missing-key"} {
+		proof, err := dec.Prove(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := proof.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Proof
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if _, _, err := crs.Verify(com, key, &back); err != nil {
+			t.Fatalf("decoded proof must verify: %v", err)
+		}
+	}
+}
+
+func TestProofBinaryRejectsGarbage(t *testing.T) {
+	var p Proof
+	if err := p.UnmarshalBinary(nil); err == nil {
+		t.Fatal("empty encoding must be rejected")
+	}
+	if err := p.UnmarshalBinary([]byte{99}); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+	crs := testCRS(t)
+	_, dec, err := crs.Commit(testDB(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("product-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UnmarshalBinary(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated encoding must be rejected")
+	}
+	if err := p.UnmarshalBinary(append(data, 0)); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+}
+
+func TestOwnershipLargerThanNonOwnership(t *testing.T) {
+	// Table II: ownership proofs are consistently larger than non-ownership
+	// proofs at every (q,h).
+	crs := testCRS(t)
+	_, dec, err := crs.Commit(testDB(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	own, err := dec.Prove("product-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	non, err := dec.Prove("missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownSize, err := own.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonSize, err := non.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ownSize <= nonSize {
+		t.Fatalf("ownership proof (%dB) must exceed non-ownership proof (%dB)", ownSize, nonSize)
+	}
+}
+
+func TestVerifierSeesOnlyQueriedSlot(t *testing.T) {
+	// Privacy probe: a proof for one key must not contain any other key's
+	// leaf commitment or value bytes.
+	crs := testCRS(t)
+	db := map[string][]byte{
+		"target": []byte("target-value"),
+		"secret": []byte("super-secret-value"),
+	}
+	_, dec, err := crs.Commit(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("target")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if containsSubslice(data, []byte("super-secret-value")) {
+		t.Fatal("proof for one key must not leak another key's value")
+	}
+}
+
+func containsSubslice(haystack, needle []byte) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		match := true
+		for j := range needle {
+			if haystack[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCRSRehydrate(t *testing.T) {
+	crs := testCRS(t)
+	clone := &CRS{Params: crs.Params, Key: &qmercurial.PublicKey{VC: crs.Key.VC}}
+	if err := clone.Rehydrate(); err != nil {
+		t.Fatal(err)
+	}
+	db := testDB(2)
+	com, dec, err := crs.Commit(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := dec.Prove("product-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := clone.Verify(com, "product-000", proof); err != nil {
+		t.Fatalf("rehydrated CRS must verify proofs: %v", err)
+	}
+	var empty CRS
+	if err := empty.Rehydrate(); err == nil {
+		t.Fatal("empty CRS must fail rehydration")
+	}
+}
