@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all check build test vet fmt race bench
+
+all: check
+
+# check is the tier-1 gate plus static hygiene: build, tests, vet,
+# formatting, and the race detector on the concurrency-heavy packages.
+check: build test vet fmt race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (and lists the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./internal/obs ./internal/node ./internal/core
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -8,38 +8,60 @@
 //	desword-bench -exp all            # everything (several minutes)
 //	desword-bench -exp table2         # one experiment
 //	desword-bench -exp fig5 -fast     # reduced sweep for a quick look
+//	desword-bench -exp e2e -metrics-out bench-metrics.prom
 //
 // Experiments: tmc (E1), fig4a (E2), fig4b (E3), table2 (E4), fig5 (E5),
-// baseline (E6), incentive (E7), e2e (E8).
+// baseline (E6), incentive (E7), e2e (E8), ablation (A1–A4).
+//
+// With -metrics-out, the process-wide metrics registry (proof generation and
+// verification timings, query latencies, …) is snapshotted to the file in
+// Prometheus text format after each experiment, so bench runs emit
+// machine-readable telemetry alongside the rendered tables.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"strings"
+	"time"
 
 	"desword/internal/bench"
+	"desword/internal/obs"
 	"desword/internal/sim"
 	"desword/internal/zkedb"
 )
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "desword-bench:", err)
+		slog.Error("desword-bench failed", "err", err)
 		os.Exit(1)
 	}
 }
 
+// renderer is the common shape of every experiment result.
+type renderer interface {
+	Render(w io.Writer) error
+}
+
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: all|tmc|fig4a|fig4b|table2|fig5|baseline|incentive|e2e|ablation")
-		modulus = flag.Int("modulus", 1024, "RSA modulus bits for the qTMC layer")
-		reps    = flag.Int("reps", 10, "repetitions per timing point (paper smooths over 50)")
-		dbSize  = flag.Int("db", 8, "committed traces per participant in macro benches")
-		fast    = flag.Bool("fast", false, "reduced parameter sweeps")
+		exp        = flag.String("exp", "all", "experiment: all|tmc|fig4a|fig4b|table2|fig5|baseline|incentive|e2e|ablation")
+		modulus    = flag.Int("modulus", 1024, "RSA modulus bits for the qTMC layer")
+		reps       = flag.Int("reps", 10, "repetitions per timing point (paper smooths over 50)")
+		dbSize     = flag.Int("db", 8, "committed traces per participant in macro benches")
+		fast       = flag.Bool("fast", false, "reduced parameter sweeps")
+		metricsOut = flag.String("metrics-out", "", "snapshot the metrics registry to this file after each experiment (Prometheus text format)")
+		logCfg     obs.LogConfig
 	)
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logCfg.Setup(os.Stderr)
+	if err != nil {
+		return err
+	}
 
 	qs := bench.PaperQs()
 	qhs := bench.PaperQH()
@@ -48,6 +70,65 @@ func run() error {
 		qs = []int{8, 32, 128}
 		qhs = []bench.QH{{Q: 8, H: 43}, {Q: 32, H: 26}, {Q: 128, H: 19}}
 		lengths = []int{2, 4, 6}
+	}
+
+	// experiments preserves the historical run order of -exp all.
+	type experiment struct {
+		name string
+		run  func() error
+	}
+	render := func(t renderer, err error) error {
+		if err != nil {
+			return err
+		}
+		return t.Render(os.Stdout)
+	}
+	experiments := []experiment{
+		{"tmc", func() error { return bench.RunTMCMicro(*reps * 5).Render(os.Stdout) }},
+		{"fig4a", func() error { return render(bench.RunFig4a(qs, 128, *modulus, *reps)) }},
+		{"fig4b", func() error { return render(bench.RunFig4b(qs, 128, *modulus, *reps*5)) }},
+		{"table2", func() error { return render(bench.RunTable2(qhs, *modulus, *dbSize)) }},
+		{"fig5", func() error { return render(bench.RunFig5(qhs, *modulus, *dbSize, *reps)) }},
+		{"baseline", func() error {
+			params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}
+			return render(bench.RunBaselineComparison(params, 64))
+		}},
+		{"incentive", func() error {
+			cfg := sim.DefaultConfig()
+			pBads := []float64{0.005, 0.01, 0.02, cfg.BreakEvenPBad(), 0.1, 0.2}
+			return render(bench.RunIncentive(cfg, pBads))
+		}},
+		{"e2e", func() error {
+			params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}
+			if *fast {
+				params = zkedb.TestParams()
+			}
+			return render(bench.RunE2E(params, lengths, *reps))
+		}},
+		{"ablation", func() error {
+			params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}
+			sizes := []int{1, 4, 16, 64}
+			if *fast {
+				sizes = []int{1, 4, 16}
+			}
+			if err := render(bench.RunAblationDBSize(params, sizes, *reps)); err != nil {
+				return fmt.Errorf("A1: %w", err)
+			}
+			moduli := []int{512, 1024, 2048}
+			if *fast {
+				moduli = []int{512, 1024}
+			}
+			if err := render(bench.RunAblationModulus(16, 32, moduli, *reps)); err != nil {
+				return fmt.Errorf("A2: %w", err)
+			}
+			if err := render(bench.RunAblationSoftCache(params, *reps)); err != nil {
+				return fmt.Errorf("A3: %w", err)
+			}
+			if err := render(bench.RunAblationTreeScheme(qhs, *modulus, *reps)); err != nil {
+				return fmt.Errorf("A4: %w", err)
+			}
+			return nil
+		}},
 	}
 
 	selected := strings.Split(*exp, ",")
@@ -59,133 +140,45 @@ func run() error {
 		}
 		return false
 	}
-	ran := 0
 
-	if want("tmc") {
-		if err := bench.RunTMCMicro(*reps * 5).Render(os.Stdout); err != nil {
-			return err
+	ran := 0
+	for _, e := range experiments {
+		if !want(e.name) {
+			continue
 		}
+		start := time.Now()
+		if err := e.run(); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		logger.Info("experiment done", "exp", e.name, "elapsed", time.Since(start))
 		ran++
-	}
-	if want("fig4a") {
-		t, err := bench.RunFig4a(qs, 128, *modulus, *reps)
-		if err != nil {
-			return fmt.Errorf("fig4a: %w", err)
+		if *metricsOut != "" {
+			if err := snapshotMetrics(*metricsOut); err != nil {
+				return err
+			}
+			logger.Info("metrics snapshot written", "file", *metricsOut)
 		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		ran++
-	}
-	if want("fig4b") {
-		t, err := bench.RunFig4b(qs, 128, *modulus, *reps*5)
-		if err != nil {
-			return fmt.Errorf("fig4b: %w", err)
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		ran++
-	}
-	if want("table2") {
-		t, err := bench.RunTable2(qhs, *modulus, *dbSize)
-		if err != nil {
-			return fmt.Errorf("table2: %w", err)
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		ran++
-	}
-	if want("fig5") {
-		t, err := bench.RunFig5(qhs, *modulus, *dbSize, *reps)
-		if err != nil {
-			return fmt.Errorf("fig5: %w", err)
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		ran++
-	}
-	if want("baseline") {
-		params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}
-		t, err := bench.RunBaselineComparison(params, 64)
-		if err != nil {
-			return fmt.Errorf("baseline: %w", err)
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		ran++
-	}
-	if want("incentive") {
-		cfg := sim.DefaultConfig()
-		pBads := []float64{0.005, 0.01, 0.02, cfg.BreakEvenPBad(), 0.1, 0.2}
-		t, err := bench.RunIncentive(cfg, pBads)
-		if err != nil {
-			return fmt.Errorf("incentive: %w", err)
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		ran++
-	}
-	if want("e2e") {
-		params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}
-		if *fast {
-			params = zkedb.TestParams()
-		}
-		t, err := bench.RunE2E(params, lengths, *reps)
-		if err != nil {
-			return fmt.Errorf("e2e: %w", err)
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			return err
-		}
-		ran++
-	}
-	if want("ablation") {
-		params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}
-		sizes := []int{1, 4, 16, 64}
-		if *fast {
-			sizes = []int{1, 4, 16}
-		}
-		a1, err := bench.RunAblationDBSize(params, sizes, *reps)
-		if err != nil {
-			return fmt.Errorf("ablation A1: %w", err)
-		}
-		if err := a1.Render(os.Stdout); err != nil {
-			return err
-		}
-		moduli := []int{512, 1024, 2048}
-		if *fast {
-			moduli = []int{512, 1024}
-		}
-		a2, err := bench.RunAblationModulus(16, 32, moduli, *reps)
-		if err != nil {
-			return fmt.Errorf("ablation A2: %w", err)
-		}
-		if err := a2.Render(os.Stdout); err != nil {
-			return err
-		}
-		a3, err := bench.RunAblationSoftCache(params, *reps)
-		if err != nil {
-			return fmt.Errorf("ablation A3: %w", err)
-		}
-		if err := a3.Render(os.Stdout); err != nil {
-			return err
-		}
-		a4, err := bench.RunAblationTreeScheme(qhs, *modulus, *reps)
-		if err != nil {
-			return fmt.Errorf("ablation A4: %w", err)
-		}
-		if err := a4.Render(os.Stdout); err != nil {
-			return err
-		}
-		ran++
 	}
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+// snapshotMetrics rewrites path with the current cumulative registry state,
+// so the file always holds one consistent, complete exposition even if a
+// later experiment is interrupted.
+func snapshotMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating metrics snapshot: %w", err)
+	}
+	if err := obs.Default.WritePrometheus(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("writing metrics snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing metrics snapshot: %w", err)
 	}
 	return nil
 }

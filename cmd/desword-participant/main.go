@@ -23,26 +23,32 @@
 //	    -pairs pairs.json -pocs v0-poc.json,v2-poc.json,v5-poc.json
 //
 // pairs.json: [{"parent": "v0", "child": "v2"}, {"parent": "v2", "child": "v5"}]
+//
+// With -admin set, an HTTP listener exposes /metrics (Prometheus text
+// format), /healthz and /debug/pprof for profiling a live participant.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"desword/internal/core"
 	"desword/internal/node"
+	"desword/internal/obs"
 	"desword/internal/poc"
 	"desword/internal/supplychain"
 )
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "desword-participant:", err)
+		slog.Error("desword-participant failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -64,21 +70,29 @@ func run() error {
 		id        = flag.String("id", "", "participant identity (serve mode)")
 		listen    = flag.String("listen", "127.0.0.1:0", "address to serve query interactions on")
 		proxyAddr = flag.String("proxy", "127.0.0.1:7700", "proxy address")
+		admin     = flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz and /debug/pprof (e.g. :6061)")
+		timeout   = flag.Duration("timeout", node.DefaultTimeout, "per-exchange dial/IO timeout")
 		traces    = flag.String("traces", "", "JSON trace database file (serve mode)")
 		writePOC  = flag.String("write-poc", "", "optional file to export this participant's POC to")
 		assemble  = flag.Bool("assemble", false, "assemble and submit a POC list instead of serving")
 		task      = flag.String("task", "", "task id (assemble mode)")
 		pairs     = flag.String("pairs", "", "JSON POC-pair file (assemble mode)")
 		pocs      = flag.String("pocs", "", "comma-separated POC files (assemble mode)")
+		logCfg    obs.LogConfig
 	)
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	if *assemble {
-		return runAssemble(*proxyAddr, *task, *pairs, *pocs)
+	logger, err := logCfg.Setup(os.Stderr)
+	if err != nil {
+		return err
 	}
-	return runServe(*id, *listen, *proxyAddr, *traces, *writePOC)
+	if *assemble {
+		return runAssemble(logger, *proxyAddr, *task, *pairs, *pocs, *timeout)
+	}
+	return runServe(logger, *id, *listen, *proxyAddr, *admin, *traces, *writePOC, *timeout)
 }
 
-func runServe(id, listen, proxyAddr, tracesFile, writePOC string) error {
+func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, writePOC string, timeout time.Duration) error {
 	if id == "" || tracesFile == "" {
 		return fmt.Errorf("-id and -traces are required in serve mode")
 	}
@@ -94,11 +108,12 @@ func runServe(id, listen, proxyAddr, tracesFile, writePOC string) error {
 		return fmt.Errorf("traces file missing task_id")
 	}
 
-	client := node.NewProxyClient(proxyAddr)
+	client := node.NewProxyClient(proxyAddr, node.WithTimeout(timeout))
 	ps, err := client.GetParams()
 	if err != nil {
 		return fmt.Errorf("fetching ps from proxy: %w", err)
 	}
+	logger.Info("fetched public parameter", "proxy", proxyAddr)
 
 	member := core.NewMember(ps, supplychain.NewParticipant(poc.ParticipantID(id)))
 	for _, tr := range sc.Traces {
@@ -106,10 +121,13 @@ func runServe(id, listen, proxyAddr, tracesFile, writePOC string) error {
 			return err
 		}
 	}
+	commitStart := time.Now()
 	credential, err := member.CommitTask(sc.TaskID)
 	if err != nil {
 		return err
 	}
+	logger.Info("committed trace database",
+		"task", sc.TaskID, "traces", len(sc.Traces), "elapsed", time.Since(commitStart))
 	for product, next := range sc.NextHops {
 		if err := member.SetNextHop(sc.TaskID, product, next); err != nil {
 			return err
@@ -123,24 +141,36 @@ func runServe(id, listen, proxyAddr, tracesFile, writePOC string) error {
 		if err := os.WriteFile(writePOC, out, 0o644); err != nil {
 			return fmt.Errorf("writing POC: %w", err)
 		}
-		fmt.Printf("POC for %s written to %s\n", id, writePOC)
+		logger.Info("POC exported", "participant", id, "file", writePOC)
 	}
 
-	srv, err := node.ServeParticipant(listen, member)
+	if admin != "" {
+		adminSrv, err := obs.ServeAdmin(admin, obs.Default)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := adminSrv.Close(); cerr != nil {
+				logger.Warn("closing admin listener", "err", cerr)
+			}
+		}()
+		logger.Info("admin listener up", "addr", adminSrv.Addr())
+	}
+
+	srv, err := node.ServeParticipant(listen, member, node.WithTimeout(timeout))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("participant %s committed %d traces for %s; listening on %s\n",
-		id, len(sc.Traces), sc.TaskID, srv.Addr())
+	logger.Info("participant listening", "id", id, "addr", srv.Addr(), "task", sc.TaskID)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	<-sigCh
-	fmt.Println("shutting down")
+	sig := <-sigCh
+	logger.Info("shutting down", "signal", sig.String())
 	return srv.Close()
 }
 
-func runAssemble(proxyAddr, task, pairsFile, pocsArg string) error {
+func runAssemble(logger *slog.Logger, proxyAddr, task, pairsFile, pocsArg string, timeout time.Duration) error {
 	if task == "" || pairsFile == "" || pocsArg == "" {
 		return fmt.Errorf("-task, -pairs and -pocs are required in assemble mode")
 	}
@@ -172,11 +202,11 @@ func runAssemble(proxyAddr, task, pairsFile, pocsArg string) error {
 	if err := list.Validate(); err != nil {
 		return err
 	}
-	client := node.NewProxyClient(proxyAddr)
+	client := node.NewProxyClient(proxyAddr, node.WithTimeout(timeout))
 	if err := client.RegisterList(task, list); err != nil {
 		return err
 	}
-	fmt.Printf("POC list for %s (%d participants, %d pairs) submitted to %s\n",
-		task, len(list.Participants()), len(list.Pairs), proxyAddr)
+	logger.Info("POC list submitted",
+		"task", task, "participants", len(list.Participants()), "pairs", len(list.Pairs), "proxy", proxyAddr)
 	return nil
 }

@@ -5,23 +5,29 @@
 //
 // Usage:
 //
-//	desword-proxy -listen 127.0.0.1:7700 -dir participants.json
+//	desword-proxy -listen 127.0.0.1:7700 -dir participants.json -admin 127.0.0.1:6060
 //
 // participants.json maps participant ids to their listen addresses:
 //
 //	{"v0": "127.0.0.1:7701", "v1": "127.0.0.1:7702"}
+//
+// With -admin set, an HTTP listener exposes /metrics (Prometheus text
+// format), /healthz and /debug/pprof for profiling a live proxy.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"desword/internal/core"
 	"desword/internal/node"
+	"desword/internal/obs"
 	"desword/internal/poc"
 	"desword/internal/reputation"
 	"desword/internal/zkedb"
@@ -29,7 +35,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "desword-proxy:", err)
+		slog.Error("desword-proxy failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -38,12 +44,20 @@ func run() error {
 	var (
 		listen  = flag.String("listen", "127.0.0.1:7700", "address to serve the proxy protocol on")
 		dirFile = flag.String("dir", "", "JSON file mapping participant ids to addresses (required)")
+		admin   = flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz and /debug/pprof (e.g. :6060)")
+		timeout = flag.Duration("timeout", node.DefaultTimeout, "per-exchange dial/IO timeout")
 		q       = flag.Int("q", 16, "ZK-EDB branching factor (power of two)")
 		height  = flag.Int("height", 32, "ZK-EDB tree height")
 		keyBits = flag.Int("keybits", 128, "product-id digest bits")
 		modulus = flag.Int("modulus", 1024, "RSA modulus bits")
+		logCfg  obs.LogConfig
 	)
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	logger, err := logCfg.Setup(os.Stderr)
+	if err != nil {
+		return err
+	}
 	if *dirFile == "" {
 		return fmt.Errorf("-dir is required")
 	}
@@ -57,23 +71,39 @@ func run() error {
 	}
 
 	params := zkedb.Params{Q: *q, H: *height, KeyBits: *keyBits, ModulusBits: *modulus}
-	fmt.Printf("generating public parameter ps (q=%d h=%d keybits=%d modulus=%d)...\n",
-		params.Q, params.H, params.KeyBits, params.ModulusBits)
+	logger.Info("generating public parameter ps",
+		"q", params.Q, "h", params.H, "keybits", params.KeyBits, "modulus", params.ModulusBits)
+	genStart := time.Now()
 	ps, err := poc.PSGen(params)
 	if err != nil {
 		return err
 	}
+	logger.Info("public parameter ready", "elapsed", time.Since(genStart))
 
-	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), node.DirectoryResolver(dir))
-	srv, err := node.ServeProxy(*listen, proxy)
+	if *admin != "" {
+		adminSrv, err := obs.ServeAdmin(*admin, obs.Default)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := adminSrv.Close(); cerr != nil {
+				logger.Warn("closing admin listener", "err", cerr)
+			}
+		}()
+		logger.Info("admin listener up", "addr", adminSrv.Addr())
+	}
+
+	proxy := core.NewProxy(ps, reputation.DefaultStrategy(),
+		node.DirectoryResolver(dir, node.WithTimeout(*timeout)))
+	srv, err := node.ServeProxy(*listen, proxy, node.WithTimeout(*timeout))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("proxy listening on %s with %d known participants\n", srv.Addr(), len(dir))
+	logger.Info("proxy listening", "addr", srv.Addr(), "participants", len(dir))
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	<-sigCh
-	fmt.Println("shutting down")
+	sig := <-sigCh
+	logger.Info("shutting down", "signal", sig.String())
 	return srv.Close()
 }

@@ -11,17 +11,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 
 	"desword/internal/core"
 	"desword/internal/node"
+	"desword/internal/obs"
 	"desword/internal/poc"
 )
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "desword-query:", err)
+		slog.Error("desword-query failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -33,9 +35,17 @@ func run() error {
 		quality   = flag.String("quality", "good", "quality-check outcome: good|bad")
 		scores    = flag.Bool("scores", false, "fetch the public reputation table instead")
 		audit     = flag.Bool("audit", false, "fetch and verify the tamper-evident score history")
+		timeout   = flag.Duration("timeout", node.DefaultTimeout, "per-exchange dial/IO timeout")
+		logCfg    obs.LogConfig
 	)
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	client := node.NewProxyClient(*proxyAddr)
+	if _, err := logCfg.Setup(os.Stderr); err != nil {
+		return err
+	}
+	// Query results render to stdout below — that is the command's output,
+	// not logging; diagnostics go through slog.
+	client := node.NewProxyClient(*proxyAddr, node.WithTimeout(*timeout))
 
 	if *audit {
 		entries, err := client.AuditLog()

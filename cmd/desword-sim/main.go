@@ -8,17 +8,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
 
 	"desword/internal/bench"
+	"desword/internal/obs"
 	"desword/internal/sim"
 )
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "desword-sim:", err)
+		slog.Error("desword-sim failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -26,6 +28,8 @@ func main() {
 func run() error {
 	cfg := sim.DefaultConfig()
 	var sweep string
+	var logCfg obs.LogConfig
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.IntVar(&cfg.Products, "products", cfg.Products, "products processed per epoch")
 	flag.Float64Var(&cfg.PBad, "pbad", cfg.PBad, "probability a product is bad")
 	flag.Float64Var(&cfg.QueryRateGood, "qgood", cfg.QueryRateGood, "query probability for good products")
@@ -38,6 +42,9 @@ func run() error {
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
 	flag.StringVar(&sweep, "sweep", "", "comma-separated p_bad values to sweep (overrides -pbad)")
 	flag.Parse()
+	if _, err := logCfg.Setup(os.Stderr); err != nil {
+		return err
+	}
 
 	pBads := []float64{cfg.PBad}
 	if sweep != "" {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"desword/internal/poc"
 	"desword/internal/reputation"
@@ -74,6 +75,7 @@ func (px *Proxy) RegisterList(taskID string, list *poc.List) error {
 		px.queues[initial] = append(px.queues[initial], queueEntry{taskID: taskID, credential: credential})
 	}
 	px.counters.addTask()
+	mTasksRegistered.Inc()
 	return nil
 }
 
@@ -98,7 +100,9 @@ func (px *Proxy) QueryPath(id poc.ProductID, quality Quality) (*Result, error) {
 	if quality != Good && quality != Bad {
 		return nil, fmt.Errorf("core: invalid quality %v", quality)
 	}
+	defer queryLatency(quality).ObserveSince(time.Now())
 	px.counters.addQuery(quality)
+	countQuery(quality)
 	result := &Result{
 		Product: id,
 		Quality: quality,
@@ -364,6 +368,7 @@ func (px *Proxy) probeChildren(list *poc.List, taskID string, cur poc.Participan
 // every detected violation (§II.C).
 func (px *Proxy) settle(result *Result) {
 	px.counters.addViolations(result.Violations)
+	countOutcome(result)
 	px.strategy.AwardPath(px.ledger, result.Product, result.Quality, result.Path)
 	for _, v := range result.Violations {
 		px.strategy.PenalizeViolation(px.ledger, v.Participant, result.Product, result.Quality, v.Detail)

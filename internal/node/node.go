@@ -9,6 +9,7 @@ package node
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -22,19 +23,69 @@ import (
 // DefaultTimeout bounds each dial and each request/response exchange.
 const DefaultTimeout = 10 * time.Second
 
+// DefaultDrainGrace bounds how long Close waits for in-flight connections to
+// finish before force-closing them.
+const DefaultDrainGrace = 5 * time.Second
+
 // ErrServerClosed reports use of a closed server.
 var ErrServerClosed = errors.New("node: server closed")
 
+// options collects the tunables shared by clients and servers.
+type options struct {
+	timeout    time.Duration
+	drainGrace time.Duration
+}
+
+// Option configures a client or server.
+type Option func(*options)
+
+// WithTimeout sets the per-exchange dial/IO timeout (clients) and the
+// per-request read/write deadline (servers). Non-positive values keep the
+// default.
+func WithTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.timeout = d
+		}
+	}
+}
+
+// WithDrainGrace sets how long a server's Close waits for in-flight
+// connections before force-closing them. Non-positive values keep the
+// default.
+func WithDrainGrace(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.drainGrace = d
+		}
+	}
+}
+
+func applyOptions(opts []Option) options {
+	o := options{timeout: DefaultTimeout, drainGrace: DefaultDrainGrace}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
 // server is the shared accept-loop machinery.
 type server struct {
-	ln     net.Listener
+	ln      net.Listener
+	opts    options
+	metrics *serverMetrics
+
 	wg     sync.WaitGroup
 	mu     sync.Mutex
 	closed bool
+	conns  map[net.Conn]struct{}
 }
 
-func (s *server) start(ln net.Listener, handle func(*wire.Envelope) (string, any)) {
+func (s *server) start(ln net.Listener, role string, o options, handle func(*wire.Envelope) (string, any)) {
 	s.ln = ln
+	s.opts = o
+	s.metrics = newServerMetrics(role)
+	s.conns = make(map[net.Conn]struct{})
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -43,55 +94,114 @@ func (s *server) start(ln net.Listener, handle func(*wire.Envelope) (string, any
 			if err != nil {
 				return // listener closed
 			}
+			if !s.track(conn) {
+				// Close raced the accept: drop the connection.
+				_ = conn.Close()
+				return
+			}
+			s.metrics.conns.Inc()
+			s.metrics.inflight.Inc()
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
-				defer func() {
-					if cerr := conn.Close(); cerr != nil {
-						_ = cerr // already answering or tearing down
-					}
-				}()
+				defer s.metrics.inflight.Dec()
+				defer s.untrack(conn)
 				s.serveConn(conn, handle)
 			}()
 		}
 	}()
 }
 
+// track registers a live connection; it reports false when the server is
+// already closed.
+func (s *server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+// untrack closes and forgets a connection.
+func (s *server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	if cerr := conn.Close(); cerr != nil {
+		_ = cerr // already answering or tearing down
+	}
+}
+
 // serveConn answers framed requests on one connection until the peer hangs
 // up or sends garbage.
 func (s *server) serveConn(conn net.Conn, handle func(*wire.Envelope) (string, any)) {
 	for {
-		if err := conn.SetReadDeadline(time.Now().Add(DefaultTimeout)); err != nil {
+		if err := conn.SetReadDeadline(time.Now().Add(s.opts.timeout)); err != nil {
 			return
 		}
 		env, err := wire.ReadMessage(conn)
 		if err != nil {
+			// A clean hang-up between requests and the idle-reap read
+			// deadline are the normal ends of a dial-per-request exchange,
+			// not errors.
+			var nerr net.Error
+			if !errors.Is(err, io.EOF) && !(errors.As(err, &nerr) && nerr.Timeout()) {
+				s.metrics.errRead.Inc()
+			}
 			return
 		}
+		start := time.Now()
 		respType, payload := handle(env)
-		if err := conn.SetWriteDeadline(time.Now().Add(DefaultTimeout)); err != nil {
+		if respType == wire.TypeError {
+			s.metrics.errHandle.Inc()
+		}
+		if err := conn.SetWriteDeadline(time.Now().Add(s.opts.timeout)); err != nil {
 			return
 		}
 		if err := wire.WriteMessage(conn, respType, payload); err != nil {
+			s.metrics.errWrite.Inc()
 			return
 		}
+		s.metrics.requestLatency(env.Type).ObserveSince(start)
 	}
 }
 
 // Addr returns the server's listen address.
 func (s *server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Close stops accepting and drains in-flight connections, waiting up to the
+// drain grace before force-closing whatever is still open. It is idempotent:
+// every call (including concurrent ones) waits for the drain and returns
+// without error.
 func (s *server) Close() error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
+	alreadyClosed := s.closed
 	s.closed = true
 	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
+	var err error
+	if !alreadyClosed {
+		err = s.ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.opts.drainGrace):
+		// Grace expired: cut the remaining connections so their serve
+		// goroutines unblock, then wait for them to exit.
+		s.mu.Lock()
+		for conn := range s.conns {
+			_ = conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	return err
 }
 
@@ -104,13 +214,13 @@ type ParticipantServer struct {
 
 // ServeParticipant listens on addr (use "127.0.0.1:0" for an ephemeral port)
 // and serves query interactions against the responder.
-func ServeParticipant(addr string, responder core.Responder) (*ParticipantServer, error) {
+func ServeParticipant(addr string, responder core.Responder, opts ...Option) (*ParticipantServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("node: listening on %s: %w", addr, err)
 	}
 	s := &ParticipantServer{responder: responder}
-	s.start(ln, s.handle)
+	s.start(ln, "participant", applyOptions(opts), s.handle)
 	return s, nil
 }
 
@@ -158,8 +268,9 @@ type ResponderClient struct {
 }
 
 // NewResponderClient creates a client for one participant address.
-func NewResponderClient(addr string) *ResponderClient {
-	return &ResponderClient{addr: addr, timeout: DefaultTimeout}
+func NewResponderClient(addr string, opts ...Option) *ResponderClient {
+	o := applyOptions(opts)
+	return &ResponderClient{addr: addr, timeout: o.timeout}
 }
 
 var _ core.Responder = (*ResponderClient)(nil)
@@ -194,13 +305,14 @@ func (c *ResponderClient) roundTrip(msgType string, payload any) (*core.Response
 }
 
 // DirectoryResolver builds a core.Resolver from a participant→address map.
-func DirectoryResolver(dir map[poc.ParticipantID]string) core.Resolver {
+// Options (e.g. WithTimeout) apply to every client it creates.
+func DirectoryResolver(dir map[poc.ParticipantID]string, opts ...Option) core.Resolver {
 	return func(v poc.ParticipantID) (core.Responder, error) {
 		addr, ok := dir[v]
 		if !ok {
 			return nil, fmt.Errorf("node: no address for participant %s", v)
 		}
-		return NewResponderClient(addr), nil
+		return NewResponderClient(addr, opts...), nil
 	}
 }
 
@@ -212,13 +324,13 @@ type ProxyServer struct {
 }
 
 // ServeProxy listens on addr and serves the proxy protocol.
-func ServeProxy(addr string, proxy *core.Proxy) (*ProxyServer, error) {
+func ServeProxy(addr string, proxy *core.Proxy, opts ...Option) (*ProxyServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("node: listening on %s: %w", addr, err)
 	}
 	s := &ProxyServer{proxy: proxy}
-	s.start(ln, s.handle)
+	s.start(ln, "proxy", applyOptions(opts), s.handle)
 	return s, nil
 }
 
@@ -269,8 +381,9 @@ type ProxyClient struct {
 }
 
 // NewProxyClient creates a client for a proxy address.
-func NewProxyClient(addr string) *ProxyClient {
-	return &ProxyClient{addr: addr, timeout: DefaultTimeout}
+func NewProxyClient(addr string, opts ...Option) *ProxyClient {
+	o := applyOptions(opts)
+	return &ProxyClient{addr: addr, timeout: o.timeout}
 }
 
 // GetParams fetches and rehydrates the public parameter ps.
@@ -363,7 +476,8 @@ func (c *ProxyClient) AuditLog() ([]reputation.AuditEntry, error) {
 	return chain.Entries, nil
 }
 
-// exchange performs one dial-request-response cycle.
+// exchange performs one dial-request-response cycle. The connection is
+// closed on every path — success and error alike — by the deferred Close.
 func exchange(addr string, timeout time.Duration, msgType string, payload any) (*wire.Envelope, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {

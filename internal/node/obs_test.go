@@ -1,0 +1,159 @@
+package node
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"desword/internal/core"
+	"desword/internal/obs"
+	"desword/internal/supplychain"
+)
+
+// TestAdminExposesNodeMetrics runs a real path query through the TCP stack
+// and asserts the admin listener serves the wire and query series an
+// operator dashboards — the acceptance path of the observability layer.
+func TestAdminExposesNodeMetrics(t *testing.T) {
+	d := deploy(t, 3, nil)
+	if _, err := d.client.QueryPath(d.product, core.Good); err != nil {
+		t.Fatal(err)
+	}
+
+	admin, err := obs.ServeAdmin("127.0.0.1:0", obs.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cerr := admin.Close(); cerr != nil {
+			t.Errorf("closing admin: %v", cerr)
+		}
+	})
+
+	resp, err := http.Get("http://" + admin.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Errorf("closing body: %v", cerr)
+		}
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, series := range []string{
+		`desword_wire_bytes_total{dir="write",type="query_path"}`,
+		`desword_wire_frames_total{dir="read",type="response"}`,
+		`desword_query_latency_seconds_bucket{quality="good",le="+Inf"}`,
+		`desword_request_latency_seconds_bucket`,
+		`desword_connections_total{server="proxy"}`,
+		`desword_proof_verify_seconds`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+
+	hresp, err := http.Get("http://" + admin.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := hresp.Body.Close(); cerr != nil {
+			t.Errorf("closing body: %v", cerr)
+		}
+	}()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status = %d", hresp.StatusCode)
+	}
+}
+
+// TestServerCloseDrainsBlockedConn holds a connection open without sending a
+// request: Close must not hang on it past the drain grace, must force-close
+// it, and must stay idempotent under concurrent calls.
+func TestServerCloseDrainsBlockedConn(t *testing.T) {
+	m := core.NewMember(mustPS(t), supplychain.NewParticipant("drain"))
+	srv, err := ServeParticipant("127.0.0.1:0", m,
+		WithTimeout(30*time.Second), WithDrainGrace(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := conn.Close(); cerr != nil {
+			_ = cerr // server already cut it
+		}
+	}()
+	// Give the accept loop a moment to register the connection.
+	time.Sleep(20 * time.Millisecond)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if cerr := srv.Close(); cerr != nil {
+				t.Errorf("concurrent close: %v", cerr)
+			}
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("close took %v; the blocked connection was not force-closed", elapsed)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close after drain: %v", err)
+	}
+}
+
+// TestClientTimeoutOption dials a server that accepts and then stays silent:
+// the configured timeout must bound the exchange.
+func TestClientTimeoutOption(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cerr := ln.Close(); cerr != nil {
+			t.Errorf("closing listener: %v", cerr)
+		}
+	})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Swallow the request and never answer.
+			go func() { _, _ = io.Copy(io.Discard, conn) }()
+		}
+	}()
+
+	c := NewResponderClient(ln.Addr().String(), WithTimeout(100*time.Millisecond))
+	start := time.Now()
+	_, err = c.Query("t", "x", core.Good)
+	if err == nil {
+		t.Fatal("silent server must time the exchange out")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, want ~100ms", elapsed)
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminServer is the opt-in HTTP admin listener of a DE-Sword binary,
+// serving /metrics (Prometheus text format), /healthz and the net/http/pprof
+// profile endpoints under /debug/pprof/.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// AdminMux builds the admin route table over a registry. The pprof handlers
+// are registered explicitly so nothing leaks through http.DefaultServeMux.
+func AdminMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// The response is already partially written; nothing to repair.
+			_ = err
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeAdmin starts the admin listener on addr (e.g. ":6060", or
+// "127.0.0.1:0" for an ephemeral port) exposing reg. It returns once the
+// listener is bound; requests are served in the background until Close.
+func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listener on %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           AdminMux(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	a := &AdminServer{ln: ln, srv: srv}
+	go func() {
+		// Serve returns ErrServerClosed (or a listener error) on Close;
+		// either way the goroutine is done.
+		_ = srv.Serve(ln)
+	}()
+	return a, nil
+}
+
+// Addr returns the bound listen address.
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the admin listener. Safe to call more than once.
+func (a *AdminServer) Close() error {
+	err := a.srv.Close()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}

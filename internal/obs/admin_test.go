@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// get fetches a URL and returns status and body.
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() {
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Errorf("closing body: %v", cerr)
+		}
+	}()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_admin_total", "Admin test counter.").Add(42)
+
+	srv, err := ServeAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			t.Errorf("closing admin server: %v", cerr)
+		}
+	}()
+	base := "http://" + srv.Addr()
+
+	status, body := get(t, base+"/healthz")
+	if status != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", status, body)
+	}
+
+	status, body = get(t, base+"/metrics")
+	if status != http.StatusOK {
+		t.Errorf("/metrics status = %d", status)
+	}
+	if !strings.Contains(body, "test_admin_total 42") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	status, body = get(t, base+"/debug/pprof/")
+	if status != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d (body %d bytes)", status, len(body))
+	}
+}
+
+func TestAdminCloseIdempotent(t *testing.T) {
+	srv, err := ServeAdmin("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

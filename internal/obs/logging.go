@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogConfig is the shared logging configuration of the cmd binaries: one
+// -log-format/-log-level flag pair, one handler setup.
+type LogConfig struct {
+	// Format selects the slog handler: "text" or "json".
+	Format string
+	// Level is the minimum level: "debug", "info", "warn" or "error".
+	Level string
+}
+
+// RegisterFlags registers -log-format and -log-level on fs (use
+// flag.CommandLine in main).
+func (c *LogConfig) RegisterFlags(fs *flag.FlagSet) {
+	if c.Format == "" {
+		c.Format = "text"
+	}
+	if c.Level == "" {
+		c.Level = "info"
+	}
+	fs.StringVar(&c.Format, "log-format", c.Format, "log output format: text|json")
+	fs.StringVar(&c.Level, "log-level", c.Level, "minimum log level: debug|info|warn|error")
+}
+
+// NewLogger builds a slog.Logger writing to w under the configuration.
+func (c *LogConfig) NewLogger(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(c.Level) {
+	case "", "info":
+		level = slog.LevelInfo
+	case "debug":
+		level = slog.LevelDebug
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", c.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler
+	switch strings.ToLower(c.Format) {
+	case "", "text":
+		handler = slog.NewTextHandler(w, opts)
+	case "json":
+		handler = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", c.Format)
+	}
+	return slog.New(handler), nil
+}
+
+// Setup builds the logger, installs it as the slog default, and returns it.
+func (c *LogConfig) Setup(w io.Writer) (*slog.Logger, error) {
+	logger, err := c.NewLogger(w)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(logger)
+	return logger, nil
+}

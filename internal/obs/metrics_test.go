@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden locks down the exposition format end to end:
+// family ordering, HELP/TYPE lines, label rendering, and the cumulative
+// histogram form.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_requests_total", "Total requests.", "method", "get", "code", "200").Add(3)
+	reg.Counter("test_requests_total", "", "method", "post", "code", "500").Inc()
+	reg.Gauge("test_inflight", "In-flight requests.").Set(7)
+	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.5, 1}, "op", "read")
+	h.Observe(0.25)
+	h.Observe(0.5) // bucket bounds are upper-inclusive
+	h.Observe(4)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_inflight In-flight requests.
+# TYPE test_inflight gauge
+test_inflight 7
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{op="read",le="0.5"} 2
+test_latency_seconds_bucket{op="read",le="1"} 2
+test_latency_seconds_bucket{op="read",le="+Inf"} 3
+test_latency_seconds_sum{op="read"} 4.75
+test_latency_seconds_count{op="read"} 3
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total{code="200",method="get"} 3
+test_requests_total{code="500",method="post"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestLabelEscaping checks the three escaped characters of the text format.
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_escape_total", "", "path", "a\\b\"c\nd").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_escape_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped series %q missing from:\n%s", want, b.String())
+	}
+}
+
+// TestRepeatedLookupReturnsSameSeries ensures callers that do not cache
+// handles still hit the same underlying series.
+func TestRepeatedLookupReturnsSameSeries(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("test_same_total", "", "k", "v")
+	b := reg.Counter("test_same_total", "", "k", "v")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("value through second handle = %d, want 1", b.Value())
+	}
+}
+
+// TestKindMismatchPanics: re-registering a name under a different kind is a
+// programming error and must fail loudly.
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_kind_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	reg.Gauge("test_kind_total", "")
+}
+
+// TestConcurrentIncrements hammers one registry from many goroutines —
+// counters, gauges, histograms, fresh-series creation and scrapes at once —
+// and then checks the totals. Run under -race this is the package's data
+// race regression test.
+func TestConcurrentIncrements(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Lookup on every iteration to race series creation too.
+				reg.Counter("test_conc_total", "").Inc()
+				reg.Gauge("test_conc_gauge", "").Add(1)
+				reg.Histogram("test_conc_seconds", "", []float64{0.5}, "w", string(rune('a'+w))).Observe(0.25)
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := reg.WritePrometheus(&b); err != nil {
+				t.Errorf("concurrent scrape: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := reg.Counter("test_conc_total", "").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Gauge("test_conc_gauge", "").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	total := uint64(0)
+	for w := 0; w < workers; w++ {
+		total += reg.Histogram("test_conc_seconds", "", []float64{0.5}, "w", string(rune('a'+w))).Count()
+	}
+	if total != workers*perWorker {
+		t.Errorf("histogram observations = %d, want %d", total, workers*perWorker)
+	}
+}
+
+// TestHistogramSum checks the CAS-loop float accumulation.
+func TestHistogramSum(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_sum_seconds", "", []float64{1})
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.Observe(0.5)
+		}()
+	}
+	wg.Wait()
+	if h.Sum() != n*0.5 {
+		t.Errorf("sum = %v, want %v", h.Sum(), n*0.5)
+	}
+	if h.Count() != n {
+		t.Errorf("count = %d, want %d", h.Count(), n)
+	}
+}

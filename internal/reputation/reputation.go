@@ -16,7 +16,18 @@ import (
 	"sort"
 	"sync"
 
+	"desword/internal/obs"
 	"desword/internal/supplychain"
+)
+
+// Award counters by sign: every ledger adjustment — path awards and
+// violation penalties alike — lands in exactly one of these, so an operator
+// can watch the double edge cut in real time.
+var (
+	mAwardsPositive = obs.Default.Counter("desword_reputation_awards_total",
+		"Reputation ledger adjustments by sign.", "sign", "positive")
+	mAwardsNegative = obs.Default.Counter("desword_reputation_awards_total",
+		"Reputation ledger adjustments by sign.", "sign", "negative")
 )
 
 // Quality classifies a queried product. Products are usually good and
@@ -67,6 +78,12 @@ func NewLedger() *Ledger {
 // Adjust applies a score delta, records the audit event, and extends the
 // tamper-evident hash chain.
 func (l *Ledger) Adjust(e Event) {
+	switch {
+	case e.Delta > 0:
+		mAwardsPositive.Inc()
+	case e.Delta < 0:
+		mAwardsNegative.Inc()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.scores[e.Participant] += e.Delta

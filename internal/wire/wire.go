@@ -93,6 +93,7 @@ func WriteMessage(w io.Writer, msgType string, payload any) error {
 	if _, err := w.Write(frame); err != nil {
 		return fmt.Errorf("wire: writing frame: %w", err)
 	}
+	countFrame(writeCounters, "write", msgType, len(frame))
 	return nil
 }
 
@@ -117,6 +118,7 @@ func ReadMessage(r io.Reader) (*Envelope, error) {
 	if env.Type == "" {
 		return nil, fmt.Errorf("%w: missing type", ErrBadEnvelope)
 	}
+	countFrame(readCounters, "read", env.Type, int(n))
 	return &env, nil
 }
 

@@ -39,6 +39,8 @@ import (
 	"math/big"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"desword/internal/mercurial"
 	"desword/internal/qmercurial"
@@ -114,6 +116,9 @@ func (p Params) digitBits() int {
 type CRS struct {
 	Params Params                `json:"params"`
 	Key    *qmercurial.PublicKey `json:"key"`
+
+	// pm caches the proof timing histograms for this geometry (metrics.go).
+	pm atomic.Pointer[proofMetrics]
 }
 
 // CRSGen generates a common reference string for the given geometry
@@ -387,8 +392,17 @@ type Proof struct {
 // proof when the key is in the committed database, a non-ownership proof
 // otherwise.
 func (d *Decommitment) Prove(key string) (*Proof, error) {
+	start := time.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	proof, err := d.prove(key)
+	if err == nil {
+		d.crs.metrics().prove(proof.Kind).ObserveSince(start)
+	}
+	return proof, err
+}
+
+func (d *Decommitment) prove(key string) (*Proof, error) {
 	if _, ok := d.db[key]; ok {
 		return d.proveOwnership(key)
 	}
@@ -502,6 +516,7 @@ func (c *CRS) Verify(com Commitment, key string, proof *Proof) (value []byte, pr
 	if proof.Kind != ProofOwnership && proof.Kind != ProofNonOwnership {
 		return nil, false, fmt.Errorf("%w: unknown proof kind %d", ErrBadProof, proof.Kind)
 	}
+	defer c.metrics().verify(proof.Kind).ObserveSince(time.Now())
 	if len(proof.Levels) != c.Params.H {
 		return nil, false, fmt.Errorf("%w: %d levels, want %d", ErrBadProof, len(proof.Levels), c.Params.H)
 	}
