@@ -25,7 +25,7 @@ fmt:
 	fi
 
 race:
-	$(GO) test -race ./internal/obs ./internal/node ./internal/core
+	$(GO) test -race ./internal/obs ./internal/node ./internal/core ./internal/trace ./internal/wire
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -11,6 +11,7 @@
 package desword
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sync"
@@ -381,7 +382,7 @@ func BenchmarkE8EndToEndGoodQuery(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		result, err := e2eClient.QueryPath("e2e1", core.Good)
+		result, err := e2eClient.QueryPath(context.Background(), "e2e1", core.Good)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -398,7 +399,7 @@ func BenchmarkE8EndToEndBadQuery(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		result, err := e2eClient.QueryPath("e2e1", core.Bad)
+		result, err := e2eClient.QueryPath(context.Background(), "e2e1", core.Bad)
 		if err != nil {
 			b.Fatal(err)
 		}

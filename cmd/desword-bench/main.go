@@ -31,6 +31,7 @@ import (
 	"desword/internal/bench"
 	"desword/internal/obs"
 	"desword/internal/sim"
+	"desword/internal/trace"
 	"desword/internal/zkedb"
 )
 
@@ -54,6 +55,8 @@ func run() error {
 		dbSize     = flag.Int("db", 8, "committed traces per participant in macro benches")
 		fast       = flag.Bool("fast", false, "reduced parameter sweeps")
 		metricsOut = flag.String("metrics-out", "", "snapshot the metrics registry to this file after each experiment (Prometheus text format)")
+		traceOut   = flag.String("trace-out", "", "dump recorded traces to this file as JSON after each experiment")
+		sample     = flag.Float64("trace-sample", 0, "fraction of path queries to trace in [0,1]; implied 1.0 when -trace-out is set and the rate is left at 0")
 		logCfg     obs.LogConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
@@ -62,6 +65,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *traceOut != "" && *sample == 0 {
+		// Asking for a trace dump but sampling nothing is always a mistake.
+		*sample = 1
+	}
+	trace.Default.SetService("bench")
+	trace.Default.SetSampleRate(*sample)
 
 	qs := bench.PaperQs()
 	qhs := bench.PaperQH()
@@ -158,6 +167,12 @@ func run() error {
 			}
 			logger.Info("metrics snapshot written", "file", *metricsOut)
 		}
+		if *traceOut != "" {
+			if err := snapshotTraces(*traceOut); err != nil {
+				return err
+			}
+			logger.Info("trace snapshot written", "file", *traceOut, "traces", trace.Default.Recorder().Len())
+		}
 	}
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q", *exp)
@@ -179,6 +194,24 @@ func snapshotMetrics(path string) error {
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("closing metrics snapshot: %w", err)
+	}
+	return nil
+}
+
+// snapshotTraces rewrites path with every trace currently held by the
+// recorder ring — the hop-latency-attribution input EXPERIMENTS.md's tracing
+// recipe post-processes.
+func snapshotTraces(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating trace snapshot: %w", err)
+	}
+	if err := trace.Default.Recorder().WriteJSON(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("writing trace snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing trace snapshot: %w", err)
 	}
 	return nil
 }

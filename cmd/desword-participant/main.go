@@ -44,6 +44,7 @@ import (
 	"desword/internal/obs"
 	"desword/internal/poc"
 	"desword/internal/supplychain"
+	"desword/internal/trace"
 )
 
 func main() {
@@ -78,6 +79,7 @@ func run() error {
 		task      = flag.String("task", "", "task id (assemble mode)")
 		pairs     = flag.String("pairs", "", "JSON POC-pair file (assemble mode)")
 		pocs      = flag.String("pocs", "", "comma-separated POC files (assemble mode)")
+		sample    = flag.Float64("trace-sample", 0, "fraction of locally-rooted traces to sample in [0,1]; remote-parented requests are always traced when the caller traces them")
 		logCfg    obs.LogConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
@@ -86,6 +88,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	trace.Default.SetService("participant:" + *id)
+	trace.Default.SetSampleRate(*sample)
 	if *assemble {
 		return runAssemble(logger, *proxyAddr, *task, *pairs, *pocs, *timeout)
 	}

@@ -30,6 +30,7 @@ import (
 	"desword/internal/obs"
 	"desword/internal/poc"
 	"desword/internal/reputation"
+	"desword/internal/trace"
 	"desword/internal/zkedb"
 )
 
@@ -50,6 +51,7 @@ func run() error {
 		height  = flag.Int("height", 32, "ZK-EDB tree height")
 		keyBits = flag.Int("keybits", 128, "product-id digest bits")
 		modulus = flag.Int("modulus", 1024, "RSA modulus bits")
+		sample  = flag.Float64("trace-sample", 0, "fraction of path queries to trace in [0,1]; traces appear under /debug/traces on the admin listener")
 		logCfg  obs.LogConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
@@ -58,6 +60,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	trace.Default.SetService("proxy")
+	trace.Default.SetSampleRate(*sample)
 	if *dirFile == "" {
 		return fmt.Errorf("-dir is required")
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -19,6 +20,7 @@ import (
 	"desword/internal/node"
 	"desword/internal/obs"
 	"desword/internal/poc"
+	"desword/internal/trace"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func run() error {
 		scores    = flag.Bool("scores", false, "fetch the public reputation table instead")
 		audit     = flag.Bool("audit", false, "fetch and verify the tamper-evident score history")
 		timeout   = flag.Duration("timeout", node.DefaultTimeout, "per-exchange dial/IO timeout")
+		sample    = flag.Float64("trace-sample", 0, "client-side trace sampling rate in [0,1]")
 		logCfg    obs.LogConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
@@ -43,6 +46,8 @@ func run() error {
 	if _, err := logCfg.Setup(os.Stderr); err != nil {
 		return err
 	}
+	trace.Default.SetService("query")
+	trace.Default.SetSampleRate(*sample)
 	// Query results render to stdout below — that is the command's output,
 	// not logging; diagnostics go through slog.
 	client := node.NewProxyClient(*proxyAddr, node.WithTimeout(*timeout))
@@ -96,12 +101,22 @@ func run() error {
 		return fmt.Errorf("unknown quality %q (want good|bad)", *quality)
 	}
 
-	result, err := client.QueryPath(poc.ProductID(*product), q)
+	ctx, span := trace.Default.Start(context.Background(), "query.query_path",
+		trace.String("product", *product), trace.String("quality", *quality))
+	result, err := client.QueryPath(ctx, poc.ProductID(*product), q)
+	span.SetError(err)
+	span.End()
 	if err != nil {
 		return err
 	}
 	if len(result.Path) == 0 {
 		fmt.Printf("no participant admits processing %s — no verifiable origin exists\n", *product)
+		// A dead-end query still carries evidence: any violations recorded
+		// before the walk stalled name the participants whose answers were
+		// caught lying. Swallowing them here hid exactly the partial
+		// failures an investigator most needs.
+		printViolations(result.Violations)
+		printTraceID(result.TraceID)
 		return nil
 	}
 	fmt.Printf("product %s (%s query, task %s):\n", result.Product, *quality, result.TaskID)
@@ -113,8 +128,21 @@ func run() error {
 		}
 	}
 	fmt.Printf("  complete=%v\n", result.Complete)
-	for _, violation := range result.Violations {
+	printViolations(result.Violations)
+	printTraceID(result.TraceID)
+	return nil
+}
+
+func printViolations(violations []core.Violation) {
+	for _, violation := range violations {
 		fmt.Printf("  VIOLATION by %s: %s (%s)\n", violation.Participant, violation.Type, violation.Detail)
 	}
-	return nil
+}
+
+// printTraceID surfaces the proxy-side trace ID so an operator can pull the
+// per-hop span timeline from the proxy's /debug/traces/<id> endpoint.
+func printTraceID(id string) {
+	if id != "" {
+		fmt.Printf("  trace=%s (see /debug/traces/%s on the proxy admin endpoint)\n", id, id)
+	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -75,7 +76,7 @@ func run() error {
 		if queried == 2 {
 			quality = core.Bad
 		}
-		if _, err := client.QueryPath(id, quality); err != nil {
+		if _, err := client.QueryPath(context.Background(), id, quality); err != nil {
 			return err
 		}
 		queried++

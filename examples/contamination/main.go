@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -77,7 +78,7 @@ func run() error {
 	// Bad-product path query: the denial cannot survive ZK-EDB soundness —
 	// the culprit committed a trace for badProduct into its POC and
 	// therefore cannot produce a valid non-ownership proof.
-	result, err := proxy.QueryPath(badProduct, core.Bad)
+	result, err := proxy.QueryPath(context.Background(), badProduct, core.Bad)
 	if err != nil {
 		return err
 	}
@@ -98,7 +99,7 @@ func run() error {
 		if id == badProduct {
 			continue
 		}
-		res, err := proxy.QueryPath(id, core.Good)
+		res, err := proxy.QueryPath(context.Background(), id, core.Good)
 		if err != nil {
 			return err
 		}

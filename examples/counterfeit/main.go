@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -95,7 +96,7 @@ func run() error {
 	// never issued. No initial participant can prove ownership, so no origin
 	// exists: counterfeit.
 	fmt.Println("① verifying a suspicious package: id NDC-FAKE-999")
-	res, err := proxy.QueryPath("NDC-FAKE-999", core.Good)
+	res, err := proxy.QueryPath(context.Background(), "NDC-FAKE-999", core.Good)
 	if err != nil {
 		return err
 	}
@@ -107,7 +108,7 @@ func run() error {
 
 	// Scenario 2: verify a genuine package end to end.
 	fmt.Printf("② verifying a genuine package: %s\n", targetID)
-	res, err = proxy.QueryPath(targetID, core.Good)
+	res, err = proxy.QueryPath(context.Background(), targetID, core.Good)
 	if err != nil {
 		return err
 	}
@@ -124,7 +125,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	resp, err := farmer.Query(dist.TaskID, targetID, core.Good)
+	resp, err := farmer.Query(context.Background(), dist.TaskID, targetID, core.Good)
 	if err != nil {
 		return err
 	}

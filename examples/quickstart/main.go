@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -72,7 +73,7 @@ func run() error {
 
 	// 5. Query phase: a supply-chain application asks for the path of id1,
 	// which the quality check classified as good.
-	result, err := proxy.QueryPath("id1", core.Good)
+	result, err := proxy.QueryPath(context.Background(), "id1", core.Good)
 	if err != nil {
 		return err
 	}

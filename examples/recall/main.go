@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -96,7 +97,7 @@ func run() error {
 	// (task) the product belongs to by sweeping the initial participants'
 	// POC-queues, then walk that lot's POC list.
 	const defective = poc.ProductID("lotB-2")
-	result, err := client.QueryPath(defective, core.Bad)
+	result, err := client.QueryPath(context.Background(), defective, core.Bad)
 	if err != nil {
 		return err
 	}
@@ -112,7 +113,7 @@ func run() error {
 		if id == defective {
 			continue
 		}
-		res, err := client.QueryPath(id, core.Good)
+		res, err := client.QueryPath(context.Background(), id, core.Good)
 		if err != nil {
 			return err
 		}
@@ -128,7 +129,7 @@ func run() error {
 	// Confirm lot isolation: lotA products resolve to task-lotA and are
 	// unaffected.
 	probe := poc.ProductID("lotA-1")
-	res, err := client.QueryPath(probe, core.Good)
+	res, err := client.QueryPath(context.Background(), probe, core.Good)
 	if err != nil {
 		return err
 	}

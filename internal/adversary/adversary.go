@@ -17,6 +17,7 @@
 package adversary
 
 import (
+	"context"
 	"fmt"
 
 	"desword/internal/core"
@@ -119,8 +120,8 @@ var _ core.Responder = (*Dishonest)(nil)
 
 // Query implements core.Responder with the configured lies layered over the
 // honest response.
-func (d *Dishonest) Query(taskID string, id poc.ProductID, quality core.Quality) (*core.Response, error) {
-	resp, err := d.Member.Query(taskID, id, quality)
+func (d *Dishonest) Query(ctx context.Context, taskID string, id poc.ProductID, quality core.Quality) (*core.Response, error) {
+	resp, err := d.Member.Query(ctx, taskID, id, quality)
 	if err != nil {
 		return nil, err
 	}
@@ -143,12 +144,12 @@ func (d *Dishonest) Query(taskID string, id poc.ProductID, quality core.Quality)
 }
 
 // DemandOwnership implements core.Responder.
-func (d *Dishonest) DemandOwnership(taskID string, id poc.ProductID) (*core.Response, error) {
+func (d *Dishonest) DemandOwnership(ctx context.Context, taskID string, id poc.ProductID) (*core.Response, error) {
 	if d.RefuseDemand {
 		// Stonewall: answer with a bare denial and no proof.
 		return &core.Response{Claim: core.ClaimNotProcessed}, nil
 	}
-	resp, err := d.Member.DemandOwnership(taskID, id)
+	resp, err := d.Member.DemandOwnership(ctx, taskID, id)
 	if err != nil {
 		return nil, err
 	}

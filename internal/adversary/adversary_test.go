@@ -1,6 +1,7 @@
 package adversary
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -95,7 +96,7 @@ func TestClaimNonProcessingDetected(t *testing.T) {
 	liar.DenyProcessing[fx.product] = true
 	proxy := fx.proxyWith(t, map[poc.ParticipantID]*Dishonest{"p1": liar})
 
-	result, err := proxy.QueryPath(fx.product, core.Bad)
+	result, err := proxy.QueryPath(context.Background(), fx.product, core.Bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestClaimNonProcessingWithStonewallDetected(t *testing.T) {
 	liar.RefuseDemand = true
 	proxy := fx.proxyWith(t, map[poc.ParticipantID]*Dishonest{"p1": liar})
 
-	result, err := proxy.QueryPath(fx.product, core.Bad)
+	result, err := proxy.QueryPath(context.Background(), fx.product, core.Bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestClaimProcessingDetected(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	result, err := proxy.QueryPath(target, core.Good)
+	result, err := proxy.QueryPath(context.Background(), target, core.Good)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestWrongTraceDetected(t *testing.T) {
 	forger.WrongTrace[fx.product] = []byte("laundered production record")
 	proxy := fx.proxyWith(t, map[poc.ParticipantID]*Dishonest{"p1": forger})
 
-	result, err := proxy.QueryPath(fx.product, core.Good)
+	result, err := proxy.QueryPath(context.Background(), fx.product, core.Good)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestWrongNextHopCase2Detected(t *testing.T) {
 	misdirector.WrongNext[fx.product] = "p3" // real child is p2; p3 is not a child of p1
 	proxy := fx.proxyWith(t, map[poc.ParticipantID]*Dishonest{"p1": misdirector})
 
-	result, err := proxy.QueryPath(fx.product, core.Good)
+	result, err := proxy.QueryPath(context.Background(), fx.product, core.Good)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestCollusionOnPathDetected(t *testing.T) {
 	}
 	proxy := fx.proxyWith(t, dis)
 
-	result, err := proxy.QueryPath(fx.product, core.Bad)
+	result, err := proxy.QueryPath(context.Background(), fx.product, core.Bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +311,7 @@ func TestDeletionEscapesIdentificationBothWays(t *testing.T) {
 	for _, quality := range []core.Quality{core.Good, core.Bad} {
 		fx := newLineFixture(t, 4, mutate)
 		proxy := fx.proxyWith(t, nil)
-		result, err := proxy.QueryPath(fx.product, quality)
+		result, err := proxy.QueryPath(context.Background(), fx.product, quality)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -335,7 +336,7 @@ func TestDeletionLosesPositiveScore(t *testing.T) {
 	// query; after deletion it earns nothing. The "lost opportunity" edge.
 	honest := newLineFixture(t, 4, nil)
 	proxyH := honest.proxyWith(t, nil)
-	if _, err := proxyH.QueryPath(honest.product, core.Good); err != nil {
+	if _, err := proxyH.QueryPath(context.Background(), honest.product, core.Good); err != nil {
 		t.Fatal(err)
 	}
 	honestScore := proxyH.Ledger().Score("p1")
@@ -349,7 +350,7 @@ func TestDeletionLosesPositiveScore(t *testing.T) {
 		}
 	})
 	proxyD := deleted.proxyWith(t, nil)
-	if _, err := proxyD.QueryPath(deleted.product, core.Good); err != nil {
+	if _, err := proxyD.QueryPath(context.Background(), deleted.product, core.Good); err != nil {
 		t.Fatal(err)
 	}
 	if got := proxyD.Ledger().Score("p1"); got >= honestScore {
@@ -395,7 +396,7 @@ func TestAdditionIsDoubleEdged(t *testing.T) {
 	}
 
 	proxyGood, _ := build(t)
-	resGood, err := proxyGood.QueryPath(phantom, core.Good)
+	resGood, err := proxyGood.QueryPath(context.Background(), phantom, core.Good)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,7 +408,7 @@ func TestAdditionIsDoubleEdged(t *testing.T) {
 	}
 
 	proxyBad, _ := build(t)
-	resBad, err := proxyBad.QueryPath(phantom, core.Bad)
+	resBad, err := proxyBad.QueryPath(context.Background(), phantom, core.Bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -429,7 +430,7 @@ func TestModificationChangesCommittedTrace(t *testing.T) {
 		}
 	})
 	proxy := fx.proxyWith(t, nil)
-	result, err := proxy.QueryPath(fx.product, core.Good)
+	result, err := proxy.QueryPath(context.Background(), fx.product, core.Good)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package apps
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -21,7 +22,7 @@ import (
 // QueryClient is the slice of proxy functionality applications consume.
 // *core.Proxy and *node.ProxyClient both implement it.
 type QueryClient interface {
-	QueryPath(id poc.ProductID, quality core.Quality) (*core.Result, error)
+	QueryPath(ctx context.Context, id poc.ProductID, quality core.Quality) (*core.Result, error)
 }
 
 // Errors reported by this package.
@@ -51,8 +52,8 @@ type ContaminationReport struct {
 // query), take the earliest processor as the contamination source, then
 // sweep the given market products (good-product queries — they still pass
 // checks) and flag every product that passed through the source.
-func LocalizeContamination(client QueryClient, bad poc.ProductID, market []poc.ProductID) (*ContaminationReport, error) {
-	result, err := client.QueryPath(bad, core.Bad)
+func LocalizeContamination(ctx context.Context, client QueryClient, bad poc.ProductID, market []poc.ProductID) (*ContaminationReport, error) {
+	result, err := client.QueryPath(ctx, bad, core.Bad)
 	if err != nil {
 		return nil, fmt.Errorf("apps: querying contaminated product: %w", err)
 	}
@@ -69,7 +70,7 @@ func LocalizeContamination(client QueryClient, bad poc.ProductID, market []poc.P
 		if id == bad {
 			continue
 		}
-		res, err := client.QueryPath(id, core.Good)
+		res, err := client.QueryPath(ctx, id, core.Good)
 		if err != nil {
 			return nil, fmt.Errorf("apps: sweeping %s: %w", id, err)
 		}
@@ -101,8 +102,8 @@ type CounterfeitReport struct {
 // genuine only if some initial participant proves ownership and the verified
 // path reaches a leaf of the POC list. Products nobody can prove an origin
 // for — the WHO's 10%-of-market scenario — are flagged.
-func DetectCounterfeit(client QueryClient, id poc.ProductID) (*CounterfeitReport, error) {
-	result, err := client.QueryPath(id, core.Good)
+func DetectCounterfeit(ctx context.Context, client QueryClient, id poc.ProductID) (*CounterfeitReport, error) {
+	result, err := client.QueryPath(ctx, id, core.Good)
 	if err != nil {
 		return nil, fmt.Errorf("apps: authenticating %s: %w", id, err)
 	}
@@ -136,13 +137,13 @@ type RecallReport struct {
 // TargetedRecall runs the paper's third application: given a failure point
 // (e.g. a participant whose cold chain broke), verify the path of every
 // candidate product and split them into recalled and cleared sets.
-func TargetedRecall(client QueryClient, failurePoint poc.ParticipantID, candidates []poc.ProductID) (*RecallReport, error) {
+func TargetedRecall(ctx context.Context, client QueryClient, failurePoint poc.ParticipantID, candidates []poc.ProductID) (*RecallReport, error) {
 	report := &RecallReport{
 		FailurePoint: failurePoint,
 		Recalled:     make(map[poc.ProductID][]poc.ParticipantID),
 	}
 	for _, id := range candidates {
-		res, err := client.QueryPath(id, core.Good)
+		res, err := client.QueryPath(ctx, id, core.Good)
 		if err != nil {
 			return nil, fmt.Errorf("apps: recall query for %s: %w", id, err)
 		}

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"testing"
 
 	"desword/internal/core"
@@ -73,7 +74,7 @@ func TestLocalizeContamination(t *testing.T) {
 		bad = id
 		break
 	}
-	report, err := LocalizeContamination(fx.proxy, bad, fx.market())
+	report, err := LocalizeContamination(context.Background(), fx.proxy, bad, fx.market())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestLocalizeContamination(t *testing.T) {
 
 func TestLocalizeContaminationUnknownProduct(t *testing.T) {
 	fx := newFixture(t)
-	if _, err := LocalizeContamination(fx.proxy, "not-a-product", nil); err == nil {
+	if _, err := LocalizeContamination(context.Background(), fx.proxy, "not-a-product", nil); err == nil {
 		t.Fatal("unknown product must be rejected")
 	}
 }
@@ -104,7 +105,7 @@ func TestDetectCounterfeit(t *testing.T) {
 		genuine = id
 		break
 	}
-	report, err := DetectCounterfeit(fx.proxy, genuine)
+	report, err := DetectCounterfeit(context.Background(), fx.proxy, genuine)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestDetectCounterfeit(t *testing.T) {
 		t.Fatalf("genuine product misclassified: %+v", report)
 	}
 
-	fake, err := DetectCounterfeit(fx.proxy, "knockoff-1")
+	fake, err := DetectCounterfeit(context.Background(), fx.proxy, "knockoff-1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestTargetedRecall(t *testing.T) {
 	if failurePoint == "" {
 		t.Skip("no partial-coverage participant in fixture")
 	}
-	report, err := TargetedRecall(fx.proxy, failurePoint, fx.market())
+	report, err := TargetedRecall(context.Background(), fx.proxy, failurePoint, fx.market())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -88,7 +89,7 @@ func runE2EChain(ps *poc.PublicParams, n, reps int) (good, bad time.Duration, pr
 
 	const product = poc.ProductID("e2e1")
 	good = Measure(reps, func() {
-		result, qerr := client.QueryPath(product, core.Good)
+		result, qerr := client.QueryPath(context.Background(), product, core.Good)
 		if qerr != nil {
 			panic(qerr)
 		}
@@ -97,7 +98,7 @@ func runE2EChain(ps *poc.PublicParams, n, reps int) (good, bad time.Duration, pr
 		}
 	})
 	bad = Measure(reps, func() {
-		result, qerr := client.QueryPath(product, core.Bad)
+		result, qerr := client.QueryPath(context.Background(), product, core.Bad)
 		if qerr != nil {
 			panic(qerr)
 		}
@@ -106,7 +107,7 @@ func runE2EChain(ps *poc.PublicParams, n, reps int) (good, bad time.Duration, pr
 		}
 	})
 
-	proof, err := members["p0"].Query("task-e2e", product, core.Good)
+	proof, err := members["p0"].Query(context.Background(), "task-e2e", product, core.Good)
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestConcurrentQueries(t *testing.T) {
 			wg.Add(1)
 			go func(id poc.ProductID, q Quality) {
 				defer wg.Done()
-				result, err := fx.proxy.QueryPath(id, q)
+				result, err := fx.proxy.QueryPath(context.Background(), id, q)
 				if err != nil {
 					errCh <- err
 					return
@@ -81,7 +82,7 @@ func TestConcurrentProofsOneDPOC(t *testing.T) {
 				if (i+j)%2 == 0 {
 					id = poc.ProductID("ghost-other")
 				}
-				resp, err := member.Query(fx.dist.TaskID, id, Bad)
+				resp, err := member.Query(context.Background(), fx.dist.TaskID, id, Bad)
 				if err != nil {
 					errCh <- err
 					return
@@ -114,7 +115,7 @@ func TestConcurrentRegisterAndQuery(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 8; i++ {
-			if _, err := fx.proxy.QueryPath("id1", Good); err != nil {
+			if _, err := fx.proxy.QueryPath(context.Background(), "id1", Good); err != nil {
 				errCh <- err
 				return
 			}

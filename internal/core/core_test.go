@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -66,7 +67,7 @@ func newFixture(t *testing.T, products int) *fixture {
 func TestHonestGoodQueryRecoversExactPath(t *testing.T) {
 	fx := newFixture(t, 8)
 	for id, wantPath := range fx.dist.Ground.Paths {
-		result, err := fx.proxy.QueryPath(id, Good)
+		result, err := fx.proxy.QueryPath(context.Background(), id, Good)
 		if err != nil {
 			t.Fatalf("QueryPath(%s): %v", id, err)
 		}
@@ -104,7 +105,7 @@ func TestHonestGoodQueryRecoversExactPath(t *testing.T) {
 func TestHonestBadQueryRecoversExactPath(t *testing.T) {
 	fx := newFixture(t, 4)
 	for id, wantPath := range fx.dist.Ground.Paths {
-		result, err := fx.proxy.QueryPath(id, Bad)
+		result, err := fx.proxy.QueryPath(context.Background(), id, Bad)
 		if err != nil {
 			t.Fatalf("QueryPath(%s): %v", id, err)
 		}
@@ -128,11 +129,11 @@ func TestReputationDoubleEdge(t *testing.T) {
 			break
 		}
 	}
-	goodRes, err := fx.proxy.QueryPath(goodID, Good)
+	goodRes, err := fx.proxy.QueryPath(context.Background(), goodID, Good)
 	if err != nil {
 		t.Fatal(err)
 	}
-	badRes, err := fx.proxy.QueryPath(badID, Bad)
+	badRes, err := fx.proxy.QueryPath(context.Background(), badID, Bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestReputationDoubleEdge(t *testing.T) {
 
 func TestQueryUnknownProductFindsNoStart(t *testing.T) {
 	fx := newFixture(t, 2)
-	result, err := fx.proxy.QueryPath("never-distributed", Good)
+	result, err := fx.proxy.QueryPath(context.Background(), "never-distributed", Good)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestQueryUnknownProductFindsNoStart(t *testing.T) {
 		t.Fatalf("unknown product must identify nobody, got %+v", result)
 	}
 	// Bad case: every initial clears itself with a valid non-ownership proof.
-	result, err = fx.proxy.QueryPath("never-distributed", Bad)
+	result, err = fx.proxy.QueryPath(context.Background(), "never-distributed", Bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestQueryUnknownProductFindsNoStart(t *testing.T) {
 
 func TestQueryInvalidQuality(t *testing.T) {
 	fx := newFixture(t, 2)
-	if _, err := fx.proxy.QueryPath("id1", Quality(0)); err == nil {
+	if _, err := fx.proxy.QueryPath(context.Background(), "id1", Quality(0)); err == nil {
 		t.Fatal("invalid quality must be rejected")
 	}
 }
@@ -228,7 +229,7 @@ func TestMultiDistributionTasks(t *testing.T) {
 	}
 
 	for id, wantPath := range distB.Ground.Paths {
-		result, err := proxy.QueryPath(id, Good)
+		result, err := proxy.QueryPath(context.Background(), id, Good)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -244,7 +245,7 @@ func TestMultiDistributionTasks(t *testing.T) {
 	}
 	// Bad-product flavour across tasks, too (§IV.D bad case).
 	for id := range distA.Ground.Paths {
-		result, err := proxy.QueryPath(id, Bad)
+		result, err := proxy.QueryPath(context.Background(), id, Bad)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -258,10 +259,10 @@ func TestMultiDistributionTasks(t *testing.T) {
 func TestMemberTaskStateValidation(t *testing.T) {
 	ps := corePS(t)
 	m := NewMember(ps, supplychain.NewParticipant("vX"))
-	if _, err := m.Query("no-task", "id1", Good); err == nil {
+	if _, err := m.Query(context.Background(), "no-task", "id1", Good); err == nil {
 		t.Fatal("query for uncommitted task must error")
 	}
-	if _, err := m.DemandOwnership("no-task", "id1"); err == nil {
+	if _, err := m.DemandOwnership(context.Background(), "no-task", "id1"); err == nil {
 		t.Fatal("demand for uncommitted task must error")
 	}
 	if err := m.SetNextHop("no-task", "id1", "vY"); err == nil {
@@ -291,7 +292,7 @@ func TestHonestMemberResponses(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	resp, err := m.Query("t", "id1", Good)
+	resp, err := m.Query(context.Background(), "t", "id1", Good)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestHonestMemberResponses(t *testing.T) {
 		t.Fatalf("unexpected response %+v", resp)
 	}
 
-	resp, err = m.Query("t", "id2", Bad)
+	resp, err = m.Query(context.Background(), "t", "id2", Bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,14 +308,14 @@ func TestHonestMemberResponses(t *testing.T) {
 		t.Fatalf("unexpected response %+v", resp)
 	}
 
-	resp, err = m.DemandOwnership("t", "id1")
+	resp, err = m.DemandOwnership(context.Background(), "t", "id1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.Claim != ClaimProcessed || resp.Proof.Kind != poc.Ownership {
 		t.Fatalf("unexpected demand response %+v", resp)
 	}
-	resp, err = m.DemandOwnership("t", "id2")
+	resp, err = m.DemandOwnership(context.Background(), "t", "id2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestUnreachableParticipantRecorded(t *testing.T) {
 	if err := proxy.RegisterList(fx.dist.TaskID, fx.dist.List); err != nil {
 		t.Fatal(err)
 	}
-	result, err := proxy.QueryPath(productID, Good)
+	result, err := proxy.QueryPath(context.Background(), productID, Good)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +400,7 @@ func TestMemberTaskPersistence(t *testing.T) {
 	}
 	fx.members[victim] = reborn
 
-	result, err := fx.proxy.QueryPath(productID, Good)
+	result, err := fx.proxy.QueryPath(context.Background(), productID, Good)
 	if err != nil {
 		t.Fatal(err)
 	}

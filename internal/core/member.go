@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"desword/internal/poc"
 	"desword/internal/rfid"
 	"desword/internal/supplychain"
+	"desword/internal/trace"
 )
 
 // Member is a DE-Sword participant runtime: a supply-chain participant plus
@@ -97,13 +99,18 @@ func (m *Member) task(taskID string) (*memberTask, error) {
 // Query implements Responder honestly: it proves ownership when it holds a
 // committed trace for the product and non-ownership when it does not, and
 // names the recorded next hop.
-func (m *Member) Query(taskID string, id poc.ProductID, quality Quality) (*Response, error) {
+func (m *Member) Query(ctx context.Context, taskID string, id poc.ProductID, quality Quality) (*Response, error) {
+	ctx, span := trace.Default.StartChild(ctx, "member.query",
+		trace.String("participant", string(m.part.ID())))
+	defer span.End()
 	entry, err := m.task(taskID)
 	if err != nil {
+		span.SetError(err)
 		return nil, err
 	}
-	proof, err := entry.dpoc.Prove(id)
+	proof, err := entry.dpoc.ProveCtx(ctx, id)
 	if err != nil {
+		span.SetError(err)
 		return nil, fmt.Errorf("core: %s proving %s: %w", m.part.ID(), id, err)
 	}
 	resp := &Response{Proof: proof}
@@ -119,13 +126,18 @@ func (m *Member) Query(taskID string, id poc.ProductID, quality Quality) (*Respo
 }
 
 // DemandOwnership implements Responder honestly.
-func (m *Member) DemandOwnership(taskID string, id poc.ProductID) (*Response, error) {
+func (m *Member) DemandOwnership(ctx context.Context, taskID string, id poc.ProductID) (*Response, error) {
+	ctx, span := trace.Default.StartChild(ctx, "member.demand_ownership",
+		trace.String("participant", string(m.part.ID())))
+	defer span.End()
 	entry, err := m.task(taskID)
 	if err != nil {
+		span.SetError(err)
 		return nil, err
 	}
-	proof, err := entry.dpoc.Prove(id)
+	proof, err := entry.dpoc.ProveCtx(ctx, id)
 	if err != nil {
+		span.SetError(err)
 		return nil, fmt.Errorf("core: %s proving %s: %w", m.part.ID(), id, err)
 	}
 	if proof.Kind != poc.Ownership {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"desword/internal/poc"
@@ -44,7 +45,7 @@ func TestPOCQueueSameInitial(t *testing.T) {
 	// Bad-product query for the LAST lot: the proxy sweeps p0's queue; the
 	// first two entries clear p0 with valid non-ownership proofs, the third
 	// identifies it.
-	result, err := proxy.QueryPath("charlie1", Bad)
+	result, err := proxy.QueryPath(context.Background(), "charlie1", Bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestPOCQueueSameInitial(t *testing.T) {
 	}
 
 	// Good-product flavour across the same queue.
-	result, err = proxy.QueryPath("bravo1", Good)
+	result, err = proxy.QueryPath(context.Background(), "bravo1", Good)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestPOCQueueSameInitial(t *testing.T) {
 	}
 
 	// A product in no lot clears all three queue entries.
-	result, err = proxy.QueryPath("delta1", Bad)
+	result, err = proxy.QueryPath(context.Background(), "delta1", Bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,14 +144,14 @@ func TestDynamicDigraphAcrossTasks(t *testing.T) {
 
 	// Old product still resolves through the departed participant b (its POC
 	// list is frozen), new product flows through d.
-	oldResult, err := proxy.QueryPath("old1", Good)
+	oldResult, err := proxy.QueryPath(context.Background(), "old1", Good)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if oldResult.TaskID != "before" || len(oldResult.Path) != 3 || oldResult.Path[1] != "b" {
 		t.Fatalf("old product path = %v (task %s)", oldResult.Path, oldResult.TaskID)
 	}
-	newResult, err := proxy.QueryPath("new1", Good)
+	newResult, err := proxy.QueryPath(context.Background(), "new1", Good)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"desword/internal/poc"
 	"desword/internal/reputation"
+	"desword/internal/trace"
 )
 
 // Proxy is DE-Sword's trustworthy query proxy (e.g. the FDA): it generates
@@ -96,10 +98,13 @@ func (px *Proxy) Tasks() []string {
 // participants, walks the path hop by hop verifying proofs against the POC
 // list, detects the dishonest behaviours of §III.B, and applies the
 // double-edged reputation award to the identified path.
-func (px *Proxy) QueryPath(id poc.ProductID, quality Quality) (*Result, error) {
+func (px *Proxy) QueryPath(ctx context.Context, id poc.ProductID, quality Quality) (*Result, error) {
 	if quality != Good && quality != Bad {
 		return nil, fmt.Errorf("core: invalid quality %v", quality)
 	}
+	ctx, span := trace.Default.Start(ctx, "proxy.query_path",
+		trace.String("product", string(id)), trace.String("quality", quality.String()))
+	defer span.End()
 	defer queryLatency(quality).ObserveSince(time.Now())
 	px.counters.addQuery(quality)
 	countQuery(quality)
@@ -107,11 +112,13 @@ func (px *Proxy) QueryPath(id poc.ProductID, quality Quality) (*Result, error) {
 		Product: id,
 		Quality: quality,
 		Traces:  make(map[poc.ParticipantID]poc.Trace),
+		TraceID: span.TraceID(),
 	}
 
-	start, entry, firstNext := px.findStart(id, quality, result)
+	start, entry, firstNext := px.findStart(ctx, id, quality, result)
 	if start == "" {
 		// No initial participant admits processing the product in any task.
+		span.SetAttr(trace.Int("hops", 0), trace.Int("violations", len(result.Violations)))
 		px.settle(result)
 		return result, nil
 	}
@@ -120,7 +127,10 @@ func (px *Proxy) QueryPath(id poc.ProductID, quality Quality) (*Result, error) {
 	px.mu.RLock()
 	list := px.lists[entry.taskID]
 	px.mu.RUnlock()
-	px.walk(list, entry.taskID, start, firstNext, id, quality, result)
+	px.walk(ctx, list, entry.taskID, start, firstNext, id, quality, result)
+	span.SetAttr(trace.String("task", entry.taskID),
+		trace.Int("hops", len(result.Path)), trace.Int("violations", len(result.Violations)),
+		trace.Bool("complete", result.Complete))
 	px.settle(result)
 	return result, nil
 }
@@ -128,7 +138,9 @@ func (px *Proxy) QueryPath(id poc.ProductID, quality Quality) (*Result, error) {
 // findStart probes each initial participant's POC-queue (§IV.D) and returns
 // the first initial identified as having processed the product, along with
 // the queue entry that anchored the identification.
-func (px *Proxy) findStart(id poc.ProductID, quality Quality, result *Result) (poc.ParticipantID, queueEntry, poc.ParticipantID) {
+func (px *Proxy) findStart(ctx context.Context, id poc.ProductID, quality Quality, result *Result) (poc.ParticipantID, queueEntry, poc.ParticipantID) {
+	ctx, span := trace.Default.StartChild(ctx, "poc_queue.find_start")
+	defer span.End()
 	px.mu.RLock()
 	initials := make([]poc.ParticipantID, 0, len(px.queues))
 	for v := range px.queues {
@@ -143,7 +155,7 @@ func (px *Proxy) findStart(id poc.ProductID, quality Quality, result *Result) (p
 
 	for _, initial := range initials {
 		for _, entry := range queues[initial] {
-			outcome := px.identify(entry.taskID, entry.credential, initial, id, quality)
+			outcome := px.identify(ctx, entry.taskID, entry.credential, initial, id, quality)
 			result.Violations = append(result.Violations, outcome.violations...)
 			if outcome.identified {
 				if outcome.trace != nil {
@@ -167,17 +179,26 @@ type identifyOutcome struct {
 
 // identify runs one query interaction (§IV.C step 1–2) with participant v
 // under its POC for the given task.
-func (px *Proxy) identify(taskID string, credential poc.POC, v poc.ParticipantID, id poc.ProductID, quality Quality) (outcome identifyOutcome) {
+func (px *Proxy) identify(ctx context.Context, taskID string, credential poc.POC, v poc.ParticipantID, id poc.ProductID, quality Quality) (outcome identifyOutcome) {
+	ctx, span := trace.Default.StartChild(ctx, "hop.identify",
+		trace.String("participant", string(v)), trace.String("task", taskID))
+	defer func() {
+		span.SetAttr(trace.Bool("identified", outcome.identified),
+			trace.Int("violations", len(outcome.violations)))
+		span.End()
+	}()
 	defer func() { px.counters.addInteraction(outcome.identified) }()
 	responder, err := px.resolve(v)
 	if err != nil {
+		span.SetError(err)
 		return identifyOutcome{violations: []Violation{{
 			Participant: v, Type: ViolationUnreachable,
 			Detail: fmt.Sprintf("resolving endpoint: %v", err),
 		}}}
 	}
-	resp, err := responder.Query(taskID, id, quality)
+	resp, err := responder.Query(ctx, taskID, id, quality)
 	if err != nil || resp == nil {
+		span.SetError(err)
 		return identifyOutcome{violations: []Violation{{
 			Participant: v, Type: ViolationUnreachable,
 			Detail: fmt.Sprintf("query failed: %v", err),
@@ -186,15 +207,15 @@ func (px *Proxy) identify(taskID string, credential poc.POC, v poc.ParticipantID
 
 	switch quality {
 	case Good:
-		return px.identifyGood(credential, v, id, resp)
+		return px.identifyGood(ctx, credential, v, id, resp)
 	default:
-		return px.identifyBad(taskID, credential, v, id, resp, responder)
+		return px.identifyBad(ctx, taskID, credential, v, id, resp, responder)
 	}
 }
 
 // identifyGood implements the good-product interaction: only a valid
 // ownership proof identifies v (§IV.C good case).
-func (px *Proxy) identifyGood(credential poc.POC, v poc.ParticipantID, id poc.ProductID, resp *Response) identifyOutcome {
+func (px *Proxy) identifyGood(ctx context.Context, credential poc.POC, v poc.ParticipantID, id poc.ProductID, resp *Response) identifyOutcome {
 	if resp.Claim != ClaimProcessed {
 		// Not identified; in the good case a participant renouncing its
 		// positive score needs no proof.
@@ -206,33 +227,33 @@ func (px *Proxy) identifyGood(credential poc.POC, v poc.ParticipantID, id poc.Pr
 			Detail: "claimed processing without an ownership proof",
 		}}}
 	}
-	trace, err := poc.Verify(px.ps, credential, id, resp.Proof)
+	tr, err := poc.VerifyCtx(ctx, px.ps, credential, id, resp.Proof)
 	if err != nil {
 		return identifyOutcome{violations: []Violation{{
 			Participant: v, Type: ViolationClaimProcessing,
 			Detail: fmt.Sprintf("ownership proof rejected: %v", err),
 		}}}
 	}
-	return identifyOutcome{identified: true, trace: trace, next: resp.Next}
+	return identifyOutcome{identified: true, trace: tr, next: resp.Next}
 }
 
 // identifyBad implements the bad-product interaction: a valid non-ownership
 // proof clears v; anything else identifies it, with an ownership demand to
 // recover the trace (§IV.C bad case).
-func (px *Proxy) identifyBad(taskID string, credential poc.POC, v poc.ParticipantID, id poc.ProductID, resp *Response, responder Responder) identifyOutcome {
+func (px *Proxy) identifyBad(ctx context.Context, taskID string, credential poc.POC, v poc.ParticipantID, id poc.ProductID, resp *Response, responder Responder) identifyOutcome {
 	if resp.Claim == ClaimNotProcessed {
 		if resp.Proof != nil && resp.Proof.Kind == poc.NonOwnership {
-			if _, err := poc.Verify(px.ps, credential, id, resp.Proof); err == nil {
+			if _, err := poc.VerifyCtx(ctx, px.ps, credential, id, resp.Proof); err == nil {
 				return identifyOutcome{} // cleared
 			}
 		}
 		// The non-ownership claim did not hold up: demand an ownership proof.
-		demand, err := responder.DemandOwnership(taskID, id)
+		demand, err := responder.DemandOwnership(ctx, taskID, id)
 		if err == nil && demand != nil && demand.Proof != nil && demand.Proof.Kind == poc.Ownership {
-			if trace, verr := poc.Verify(px.ps, credential, id, demand.Proof); verr == nil {
+			if tr, verr := poc.VerifyCtx(ctx, px.ps, credential, id, demand.Proof); verr == nil {
 				return identifyOutcome{
 					identified: true,
-					trace:      trace,
+					trace:      tr,
 					next:       demand.Next,
 					violations: []Violation{{
 						Participant: v, Type: ViolationClaimNonProcessing,
@@ -253,8 +274,8 @@ func (px *Proxy) identifyBad(taskID string, credential poc.POC, v poc.Participan
 	}
 	// Claims processing in the bad case: verify the ownership proof.
 	if resp.Proof != nil && resp.Proof.Kind == poc.Ownership {
-		if trace, err := poc.Verify(px.ps, credential, id, resp.Proof); err == nil {
-			return identifyOutcome{identified: true, trace: trace, next: resp.Next}
+		if tr, err := poc.VerifyCtx(ctx, px.ps, credential, id, resp.Proof); err == nil {
+			return identifyOutcome{identified: true, trace: tr, next: resp.Next}
 		}
 	}
 	return identifyOutcome{
@@ -268,7 +289,7 @@ func (px *Proxy) identifyBad(taskID string, credential poc.POC, v poc.Participan
 
 // walk continues the query from the identified start down the POC list,
 // hop by hop (§IV.C step 3), with the next-hop checks of §III.B.
-func (px *Proxy) walk(list *poc.List, taskID string, start, firstNext poc.ParticipantID, id poc.ProductID, quality Quality, result *Result) {
+func (px *Proxy) walk(ctx context.Context, list *poc.List, taskID string, start, firstNext poc.ParticipantID, id poc.ProductID, quality Quality, result *Result) {
 	visited := map[poc.ParticipantID]bool{start: true}
 	cur := start
 	next := firstNext
@@ -276,7 +297,7 @@ func (px *Proxy) walk(list *poc.List, taskID string, start, firstNext poc.Partic
 		if next == "" {
 			// No next hop named. If the POC list records children, the
 			// product may still have moved on — probe them.
-			child, childNext := px.probeChildren(list, taskID, cur, id, quality, visited, result)
+			child, childNext := px.probeChildren(ctx, list, taskID, cur, id, quality, visited, result)
 			if child == "" {
 				result.Complete = len(list.Children(cur)) == 0
 				return
@@ -317,7 +338,7 @@ func (px *Proxy) walk(list *poc.List, taskID string, start, firstNext poc.Partic
 			continue
 		}
 		visited[next] = true
-		outcome := px.identify(taskID, credential, next, id, quality)
+		outcome := px.identify(ctx, taskID, credential, next, id, quality)
 		result.Violations = append(result.Violations, outcome.violations...)
 		if !outcome.identified {
 			// §III.B "wrong participant", case 1: the named next provably
@@ -341,7 +362,7 @@ func (px *Proxy) walk(list *poc.List, taskID string, start, firstNext poc.Partic
 // probeChildren asks each recorded child of cur (not yet visited) whether it
 // processed the product, returning the first identified child and that
 // child's claimed next hop.
-func (px *Proxy) probeChildren(list *poc.List, taskID string, cur poc.ParticipantID, id poc.ProductID, quality Quality, visited map[poc.ParticipantID]bool, result *Result) (poc.ParticipantID, poc.ParticipantID) {
+func (px *Proxy) probeChildren(ctx context.Context, list *poc.List, taskID string, cur poc.ParticipantID, id poc.ProductID, quality Quality, visited map[poc.ParticipantID]bool, result *Result) (poc.ParticipantID, poc.ParticipantID) {
 	for _, child := range list.Children(cur) {
 		if visited[child] {
 			continue
@@ -351,7 +372,7 @@ func (px *Proxy) probeChildren(list *poc.List, taskID string, cur poc.Participan
 			continue
 		}
 		visited[child] = true
-		outcome := px.identify(taskID, credential, child, id, quality)
+		outcome := px.identify(ctx, taskID, credential, child, id, quality)
 		result.Violations = append(result.Violations, outcome.violations...)
 		if outcome.identified {
 			result.Path = append(result.Path, child)

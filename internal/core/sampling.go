@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -33,7 +34,7 @@ type SampleReport struct {
 // rate, inspects its quality, and issues the corresponding good/bad path
 // query. The caller supplies the randomness source so campaigns are
 // reproducible in tests and experiments.
-func (px *Proxy) SampleAndQuery(rng *rand.Rand, market []poc.ProductID, rate float64, check QualityCheck) (*SampleReport, error) {
+func (px *Proxy) SampleAndQuery(ctx context.Context, rng *rand.Rand, market []poc.ProductID, rate float64, check QualityCheck) (*SampleReport, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("core: sampling requires a randomness source")
 	}
@@ -49,7 +50,7 @@ func (px *Proxy) SampleAndQuery(rng *rand.Rand, market []poc.ProductID, rate flo
 			continue
 		}
 		quality := check(id)
-		result, err := px.QueryPath(id, quality)
+		result, err := px.QueryPath(ctx, id, quality)
 		if err != nil {
 			return nil, fmt.Errorf("core: sampling query for %s: %w", id, err)
 		}

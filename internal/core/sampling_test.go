@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestSampleAndQuery(t *testing.T) {
 		return Good
 	}
 	rng := rand.New(rand.NewSource(7))
-	report, err := fx.proxy.SampleAndQuery(rng, market, 1.0, check)
+	report, err := fx.proxy.SampleAndQuery(context.Background(), rng, market, 1.0, check)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestSampleAndQuery(t *testing.T) {
 func TestSampleAndQueryRateZero(t *testing.T) {
 	fx := newFixture(t, 2)
 	rng := rand.New(rand.NewSource(1))
-	report, err := fx.proxy.SampleAndQuery(rng, []poc.ProductID{"id1", "id2"}, 0,
+	report, err := fx.proxy.SampleAndQuery(context.Background(), rng, []poc.ProductID{"id1", "id2"}, 0,
 		func(poc.ProductID) Quality { return Good })
 	if err != nil {
 		t.Fatal(err)
@@ -78,11 +79,11 @@ func TestSampleAndQueryPartialRateDeterministic(t *testing.T) {
 		market = append(market, id)
 	}
 	check := func(poc.ProductID) Quality { return Good }
-	a, err := fx.proxy.SampleAndQuery(rand.New(rand.NewSource(42)), market, 0.5, check)
+	a, err := fx.proxy.SampleAndQuery(context.Background(), rand.New(rand.NewSource(42)), market, 0.5, check)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := fx.proxy.SampleAndQuery(rand.New(rand.NewSource(42)), market, 0.5, check)
+	b, err := fx.proxy.SampleAndQuery(context.Background(), rand.New(rand.NewSource(42)), market, 0.5, check)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,13 +96,13 @@ func TestSampleAndQueryValidation(t *testing.T) {
 	fx := newFixture(t, 2)
 	check := func(poc.ProductID) Quality { return Good }
 	rng := rand.New(rand.NewSource(1))
-	if _, err := fx.proxy.SampleAndQuery(nil, nil, 0.5, check); err == nil {
+	if _, err := fx.proxy.SampleAndQuery(context.Background(), nil, nil, 0.5, check); err == nil {
 		t.Fatal("nil rng must be rejected")
 	}
-	if _, err := fx.proxy.SampleAndQuery(rng, nil, 1.5, check); err == nil {
+	if _, err := fx.proxy.SampleAndQuery(context.Background(), rng, nil, 1.5, check); err == nil {
 		t.Fatal("rate > 1 must be rejected")
 	}
-	if _, err := fx.proxy.SampleAndQuery(rng, nil, 0.5, nil); err == nil {
+	if _, err := fx.proxy.SampleAndQuery(context.Background(), rng, nil, 0.5, nil); err == nil {
 		t.Fatal("nil quality check must be rejected")
 	}
 }

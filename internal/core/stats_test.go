@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"desword/internal/poc"
@@ -16,8 +17,8 @@ type denyingResponder struct {
 	deny poc.ProductID
 }
 
-func (d *denyingResponder) Query(taskID string, id poc.ProductID, quality Quality) (*Response, error) {
-	resp, err := d.Member.Query(taskID, id, quality)
+func (d *denyingResponder) Query(ctx context.Context, taskID string, id poc.ProductID, quality Quality) (*Response, error) {
+	resp, err := d.Member.Query(ctx, taskID, id, quality)
 	if err != nil {
 		return nil, err
 	}
@@ -38,10 +39,10 @@ func TestStatsCountQueriesAndInteractions(t *testing.T) {
 		pathLen = len(path)
 		break
 	}
-	if _, err := fx.proxy.QueryPath(productID, Good); err != nil {
+	if _, err := fx.proxy.QueryPath(context.Background(), productID, Good); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fx.proxy.QueryPath(productID, Bad); err != nil {
+	if _, err := fx.proxy.QueryPath(context.Background(), productID, Bad); err != nil {
 		t.Fatal(err)
 	}
 	stats := fx.proxy.Stats()
@@ -94,7 +95,7 @@ func TestStatsCountViolations(t *testing.T) {
 	if err := proxy.RegisterList("task-s", list); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := proxy.QueryPath("s1", Bad); err != nil {
+	if _, err := proxy.QueryPath(context.Background(), "s1", Bad); err != nil {
 		t.Fatal(err)
 	}
 	stats := proxy.Stats()

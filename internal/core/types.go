@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -74,17 +75,19 @@ type Response struct {
 }
 
 // Responder is a reachable participant endpoint. Implementations: Member
-// (in-process, honest), the adversary wrappers, and node.Client (TCP).
+// (in-process, honest), the adversary wrappers, and node.ResponderClient
+// (TCP). The context carries cancellation and the active trace span, so one
+// distributed trace follows a query across process boundaries.
 type Responder interface {
 	// Query asks for the participant's response for product id within a
 	// distribution task. The quality tells the participant which proof the
 	// proxy expects first (ownership for good products, non-ownership for
 	// bad ones).
-	Query(taskID string, id poc.ProductID, quality Quality) (*Response, error)
+	Query(ctx context.Context, taskID string, id poc.ProductID, quality Quality) (*Response, error)
 	// DemandOwnership is the proxy's follow-up in the bad-product case when
 	// a claimed non-ownership proof fails to verify: reveal a valid
 	// ownership proof (§IV.C bad case, step 2).
-	DemandOwnership(taskID string, id poc.ProductID) (*Response, error)
+	DemandOwnership(ctx context.Context, taskID string, id poc.ProductID) (*Response, error)
 }
 
 // Resolver maps a participant identity to a reachable endpoint.
@@ -157,6 +160,10 @@ type Result struct {
 	Violations []Violation
 	// Complete reports whether the walk ended at a leaf of the POC list.
 	Complete bool
+	// TraceID names the distributed trace recorded for this query ("" when
+	// the query was not sampled). The full span timeline is retrievable
+	// from the proxy's /debug/traces/<id> admin endpoint.
+	TraceID string
 }
 
 // PathInfo assembles the ordered trace list — the product's path information

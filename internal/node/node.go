@@ -7,9 +7,11 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"desword/internal/core"
 	"desword/internal/poc"
 	"desword/internal/reputation"
+	"desword/internal/trace"
 	"desword/internal/wire"
 )
 
@@ -73,6 +76,7 @@ func applyOptions(opts []Option) options {
 type server struct {
 	ln      net.Listener
 	opts    options
+	role    string
 	metrics *serverMetrics
 
 	wg     sync.WaitGroup
@@ -81,9 +85,10 @@ type server struct {
 	conns  map[net.Conn]struct{}
 }
 
-func (s *server) start(ln net.Listener, role string, o options, handle func(*wire.Envelope) (string, any)) {
+func (s *server) start(ln net.Listener, role string, o options, handle func(context.Context, *wire.Envelope) (string, any)) {
 	s.ln = ln
 	s.opts = o
+	s.role = role
 	s.metrics = newServerMetrics(role)
 	s.conns = make(map[net.Conn]struct{})
 	s.wg.Add(1)
@@ -135,8 +140,12 @@ func (s *server) untrack(conn net.Conn) {
 }
 
 // serveConn answers framed requests on one connection until the peer hangs
-// up or sends garbage.
-func (s *server) serveConn(conn net.Conn, handle func(*wire.Envelope) (string, any)) {
+// up or sends garbage. A request envelope carrying trace context continues
+// the caller's distributed trace: the handler runs under a local root span,
+// the completed local fragment (handler, proof generation, …) rides back to
+// the caller on the response envelope, and the request is logged with the
+// trace id via the context-aware slog handler.
+func (s *server) serveConn(conn net.Conn, handle func(context.Context, *wire.Envelope) (string, any)) {
 	for {
 		if err := conn.SetReadDeadline(time.Now().Add(s.opts.timeout)); err != nil {
 			return
@@ -153,14 +162,41 @@ func (s *server) serveConn(conn net.Conn, handle func(*wire.Envelope) (string, a
 			return
 		}
 		start := time.Now()
-		respType, payload := handle(env)
+		ctx := context.Background()
+		var span *trace.Span
+		if traceID, spanID := env.TraceContext(); traceID != "" {
+			ctx, span = trace.Default.StartRemote(ctx, "server."+env.Type, traceID, spanID,
+				trace.String("role", s.role), trace.String("peer", conn.RemoteAddr().String()))
+		}
+		respType, payload := handle(ctx, env)
 		if respType == wire.TypeError {
 			s.metrics.errHandle.Inc()
+			span.SetAttr(trace.Bool("error", true))
+		}
+		if span != nil {
+			slog.InfoContext(ctx, "traced request handled",
+				"role", s.role, "type", env.Type, "resp", respType,
+				"elapsed", time.Since(start))
 		}
 		if err := conn.SetWriteDeadline(time.Now().Add(s.opts.timeout)); err != nil {
+			span.End()
 			return
 		}
-		if err := wire.WriteMessage(conn, respType, payload); err != nil {
+		respEnv, err := wire.NewEnvelope(respType, payload)
+		if err != nil {
+			span.End()
+			s.metrics.errWrite.Inc()
+			return
+		}
+		// End the handler span before draining so the fragment shipped to
+		// the caller includes it; the local recorder keeps a copy too.
+		span.End()
+		if span != nil {
+			respEnv.TraceID = span.TraceID()
+			respEnv.SpanID = span.SpanID()
+			respEnv.Spans = span.Drain()
+		}
+		if err := wire.WriteEnvelope(conn, respEnv); err != nil {
 			s.metrics.errWrite.Inc()
 			return
 		}
@@ -224,14 +260,14 @@ func ServeParticipant(addr string, responder core.Responder, opts ...Option) (*P
 	return s, nil
 }
 
-func (s *ParticipantServer) handle(env *wire.Envelope) (string, any) {
+func (s *ParticipantServer) handle(ctx context.Context, env *wire.Envelope) (string, any) {
 	switch env.Type {
 	case wire.TypeQuery:
 		var req wire.QueryRequest
 		if err := env.Decode(&req); err != nil {
 			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
 		}
-		resp, err := s.responder.Query(req.TaskID, req.Product, core.Quality(req.Quality))
+		resp, err := s.responder.Query(ctx, req.TaskID, req.Product, core.Quality(req.Quality))
 		if err != nil {
 			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
 		}
@@ -245,7 +281,7 @@ func (s *ParticipantServer) handle(env *wire.Envelope) (string, any) {
 		if err := env.Decode(&req); err != nil {
 			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
 		}
-		resp, err := s.responder.DemandOwnership(req.TaskID, req.Product)
+		resp, err := s.responder.DemandOwnership(ctx, req.TaskID, req.Product)
 		if err != nil {
 			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
 		}
@@ -276,21 +312,21 @@ func NewResponderClient(addr string, opts ...Option) *ResponderClient {
 var _ core.Responder = (*ResponderClient)(nil)
 
 // Query implements core.Responder over TCP.
-func (c *ResponderClient) Query(taskID string, id poc.ProductID, quality core.Quality) (*core.Response, error) {
-	return c.roundTrip(wire.TypeQuery, wire.QueryRequest{
+func (c *ResponderClient) Query(ctx context.Context, taskID string, id poc.ProductID, quality core.Quality) (*core.Response, error) {
+	return c.roundTrip(ctx, wire.TypeQuery, wire.QueryRequest{
 		TaskID: taskID, Product: id, Quality: int(quality),
 	})
 }
 
 // DemandOwnership implements core.Responder over TCP.
-func (c *ResponderClient) DemandOwnership(taskID string, id poc.ProductID) (*core.Response, error) {
-	return c.roundTrip(wire.TypeDemandOwnership, wire.DemandRequest{
+func (c *ResponderClient) DemandOwnership(ctx context.Context, taskID string, id poc.ProductID) (*core.Response, error) {
+	return c.roundTrip(ctx, wire.TypeDemandOwnership, wire.DemandRequest{
 		TaskID: taskID, Product: id,
 	})
 }
 
-func (c *ResponderClient) roundTrip(msgType string, payload any) (*core.Response, error) {
-	env, err := exchange(c.addr, c.timeout, msgType, payload)
+func (c *ResponderClient) roundTrip(ctx context.Context, msgType string, payload any) (*core.Response, error) {
+	env, err := exchange(ctx, c.addr, c.timeout, msgType, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -334,7 +370,7 @@ func ServeProxy(addr string, proxy *core.Proxy, opts ...Option) (*ProxyServer, e
 	return s, nil
 }
 
-func (s *ProxyServer) handle(env *wire.Envelope) (string, any) {
+func (s *ProxyServer) handle(ctx context.Context, env *wire.Envelope) (string, any) {
 	switch env.Type {
 	case wire.TypeGetParams:
 		return wire.TypeParams, s.proxy.PublicParams()
@@ -355,7 +391,7 @@ func (s *ProxyServer) handle(env *wire.Envelope) (string, any) {
 		if err := env.Decode(&req); err != nil {
 			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
 		}
-		result, err := s.proxy.QueryPath(req.Product, core.Quality(req.Quality))
+		result, err := s.proxy.QueryPath(ctx, req.Product, core.Quality(req.Quality))
 		if err != nil {
 			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
 		}
@@ -388,7 +424,7 @@ func NewProxyClient(addr string, opts ...Option) *ProxyClient {
 
 // GetParams fetches and rehydrates the public parameter ps.
 func (c *ProxyClient) GetParams() (*poc.PublicParams, error) {
-	env, err := exchange(c.addr, c.timeout, wire.TypeGetParams, struct{}{})
+	env, err := exchange(context.Background(), c.addr, c.timeout, wire.TypeGetParams, struct{}{})
 	if err != nil {
 		return nil, err
 	}
@@ -407,7 +443,7 @@ func (c *ProxyClient) GetParams() (*poc.PublicParams, error) {
 
 // RegisterList submits a POC list on behalf of an initial participant.
 func (c *ProxyClient) RegisterList(taskID string, list *poc.List) error {
-	env, err := exchange(c.addr, c.timeout, wire.TypeRegisterList,
+	env, err := exchange(context.Background(), c.addr, c.timeout, wire.TypeRegisterList,
 		wire.RegisterListRequest{TaskID: taskID, List: list})
 	if err != nil {
 		return err
@@ -418,9 +454,11 @@ func (c *ProxyClient) RegisterList(taskID string, list *poc.List) error {
 	return nil
 }
 
-// QueryPath runs a full product path query at the proxy.
-func (c *ProxyClient) QueryPath(id poc.ProductID, quality core.Quality) (*core.Result, error) {
-	env, err := exchange(c.addr, c.timeout, wire.TypeQueryPath,
+// QueryPath runs a full product path query at the proxy. When ctx carries an
+// active trace span, the proxy continues the same trace; either way, the
+// returned result names the proxy-side trace id when the query was sampled.
+func (c *ProxyClient) QueryPath(ctx context.Context, id poc.ProductID, quality core.Quality) (*core.Result, error) {
+	env, err := exchange(ctx, c.addr, c.timeout, wire.TypeQueryPath,
 		wire.QueryPathRequest{Product: id, Quality: int(quality)})
 	if err != nil {
 		return nil, err
@@ -437,7 +475,7 @@ func (c *ProxyClient) QueryPath(id poc.ProductID, quality core.Quality) (*core.R
 
 // Scores fetches the public reputation table.
 func (c *ProxyClient) Scores() (map[poc.ParticipantID]float64, error) {
-	env, err := exchange(c.addr, c.timeout, wire.TypeScores, struct{}{})
+	env, err := exchange(context.Background(), c.addr, c.timeout, wire.TypeScores, struct{}{})
 	if err != nil {
 		return nil, err
 	}
@@ -454,7 +492,7 @@ func (c *ProxyClient) Scores() (map[poc.ParticipantID]float64, error) {
 // AuditLog fetches the proxy's chained score history and verifies it
 // end-to-end before returning it — a customer-side audit in one call.
 func (c *ProxyClient) AuditLog() ([]reputation.AuditEntry, error) {
-	env, err := exchange(c.addr, c.timeout, wire.TypeAuditLog, struct{}{})
+	env, err := exchange(context.Background(), c.addr, c.timeout, wire.TypeAuditLog, struct{}{})
 	if err != nil {
 		return nil, err
 	}
@@ -478,8 +516,22 @@ func (c *ProxyClient) AuditLog() ([]reputation.AuditEntry, error) {
 
 // exchange performs one dial-request-response cycle. The connection is
 // closed on every path — success and error alike — by the deferred Close.
-func exchange(addr string, timeout time.Duration, msgType string, payload any) (*wire.Envelope, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+// When ctx carries an active trace span, the exchange records a wire
+// round-trip child span, sends the trace context on the request envelope,
+// and grafts the spans the server returns on the response envelope into the
+// local trace.
+func exchange(ctx context.Context, addr string, timeout time.Duration, msgType string, payload any) (*wire.Envelope, error) {
+	ctx, span := trace.Default.StartChild(ctx, "wire."+msgType,
+		trace.String("addr", addr))
+	env, err := exchangeEnv(ctx, span, addr, timeout, msgType, payload)
+	span.SetError(err)
+	span.End()
+	return env, err
+}
+
+func exchangeEnv(ctx context.Context, span *trace.Span, addr string, timeout time.Duration, msgType string, payload any) (*wire.Envelope, error) {
+	dialer := net.Dialer{Timeout: timeout}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("node: dialing %s: %w", addr, err)
 	}
@@ -491,10 +543,21 @@ func exchange(addr string, timeout time.Duration, msgType string, payload any) (
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, fmt.Errorf("node: setting deadline: %w", err)
 	}
-	if err := wire.WriteMessage(conn, msgType, payload); err != nil {
+	req, err := wire.NewEnvelope(msgType, payload)
+	if err != nil {
 		return nil, err
 	}
-	return wire.ReadMessage(conn)
+	req.TraceID = span.TraceID()
+	req.SpanID = span.SpanID()
+	if err := wire.WriteEnvelope(conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	span.Adopt(resp.Spans)
+	return resp, nil
 }
 
 // remoteError converts an unexpected envelope into an error.

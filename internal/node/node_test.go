@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"testing"
 
 	"fmt"
@@ -97,7 +98,7 @@ func deploy(t *testing.T, n int, dishonest map[poc.ParticipantID]core.Responder)
 
 func TestNetworkEndToEndGoodQuery(t *testing.T) {
 	d := deploy(t, 4, nil)
-	result, err := d.client.QueryPath(d.product, core.Good)
+	result, err := d.client.QueryPath(context.Background(), d.product, core.Good)
 	if err != nil {
 		t.Fatalf("QueryPath over TCP: %v", err)
 	}
@@ -126,7 +127,7 @@ func TestNetworkEndToEndBadQueryWithLiar(t *testing.T) {
 	// serialization.
 	var liar *adversary.Dishonest
 	d2 := deployWithLiar(t, &liar)
-	result, err := d2.client.QueryPath(d2.product, core.Bad)
+	result, err := d2.client.QueryPath(context.Background(), d2.product, core.Bad)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestGetParamsOverWire(t *testing.T) {
 
 func TestScoresOverWire(t *testing.T) {
 	d := deploy(t, 3, nil)
-	if _, err := d.client.QueryPath(d.product, core.Good); err != nil {
+	if _, err := d.client.QueryPath(context.Background(), d.product, core.Good); err != nil {
 		t.Fatal(err)
 	}
 	scores, err := d.client.Scores()
@@ -267,10 +268,10 @@ func TestUnknownMessageTypeRejected(t *testing.T) {
 
 func TestDialDeadAddressFails(t *testing.T) {
 	c := NewResponderClient("127.0.0.1:1") // nothing listening
-	if _, err := c.Query("t", "x", core.Good); err == nil {
+	if _, err := c.Query(context.Background(), "t", "x", core.Good); err == nil {
 		t.Fatal("dialing a dead address must fail")
 	}
-	if _, err := c.DemandOwnership("t", "x"); err == nil {
+	if _, err := c.DemandOwnership(context.Background(), "t", "x"); err == nil {
 		t.Fatal("dialing a dead address must fail")
 	}
 }
@@ -300,7 +301,7 @@ func mustPS(t *testing.T) *poc.PublicParams {
 
 func TestAuditLogOverWire(t *testing.T) {
 	d := deploy(t, 3, nil)
-	if _, err := d.client.QueryPath(d.product, core.Good); err != nil {
+	if _, err := d.client.QueryPath(context.Background(), d.product, core.Good); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := d.client.AuditLog()
@@ -363,7 +364,7 @@ func TestServerSurvivesGarbageFrames(t *testing.T) {
 
 	// The server must still answer a well-formed request.
 	client := NewResponderClient(srv.Addr())
-	resp, err := client.Query("t", "anything", core.Bad)
+	resp, err := client.Query(context.Background(), "t", "anything", core.Bad)
 	if err != nil {
 		t.Fatalf("server must survive garbage: %v", err)
 	}
@@ -382,7 +383,7 @@ func TestConcurrentNetworkClients(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			result, err := d.client.QueryPath(d.product, core.Good)
+			result, err := d.client.QueryPath(context.Background(), d.product, core.Good)
 			if err != nil {
 				errCh <- err
 				return

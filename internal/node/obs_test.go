@@ -1,6 +1,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -12,6 +13,7 @@ import (
 
 	"desword/internal/core"
 	"desword/internal/obs"
+	"desword/internal/poc"
 	"desword/internal/supplychain"
 )
 
@@ -20,7 +22,7 @@ import (
 // operator dashboards — the acceptance path of the observability layer.
 func TestAdminExposesNodeMetrics(t *testing.T) {
 	d := deploy(t, 3, nil)
-	if _, err := d.client.QueryPath(d.product, core.Good); err != nil {
+	if _, err := d.client.QueryPath(context.Background(), d.product, core.Good); err != nil {
 		t.Fatal(err)
 	}
 
@@ -145,7 +147,7 @@ func TestClientTimeoutOption(t *testing.T) {
 
 	c := NewResponderClient(ln.Addr().String(), WithTimeout(100*time.Millisecond))
 	start := time.Now()
-	_, err = c.Query("t", "x", core.Good)
+	_, err = c.Query(context.Background(), "t", "x", core.Good)
 	if err == nil {
 		t.Fatal("silent server must time the exchange out")
 	}
@@ -155,5 +157,122 @@ func TestClientTimeoutOption(t *testing.T) {
 	var nerr net.Error
 	if !errors.As(err, &nerr) || !nerr.Timeout() {
 		t.Fatalf("want a timeout error, got %v", err)
+	}
+}
+
+// slowResponder delays every query so tests can hold handlers in flight
+// while the server shuts down.
+type slowResponder struct {
+	core.Responder
+	delay   time.Duration
+	entered chan struct{}
+}
+
+func (s *slowResponder) Query(ctx context.Context, taskID string, id poc.ProductID, quality core.Quality) (*core.Response, error) {
+	s.entered <- struct{}{}
+	time.Sleep(s.delay)
+	return s.Responder.Query(ctx, taskID, id, quality)
+}
+
+// TestServerCloseDrainsInFlightRequests shuts a participant server down while
+// slow handlers are mid-request: every in-flight request must complete and
+// deliver its response within the drain grace — shutdown loses no work that
+// was already accepted.
+func TestServerCloseDrainsInFlightRequests(t *testing.T) {
+	ps := mustPS(t)
+	m := core.NewMember(ps, supplychain.NewParticipant("drain-load"))
+	if _, err := m.CommitTask("task-drain"); err != nil {
+		t.Fatal(err)
+	}
+	const inflight = 4
+	slow := &slowResponder{
+		Responder: m,
+		delay:     150 * time.Millisecond,
+		entered:   make(chan struct{}, inflight),
+	}
+	srv, err := ServeParticipant("127.0.0.1:0", slow,
+		WithTimeout(30*time.Second), WithDrainGrace(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func() {
+			client := NewResponderClient(srv.Addr())
+			_, qerr := client.Query(context.Background(), "task-drain", "drain-product", core.Good)
+			errCh <- qerr
+		}()
+	}
+	for i := 0; i < inflight; i++ {
+		select {
+		case <-slow.entered:
+		case <-time.After(5 * time.Second):
+			t.Fatal("handlers never entered")
+		}
+	}
+
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close under load: %v", err)
+	}
+	closeElapsed := time.Since(start)
+	for i := 0; i < inflight; i++ {
+		if qerr := <-errCh; qerr != nil {
+			t.Errorf("in-flight request %d dropped during drain: %v", i, qerr)
+		}
+	}
+	// The drain must end when the handlers do, not burn the whole grace.
+	if closeElapsed > 5*time.Second {
+		t.Fatalf("close took %v; drain did not track in-flight completion", closeElapsed)
+	}
+}
+
+// TestServerCloseForceClosesStragglers shuts down while a handler outlasts
+// the drain grace: the connection is cut (the caller sees an error rather
+// than a hang) and Close returns as soon as the handler goroutine exits.
+func TestServerCloseForceClosesStragglers(t *testing.T) {
+	ps := mustPS(t)
+	m := core.NewMember(ps, supplychain.NewParticipant("straggler"))
+	if _, err := m.CommitTask("task-drain"); err != nil {
+		t.Fatal(err)
+	}
+	slow := &slowResponder{
+		Responder: m,
+		delay:     700 * time.Millisecond,
+		entered:   make(chan struct{}, 1),
+	}
+	srv, err := ServeParticipant("127.0.0.1:0", slow,
+		WithTimeout(30*time.Second), WithDrainGrace(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		client := NewResponderClient(srv.Addr())
+		_, qerr := client.Query(context.Background(), "task-drain", "drain-product", core.Good)
+		errCh <- qerr
+	}()
+	select {
+	case <-slow.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never entered")
+	}
+
+	start := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close with straggler: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("close took %v; straggler was not force-closed", elapsed)
+	}
+	select {
+	case qerr := <-errCh:
+		if qerr == nil {
+			t.Fatal("request outlasting the grace must fail, not silently succeed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client still hanging after force-close")
 	}
 }

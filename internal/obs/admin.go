@@ -1,11 +1,16 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
+
+	"desword/internal/trace"
 )
 
 // AdminServer is the opt-in HTTP admin listener of a DE-Sword binary,
@@ -36,7 +41,68 @@ func AdminMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/traces", TraceExplorer(trace.Default.Recorder()))
+	mux.Handle("/debug/traces/", TraceExplorer(trace.Default.Recorder()))
 	return mux
+}
+
+// tracedTrace is the detail view /debug/traces/<id> serves: the trace header
+// plus its spans assembled into parent→child trees.
+type tracedTrace struct {
+	TraceID string            `json:"trace_id"`
+	Name    string            `json:"name"`
+	Start   time.Time         `json:"start"`
+	End     time.Time         `json:"end"`
+	Spans   int               `json:"spans"`
+	Tree    []*trace.SpanNode `json:"tree"`
+}
+
+// TraceExplorer serves the recorder's completed traces:
+//
+//	GET /debug/traces        → JSON list of trace summaries, newest first
+//	                           (?n=K limits the list)
+//	GET /debug/traces/<id>   → JSON span tree of one trace
+//
+// It is mounted on every AdminMux; tests can mount it over a private
+// recorder.
+func TraceExplorer(rec *trace.Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/traces"), "/")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id == "" {
+			summaries := rec.Recent()
+			if nStr := r.URL.Query().Get("n"); nStr != "" {
+				if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(summaries) {
+					summaries = summaries[:n]
+				}
+			}
+			_ = enc.Encode(summaries)
+			return
+		}
+		if !trace.ValidTraceID(id) {
+			http.Error(w, "malformed trace id", http.StatusBadRequest)
+			return
+		}
+		td, ok := rec.Get(id)
+		if !ok {
+			http.Error(w, "trace not found (evicted or never sampled?)", http.StatusNotFound)
+			return
+		}
+		_ = enc.Encode(tracedTrace{
+			TraceID: td.TraceID,
+			Name:    td.Name,
+			Start:   td.Start,
+			End:     td.End,
+			Spans:   len(td.Spans),
+			Tree:    td.Tree(),
+		})
+	})
 }
 
 // ServeAdmin starts the admin listener on addr (e.g. ":6060", or

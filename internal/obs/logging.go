@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"strings"
+
+	"desword/internal/trace"
 )
 
 // LogConfig is the shared logging configuration of the cmd binaries: one
@@ -55,7 +58,42 @@ func (c *LogConfig) NewLogger(w io.Writer) (*slog.Logger, error) {
 	default:
 		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", c.Format)
 	}
-	return slog.New(handler), nil
+	return slog.New(TraceHandler(handler)), nil
+}
+
+// TraceHandler wraps a slog.Handler so every record logged under a context
+// carrying an active trace span is tagged with trace_id and span_id. That is
+// what lets an operator grep one query's trace ID across the proxy's and
+// every participant's logs and see the same distributed request.
+func TraceHandler(inner slog.Handler) slog.Handler {
+	return &traceHandler{inner: inner}
+}
+
+type traceHandler struct {
+	inner slog.Handler
+}
+
+func (h *traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if span := trace.FromContext(ctx); span != nil {
+		r = r.Clone()
+		r.AddAttrs(
+			slog.String("trace_id", span.TraceID()),
+			slog.String("span_id", span.SpanID()),
+		)
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &traceHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *traceHandler) WithGroup(name string) slog.Handler {
+	return &traceHandler{inner: h.inner.WithGroup(name)}
 }
 
 // Setup builds the logger, installs it as the slog default, and returns it.

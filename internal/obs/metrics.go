@@ -302,6 +302,28 @@ func escapeLabel(v string) string {
 	return b.String()
 }
 
+// escapeHelp applies the Prometheus text-format escaping to HELP text, where
+// only backslash and newline are escaped (quotes stay literal). Unescaped, a
+// newline smuggled into help text would split the line and corrupt the whole
+// exposition.
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // formatFloat renders a float the way Prometheus expects.
 func formatFloat(v float64) string {
 	if math.IsInf(v, 1) {
@@ -338,7 +360,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // point-in-time view of each series.
 func (f *family) write(w io.Writer) error {
 	if f.help != "" {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 			return err
 		}
 	}

@@ -57,6 +57,51 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+// TestHelpEscaping checks HELP text escaping: backslash and newline are
+// escaped (quotes stay literal per the text format), so hostile or merely
+// unlucky help strings cannot split a line and corrupt the exposition.
+func TestHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_help_escape_total", "line one\nline \\two \"quoted\"").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_help_escape_total line one\nline \\two "quoted"`
+	if !strings.Contains(b.String(), want+"\n") {
+		t.Errorf("escaped help %q missing from:\n%s", want, b.String())
+	}
+	// Every line of the exposition must still be parseable: no line may be a
+	// bare continuation of smuggled help text.
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") && !strings.HasPrefix(line, "test_") {
+			t.Errorf("exposition line %q escaped its record", line)
+		}
+	}
+}
+
+// TestParticipantLabelWithQuotesSurvivesExposition drives a hostile
+// participant id through a full family render: ids are attacker-chosen
+// strings, and the scrape must stay parseable whatever they contain.
+func TestParticipantLabelWithQuotesSurvivesExposition(t *testing.T) {
+	reg := NewRegistry()
+	hostile := `v0"} 999
+injected_metric 1`
+	reg.Counter("test_interactions_total", "Per-participant interactions.", "participant", hostile).Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "\ninjected_metric 1\n") {
+		t.Fatalf("hostile participant id injected a series:\n%s", out)
+	}
+	want := `test_interactions_total{participant="v0\"} 999\ninjected_metric 1"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("escaped series %q missing from:\n%s", want, out)
+	}
+}
+
 // TestRepeatedLookupReturnsSameSeries ensures callers that do not cache
 // handles still hit the same underlying series.
 func TestRepeatedLookupReturnsSameSeries(t *testing.T) {

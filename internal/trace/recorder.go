@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultCapacity bounds the recorder ring when a non-positive capacity is
+// requested.
+const DefaultCapacity = 256
+
+// TraceData is one completed trace: every span recorded locally plus any
+// adopted from peers, in completion order.
+type TraceData struct {
+	TraceID string     `json:"trace_id"`
+	Name    string     `json:"name"`
+	Start   time.Time  `json:"start"`
+	End     time.Time  `json:"end"`
+	Spans   []SpanData `json:"spans"`
+}
+
+// Summary is the list view of a completed trace.
+type Summary struct {
+	TraceID  string    `json:"trace_id"`
+	Name     string    `json:"name"`
+	Start    time.Time `json:"start"`
+	Duration string    `json:"duration"`
+	Spans    int       `json:"spans"`
+	Errors   int       `json:"errors"`
+}
+
+// Summary renders the trace's list view.
+func (td *TraceData) Summary() Summary {
+	errs := 0
+	for _, s := range td.Spans {
+		if s.Error != "" {
+			errs++
+		}
+	}
+	return Summary{
+		TraceID:  td.TraceID,
+		Name:     td.Name,
+		Start:    td.Start,
+		Duration: td.End.Sub(td.Start).String(),
+		Spans:    len(td.Spans),
+		Errors:   errs,
+	}
+}
+
+// SpanNode is one node of the span tree /debug/traces/<id> serves: the span
+// plus its children ordered by start time.
+type SpanNode struct {
+	SpanData
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// Tree assembles the trace's spans into parent→child trees. Spans whose
+// parent is not part of this trace's recorded fragment (e.g. a participant's
+// local root, parented to a proxy-side span) surface as additional roots.
+func (td *TraceData) Tree() []*SpanNode {
+	nodes := make(map[string]*SpanNode, len(td.Spans))
+	for _, s := range td.Spans {
+		nodes[s.SpanID] = &SpanNode{SpanData: s}
+	}
+	var roots []*SpanNode
+	for _, n := range nodes {
+		if parent, ok := nodes[n.ParentID]; ok && n.ParentID != n.SpanID {
+			parent.Children = append(parent.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes(roots)
+	for _, n := range nodes {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+// sortNodes orders sibling spans chronologically (span id breaks ties so the
+// order is deterministic).
+func sortNodes(ns []*SpanNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		if !ns[i].Start.Equal(ns[j].Start) {
+			return ns[i].Start.Before(ns[j].Start)
+		}
+		return ns[i].SpanID < ns[j].SpanID
+	})
+}
+
+// Recorder is a bounded ring of recent completed traces. Two fragments of
+// the same trace completing in one process (e.g. a participant answering a
+// query and then an ownership demand of the same path query) merge into one
+// entry.
+type Recorder struct {
+	mu     sync.Mutex
+	cap    int
+	traces map[string]*TraceData
+	order  []string // completion order, oldest first
+}
+
+// NewRecorder builds a recorder holding up to capacity traces.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{cap: capacity, traces: make(map[string]*TraceData)}
+}
+
+// record stores one completed trace fragment, merging into an existing entry
+// with the same trace id and evicting the oldest entry beyond capacity.
+func (r *Recorder) record(traceID, name string, spans []SpanData) {
+	if len(spans) == 0 {
+		return
+	}
+	start, end := spans[0].Start, spans[0].End
+	for _, s := range spans[1:] {
+		if s.Start.Before(start) {
+			start = s.Start
+		}
+		if s.End.After(end) {
+			end = s.End
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if td, ok := r.traces[traceID]; ok {
+		// Merging dedupes by span id: when caller and callee share one
+		// process (tests, bench, embedded deployments) a participant-side
+		// span is recorded locally and adopted back by the caller — the
+		// first copy recorded wins.
+		seen := make(map[string]bool, len(td.Spans))
+		for _, s := range td.Spans {
+			seen[s.SpanID] = true
+		}
+		for _, s := range spans {
+			if seen[s.SpanID] {
+				continue
+			}
+			seen[s.SpanID] = true
+			td.Spans = append(td.Spans, s)
+		}
+		if start.Before(td.Start) {
+			td.Start = start
+		}
+		if end.After(td.End) {
+			td.End = end
+		}
+		return
+	}
+	r.traces[traceID] = &TraceData{TraceID: traceID, Name: name, Start: start, End: end, Spans: spans}
+	r.order = append(r.order, traceID)
+	for len(r.order) > r.cap {
+		delete(r.traces, r.order[0])
+		r.order = r.order[1:]
+	}
+}
+
+// Len returns the number of stored traces.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.traces)
+}
+
+// Recent lists stored traces, newest first.
+func (r *Recorder) Recent() []Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Summary, 0, len(r.order))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		out = append(out, r.traces[r.order[i]].Summary())
+	}
+	return out
+}
+
+// Get returns a copy of one stored trace.
+func (r *Recorder) Get(traceID string) (*TraceData, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	td, ok := r.traces[traceID]
+	if !ok {
+		return nil, false
+	}
+	cp := *td
+	cp.Spans = append([]SpanData(nil), td.Spans...)
+	return &cp, true
+}
+
+// Snapshot copies every stored trace, oldest first.
+func (r *Recorder) Snapshot() []*TraceData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*TraceData, 0, len(r.order))
+	for _, id := range r.order {
+		td := r.traces[id]
+		cp := *td
+		cp.Spans = append([]SpanData(nil), td.Spans...)
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// WriteJSON dumps every stored trace as one JSON array — the format
+// desword-bench -trace-out emits next to its metrics snapshots.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,349 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestStartRootsSampledTrace(t *testing.T) {
+	tr := New("test", 1, 8)
+	ctx, root := tr.Start(context.Background(), "op", String("k", "v"))
+	if root == nil {
+		t.Fatal("rate 1 must sample every locally-rooted trace")
+	}
+	if !ValidTraceID(root.TraceID()) {
+		t.Fatalf("trace id %q is not 32 lowercase hex chars", root.TraceID())
+	}
+	if !ValidSpanID(root.SpanID()) {
+		t.Fatalf("span id %q is not 16 lowercase hex chars", root.SpanID())
+	}
+	if got := FromContext(ctx); got != root {
+		t.Fatal("returned context does not carry the span")
+	}
+
+	_, child := tr.StartChild(ctx, "child")
+	if child == nil {
+		t.Fatal("StartChild under an active span must record")
+	}
+	if child.TraceID() != root.TraceID() {
+		t.Fatal("child span left the parent's trace")
+	}
+	child.End()
+	root.End()
+
+	td, ok := tr.Recorder().Get(root.TraceID())
+	if !ok {
+		t.Fatal("completed trace missing from recorder")
+	}
+	if len(td.Spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(td.Spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range td.Spans {
+		byName[s.Name] = s
+	}
+	if byName["child"].ParentID != root.SpanID() {
+		t.Fatal("child span not parented to root")
+	}
+	if byName["op"].Service != "test" {
+		t.Fatalf("root span service = %q, want %q", byName["op"].Service, "test")
+	}
+	if len(byName["op"].Attrs) != 1 || byName["op"].Attrs[0].Key != "k" {
+		t.Fatalf("root attrs = %v", byName["op"].Attrs)
+	}
+}
+
+func TestUnsampledPathIsInert(t *testing.T) {
+	tr := New("test", 0, 8)
+	ctx, span := tr.Start(context.Background(), "op")
+	if span != nil {
+		t.Fatal("rate 0 must not sample")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("unsampled context must stay empty")
+	}
+	_, child := tr.StartChild(ctx, "child")
+	if child != nil {
+		t.Fatal("StartChild with no active span must return nil")
+	}
+
+	// The nil span is fully inert: every method is a safe no-op.
+	span.SetAttr(String("k", "v"))
+	span.SetError(errors.New("boom"))
+	span.Adopt([]SpanData{{TraceID: "x"}})
+	span.End()
+	if span.TraceID() != "" || span.SpanID() != "" || span.Drain() != nil {
+		t.Fatal("nil span accessors must return zero values")
+	}
+	if tr.Recorder().Len() != 0 {
+		t.Fatal("unsampled request recorded a trace")
+	}
+}
+
+func TestUnsampledHotPathAllocs(t *testing.T) {
+	tr := New("test", 0, 8)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, s := tr.Start(ctx, "op")
+		_, s2 := tr.StartChild(c, "child")
+		s2.End()
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("unsampled Start/StartChild allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestSampleRateClampAndStatistics(t *testing.T) {
+	tr := New("test", -3, 8)
+	if got := tr.SampleRate(); got != 0 {
+		t.Fatalf("rate -3 clamped to %v, want 0", got)
+	}
+	tr.SetSampleRate(7)
+	if got := tr.SampleRate(); got != 1 {
+		t.Fatalf("rate 7 clamped to %v, want 1", got)
+	}
+
+	tr.SetSampleRate(0.5)
+	hits := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if tr.sample() {
+			hits++
+		}
+	}
+	// Binomial(4000, 0.5): ±6σ ≈ ±190. A bound loose enough to never flake.
+	if hits < n/2-200 || hits > n/2+200 {
+		t.Fatalf("rate 0.5 sampled %d of %d", hits, n)
+	}
+}
+
+func TestStartRemoteContinuesTraceAndBypassesSampling(t *testing.T) {
+	tr := New("participant", 0, 8)
+	traceID, parentID := newTraceID(), newSpanID()
+	ctx, span := tr.StartRemote(context.Background(), "server.query", traceID, parentID)
+	if span == nil {
+		t.Fatal("remote-parented span must bypass the local rate")
+	}
+	if span.TraceID() != traceID {
+		t.Fatalf("remote span trace id %q, want %q", span.TraceID(), traceID)
+	}
+
+	_, child := tr.StartChild(ctx, "zkedb.prove")
+	child.End()
+	span.End()
+
+	frag := span.Drain()
+	if len(frag) != 2 {
+		t.Fatalf("drained %d spans, want 2", len(frag))
+	}
+	for _, s := range frag {
+		if s.TraceID != traceID {
+			t.Fatalf("drained span carries trace %q, want %q", s.TraceID, traceID)
+		}
+	}
+	// The fragment also lands in the local recorder for this process's own
+	// /debug/traces explorer.
+	if _, ok := tr.Recorder().Get(traceID); !ok {
+		t.Fatal("remote fragment missing from local recorder")
+	}
+
+	// Empty trace id falls back to Start, which at rate 0 declines.
+	if _, s := tr.StartRemote(context.Background(), "server.query", "", ""); s != nil {
+		t.Fatal("StartRemote with no remote context must obey the local rate")
+	}
+}
+
+func TestAdoptGraftsOnlyMatchingTrace(t *testing.T) {
+	tr := New("proxy", 1, 8)
+	_, root := tr.Start(context.Background(), "op")
+	good := SpanData{TraceID: root.TraceID(), SpanID: "a", Name: "peer"}
+	evil := SpanData{TraceID: "ffffffffffffffffffffffffffffffff", SpanID: "b", Name: "intruder"}
+	root.Adopt([]SpanData{good, evil})
+	root.End()
+
+	td, ok := tr.Recorder().Get(root.TraceID())
+	if !ok {
+		t.Fatal("trace missing")
+	}
+	var names []string
+	for _, s := range td.Spans {
+		names = append(names, s.Name)
+		if s.Name == "peer" && !s.Remote {
+			t.Fatal("adopted span not marked remote")
+		}
+	}
+	if len(names) != 2 {
+		t.Fatalf("spans %v, want [peer op] in some order", names)
+	}
+	for _, n := range names {
+		if n == "intruder" {
+			t.Fatal("span from a foreign trace was adopted")
+		}
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := New("test", 1, 8)
+	_, root := tr.Start(context.Background(), "op")
+	root.End()
+	root.End()
+	td, _ := tr.Recorder().Get(root.TraceID())
+	if len(td.Spans) != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", len(td.Spans))
+	}
+}
+
+func TestSetErrorRecords(t *testing.T) {
+	tr := New("test", 1, 8)
+	_, root := tr.Start(context.Background(), "op")
+	root.SetError(nil) // no-op
+	root.SetError(errors.New("proof rejected"))
+	root.End()
+	td, _ := tr.Recorder().Get(root.TraceID())
+	if td.Spans[0].Error != "proof rejected" {
+		t.Fatalf("span error = %q", td.Spans[0].Error)
+	}
+	if sum := td.Summary(); sum.Errors != 1 {
+		t.Fatalf("summary errors = %d, want 1", sum.Errors)
+	}
+}
+
+func TestRecorderEvictsOldestAndMergesFragments(t *testing.T) {
+	rec := NewRecorder(2)
+	mk := func(id string) []SpanData {
+		return []SpanData{{TraceID: id, SpanID: "s" + id, Name: "op"}}
+	}
+	rec.record("a", "op", mk("a"))
+	rec.record("b", "op", mk("b"))
+	rec.record("c", "op", mk("c"))
+	if rec.Len() != 2 {
+		t.Fatalf("ring holds %d traces, want 2", rec.Len())
+	}
+	if _, ok := rec.Get("a"); ok {
+		t.Fatal("oldest trace not evicted")
+	}
+
+	// A second fragment of trace "c" (e.g. the same participant answering a
+	// later interaction of the same query) merges rather than evicting "b".
+	rec.record("c", "op", []SpanData{{TraceID: "c", SpanID: "s2", Name: "op2"}})
+	if rec.Len() != 2 {
+		t.Fatalf("merge changed ring size to %d", rec.Len())
+	}
+	td, _ := rec.Get("c")
+	if len(td.Spans) != 2 {
+		t.Fatalf("merged trace holds %d spans, want 2", len(td.Spans))
+	}
+
+	recent := rec.Recent()
+	if len(recent) != 2 || recent[0].TraceID != "c" || recent[1].TraceID != "b" {
+		t.Fatalf("Recent order %v, want [c b]", recent)
+	}
+}
+
+func TestTreeAssemblesParentLinks(t *testing.T) {
+	tr := New("proxy", 1, 8)
+	ctx, root := tr.Start(context.Background(), "proxy.query_path")
+	hctx, hop := tr.StartChild(ctx, "hop.identify")
+	_, wire := tr.StartChild(hctx, "wire.query")
+	// A participant-side fragment: its local root parented to the wire span.
+	wire.Adopt([]SpanData{{
+		TraceID: root.TraceID(), SpanID: "feedfeedfeedfeed",
+		ParentID: wire.SpanID(), Name: "server.query", Remote: true,
+	}})
+	wire.End()
+	hop.End()
+	root.End()
+
+	td, _ := tr.Recorder().Get(root.TraceID())
+	roots := td.Tree()
+	if len(roots) != 1 || roots[0].Name != "proxy.query_path" {
+		t.Fatalf("tree roots = %v", roots)
+	}
+	hopNode := roots[0].Children[0]
+	if hopNode.Name != "hop.identify" || len(hopNode.Children) != 1 {
+		t.Fatalf("hop node %+v", hopNode)
+	}
+	wireNode := hopNode.Children[0]
+	if wireNode.Name != "wire.query" || len(wireNode.Children) != 1 {
+		t.Fatalf("wire node %+v", wireNode)
+	}
+	if wireNode.Children[0].Name != "server.query" {
+		t.Fatalf("remote fragment not grafted under its wire span: %+v", wireNode.Children[0])
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	tr := New("bench", 1, 8)
+	_, root := tr.Start(context.Background(), "op", Int("hops", 3), Bool("ok", true))
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.Recorder().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump []TraceData
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("trace dump is not valid JSON: %v", err)
+	}
+	if len(dump) != 1 || dump[0].TraceID != root.TraceID() {
+		t.Fatalf("dump %+v", dump)
+	}
+}
+
+func TestIDValidation(t *testing.T) {
+	cases := []struct {
+		id    string
+		trace bool
+		span  bool
+	}{
+		{newTraceID(), true, false},
+		{newSpanID(), false, true},
+		{"", false, false},
+		{"UPPERCASEUPPERCASEUPPERCASEUPPER", false, false},
+		{"zzzzzzzzzzzzzzzz", false, false},
+		{"0123456789abcdef0123456789abcdef", true, false},
+		{"0123456789abcdef", false, true},
+	}
+	for _, c := range cases {
+		if got := ValidTraceID(c.id); got != c.trace {
+			t.Errorf("ValidTraceID(%q) = %v, want %v", c.id, got, c.trace)
+		}
+		if got := ValidSpanID(c.id); got != c.span {
+			t.Errorf("ValidSpanID(%q) = %v, want %v", c.id, got, c.span)
+		}
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	seen := make(map[string]bool, 2000)
+	for i := 0; i < 1000; i++ {
+		for _, id := range []string{newTraceID(), newSpanID()} {
+			key := fmt.Sprintf("%d:%s", len(id), id)
+			if seen[key] {
+				t.Fatalf("duplicate id %s", id)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestAttrConstructors(t *testing.T) {
+	cases := []struct {
+		attr Attr
+		want string
+	}{
+		{String("s", "v"), "v"},
+		{Int("i", 42), "42"},
+		{Bool("b", true), "true"},
+		{Duration("d", 1500000000), "1.5s"},
+	}
+	for _, c := range cases {
+		if c.attr.Value != c.want {
+			t.Errorf("attr %s = %q, want %q", c.attr.Key, c.attr.Value, c.want)
+		}
+	}
+}

@@ -2,7 +2,11 @@ package wire
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"testing"
+
+	"desword/internal/trace"
 )
 
 // FuzzReadMessage hammers the TCP frame parser with arbitrary byte streams:
@@ -33,6 +37,110 @@ func FuzzReadMessage(f *testing.F) {
 			t.Fatalf("re-framing accepted envelope: %v", err)
 		}
 	})
+}
+
+// FuzzEnvelopeHeaderCompat pins old↔new envelope compatibility: an envelope
+// whose JSON carries unknown or extra header fields (a newer peer), or omits
+// the optional trace headers entirely (an older peer), must decode to the
+// same type/payload either way, and whatever trace context survives
+// validation must round-trip.
+func FuzzEnvelopeHeaderCompat(f *testing.F) {
+	f.Add("query", `{"a":1}`, "00000000000000000000000000000000", "0123456789abcdef", "future_field", `"v2"`)
+	f.Add("query_path", `null`, "", "", "spans", `[{"bogus":true}]`)
+	f.Add("params", `{}`, "not-a-trace-id", "xyz", "trace_flags", `7`)
+	f.Add("error", `{"message":"x"}`, "ABCDEF", "", "", ``)
+
+	f.Fuzz(func(t *testing.T, msgType, payload, traceID, spanID, extraKey, extraVal string) {
+		if !json.Valid([]byte(payload)) {
+			return
+		}
+		// Hand-assemble envelope JSON the way a peer with a newer schema
+		// would: the known fields plus one arbitrary extra header.
+		fields := []string{fmt.Sprintf(`"type":%q`, msgType)}
+		if traceID != "" {
+			fields = append(fields, fmt.Sprintf(`"trace_id":%q`, traceID))
+		}
+		if spanID != "" {
+			fields = append(fields, fmt.Sprintf(`"span_id":%q`, spanID))
+		}
+		fields = append(fields, `"payload":`+payload)
+		if extraKey != "" && extraKey != "type" && extraKey != "trace_id" &&
+			extraKey != "span_id" && extraKey != "payload" && extraKey != "spans" &&
+			json.Valid([]byte(extraVal)) {
+			keyJSON, err := json.Marshal(extraKey)
+			if err != nil {
+				return
+			}
+			fields = append(fields, string(keyJSON)+":"+extraVal)
+		}
+		raw := "{" + join(fields) + "}"
+		if !json.Valid([]byte(raw)) {
+			return
+		}
+
+		var frame bytes.Buffer
+		if len(raw) > MaxMessageSize {
+			return
+		}
+		frame.WriteByte(byte(len(raw) >> 24))
+		frame.WriteByte(byte(len(raw) >> 16))
+		frame.WriteByte(byte(len(raw) >> 8))
+		frame.WriteByte(byte(len(raw)))
+		frame.WriteString(raw)
+
+		env, err := ReadMessage(&frame)
+		if msgType == "" {
+			if err == nil {
+				t.Fatal("envelope without a type was accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("well-formed envelope with extra headers rejected: %v\n%s", err, raw)
+		}
+		if env.Type != msgType {
+			t.Fatalf("type %q decoded as %q", msgType, env.Type)
+		}
+
+		// Trace context survives only when both halves validate — anything
+		// else reads as "no context", exactly what an old peer sees.
+		gotTrace, gotSpan := env.TraceContext()
+		if trace.ValidTraceID(traceID) && trace.ValidSpanID(spanID) {
+			if gotTrace != traceID || gotSpan != spanID {
+				t.Fatalf("valid trace context %s/%s decoded as %s/%s", traceID, spanID, gotTrace, gotSpan)
+			}
+		} else if gotTrace != "" || gotSpan != "" {
+			t.Fatalf("invalid trace context %q/%q leaked through as %q/%q", traceID, spanID, gotTrace, gotSpan)
+		}
+
+		// An old peer re-framing this envelope (dropping fields it does not
+		// know) must produce something the new code still reads.
+		var old bytes.Buffer
+		if err := WriteMessage(&old, env.Type, env.Payload); err != nil {
+			t.Fatalf("old-style re-framing: %v", err)
+		}
+		back, err := ReadMessage(&old)
+		if err != nil {
+			t.Fatalf("re-reading old-style frame: %v", err)
+		}
+		if back.Type != env.Type {
+			t.Fatalf("old-style round trip changed type %q → %q", env.Type, back.Type)
+		}
+		if bt, bs := back.TraceContext(); bt != "" || bs != "" {
+			t.Fatal("old-style frame must carry no trace context")
+		}
+	})
+}
+
+func join(fields []string) string {
+	out := ""
+	for i, f := range fields {
+		if i > 0 {
+			out += ","
+		}
+		out += f
+	}
+	return out
 }
 
 // FuzzDecodeProof hammers the base64+binary proof layer used inside query

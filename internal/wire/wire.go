@@ -16,6 +16,7 @@ import (
 	"desword/internal/core"
 	"desword/internal/poc"
 	"desword/internal/reputation"
+	"desword/internal/trace"
 	"desword/internal/zkedb"
 )
 
@@ -62,23 +63,56 @@ var (
 	ErrBadEnvelope   = errors.New("wire: malformed envelope")
 )
 
-// Envelope is the framed unit: a type tag plus a JSON payload.
+// Envelope is the framed unit: a type tag plus a JSON payload. The trace
+// fields are optional headers: requests carry the caller's trace context
+// (TraceID/SpanID) so the peer continues the same distributed trace, and
+// responses carry the server's completed span fragment (Spans) so the caller
+// can graft the remote timeline into its own trace. Old peers ignore the
+// fields; envelopes without them decode unchanged.
 type Envelope struct {
-	Type    string          `json:"type"`
-	Payload json.RawMessage `json:"payload,omitempty"`
+	Type    string           `json:"type"`
+	TraceID string           `json:"trace_id,omitempty"`
+	SpanID  string           `json:"span_id,omitempty"`
+	Spans   []trace.SpanData `json:"spans,omitempty"`
+	Payload json.RawMessage  `json:"payload,omitempty"`
 }
 
-// WriteMessage frames and writes one message.
-func WriteMessage(w io.Writer, msgType string, payload any) error {
-	var raw json.RawMessage
+// TraceContext returns the envelope's trace headers when both are
+// well-formed ids, and empty strings otherwise — a peer cannot inject
+// arbitrary strings into logs or the trace explorer.
+func (e *Envelope) TraceContext() (traceID, spanID string) {
+	if trace.ValidTraceID(e.TraceID) && trace.ValidSpanID(e.SpanID) {
+		return e.TraceID, e.SpanID
+	}
+	return "", ""
+}
+
+// NewEnvelope builds an envelope around an encoded payload.
+func NewEnvelope(msgType string, payload any) (*Envelope, error) {
+	env := &Envelope{Type: msgType}
 	if payload != nil {
 		data, err := json.Marshal(payload)
 		if err != nil {
-			return fmt.Errorf("wire: encoding %s payload: %w", msgType, err)
+			return nil, fmt.Errorf("wire: encoding %s payload: %w", msgType, err)
 		}
-		raw = data
+		env.Payload = data
 	}
-	frame, err := json.Marshal(Envelope{Type: msgType, Payload: raw})
+	return env, nil
+}
+
+// WriteMessage frames and writes one message without trace context.
+func WriteMessage(w io.Writer, msgType string, payload any) error {
+	env, err := NewEnvelope(msgType, payload)
+	if err != nil {
+		return err
+	}
+	return WriteEnvelope(w, env)
+}
+
+// WriteEnvelope frames and writes one fully-formed envelope, trace headers
+// included.
+func WriteEnvelope(w io.Writer, env *Envelope) error {
+	frame, err := json.Marshal(env)
 	if err != nil {
 		return fmt.Errorf("wire: encoding envelope: %w", err)
 	}
@@ -93,7 +127,7 @@ func WriteMessage(w io.Writer, msgType string, payload any) error {
 	if _, err := w.Write(frame); err != nil {
 		return fmt.Errorf("wire: writing frame: %w", err)
 	}
-	countFrame(writeCounters, "write", msgType, len(frame))
+	countFrame(writeCounters, "write", env.Type, len(frame))
 	return nil
 }
 
@@ -229,6 +263,7 @@ type PathResult struct {
 	Traces     map[poc.ParticipantID]poc.Trace `json:"traces"`
 	Violations []core.Violation                `json:"violations"`
 	Complete   bool                            `json:"complete"`
+	TraceID    string                          `json:"trace_id,omitempty"`
 }
 
 // EncodePathResult converts a core.Result to its wire form.
@@ -241,6 +276,7 @@ func EncodePathResult(r *core.Result) *PathResult {
 		Traces:     r.Traces,
 		Violations: r.Violations,
 		Complete:   r.Complete,
+		TraceID:    r.TraceID,
 	}
 }
 
@@ -254,6 +290,7 @@ func DecodePathResult(r *PathResult) *core.Result {
 		Traces:     r.Traces,
 		Violations: r.Violations,
 		Complete:   r.Complete,
+		TraceID:    r.TraceID,
 	}
 }
 

@@ -1,0 +1,39 @@
+package zkedb
+
+import (
+	"context"
+
+	"desword/internal/trace"
+)
+
+// ProveCtx is Prove with distributed-trace instrumentation: when ctx carries
+// an active span, proof generation is recorded as a "zkedb.prove" child span
+// tagged with the tree geometry and the resulting proof kind. Without an
+// active span it is exactly Prove — no allocation, no extra work.
+func (d *Decommitment) ProveCtx(ctx context.Context, key string) (*Proof, error) {
+	_, span := trace.Default.StartChild(ctx, "zkedb.prove",
+		trace.Int("q", d.crs.Params.Q), trace.Int("h", d.crs.Params.H))
+	proof, err := d.Prove(key)
+	if err != nil {
+		span.SetError(err)
+	} else {
+		span.SetAttr(trace.String("kind", proof.Kind.String()))
+	}
+	span.End()
+	return proof, err
+}
+
+// VerifyCtx is Verify with distributed-trace instrumentation: when ctx
+// carries an active span, verification is recorded as a "zkedb.verify" child
+// span tagged with the tree geometry and proof kind.
+func (c *CRS) VerifyCtx(ctx context.Context, com Commitment, key string, proof *Proof) (value []byte, present bool, err error) {
+	_, span := trace.Default.StartChild(ctx, "zkedb.verify",
+		trace.Int("q", c.Params.Q), trace.Int("h", c.Params.H))
+	if span != nil && proof != nil {
+		span.SetAttr(trace.String("kind", proof.Kind.String()))
+	}
+	value, present, err = c.Verify(com, key, proof)
+	span.SetError(err)
+	span.End()
+	return value, present, err
+}
