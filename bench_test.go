@@ -361,14 +361,14 @@ func e2eSetup() {
 		}
 		dir[id] = srv.Addr()
 	}
-	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), node.DirectoryResolver(dir))
+	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), node.DirectoryResolver(dir).Resolver())
 	proxySrv, err := node.ServeProxy("127.0.0.1:0", proxy)
 	if err != nil {
 		e2eErr = err
 		return
 	}
 	client := node.NewProxyClient(proxySrv.Addr())
-	if err := client.RegisterList("bench-e2e", dist.List); err != nil {
+	if err := client.RegisterList(context.Background(), "bench-e2e", dist.List); err != nil {
 		e2eErr = err
 		return
 	}

@@ -11,7 +11,7 @@
 //	desword-bench -exp e2e -metrics-out bench-metrics.prom
 //
 // Experiments: tmc (E1), fig4a (E2), fig4b (E3), table2 (E4), fig5 (E5),
-// baseline (E6), incentive (E7), e2e (E8), ablation (A1–A4).
+// baseline (E6), incentive (E7), e2e (E8), transport (E9), ablation (A1–A4).
 //
 // With -metrics-out, the process-wide metrics registry (proof generation and
 // verification timings, query latencies, …) is snapshotted to the file in
@@ -49,7 +49,7 @@ type renderer interface {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all|tmc|fig4a|fig4b|table2|fig5|baseline|incentive|e2e|ablation")
+		exp        = flag.String("exp", "all", "experiment: all|tmc|fig4a|fig4b|table2|fig5|baseline|incentive|e2e|transport|ablation")
 		modulus    = flag.Int("modulus", 1024, "RSA modulus bits for the qTMC layer")
 		reps       = flag.Int("reps", 10, "repetitions per timing point (paper smooths over 50)")
 		dbSize     = flag.Int("db", 8, "committed traces per participant in macro benches")
@@ -113,6 +113,13 @@ func run() error {
 				params = zkedb.TestParams()
 			}
 			return render(bench.RunE2E(params, lengths, *reps))
+		}},
+		{"transport", func() error {
+			params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}
+			if *fast {
+				params = zkedb.TestParams()
+			}
+			return render(bench.RunTransport(params, lengths, *reps))
 		}},
 		{"ablation", func() error {
 			params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}

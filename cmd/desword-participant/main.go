@@ -29,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -72,7 +73,6 @@ func run() error {
 		listen    = flag.String("listen", "127.0.0.1:0", "address to serve query interactions on")
 		proxyAddr = flag.String("proxy", "127.0.0.1:7700", "proxy address")
 		admin     = flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz and /debug/pprof (e.g. :6061)")
-		timeout   = flag.Duration("timeout", node.DefaultTimeout, "per-exchange dial/IO timeout")
 		traces    = flag.String("traces", "", "JSON trace database file (serve mode)")
 		writePOC  = flag.String("write-poc", "", "optional file to export this participant's POC to")
 		assemble  = flag.Bool("assemble", false, "assemble and submit a POC list instead of serving")
@@ -81,8 +81,10 @@ func run() error {
 		pocs      = flag.String("pocs", "", "comma-separated POC files (assemble mode)")
 		sample    = flag.Float64("trace-sample", 0, "fraction of locally-rooted traces to sample in [0,1]; remote-parented requests are always traced when the caller traces them")
 		logCfg    obs.LogConfig
+		clientCfg node.ClientConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
+	clientCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	logger, err := logCfg.Setup(os.Stderr)
 	if err != nil {
@@ -91,12 +93,12 @@ func run() error {
 	trace.Default.SetService("participant:" + *id)
 	trace.Default.SetSampleRate(*sample)
 	if *assemble {
-		return runAssemble(logger, *proxyAddr, *task, *pairs, *pocs, *timeout)
+		return runAssemble(logger, *proxyAddr, *task, *pairs, *pocs, clientCfg)
 	}
-	return runServe(logger, *id, *listen, *proxyAddr, *admin, *traces, *writePOC, *timeout)
+	return runServe(logger, *id, *listen, *proxyAddr, *admin, *traces, *writePOC, clientCfg)
 }
 
-func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, writePOC string, timeout time.Duration) error {
+func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, writePOC string, clientCfg node.ClientConfig) error {
 	if id == "" || tracesFile == "" {
 		return fmt.Errorf("-id and -traces are required in serve mode")
 	}
@@ -112,8 +114,9 @@ func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, wri
 		return fmt.Errorf("traces file missing task_id")
 	}
 
-	client := node.NewProxyClient(proxyAddr, node.WithTimeout(timeout))
-	ps, err := client.GetParams()
+	client := node.NewProxyClient(proxyAddr, clientCfg.Options()...)
+	defer client.Close()
+	ps, err := client.GetParams(context.Background())
 	if err != nil {
 		return fmt.Errorf("fetching ps from proxy: %w", err)
 	}
@@ -161,7 +164,7 @@ func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, wri
 		logger.Info("admin listener up", "addr", adminSrv.Addr())
 	}
 
-	srv, err := node.ServeParticipant(listen, member, node.WithTimeout(timeout))
+	srv, err := node.ServeParticipant(listen, member, node.WithTimeout(clientCfg.Timeout))
 	if err != nil {
 		return err
 	}
@@ -174,7 +177,7 @@ func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, wri
 	return srv.Close()
 }
 
-func runAssemble(logger *slog.Logger, proxyAddr, task, pairsFile, pocsArg string, timeout time.Duration) error {
+func runAssemble(logger *slog.Logger, proxyAddr, task, pairsFile, pocsArg string, clientCfg node.ClientConfig) error {
 	if task == "" || pairsFile == "" || pocsArg == "" {
 		return fmt.Errorf("-task, -pairs and -pocs are required in assemble mode")
 	}
@@ -206,8 +209,9 @@ func runAssemble(logger *slog.Logger, proxyAddr, task, pairsFile, pocsArg string
 	if err := list.Validate(); err != nil {
 		return err
 	}
-	client := node.NewProxyClient(proxyAddr, node.WithTimeout(timeout))
-	if err := client.RegisterList(task, list); err != nil {
+	client := node.NewProxyClient(proxyAddr, clientCfg.Options()...)
+	defer client.Close()
+	if err := client.RegisterList(context.Background(), task, list); err != nil {
 		return err
 	}
 	logger.Info("POC list submitted",

@@ -46,15 +46,17 @@ func run() error {
 		listen  = flag.String("listen", "127.0.0.1:7700", "address to serve the proxy protocol on")
 		dirFile = flag.String("dir", "", "JSON file mapping participant ids to addresses (required)")
 		admin   = flag.String("admin", "", "optional admin HTTP address serving /metrics, /healthz and /debug/pprof (e.g. :6060)")
-		timeout = flag.Duration("timeout", node.DefaultTimeout, "per-exchange dial/IO timeout")
 		q       = flag.Int("q", 16, "ZK-EDB branching factor (power of two)")
 		height  = flag.Int("height", 32, "ZK-EDB tree height")
 		keyBits = flag.Int("keybits", 128, "product-id digest bits")
 		modulus = flag.Int("modulus", 1024, "RSA modulus bits")
+		fanout  = flag.Int("probe-fanout", core.DefaultProbeFanout, "concurrent child probes during a path walk (1 = serial)")
 		sample  = flag.Float64("trace-sample", 0, "fraction of path queries to trace in [0,1]; traces appear under /debug/traces on the admin listener")
 		logCfg  obs.LogConfig
+		tcfg    node.ClientConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
+	tcfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	logger, err := logCfg.Setup(os.Stderr)
 	if err != nil {
@@ -97,9 +99,11 @@ func run() error {
 		logger.Info("admin listener up", "addr", adminSrv.Addr())
 	}
 
-	proxy := core.NewProxy(ps, reputation.DefaultStrategy(),
-		node.DirectoryResolver(dir, node.WithTimeout(*timeout)))
-	srv, err := node.ServeProxy(*listen, proxy, node.WithTimeout(*timeout))
+	directory := node.DirectoryResolver(dir, tcfg.Options()...)
+	defer directory.Close()
+	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), directory.Resolver(),
+		core.WithProbeFanout(*fanout))
+	srv, err := node.ServeProxy(*listen, proxy, node.WithTimeout(tcfg.Timeout))
 	if err != nil {
 		return err
 	}

@@ -37,11 +37,12 @@ func run() error {
 		quality   = flag.String("quality", "good", "quality-check outcome: good|bad")
 		scores    = flag.Bool("scores", false, "fetch the public reputation table instead")
 		audit     = flag.Bool("audit", false, "fetch and verify the tamper-evident score history")
-		timeout   = flag.Duration("timeout", node.DefaultTimeout, "per-exchange dial/IO timeout")
 		sample    = flag.Float64("trace-sample", 0, "client-side trace sampling rate in [0,1]")
 		logCfg    obs.LogConfig
+		tcfg      node.ClientConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
+	tcfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	if _, err := logCfg.Setup(os.Stderr); err != nil {
 		return err
@@ -50,10 +51,11 @@ func run() error {
 	trace.Default.SetSampleRate(*sample)
 	// Query results render to stdout below — that is the command's output,
 	// not logging; diagnostics go through slog.
-	client := node.NewProxyClient(*proxyAddr, node.WithTimeout(*timeout))
+	client := node.NewProxyClient(*proxyAddr, tcfg.Options()...)
+	defer client.Close()
 
 	if *audit {
-		entries, err := client.AuditLog()
+		entries, err := client.AuditLog(context.Background())
 		if err != nil {
 			return err
 		}
@@ -67,7 +69,7 @@ func run() error {
 	}
 
 	if *scores {
-		table, err := client.Scores()
+		table, err := client.Scores(context.Background())
 		if err != nil {
 			return err
 		}

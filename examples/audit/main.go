@@ -58,14 +58,17 @@ func run() error {
 		defer closeQuietly(srv)
 		directory[id] = srv.Addr()
 	}
-	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), node.DirectoryResolver(directory))
+	resolver := node.DirectoryResolver(directory)
+	defer closeQuietly(resolver)
+	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), resolver.Resolver())
 	proxySrv, err := node.ServeProxy("127.0.0.1:0", proxy)
 	if err != nil {
 		return err
 	}
 	defer closeQuietly(proxySrv)
 	client := node.NewProxyClient(proxySrv.Addr())
-	if err := client.RegisterList(dist.TaskID, dist.List); err != nil {
+	defer closeQuietly(client)
+	if err := client.RegisterList(context.Background(), dist.TaskID, dist.List); err != nil {
 		return err
 	}
 
@@ -88,7 +91,7 @@ func run() error {
 
 	// A customer fetches the audit chain; the client verifies every link
 	// against the pinned head before handing it over.
-	entries, err := client.AuditLog()
+	entries, err := client.AuditLog(context.Background())
 	if err != nil {
 		return err
 	}
@@ -102,7 +105,7 @@ func run() error {
 	// Independent replay: recompute the score table from audited events and
 	// compare with the published table.
 	replayed := reputation.ReplayScores(entries)
-	published, err := client.Scores()
+	published, err := client.Scores(context.Background())
 	if err != nil {
 		return err
 	}

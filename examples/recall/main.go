@@ -74,21 +74,24 @@ func run() error {
 		defer closeQuietly(srv)
 		directory[id] = srv.Addr()
 	}
-	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), node.DirectoryResolver(directory))
+	resolver := node.DirectoryResolver(directory)
+	defer closeQuietly(resolver)
+	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), resolver.Resolver())
 	proxySrv, err := node.ServeProxy("127.0.0.1:0", proxy)
 	if err != nil {
 		return err
 	}
 	defer closeQuietly(proxySrv)
 	client := node.NewProxyClient(proxySrv.Addr())
+	defer closeQuietly(client)
 	fmt.Printf("② %d participant servers + proxy server live on localhost\n", len(directory))
 
 	// Each initial participant submits its task's POC list over the wire;
 	// the proxy adds (ps, POC_v̄) to the submitting initial's POC-queue.
-	if err := client.RegisterList(distA.TaskID, distA.List); err != nil {
+	if err := client.RegisterList(context.Background(), distA.TaskID, distA.List); err != nil {
 		return err
 	}
-	if err := client.RegisterList(distB.TaskID, distB.List); err != nil {
+	if err := client.RegisterList(context.Background(), distB.TaskID, distB.List); err != nil {
 		return err
 	}
 	fmt.Println("③ both POC lists registered; POC-queues populated for v0 and v1")
@@ -138,7 +141,7 @@ func run() error {
 	}
 	fmt.Printf("⑥ lot isolation confirmed: %s resolves to %s, untouched by the recall\n", probe, res.TaskID)
 
-	scores, err := client.Scores()
+	scores, err := client.Scores(context.Background())
 	if err != nil {
 		return err
 	}

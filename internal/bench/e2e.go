@@ -72,7 +72,9 @@ func runE2EChain(ps *poc.PublicParams, n, reps int) (good, bad time.Duration, pr
 		servers = append(servers, srv)
 		dir[id] = srv.Addr()
 	}
-	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), node.DirectoryResolver(dir))
+	directory := node.DirectoryResolver(dir)
+	defer directory.Close()
+	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), directory.Resolver())
 	proxySrv, err := node.ServeProxy("127.0.0.1:0", proxy)
 	if err != nil {
 		return 0, 0, 0, err
@@ -83,7 +85,8 @@ func runE2EChain(ps *poc.PublicParams, n, reps int) (good, bad time.Duration, pr
 		}
 	}()
 	client := node.NewProxyClient(proxySrv.Addr())
-	if err := client.RegisterList("task-e2e", dist.List); err != nil {
+	defer client.Close()
+	if err := client.RegisterList(context.Background(), "task-e2e", dist.List); err != nil {
 		return 0, 0, 0, err
 	}
 

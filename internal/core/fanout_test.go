@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"desword/internal/poc"
+	"desword/internal/reputation"
+	"desword/internal/supplychain"
+)
+
+// nextOmitter strips the next-hop pointer from every answer, forcing the
+// proxy to fall back to probing the POC list's recorded children at each hop
+// — the code path the concurrent fan-out accelerates.
+type nextOmitter struct {
+	Responder
+}
+
+func (o nextOmitter) Query(ctx context.Context, taskID string, id poc.ProductID, quality Quality) (*Response, error) {
+	resp, err := o.Responder.Query(ctx, taskID, id, quality)
+	if resp != nil {
+		resp.Next = ""
+	}
+	return resp, err
+}
+
+func (o nextOmitter) DemandOwnership(ctx context.Context, taskID string, id poc.ProductID) (*Response, error) {
+	resp, err := o.Responder.DemandOwnership(ctx, taskID, id)
+	if resp != nil {
+		resp.Next = ""
+	}
+	return resp, err
+}
+
+// omittingFixture deploys the Figure 1 digraph with every participant
+// omitting its next hop, behind a proxy with the given probe fan-out.
+func omittingFixture(t *testing.T, products int, fanout int) (*Proxy, *DistributionResult) {
+	t.Helper()
+	ps := corePS(t)
+	g := supplychain.FigureOneGraph()
+	members := make(map[poc.ParticipantID]*Member)
+	for _, v := range g.Participants() {
+		members[v] = NewMember(ps, supplychain.NewParticipant(v))
+	}
+	tags, err := supplychain.MintTags("fo", products)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := RunDistribution(ps, g, members, "v0", tags, nil, supplychain.RoundRobinSplitter, "task-fanout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolver := func(v poc.ParticipantID) (Responder, error) {
+		m, ok := members[v]
+		if !ok {
+			return nil, fmt.Errorf("no member %s", v)
+		}
+		return nextOmitter{Responder: m}, nil
+	}
+	proxy := NewProxy(ps, reputation.DefaultStrategy(), resolver, WithProbeFanout(fanout))
+	if err := proxy.RegisterList(dist.TaskID, dist.List); err != nil {
+		t.Fatal(err)
+	}
+	return proxy, dist
+}
+
+// TestProbeFanoutPreservesSerialOutcome pins the determinism argument of the
+// concurrent child probing: at any fan-out, every query must produce exactly
+// the result — path, violation sequence, traces, completeness — and the same
+// Stats counters as the fully serial walk.
+func TestProbeFanoutPreservesSerialOutcome(t *testing.T) {
+	const products = 6
+	serial, dist := omittingFixture(t, products, 1)
+	parallel, _ := omittingFixture(t, products, 8)
+
+	for id := range dist.Ground.Paths {
+		for _, quality := range []Quality{Good, Bad} {
+			want, err := serial.QueryPath(context.Background(), id, quality)
+			if err != nil {
+				t.Fatalf("serial QueryPath(%s, %v): %v", id, quality, err)
+			}
+			got, err := parallel.QueryPath(context.Background(), id, quality)
+			if err != nil {
+				t.Fatalf("parallel QueryPath(%s, %v): %v", id, quality, err)
+			}
+			// Trace ids differ per query; everything observable must not.
+			want.TraceID, got.TraceID = "", ""
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("fan-out changed the outcome for %s (%v):\nserial:   %+v\nparallel: %+v",
+					id, quality, want, got)
+			}
+			if len(want.Path) == 0 {
+				t.Fatalf("omitted next hops must still be recoverable via child probes: %+v", want)
+			}
+		}
+	}
+
+	ss, ps := serial.Stats(), parallel.Stats()
+	if !reflect.DeepEqual(ss, ps) {
+		t.Fatalf("fan-out changed the interaction accounting:\nserial:   %+v\nparallel: %+v", ss, ps)
+	}
+	if ss.Violations[ViolationWrongNextHop] == 0 {
+		t.Fatal("omitted next hops must register as wrong-next-hop violations")
+	}
+}
+
+// TestProbeFanoutOptionBounds pins the option's guard rails.
+func TestProbeFanoutOptionBounds(t *testing.T) {
+	px := NewProxy(corePS(t), reputation.DefaultStrategy(), nil)
+	if px.probeFanout != DefaultProbeFanout {
+		t.Fatalf("default fan-out = %d, want %d", px.probeFanout, DefaultProbeFanout)
+	}
+	px = NewProxy(corePS(t), reputation.DefaultStrategy(), nil, WithProbeFanout(0), WithProbeFanout(-3))
+	if px.probeFanout != DefaultProbeFanout {
+		t.Fatalf("non-positive fan-out must keep the default, got %d", px.probeFanout)
+	}
+	px = NewProxy(corePS(t), reputation.DefaultStrategy(), nil, WithProbeFanout(2))
+	if px.probeFanout != 2 {
+		t.Fatalf("fan-out = %d, want 2", px.probeFanout)
+	}
+}

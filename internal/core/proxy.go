@@ -17,16 +17,36 @@ import (
 // per initial participant (§IV.D), answers product path information queries,
 // and maintains the public reputation ledger.
 type Proxy struct {
-	ps       *poc.PublicParams
-	strategy reputation.Strategy
-	ledger   *reputation.Ledger
-	resolve  Resolver
+	ps          *poc.PublicParams
+	strategy    reputation.Strategy
+	ledger      *reputation.Ledger
+	resolve     Resolver
+	probeFanout int
 
 	mu     sync.RWMutex
 	lists  map[string]*poc.List // task id → POC list
 	queues map[poc.ParticipantID][]queueEntry
 
 	counters statsCounter
+}
+
+// DefaultProbeFanout bounds how many children are probed concurrently when a
+// walk loses the named next hop.
+const DefaultProbeFanout = 4
+
+// ProxyOption configures a Proxy.
+type ProxyOption func(*Proxy)
+
+// WithProbeFanout sets how many candidate children probeChildren interrogates
+// concurrently. 1 restores the fully serial walk; non-positive values keep
+// the default. The observable outcome is identical at any fan-out — see
+// probeChildren.
+func WithProbeFanout(n int) ProxyOption {
+	return func(px *Proxy) {
+		if n > 0 {
+			px.probeFanout = n
+		}
+	}
 }
 
 // queueEntry is one element of an initial participant's POC-queue: the pair
@@ -38,15 +58,20 @@ type queueEntry struct {
 
 // NewProxy creates a proxy. The resolver supplies reachable endpoints for
 // participants; the strategy configures the double-edged award.
-func NewProxy(ps *poc.PublicParams, strategy reputation.Strategy, resolve Resolver) *Proxy {
-	return &Proxy{
-		ps:       ps,
-		strategy: strategy,
-		ledger:   reputation.NewLedger(),
-		resolve:  resolve,
-		lists:    make(map[string]*poc.List),
-		queues:   make(map[poc.ParticipantID][]queueEntry),
+func NewProxy(ps *poc.PublicParams, strategy reputation.Strategy, resolve Resolver, opts ...ProxyOption) *Proxy {
+	px := &Proxy{
+		ps:          ps,
+		strategy:    strategy,
+		ledger:      reputation.NewLedger(),
+		resolve:     resolve,
+		probeFanout: DefaultProbeFanout,
+		lists:       make(map[string]*poc.List),
+		queues:      make(map[poc.ParticipantID][]queueEntry),
 	}
+	for _, opt := range opts {
+		opt(px)
+	}
+	return px
 }
 
 // PublicParams returns the public parameter ps that participants use to
@@ -156,6 +181,7 @@ func (px *Proxy) findStart(ctx context.Context, id poc.ProductID, quality Qualit
 	for _, initial := range initials {
 		for _, entry := range queues[initial] {
 			outcome := px.identify(ctx, entry.taskID, entry.credential, initial, id, quality)
+			px.counters.addInteraction(outcome.identified)
 			result.Violations = append(result.Violations, outcome.violations...)
 			if outcome.identified {
 				if outcome.trace != nil {
@@ -187,7 +213,9 @@ func (px *Proxy) identify(ctx context.Context, taskID string, credential poc.POC
 			trace.Int("violations", len(outcome.violations)))
 		span.End()
 	}()
-	defer func() { px.counters.addInteraction(outcome.identified) }()
+	// Interaction counters are updated by the callers at commit time, not
+	// here: speculative child probes whose outcome is discarded (see
+	// probeChildren) must not show up in Stats.
 	responder, err := px.resolve(v)
 	if err != nil {
 		span.SetError(err)
@@ -339,6 +367,7 @@ func (px *Proxy) walk(ctx context.Context, list *poc.List, taskID string, start,
 		}
 		visited[next] = true
 		outcome := px.identify(ctx, taskID, credential, next, id, quality)
+		px.counters.addInteraction(outcome.identified)
 		result.Violations = append(result.Violations, outcome.violations...)
 		if !outcome.identified {
 			// §III.B "wrong participant", case 1: the named next provably
@@ -362,7 +391,22 @@ func (px *Proxy) walk(ctx context.Context, list *poc.List, taskID string, start,
 // probeChildren asks each recorded child of cur (not yet visited) whether it
 // processed the product, returning the first identified child and that
 // child's claimed next hop.
+//
+// Probes run speculatively with a bounded fan-out (WithProbeFanout), but the
+// outcome is committed strictly in list order, so the result is identical to
+// the serial walk at any fan-out: the first identified child in list order
+// wins; violations land in stable order; probes launched past the winner are
+// cancelled and their outcomes discarded entirely — not marked visited, not
+// counted, not recorded — exactly as if they had never been interrogated.
+// Speculation is safe because the probe interaction is read-only on the
+// participant side (query and, in the bad case, the ownership demand both
+// answer from the committed DPOC).
 func (px *Proxy) probeChildren(ctx context.Context, list *poc.List, taskID string, cur poc.ParticipantID, id poc.ProductID, quality Quality, visited map[poc.ParticipantID]bool, result *Result) (poc.ParticipantID, poc.ParticipantID) {
+	type candidate struct {
+		child      poc.ParticipantID
+		credential poc.POC
+	}
+	var cands []candidate
 	for _, child := range list.Children(cur) {
 		if visited[child] {
 			continue
@@ -371,15 +415,52 @@ func (px *Proxy) probeChildren(ctx context.Context, list *poc.List, taskID strin
 		if err != nil {
 			continue
 		}
-		visited[child] = true
-		outcome := px.identify(ctx, taskID, credential, child, id, quality)
+		cands = append(cands, candidate{child: child, credential: credential})
+	}
+
+	commit := func(c candidate, outcome identifyOutcome) (poc.ParticipantID, poc.ParticipantID, bool) {
+		visited[c.child] = true
+		px.counters.addInteraction(outcome.identified)
 		result.Violations = append(result.Violations, outcome.violations...)
-		if outcome.identified {
-			result.Path = append(result.Path, child)
-			if outcome.trace != nil {
-				result.Traces[child] = *outcome.trace
+		if !outcome.identified {
+			return "", "", false
+		}
+		result.Path = append(result.Path, c.child)
+		if outcome.trace != nil {
+			result.Traces[c.child] = *outcome.trace
+		}
+		return c.child, outcome.next, true
+	}
+
+	if px.probeFanout <= 1 || len(cands) <= 1 {
+		for _, c := range cands {
+			outcome := px.identify(ctx, taskID, c.credential, c.child, id, quality)
+			if child, next, ok := commit(c, outcome); ok {
+				return child, next
 			}
-			return child, outcome.next
+		}
+		return "", ""
+	}
+
+	probeCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, px.probeFanout)
+	outcomes := make([]chan identifyOutcome, len(cands))
+	for i := range cands {
+		outcomes[i] = make(chan identifyOutcome, 1)
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outcomes[i] <- px.identify(probeCtx, taskID, cands[i].credential, cands[i].child, id, quality)
+		}(i)
+	}
+	for i, c := range cands {
+		outcome := <-outcomes[i]
+		if child, next, ok := commit(c, outcome); ok {
+			// Later probes are cancelled and never read: their outcomes are
+			// discarded, matching the serial walk, which would not have
+			// interrogated them.
+			return child, next
 		}
 	}
 	return "", ""

@@ -1,9 +1,10 @@
 // Package node deploys DE-Sword over TCP: a proxy server, participant
-// servers, and dial-per-request clients. The same protocol logic as the
+// servers, and pooled persistent clients. The same protocol logic as the
 // in-process engine runs here — node.ResponderClient implements
 // core.Responder, so a core.Proxy can drive remote participants, and
 // node.ProxyServer exposes the proxy to applications and initial
-// participants.
+// participants. Clients draw connections from a per-endpoint Pool (reuse,
+// retry with backoff, endpoint health fast-fail); see pool.go.
 package node
 
 import (
@@ -37,12 +38,21 @@ var ErrServerClosed = errors.New("node: server closed")
 type options struct {
 	timeout    time.Duration
 	drainGrace time.Duration
+
+	// Pooled-transport tunables (clients only).
+	pooled        bool
+	poolSize      int
+	idleTimeout   time.Duration
+	retries       int
+	backoff       time.Duration
+	failThreshold int
+	cooldown      time.Duration
 }
 
 // Option configures a client or server.
 type Option func(*options)
 
-// WithTimeout sets the per-exchange dial/IO timeout (clients) and the
+// WithTimeout sets the per-attempt dial/IO timeout (clients) and the
 // per-request read/write deadline (servers). Non-positive values keep the
 // default.
 func WithTimeout(d time.Duration) Option {
@@ -64,8 +74,88 @@ func WithDrainGrace(d time.Duration) Option {
 	}
 }
 
+// WithPoolSize bounds the open connections a client keeps per endpoint.
+// Non-positive values keep the default.
+func WithPoolSize(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.poolSize = n
+		}
+	}
+}
+
+// WithIdleTimeout sets how long a pooled connection may sit idle before it
+// is reaped instead of reused. Keep it below the server-side timeout, or
+// reuse will mostly find connections the server already closed.
+// Non-positive values keep the default.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.idleTimeout = d
+		}
+	}
+}
+
+// WithRetries sets how many times a failed exchange is retried after the
+// first attempt (0 disables retries). Negative values keep the default.
+func WithRetries(n int) Option {
+	return func(o *options) {
+		if n >= 0 {
+			o.retries = n
+		}
+	}
+}
+
+// WithRetryBackoff sets the sleep before the first retry; it doubles per
+// attempt. Non-positive values keep the default.
+func WithRetryBackoff(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.backoff = d
+		}
+	}
+}
+
+// WithFailThreshold sets how many consecutive transport failures mark an
+// endpoint down (fail-fast). Non-positive values keep the default.
+func WithFailThreshold(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.failThreshold = n
+		}
+	}
+}
+
+// WithCooldown sets how long a down endpoint fails fast before the next
+// real dial is attempted. Non-positive values keep the default.
+func WithCooldown(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.cooldown = d
+		}
+	}
+}
+
+// WithDialPerRequest disables connection reuse: every exchange dials a
+// fresh connection and closes it afterwards, reproducing the historical
+// transport. Kept for A/B measurement (desword-bench -exp transport) and as
+// an escape hatch behind middleboxes that dislike long-lived connections.
+func WithDialPerRequest() Option {
+	return func(o *options) { o.pooled = false }
+}
+
 func applyOptions(opts []Option) options {
-	o := options{timeout: DefaultTimeout, drainGrace: DefaultDrainGrace}
+	o := options{
+		timeout:       DefaultTimeout,
+		drainGrace:    DefaultDrainGrace,
+		pooled:        true,
+		poolSize:      DefaultPoolSize,
+		idleTimeout:   DefaultIdleTimeout,
+		retries:       DefaultRetries,
+		backoff:       DefaultRetryBackoff,
+		failThreshold: DefaultFailThreshold,
+		cooldown:      DefaultCooldown,
+	}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -82,7 +172,15 @@ type server struct {
 	wg     sync.WaitGroup
 	mu     sync.Mutex
 	closed bool
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connState
+}
+
+// connState tracks whether a connection is mid-request. Close cuts idle
+// connections immediately — persistent clients park idle keep-alive
+// connections here, and waiting out the drain grace for them would stall
+// every shutdown — while busy ones get the grace to finish.
+type connState struct {
+	busy bool
 }
 
 func (s *server) start(ln net.Listener, role string, o options, handle func(context.Context, *wire.Envelope) (string, any)) {
@@ -90,7 +188,7 @@ func (s *server) start(ln net.Listener, role string, o options, handle func(cont
 	s.opts = o
 	s.role = role
 	s.metrics = newServerMetrics(role)
-	s.conns = make(map[net.Conn]struct{})
+	s.conns = make(map[net.Conn]*connState)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -125,8 +223,35 @@ func (s *server) track(conn net.Conn) bool {
 	if s.closed {
 		return false
 	}
-	s.conns[conn] = struct{}{}
+	s.conns[conn] = &connState{}
 	return true
+}
+
+// markBusy flags a connection as mid-request; it reports false when the
+// server already cut the connection (Close raced the read), in which case the
+// request is dropped — the framing guarantees the peer sees a broken
+// connection, and idempotent clients retry elsewhere.
+func (s *server) markBusy(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.conns[conn]
+	if !ok {
+		return false
+	}
+	st.busy = true
+	return true
+}
+
+// markIdle flags a connection as between requests; it reports whether the
+// server is closing, in which case the serve loop should exit instead of
+// waiting for another request that would stall the drain.
+func (s *server) markIdle(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.conns[conn]; ok {
+		st.busy = false
+	}
+	return s.closed
 }
 
 // untrack closes and forgets a connection.
@@ -152,14 +277,18 @@ func (s *server) serveConn(conn net.Conn, handle func(context.Context, *wire.Env
 		}
 		env, err := wire.ReadMessage(conn)
 		if err != nil {
-			// A clean hang-up between requests and the idle-reap read
-			// deadline are the normal ends of a dial-per-request exchange,
-			// not errors.
+			// A clean hang-up between requests, the idle-reap read deadline,
+			// and a shutdown cutting the idle connection are the normal ends
+			// of a keep-alive exchange, not errors.
 			var nerr net.Error
-			if !errors.Is(err, io.EOF) && !(errors.As(err, &nerr) && nerr.Timeout()) {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) &&
+				!(errors.As(err, &nerr) && nerr.Timeout()) {
 				s.metrics.errRead.Inc()
 			}
 			return
+		}
+		if !s.markBusy(conn) {
+			return // Close cut this connection as the request arrived
 		}
 		start := time.Now()
 		ctx := context.Background()
@@ -188,6 +317,10 @@ func (s *server) serveConn(conn net.Conn, handle func(context.Context, *wire.Env
 			s.metrics.errWrite.Inc()
 			return
 		}
+		// Echo the request id so pooled clients can verify the response
+		// belongs to their request; requests without one (old peers) get
+		// none back.
+		respEnv.ReqID = env.RequestID()
 		// End the handler span before draining so the fragment shipped to
 		// the caller includes it; the local recorder keeps a copy too.
 		span.End()
@@ -201,6 +334,9 @@ func (s *server) serveConn(conn net.Conn, handle func(context.Context, *wire.Env
 			return
 		}
 		s.metrics.requestLatency(env.Type).ObserveSince(start)
+		if s.markIdle(conn) {
+			return // server closing: deliver the response, then hang up
+		}
 	}
 }
 
@@ -215,6 +351,16 @@ func (s *server) Close() error {
 	s.mu.Lock()
 	alreadyClosed := s.closed
 	s.closed = true
+	// Cut idle connections immediately: pooled clients park keep-alive
+	// connections between requests, and only in-flight work deserves the
+	// drain grace. Forgetting them here makes markBusy drop a request whose
+	// read raced the cut.
+	for conn, st := range s.conns {
+		if !st.busy {
+			_ = conn.Close()
+			delete(s.conns, conn)
+		}
+	}
 	s.mu.Unlock()
 	var err error
 	if !alreadyClosed {
@@ -297,19 +443,24 @@ func (s *ParticipantServer) handle(ctx context.Context, env *wire.Envelope) (str
 
 // ResponderClient reaches a remote participant; it implements
 // core.Responder, so the proxy's resolver can hand it straight to the
-// protocol engine.
+// protocol engine. It draws connections from a persistent per-endpoint pool;
+// see Pool for the reuse, retry, and health semantics.
 type ResponderClient struct {
-	addr    string
-	timeout time.Duration
+	pool *Pool
 }
 
 // NewResponderClient creates a client for one participant address.
 func NewResponderClient(addr string, opts ...Option) *ResponderClient {
-	o := applyOptions(opts)
-	return &ResponderClient{addr: addr, timeout: o.timeout}
+	return &ResponderClient{pool: NewPool(addr, opts...)}
 }
 
 var _ core.Responder = (*ResponderClient)(nil)
+
+// Pool exposes the client's transport pool for stats and tuning.
+func (c *ResponderClient) Pool() *Pool { return c.pool }
+
+// Close releases the client's pooled connections.
+func (c *ResponderClient) Close() error { return c.pool.Close() }
 
 // Query implements core.Responder over TCP.
 func (c *ResponderClient) Query(ctx context.Context, taskID string, id poc.ProductID, quality core.Quality) (*core.Response, error) {
@@ -326,7 +477,7 @@ func (c *ResponderClient) DemandOwnership(ctx context.Context, taskID string, id
 }
 
 func (c *ResponderClient) roundTrip(ctx context.Context, msgType string, payload any) (*core.Response, error) {
-	env, err := exchange(ctx, c.addr, c.timeout, msgType, payload)
+	env, err := c.pool.Exchange(ctx, msgType, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -341,15 +492,70 @@ func (c *ResponderClient) roundTrip(ctx context.Context, msgType string, payload
 }
 
 // DirectoryResolver builds a core.Resolver from a participant→address map.
-// Options (e.g. WithTimeout) apply to every client it creates.
-func DirectoryResolver(dir map[poc.ParticipantID]string, opts ...Option) core.Resolver {
-	return func(v poc.ParticipantID) (core.Responder, error) {
-		addr, ok := dir[v]
-		if !ok {
-			return nil, fmt.Errorf("node: no address for participant %s", v)
-		}
-		return NewResponderClient(addr, opts...), nil
+// Options (e.g. WithTimeout, WithPoolSize) apply to every client it creates.
+// One client — and therefore one connection pool — is cached per address, so
+// repeated resolutions of the same participant across queries reuse its live
+// connections instead of redialing. Call Close on the returned Directory to
+// release the pools.
+func DirectoryResolver(dir map[poc.ParticipantID]string, opts ...Option) *Directory {
+	d := &Directory{
+		dir:     dir,
+		opts:    opts,
+		clients: make(map[string]*ResponderClient),
 	}
+	return d
+}
+
+// Directory is an address-book resolver that caches one pooled client per
+// participant address. Safe for concurrent use.
+type Directory struct {
+	dir  map[poc.ParticipantID]string
+	opts []Option
+
+	mu      sync.Mutex
+	clients map[string]*ResponderClient
+}
+
+// Resolve returns the cached client for a participant, creating it on first
+// use. It satisfies core.Resolver via Directory.Resolver.
+func (d *Directory) Resolve(v poc.ParticipantID) (core.Responder, error) {
+	addr, ok := d.dir[v]
+	if !ok {
+		return nil, fmt.Errorf("node: no address for participant %s", v)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.clients[addr]
+	if !ok {
+		c = NewResponderClient(addr, d.opts...)
+		d.clients[addr] = c
+	}
+	return c, nil
+}
+
+// Resolver adapts the directory to the core.Resolver function type.
+func (d *Directory) Resolver() core.Resolver { return d.Resolve }
+
+// Client returns the cached pooled client for an address, if one exists —
+// handy for inspecting Pool.Stats in tests and benches.
+func (d *Directory) Client(addr string) *ResponderClient {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clients[addr]
+}
+
+// Close releases every cached client's pooled connections.
+func (d *Directory) Close() error {
+	d.mu.Lock()
+	clients := make([]*ResponderClient, 0, len(d.clients))
+	for _, c := range d.clients {
+		clients = append(clients, c)
+	}
+	d.mu.Unlock()
+	for _, c := range clients {
+		_ = c.Close()
+	}
+	return nil
 }
 
 // ProxyServer exposes a core.Proxy over TCP to applications and initial
@@ -410,21 +616,26 @@ func (s *ProxyServer) handle(ctx context.Context, env *wire.Envelope) (string, a
 	}
 }
 
-// ProxyClient reaches a remote proxy.
+// ProxyClient reaches a remote proxy through a persistent connection pool;
+// see Pool for the reuse, retry, and health semantics.
 type ProxyClient struct {
-	addr    string
-	timeout time.Duration
+	pool *Pool
 }
 
 // NewProxyClient creates a client for a proxy address.
 func NewProxyClient(addr string, opts ...Option) *ProxyClient {
-	o := applyOptions(opts)
-	return &ProxyClient{addr: addr, timeout: o.timeout}
+	return &ProxyClient{pool: NewPool(addr, opts...)}
 }
 
+// Pool exposes the client's transport pool for stats and tuning.
+func (c *ProxyClient) Pool() *Pool { return c.pool }
+
+// Close releases the client's pooled connections.
+func (c *ProxyClient) Close() error { return c.pool.Close() }
+
 // GetParams fetches and rehydrates the public parameter ps.
-func (c *ProxyClient) GetParams() (*poc.PublicParams, error) {
-	env, err := exchange(context.Background(), c.addr, c.timeout, wire.TypeGetParams, struct{}{})
+func (c *ProxyClient) GetParams(ctx context.Context) (*poc.PublicParams, error) {
+	env, err := c.pool.Exchange(ctx, wire.TypeGetParams, struct{}{})
 	if err != nil {
 		return nil, err
 	}
@@ -442,8 +653,8 @@ func (c *ProxyClient) GetParams() (*poc.PublicParams, error) {
 }
 
 // RegisterList submits a POC list on behalf of an initial participant.
-func (c *ProxyClient) RegisterList(taskID string, list *poc.List) error {
-	env, err := exchange(context.Background(), c.addr, c.timeout, wire.TypeRegisterList,
+func (c *ProxyClient) RegisterList(ctx context.Context, taskID string, list *poc.List) error {
+	env, err := c.pool.Exchange(ctx, wire.TypeRegisterList,
 		wire.RegisterListRequest{TaskID: taskID, List: list})
 	if err != nil {
 		return err
@@ -458,7 +669,7 @@ func (c *ProxyClient) RegisterList(taskID string, list *poc.List) error {
 // active trace span, the proxy continues the same trace; either way, the
 // returned result names the proxy-side trace id when the query was sampled.
 func (c *ProxyClient) QueryPath(ctx context.Context, id poc.ProductID, quality core.Quality) (*core.Result, error) {
-	env, err := exchange(ctx, c.addr, c.timeout, wire.TypeQueryPath,
+	env, err := c.pool.Exchange(ctx, wire.TypeQueryPath,
 		wire.QueryPathRequest{Product: id, Quality: int(quality)})
 	if err != nil {
 		return nil, err
@@ -474,8 +685,8 @@ func (c *ProxyClient) QueryPath(ctx context.Context, id poc.ProductID, quality c
 }
 
 // Scores fetches the public reputation table.
-func (c *ProxyClient) Scores() (map[poc.ParticipantID]float64, error) {
-	env, err := exchange(context.Background(), c.addr, c.timeout, wire.TypeScores, struct{}{})
+func (c *ProxyClient) Scores(ctx context.Context) (map[poc.ParticipantID]float64, error) {
+	env, err := c.pool.Exchange(ctx, wire.TypeScores, struct{}{})
 	if err != nil {
 		return nil, err
 	}
@@ -491,8 +702,8 @@ func (c *ProxyClient) Scores() (map[poc.ParticipantID]float64, error) {
 
 // AuditLog fetches the proxy's chained score history and verifies it
 // end-to-end before returning it — a customer-side audit in one call.
-func (c *ProxyClient) AuditLog() ([]reputation.AuditEntry, error) {
-	env, err := exchange(context.Background(), c.addr, c.timeout, wire.TypeAuditLog, struct{}{})
+func (c *ProxyClient) AuditLog(ctx context.Context) ([]reputation.AuditEntry, error) {
+	env, err := c.pool.Exchange(ctx, wire.TypeAuditLog, struct{}{})
 	if err != nil {
 		return nil, err
 	}
@@ -512,52 +723,6 @@ func (c *ProxyClient) AuditLog() ([]reputation.AuditEntry, error) {
 		return nil, fmt.Errorf("node: proxy published a broken audit chain: %w", err)
 	}
 	return chain.Entries, nil
-}
-
-// exchange performs one dial-request-response cycle. The connection is
-// closed on every path — success and error alike — by the deferred Close.
-// When ctx carries an active trace span, the exchange records a wire
-// round-trip child span, sends the trace context on the request envelope,
-// and grafts the spans the server returns on the response envelope into the
-// local trace.
-func exchange(ctx context.Context, addr string, timeout time.Duration, msgType string, payload any) (*wire.Envelope, error) {
-	ctx, span := trace.Default.StartChild(ctx, "wire."+msgType,
-		trace.String("addr", addr))
-	env, err := exchangeEnv(ctx, span, addr, timeout, msgType, payload)
-	span.SetError(err)
-	span.End()
-	return env, err
-}
-
-func exchangeEnv(ctx context.Context, span *trace.Span, addr string, timeout time.Duration, msgType string, payload any) (*wire.Envelope, error) {
-	dialer := net.Dialer{Timeout: timeout}
-	conn, err := dialer.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("node: dialing %s: %w", addr, err)
-	}
-	defer func() {
-		if cerr := conn.Close(); cerr != nil {
-			_ = cerr // response already in hand
-		}
-	}()
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return nil, fmt.Errorf("node: setting deadline: %w", err)
-	}
-	req, err := wire.NewEnvelope(msgType, payload)
-	if err != nil {
-		return nil, err
-	}
-	req.TraceID = span.TraceID()
-	req.SpanID = span.SpanID()
-	if err := wire.WriteEnvelope(conn, req); err != nil {
-		return nil, err
-	}
-	resp, err := wire.ReadMessage(conn)
-	if err != nil {
-		return nil, err
-	}
-	span.Adopt(resp.Spans)
-	return resp, nil
 }
 
 // remoteError converts an unexpected envelope into an error.

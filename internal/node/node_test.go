@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"desword/internal/adversary"
 	"desword/internal/apps"
@@ -26,6 +27,17 @@ type deployment struct {
 	dist    *core.DistributionResult
 	client  *ProxyClient
 	product poc.ProductID
+	servers map[poc.ParticipantID]*ParticipantServer
+}
+
+// stop takes one participant's server down mid-test.
+func (d *deployment) stop(id poc.ParticipantID) error {
+	srv, ok := d.servers[id]
+	if !ok {
+		return fmt.Errorf("no server for %s", id)
+	}
+	delete(d.servers, id)
+	return srv.Close()
 }
 
 func deploy(t *testing.T, n int, dishonest map[poc.ParticipantID]core.Responder) *deployment {
@@ -53,6 +65,7 @@ func deploy(t *testing.T, n int, dishonest map[poc.ParticipantID]core.Responder)
 	}
 
 	dir := make(map[poc.ParticipantID]string, n)
+	servers := make(map[poc.ParticipantID]*ParticipantServer, n)
 	for id, m := range members {
 		responder := core.Responder(m)
 		if d, ok := dishonest[id]; ok {
@@ -62,6 +75,7 @@ func deploy(t *testing.T, n int, dishonest map[poc.ParticipantID]core.Responder)
 		if err != nil {
 			t.Fatal(err)
 		}
+		servers[id] = srv
 		t.Cleanup(func() {
 			if cerr := srv.Close(); cerr != nil {
 				t.Errorf("closing participant server: %v", cerr)
@@ -70,7 +84,13 @@ func deploy(t *testing.T, n int, dishonest map[poc.ParticipantID]core.Responder)
 		dir[id] = srv.Addr()
 	}
 
-	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), DirectoryResolver(dir))
+	resolver := DirectoryResolver(dir, WithRetryBackoff(time.Millisecond))
+	t.Cleanup(func() {
+		if cerr := resolver.Close(); cerr != nil {
+			t.Errorf("closing resolver pools: %v", cerr)
+		}
+	})
+	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), resolver.Resolver())
 	proxySrv, err := ServeProxy("127.0.0.1:0", proxy)
 	if err != nil {
 		t.Fatal(err)
@@ -81,10 +101,15 @@ func deploy(t *testing.T, n int, dishonest map[poc.ParticipantID]core.Responder)
 		}
 	})
 	client := NewProxyClient(proxySrv.Addr())
+	t.Cleanup(func() {
+		if cerr := client.Close(); cerr != nil {
+			t.Errorf("closing client pool: %v", cerr)
+		}
+	})
 
 	// The initial participant submits the POC list over the wire, exercising
 	// the registration path end to end.
-	if err := client.RegisterList("task-net", list); err != nil {
+	if err := client.RegisterList(context.Background(), "task-net", list); err != nil {
 		t.Fatalf("RegisterList over TCP: %v", err)
 	}
 	return &deployment{
@@ -93,6 +118,7 @@ func deploy(t *testing.T, n int, dishonest map[poc.ParticipantID]core.Responder)
 		dist:    &core.DistributionResult{TaskID: "task-net", List: list, Ground: ground},
 		client:  client,
 		product: "net1",
+		servers: servers,
 	}
 }
 
@@ -184,7 +210,7 @@ func deployWithLiar(t *testing.T, out **adversary.Dishonest) *deployment {
 		})
 		dir[id] = srv.Addr()
 	}
-	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), DirectoryResolver(dir))
+	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), DirectoryResolver(dir).Resolver())
 	proxySrv, err := ServeProxy("127.0.0.1:0", proxy)
 	if err != nil {
 		t.Fatal(err)
@@ -195,7 +221,7 @@ func deployWithLiar(t *testing.T, out **adversary.Dishonest) *deployment {
 		}
 	})
 	client := NewProxyClient(proxySrv.Addr())
-	if err := client.RegisterList("task-liar", list); err != nil {
+	if err := client.RegisterList(context.Background(), "task-liar", list); err != nil {
 		t.Fatal(err)
 	}
 	return &deployment{ps: ps, members: members, client: client, product: "net1"}
@@ -203,7 +229,7 @@ func deployWithLiar(t *testing.T, out **adversary.Dishonest) *deployment {
 
 func TestGetParamsOverWire(t *testing.T) {
 	d := deploy(t, 2, nil)
-	ps, err := d.client.GetParams()
+	ps, err := d.client.GetParams(context.Background())
 	if err != nil {
 		t.Fatalf("GetParams: %v", err)
 	}
@@ -226,7 +252,7 @@ func TestScoresOverWire(t *testing.T) {
 	if _, err := d.client.QueryPath(context.Background(), d.product, core.Good); err != nil {
 		t.Fatal(err)
 	}
-	scores, err := d.client.Scores()
+	scores, err := d.client.Scores(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,12 +263,12 @@ func TestScoresOverWire(t *testing.T) {
 
 func TestRegisterListErrorsPropagate(t *testing.T) {
 	d := deploy(t, 2, nil)
-	if err := d.client.RegisterList("task-net", d.dist.List); err == nil {
+	if err := d.client.RegisterList(context.Background(), "task-net", d.dist.List); err == nil {
 		t.Fatal("duplicate registration must propagate as a remote error")
 	}
 	bad := poc.NewList()
 	bad.AddPair("x", "y")
-	if err := d.client.RegisterList("task-bad", bad); err == nil {
+	if err := d.client.RegisterList(context.Background(), "task-bad", bad); err == nil {
 		t.Fatal("invalid list must propagate as a remote error")
 	}
 }
@@ -261,7 +287,7 @@ func TestUnknownMessageTypeRejected(t *testing.T) {
 		}
 	})
 	c := NewProxyClient(srv.Addr())
-	if _, err := c.Scores(); err == nil {
+	if _, err := c.Scores(context.Background()); err == nil {
 		t.Fatal("participant server must reject proxy-side messages")
 	}
 }
@@ -304,7 +330,7 @@ func TestAuditLogOverWire(t *testing.T) {
 	if _, err := d.client.QueryPath(context.Background(), d.product, core.Good); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := d.client.AuditLog()
+	entries, err := d.client.AuditLog(context.Background())
 	if err != nil {
 		t.Fatalf("AuditLog (client verifies the chain itself): %v", err)
 	}
@@ -313,7 +339,7 @@ func TestAuditLogOverWire(t *testing.T) {
 	}
 	// Replay must match the published scores.
 	replayed := reputation.ReplayScores(entries)
-	scores, err := d.client.Scores()
+	scores, err := d.client.Scores(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -298,7 +298,7 @@ func TestMaliciousTraceHeadersIgnored(t *testing.T) {
 // forgeQuery sends a query_path request with attacker-controlled trace
 // headers straight over TCP, bypassing the client's header validation.
 func forgeQuery(d *deployment, traceID, spanID string) (*wire.Envelope, error) {
-	conn, err := net.Dial("tcp", d.client.addr)
+	conn, err := net.Dial("tcp", d.client.Pool().Addr())
 	if err != nil {
 		return nil, err
 	}

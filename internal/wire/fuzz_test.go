@@ -41,16 +41,16 @@ func FuzzReadMessage(f *testing.F) {
 
 // FuzzEnvelopeHeaderCompat pins old↔new envelope compatibility: an envelope
 // whose JSON carries unknown or extra header fields (a newer peer), or omits
-// the optional trace headers entirely (an older peer), must decode to the
-// same type/payload either way, and whatever trace context survives
-// validation must round-trip.
+// the optional trace/request-id headers entirely (an older peer), must decode
+// to the same type/payload either way, and whatever trace context or request
+// id survives validation must round-trip.
 func FuzzEnvelopeHeaderCompat(f *testing.F) {
-	f.Add("query", `{"a":1}`, "00000000000000000000000000000000", "0123456789abcdef", "future_field", `"v2"`)
-	f.Add("query_path", `null`, "", "", "spans", `[{"bogus":true}]`)
-	f.Add("params", `{}`, "not-a-trace-id", "xyz", "trace_flags", `7`)
-	f.Add("error", `{"message":"x"}`, "ABCDEF", "", "", ``)
+	f.Add("query", `{"a":1}`, "00000000000000000000000000000000", "0123456789abcdef", "fedcba9876543210", "future_field", `"v2"`)
+	f.Add("query_path", `null`, "", "", "", "spans", `[{"bogus":true}]`)
+	f.Add("params", `{}`, "not-a-trace-id", "xyz", "not-a-req-id", "trace_flags", `7`)
+	f.Add("error", `{"message":"x"}`, "ABCDEF", "", "0123456789abcdef", "", ``)
 
-	f.Fuzz(func(t *testing.T, msgType, payload, traceID, spanID, extraKey, extraVal string) {
+	f.Fuzz(func(t *testing.T, msgType, payload, traceID, spanID, reqID, extraKey, extraVal string) {
 		if !json.Valid([]byte(payload)) {
 			return
 		}
@@ -63,9 +63,13 @@ func FuzzEnvelopeHeaderCompat(f *testing.F) {
 		if spanID != "" {
 			fields = append(fields, fmt.Sprintf(`"span_id":%q`, spanID))
 		}
+		if reqID != "" {
+			fields = append(fields, fmt.Sprintf(`"req_id":%q`, reqID))
+		}
 		fields = append(fields, `"payload":`+payload)
 		if extraKey != "" && extraKey != "type" && extraKey != "trace_id" &&
 			extraKey != "span_id" && extraKey != "payload" && extraKey != "spans" &&
+			extraKey != "req_id" &&
 			json.Valid([]byte(extraVal)) {
 			keyJSON, err := json.Marshal(extraKey)
 			if err != nil {
@@ -113,6 +117,15 @@ func FuzzEnvelopeHeaderCompat(f *testing.F) {
 			t.Fatalf("invalid trace context %q/%q leaked through as %q/%q", traceID, spanID, gotTrace, gotSpan)
 		}
 
+		// Same deal for the request id: only well-formed ids survive.
+		if got := env.RequestID(); ValidRequestID(reqID) {
+			if got != reqID {
+				t.Fatalf("valid req_id %q decoded as %q", reqID, got)
+			}
+		} else if got != "" {
+			t.Fatalf("invalid req_id %q leaked through as %q", reqID, got)
+		}
+
 		// An old peer re-framing this envelope (dropping fields it does not
 		// know) must produce something the new code still reads.
 		var old bytes.Buffer
@@ -128,6 +141,9 @@ func FuzzEnvelopeHeaderCompat(f *testing.F) {
 		}
 		if bt, bs := back.TraceContext(); bt != "" || bs != "" {
 			t.Fatal("old-style frame must carry no trace context")
+		}
+		if back.RequestID() != "" {
+			t.Fatal("old-style frame must carry no request id")
 		}
 	})
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 
 	"desword/internal/core"
 	"desword/internal/poc"
@@ -67,10 +68,15 @@ var (
 // fields are optional headers: requests carry the caller's trace context
 // (TraceID/SpanID) so the peer continues the same distributed trace, and
 // responses carry the server's completed span fragment (Spans) so the caller
-// can graft the remote timeline into its own trace. Old peers ignore the
-// fields; envelopes without them decode unchanged.
+// can graft the remote timeline into its own trace. ReqID is an optional
+// request-correlation header: a client stamps one id per logical request
+// (kept stable across retries of that request), and a server echoes it on
+// the response so a client multiplexing requests over a pooled, reused
+// connection can detect a desynchronized peer. Old peers ignore the fields;
+// envelopes without them decode unchanged.
 type Envelope struct {
 	Type    string           `json:"type"`
+	ReqID   string           `json:"req_id,omitempty"`
 	TraceID string           `json:"trace_id,omitempty"`
 	SpanID  string           `json:"span_id,omitempty"`
 	Spans   []trace.SpanData `json:"spans,omitempty"`
@@ -85,6 +91,38 @@ func (e *Envelope) TraceContext() (traceID, spanID string) {
 		return e.TraceID, e.SpanID
 	}
 	return "", ""
+}
+
+// RequestID returns the envelope's request-correlation header when it is a
+// well-formed id, and "" otherwise. Servers echo only validated ids, so a
+// peer cannot reflect arbitrary strings through a response.
+func (e *Envelope) RequestID() string {
+	if ValidRequestID(e.ReqID) {
+		return e.ReqID
+	}
+	return ""
+}
+
+// NewRequestID returns a fresh 8-byte request-correlation id in hex.
+// Request ids only need to be unique among the requests a single client
+// connection could confuse, so a process-local PRNG is plenty.
+func NewRequestID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// ValidRequestID reports whether s looks like a request id this package
+// generated: 16 lowercase hex characters.
+func ValidRequestID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // NewEnvelope builds an envelope around an encoded payload.

@@ -182,3 +182,46 @@ func TestPathResultRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %+v", back)
 	}
 }
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	id := NewRequestID()
+	if !ValidRequestID(id) {
+		t.Fatalf("NewRequestID produced invalid id %q", id)
+	}
+	env, err := NewEnvelope(TypeQuery, QueryRequest{TaskID: "t", Product: "p", Quality: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.ReqID = id
+	var buf bytes.Buffer
+	if err := WriteEnvelope(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RequestID() != id {
+		t.Fatalf("req_id %q round-tripped as %q", id, back.RequestID())
+	}
+}
+
+func TestRequestIDValidation(t *testing.T) {
+	for _, bad := range []string{
+		"", "short", "0123456789abcde", "0123456789abcdef0", // wrong length
+		"0123456789ABCDEF",    // uppercase
+		"0123456789abcdeg",    // non-hex
+		"../../../etc/passwd", // injection attempt
+	} {
+		if ValidRequestID(bad) {
+			t.Errorf("ValidRequestID(%q) = true, want false", bad)
+		}
+		env := &Envelope{Type: TypeQuery, ReqID: bad}
+		if got := env.RequestID(); got != "" {
+			t.Errorf("RequestID() leaked invalid id %q as %q", bad, got)
+		}
+	}
+	if !ValidRequestID("0123456789abcdef") {
+		t.Error("well-formed request id rejected")
+	}
+}
