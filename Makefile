@@ -1,6 +1,7 @@
 GO ?= go
+VET := bin/desword-vet
 
-.PHONY: all check build test vet fmt race bench
+.PHONY: all check build test vet fmt race bench lint analyzers tidy fuzz-short
 
 all: check
 
@@ -29,3 +30,41 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# lint is the correctness gate beyond tier-1: the project analyzers
+# (desword-vet, see DESIGN.md §9) run through go vet's unitchecker driver
+# so results cache per package, plus formatting, module tidiness, and the
+# analyzer suite's own golden tests. Checkers that live outside the repo
+# (govulncheck, x/tools nilness) run only when the host has them
+# installed — the build image has no module proxy access, so they are
+# advisory extras rather than gates.
+lint: analyzers fmt tidy
+	$(GO) vet -vettool=$(abspath $(VET)) ./...
+	cd tools/analyzers && $(GO) test ./...
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+	@if command -v nilness >/dev/null 2>&1; then \
+		nilness ./...; \
+	else \
+		echo "lint: nilness not installed; skipping (go install golang.org/x/tools/go/analysis/passes/nilness/cmd/nilness@latest)"; \
+	fi
+
+# analyzers builds the desword-vet multichecker from its own module.
+analyzers:
+	cd tools/analyzers && $(GO) build -o $(abspath $(VET)) ./cmd/desword-vet
+
+# tidy fails if go mod tidy would change either module.
+tidy:
+	$(GO) mod tidy -diff
+	cd tools/analyzers && $(GO) mod tidy -diff
+
+# fuzz-short exercises every wire/envelope fuzz target briefly; CI runs it
+# so decoder regressions surface without waiting for a long fuzz campaign.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz='^FuzzProofUnmarshal$$' -fuzztime=20s ./internal/zkedb
+	$(GO) test -run='^$$' -fuzz='^FuzzReadMessage$$' -fuzztime=20s ./internal/wire
+	$(GO) test -run='^$$' -fuzz='^FuzzEnvelopeHeaderCompat$$' -fuzztime=20s ./internal/wire
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeProof$$' -fuzztime=20s ./internal/wire

@@ -354,7 +354,7 @@ func e2eSetup() {
 	}
 	dir := make(map[poc.ParticipantID]string, 4)
 	for id, m := range members {
-		srv, err := node.ServeParticipant("127.0.0.1:0", m)
+		srv, err := node.ServeParticipant(context.Background(), "127.0.0.1:0", m)
 		if err != nil {
 			e2eErr = err
 			return
@@ -362,7 +362,7 @@ func e2eSetup() {
 		dir[id] = srv.Addr()
 	}
 	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), node.DirectoryResolver(dir).Resolver())
-	proxySrv, err := node.ServeProxy("127.0.0.1:0", proxy)
+	proxySrv, err := node.ServeProxy(context.Background(), "127.0.0.1:0", proxy)
 	if err != nil {
 		e2eErr = err
 		return

@@ -164,7 +164,7 @@ func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, wri
 		logger.Info("admin listener up", "addr", adminSrv.Addr())
 	}
 
-	srv, err := node.ServeParticipant(listen, member, node.WithTimeout(clientCfg.Timeout))
+	srv, err := node.ServeParticipant(context.Background(), listen, member, node.WithTimeout(clientCfg.Timeout))
 	if err != nil {
 		return err
 	}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -103,7 +104,7 @@ func run() error {
 	defer directory.Close()
 	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), directory.Resolver(),
 		core.WithProbeFanout(*fanout))
-	srv, err := node.ServeProxy(*listen, proxy, node.WithTimeout(tcfg.Timeout))
+	srv, err := node.ServeProxy(context.Background(), *listen, proxy, node.WithTimeout(tcfg.Timeout))
 	if err != nil {
 		return err
 	}

@@ -67,7 +67,7 @@ func run() error {
 	// Deploy every participant as a TCP server and the proxy on top.
 	directory := make(map[poc.ParticipantID]string, len(members))
 	for id, m := range members {
-		srv, err := node.ServeParticipant("127.0.0.1:0", m)
+		srv, err := node.ServeParticipant(context.Background(), "127.0.0.1:0", m)
 		if err != nil {
 			return err
 		}
@@ -77,7 +77,7 @@ func run() error {
 	resolver := node.DirectoryResolver(directory)
 	defer closeQuietly(resolver)
 	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), resolver.Resolver())
-	proxySrv, err := node.ServeProxy("127.0.0.1:0", proxy)
+	proxySrv, err := node.ServeProxy(context.Background(), "127.0.0.1:0", proxy)
 	if err != nil {
 		return err
 	}

@@ -65,7 +65,7 @@ func runE2EChain(ps *poc.PublicParams, n, reps int) (good, bad time.Duration, pr
 		}
 	}()
 	for id, m := range members {
-		srv, serr := node.ServeParticipant("127.0.0.1:0", m)
+		srv, serr := node.ServeParticipant(context.Background(), "127.0.0.1:0", m)
 		if serr != nil {
 			return 0, 0, 0, serr
 		}
@@ -75,7 +75,7 @@ func runE2EChain(ps *poc.PublicParams, n, reps int) (good, bad time.Duration, pr
 	directory := node.DirectoryResolver(dir)
 	defer directory.Close()
 	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), directory.Resolver())
-	proxySrv, err := node.ServeProxy("127.0.0.1:0", proxy)
+	proxySrv, err := node.ServeProxy(context.Background(), "127.0.0.1:0", proxy)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -86,8 +86,11 @@ func runE2EChain(ps *poc.PublicParams, n, reps int) (good, bad time.Duration, pr
 	}()
 	client := node.NewProxyClient(proxySrv.Addr())
 	defer client.Close()
-	if err := client.RegisterList(context.Background(), "task-e2e", dist.List); err != nil {
-		return 0, 0, 0, err
+	// rerr, not err: the named result is read by the deferred Close
+	// handler above, and shadowing it here would be a footgun
+	// (desword/shadow).
+	if rerr := client.RegisterList(context.Background(), "task-e2e", dist.List); rerr != nil {
+		return 0, 0, 0, rerr
 	}
 
 	const product = poc.ProductID("e2e1")

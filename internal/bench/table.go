@@ -34,8 +34,8 @@ func (t *Table) Render(w io.Writer) error {
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if w := utf8.RuneCountInString(cell); i < len(widths) && w > widths[i] {
-				widths[i] = w
+			if cw := utf8.RuneCountInString(cell); i < len(widths) && cw > widths[i] {
+				widths[i] = cw
 			}
 		}
 	}

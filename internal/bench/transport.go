@@ -72,7 +72,7 @@ func runTransportChain(ps *poc.PublicParams, n, reps int) (pooled, dialed time.D
 		}
 	}()
 	for id, m := range members {
-		srv, serr := node.ServeParticipant("127.0.0.1:0", m)
+		srv, serr := node.ServeParticipant(context.Background(), "127.0.0.1:0", m)
 		if serr != nil {
 			return 0, 0, 0, serr
 		}
@@ -86,7 +86,7 @@ func runTransportChain(ps *poc.PublicParams, n, reps int) (pooled, dialed time.D
 		directory := node.DirectoryResolver(dir, opts...)
 		defer directory.Close()
 		proxy := core.NewProxy(ps, reputation.DefaultStrategy(), directory.Resolver())
-		proxySrv, err := node.ServeProxy("127.0.0.1:0", proxy)
+		proxySrv, err := node.ServeProxy(context.Background(), "127.0.0.1:0", proxy)
 		if err != nil {
 			return 0, node.PoolStats{}, err
 		}
@@ -97,8 +97,10 @@ func runTransportChain(ps *poc.PublicParams, n, reps int) (pooled, dialed time.D
 		}()
 		client := node.NewProxyClient(proxySrv.Addr(), opts...)
 		defer client.Close()
-		if err := client.RegisterList(context.Background(), "task-transport", dist.List); err != nil {
-			return 0, node.PoolStats{}, err
+		// rerr, not err: the named result is read by the deferred Close
+		// handler above (desword/shadow).
+		if rerr := client.RegisterList(context.Background(), "task-transport", dist.List); rerr != nil {
+			return 0, node.PoolStats{}, rerr
 		}
 		perQuery = Measure(reps, func() {
 			result, qerr := client.QueryPath(context.Background(), product, core.Good)

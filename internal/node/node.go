@@ -169,6 +169,13 @@ type server struct {
 	role    string
 	metrics *serverMetrics
 
+	// baseCtx is the root of every request handler's context, derived from
+	// the ctx the caller handed to ServeParticipant/ServeProxy and canceled
+	// by Close. Minting context.Background() per request would detach
+	// handlers from the process lifetime (desword/ctxfirst).
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	wg     sync.WaitGroup
 	mu     sync.Mutex
 	closed bool
@@ -183,10 +190,11 @@ type connState struct {
 	busy bool
 }
 
-func (s *server) start(ln net.Listener, role string, o options, handle func(context.Context, *wire.Envelope) (string, any)) {
+func (s *server) start(ctx context.Context, ln net.Listener, role string, o options, handle func(context.Context, *wire.Envelope) (string, any)) {
 	s.ln = ln
 	s.opts = o
 	s.role = role
+	s.baseCtx, s.baseCancel = context.WithCancel(ctx)
 	s.metrics = newServerMetrics(role)
 	s.conns = make(map[net.Conn]*connState)
 	s.wg.Add(1)
@@ -291,7 +299,7 @@ func (s *server) serveConn(conn net.Conn, handle func(context.Context, *wire.Env
 			return // Close cut this connection as the request arrived
 		}
 		start := time.Now()
-		ctx := context.Background()
+		ctx := s.baseCtx
 		var span *trace.Span
 		if traceID, spanID := env.TraceContext(); traceID != "" {
 			ctx, span = trace.Default.StartRemote(ctx, "server."+env.Type, traceID, spanID,
@@ -348,6 +356,12 @@ func (s *server) Addr() string { return s.ln.Addr().String() }
 // every call (including concurrent ones) waits for the drain and returns
 // without error.
 func (s *server) Close() error {
+	if s.baseCancel != nil {
+		// Cancel the handler root context once the drain completes: in-flight
+		// requests get the full drain grace, but anything still holding the
+		// context afterwards observes cancellation.
+		defer s.baseCancel()
+	}
 	s.mu.Lock()
 	alreadyClosed := s.closed
 	s.closed = true
@@ -395,14 +409,16 @@ type ParticipantServer struct {
 }
 
 // ServeParticipant listens on addr (use "127.0.0.1:0" for an ephemeral port)
-// and serves query interactions against the responder.
-func ServeParticipant(addr string, responder core.Responder, opts ...Option) (*ParticipantServer, error) {
+// and serves query interactions against the responder. ctx is the root of
+// every request handler's context: cancel it (or Close the server) to tear
+// the endpoint down.
+func ServeParticipant(ctx context.Context, addr string, responder core.Responder, opts ...Option) (*ParticipantServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("node: listening on %s: %w", addr, err)
 	}
 	s := &ParticipantServer{responder: responder}
-	s.start(ln, "participant", applyOptions(opts), s.handle)
+	s.start(ctx, ln, "participant", applyOptions(opts), s.handle)
 	return s, nil
 }
 
@@ -565,14 +581,16 @@ type ProxyServer struct {
 	proxy *core.Proxy
 }
 
-// ServeProxy listens on addr and serves the proxy protocol.
-func ServeProxy(addr string, proxy *core.Proxy, opts ...Option) (*ProxyServer, error) {
+// ServeProxy listens on addr and serves the proxy protocol. ctx is the
+// root of every request handler's context: cancel it (or Close the server)
+// to tear the endpoint down.
+func ServeProxy(ctx context.Context, addr string, proxy *core.Proxy, opts ...Option) (*ProxyServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("node: listening on %s: %w", addr, err)
 	}
 	s := &ProxyServer{proxy: proxy}
-	s.start(ln, "proxy", applyOptions(opts), s.handle)
+	s.start(ctx, ln, "proxy", applyOptions(opts), s.handle)
 	return s, nil
 }
 

@@ -71,7 +71,7 @@ func deploy(t *testing.T, n int, dishonest map[poc.ParticipantID]core.Responder)
 		if d, ok := dishonest[id]; ok {
 			responder = d
 		}
-		srv, err := ServeParticipant("127.0.0.1:0", responder)
+		srv, err := ServeParticipant(context.Background(), "127.0.0.1:0", responder)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -91,7 +91,7 @@ func deploy(t *testing.T, n int, dishonest map[poc.ParticipantID]core.Responder)
 		}
 	})
 	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), resolver.Resolver())
-	proxySrv, err := ServeProxy("127.0.0.1:0", proxy)
+	proxySrv, err := ServeProxy(context.Background(), "127.0.0.1:0", proxy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func deployWithLiar(t *testing.T, out **adversary.Dishonest) *deployment {
 		if id == "p1" {
 			responder = liar
 		}
-		srv, err := ServeParticipant("127.0.0.1:0", responder)
+		srv, err := ServeParticipant(context.Background(), "127.0.0.1:0", responder)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -211,7 +211,7 @@ func deployWithLiar(t *testing.T, out **adversary.Dishonest) *deployment {
 		dir[id] = srv.Addr()
 	}
 	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), DirectoryResolver(dir).Resolver())
-	proxySrv, err := ServeProxy("127.0.0.1:0", proxy)
+	proxySrv, err := ServeProxy(context.Background(), "127.0.0.1:0", proxy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestUnknownMessageTypeRejected(t *testing.T) {
 	// A participant server does not understand proxy-side messages: it must
 	// answer with an error envelope, which the client surfaces.
 	m := core.NewMember(mustPS(t), supplychain.NewParticipant("solo"))
-	srv, err := ServeParticipant("127.0.0.1:0", m)
+	srv, err := ServeParticipant(context.Background(), "127.0.0.1:0", m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestDialDeadAddressFails(t *testing.T) {
 
 func TestServerCloseIdempotent(t *testing.T) {
 	m := core.NewMember(mustPS(t), supplychain.NewParticipant("solo"))
-	srv, err := ServeParticipant("127.0.0.1:0", m)
+	srv, err := ServeParticipant(context.Background(), "127.0.0.1:0", m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestServerSurvivesGarbageFrames(t *testing.T) {
 	if _, err := m.CommitTask("t"); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := ServeParticipant("127.0.0.1:0", m)
+	srv, err := ServeParticipant(context.Background(), "127.0.0.1:0", m)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -85,7 +85,7 @@ func TestAdminExposesNodeMetrics(t *testing.T) {
 // it, and must stay idempotent under concurrent calls.
 func TestServerCloseDrainsBlockedConn(t *testing.T) {
 	m := core.NewMember(mustPS(t), supplychain.NewParticipant("drain"))
-	srv, err := ServeParticipant("127.0.0.1:0", m,
+	srv, err := ServeParticipant(context.Background(), "127.0.0.1:0", m,
 		WithTimeout(30*time.Second), WithDrainGrace(100*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
@@ -190,7 +190,7 @@ func TestServerCloseDrainsInFlightRequests(t *testing.T) {
 		delay:     150 * time.Millisecond,
 		entered:   make(chan struct{}, inflight),
 	}
-	srv, err := ServeParticipant("127.0.0.1:0", slow,
+	srv, err := ServeParticipant(context.Background(), "127.0.0.1:0", slow,
 		WithTimeout(30*time.Second), WithDrainGrace(10*time.Second))
 	if err != nil {
 		t.Fatal(err)
@@ -242,7 +242,7 @@ func TestServerCloseForceClosesStragglers(t *testing.T) {
 		delay:     700 * time.Millisecond,
 		entered:   make(chan struct{}, 1),
 	}
-	srv, err := ServeParticipant("127.0.0.1:0", slow,
+	srv, err := ServeParticipant(context.Background(), "127.0.0.1:0", slow,
 		WithTimeout(30*time.Second), WithDrainGrace(50*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)

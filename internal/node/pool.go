@@ -219,7 +219,7 @@ func (p *Pool) exchangeAttempts(ctx context.Context, span *trace.Span, msgType s
 		p.retries.Add(1)
 		poolConns.retries.Inc()
 		if !sleepCtx(ctx, backoffDelay(p.o.backoff, attempt)) {
-			return nil, fmt.Errorf("node: retrying %s to %s: %w (last error: %v)", msgType, p.addr, ctx.Err(), err)
+			return nil, fmt.Errorf("node: retrying %s to %s: %w (last error: %w)", msgType, p.addr, ctx.Err(), err)
 		}
 	}
 }
@@ -289,12 +289,14 @@ func (p *Pool) attempt(ctx context.Context, req *wire.Envelope) (resp *wire.Enve
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
-	if err := conn.SetDeadline(deadline); err != nil {
-		return nil, reused, false, fmt.Errorf("node: setting deadline: %w", err)
+	// derr/werr, not err: this function's named result is still live and
+	// shadowing it in the if-init scopes invites defer bugs (desword/shadow).
+	if derr := conn.SetDeadline(deadline); derr != nil {
+		return nil, reused, false, fmt.Errorf("node: setting deadline: %w", derr)
 	}
-	if err := wire.WriteEnvelope(conn, req); err != nil {
-		p.noteFailureIfFresh(reused, err)
-		return nil, reused, false, err
+	if werr := wire.WriteEnvelope(conn, req); werr != nil {
+		p.noteFailureIfFresh(reused, werr)
+		return nil, reused, false, werr
 	}
 	resp, err = wire.ReadMessage(conn)
 	if err != nil {
@@ -416,7 +418,7 @@ func (p *Pool) checkHealth() error {
 	if !p.downUntil.IsZero() && time.Now().Before(p.downUntil) {
 		p.fastFails.Add(1)
 		poolConns.fastFails.Inc()
-		return fmt.Errorf("%w: %s cooling down after %d failures: %v", ErrEndpointDown, p.addr, p.fails, p.lastErr)
+		return fmt.Errorf("%w: %s cooling down after %d failures: %w", ErrEndpointDown, p.addr, p.fails, p.lastErr)
 	}
 	return nil
 }

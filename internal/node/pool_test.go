@@ -181,7 +181,7 @@ func TestRetryAfterServerDrain(t *testing.T) {
 	if _, err := m.CommitTask("t"); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := ServeParticipant("127.0.0.1:0", m)
+	srv, err := ServeParticipant(context.Background(), "127.0.0.1:0", m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestRetryAfterServerDrain(t *testing.T) {
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	srv2, err := ServeParticipant(addr, m)
+	srv2, err := ServeParticipant(context.Background(), addr, m)
 	if err != nil {
 		t.Fatalf("rebinding %s: %v", addr, err)
 	}

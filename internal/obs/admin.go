@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -132,7 +133,7 @@ func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
 // Close stops the admin listener. Safe to call more than once.
 func (a *AdminServer) Close() error {
 	err := a.srv.Close()
-	if err == http.ErrServerClosed {
+	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}
 	return err

@@ -185,7 +185,7 @@ func ReadMessage(r io.Reader) (*Envelope, error) {
 	}
 	var env Envelope
 	if err := json.Unmarshal(frame, &env); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadEnvelope, err)
 	}
 	if env.Type == "" {
 		return nil, fmt.Errorf("%w: missing type", ErrBadEnvelope)

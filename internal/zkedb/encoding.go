@@ -106,7 +106,7 @@ func (d *decBuf) readCommitment() (mercurial.Commitment, error) {
 	}
 	c0, err := grp.DecodePoint(b0)
 	if err != nil {
-		return mercurial.Commitment{}, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+		return mercurial.Commitment{}, fmt.Errorf("%w: %w", ErrBadEncoding, err)
 	}
 	b1, err := d.readBytes()
 	if err != nil {
@@ -114,7 +114,7 @@ func (d *decBuf) readCommitment() (mercurial.Commitment, error) {
 	}
 	c1, err := grp.DecodePoint(b1)
 	if err != nil {
-		return mercurial.Commitment{}, fmt.Errorf("%w: %v", ErrBadEncoding, err)
+		return mercurial.Commitment{}, fmt.Errorf("%w: %w", ErrBadEncoding, err)
 	}
 	return mercurial.Commitment{C0: c0, C1: c1}, nil
 }

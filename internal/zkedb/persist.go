@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sort"
 
 	"desword/internal/group"
 	"desword/internal/mercurial"
@@ -83,11 +84,11 @@ func decodeCommitment(p *persistCommitment) (mercurial.Commitment, error) {
 	grp := group.P256()
 	c0, err := grp.DecodePoint(p.C0)
 	if err != nil {
-		return mercurial.Commitment{}, fmt.Errorf("%w: %v", ErrBadState, err)
+		return mercurial.Commitment{}, fmt.Errorf("%w: %w", ErrBadState, err)
 	}
 	c1, err := grp.DecodePoint(p.C1)
 	if err != nil {
-		return mercurial.Commitment{}, fmt.Errorf("%w: %v", ErrBadState, err)
+		return mercurial.Commitment{}, fmt.Errorf("%w: %w", ErrBadState, err)
 	}
 	return mercurial.Commitment{C0: c0, C1: c1}, nil
 }
@@ -176,7 +177,17 @@ func (d *Decommitment) MarshalJSON() ([]byte, error) {
 		Root:   encodeNode(d.root),
 		Soft:   make([]persistSoft, 0, len(d.soft)),
 	}
-	for prefix, entry := range d.soft {
+	// Soft entries are serialized in sorted prefix order so the same tree
+	// always marshals to the same bytes (desword/determinism): the audit
+	// trail may hash persisted state, and map iteration order must not
+	// leak into it.
+	prefixes := make([]string, 0, len(d.soft))
+	for prefix := range d.soft {
+		prefixes = append(prefixes, prefix)
+	}
+	sort.Strings(prefixes)
+	for _, prefix := range prefixes {
+		entry := d.soft[prefix]
 		digits := make([]int, len(prefix))
 		for i := 0; i < len(prefix); i++ {
 			digits[i] = int(prefix[i])
@@ -197,7 +208,7 @@ func (d *Decommitment) MarshalJSON() ([]byte, error) {
 func RestoreDecommitment(crs *CRS, data []byte) (*Decommitment, error) {
 	var state persistState
 	if err := json.Unmarshal(data, &state); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadState, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadState, err)
 	}
 	if state.Params != crs.Params {
 		return nil, fmt.Errorf("%w: state geometry %+v does not match CRS %+v",

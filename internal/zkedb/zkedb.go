@@ -40,9 +40,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"desword/internal/mercurial"
+	"desword/internal/obs"
 	"desword/internal/qmercurial"
 	"desword/internal/rsavc"
 )
@@ -392,12 +392,12 @@ type Proof struct {
 // proof when the key is in the committed database, a non-ownership proof
 // otherwise.
 func (d *Decommitment) Prove(key string) (*Proof, error) {
-	start := time.Now()
+	timer := obs.StartTimer()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	proof, err := d.prove(key)
 	if err == nil {
-		d.crs.metrics().prove(proof.Kind).ObserveSince(start)
+		d.crs.metrics().prove(proof.Kind).ObserveTimer(timer)
 	}
 	return proof, err
 }
@@ -516,7 +516,7 @@ func (c *CRS) Verify(com Commitment, key string, proof *Proof) (value []byte, pr
 	if proof.Kind != ProofOwnership && proof.Kind != ProofNonOwnership {
 		return nil, false, fmt.Errorf("%w: unknown proof kind %d", ErrBadProof, proof.Kind)
 	}
-	defer c.metrics().verify(proof.Kind).ObserveSince(time.Now())
+	defer c.metrics().verify(proof.Kind).ObserveTimer(obs.StartTimer())
 	if len(proof.Levels) != c.Params.H {
 		return nil, false, fmt.Errorf("%w: %d levels, want %d", ErrBadProof, len(proof.Levels), c.Params.H)
 	}

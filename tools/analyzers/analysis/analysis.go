@@ -1,0 +1,216 @@
+// Package analysis is a self-contained, stdlib-only re-implementation of
+// the subset of golang.org/x/tools/go/analysis that the desword analyzers
+// need. The build image has no module proxy access, so the framework —
+// Analyzer, Pass, diagnostics, and staticcheck-style suppression comments —
+// lives here instead of being imported. The API mirrors x/tools closely
+// enough that the analyzers would port to the upstream framework by
+// changing only import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Prefix is the namespace every analyzer is addressed under, both in
+// diagnostics ("desword/cryptorand: ...") and in suppression comments
+// ("//lint:ignore desword/cryptorand reason").
+const Prefix = "desword/"
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name is the short analyzer name, e.g. "cryptorand". The fully
+	// qualified ID is Prefix+Name.
+	Name string
+	// Doc is the one-paragraph description printed by desword-vet -help.
+	Doc string
+	// Run performs the analysis over one package and reports findings
+	// through the Pass.
+	Run func(*Pass) error
+}
+
+// ID returns the fully qualified analyzer name, e.g. "desword/cryptorand".
+func (a *Analyzer) ID() string { return Prefix + a.Name }
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // fully qualified analyzer ID
+}
+
+// A Pass carries one type-checked package through one analyzer. Drivers
+// construct it, invoke Analyzer.Run, and collect the diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.ID(),
+	})
+}
+
+// InTestFile reports whether pos falls in a _test.go file. Analyzers that
+// guard runtime invariants (cryptorand, determinism, ctxfirst's
+// context.Background ban) exempt test files, where seeded randomness and
+// ad-hoc contexts are legitimate.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run type-checks nothing itself; it drives the analyzer over an already
+// type-checked package and returns the diagnostics that survive the
+// package's //lint:ignore suppression comments. Malformed suppression
+// comments (missing reason) are reported as findings in their own right so
+// they cannot silently disable a check.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.ID(), err)
+	}
+	sup := CollectSuppressions(fset, files)
+	return sup.Filter(a.ID(), pass.diags), nil
+}
+
+// ignoreRe matches "lint:ignore desword/name[,desword/name2] reason" after
+// the comment marker has been stripped.
+var ignoreRe = regexp.MustCompile(`^lint:ignore\s+(\S+)(.*)$`)
+
+// A Suppression is one parsed //lint:ignore comment.
+type Suppression struct {
+	File      string
+	Line      int  // line the comment appears on
+	OwnLine   bool // comment stands alone, so it targets the next line
+	Analyzers []string
+	Reason    string
+	Pos       token.Pos
+}
+
+// Suppressions indexes the lint:ignore comments of one package.
+type Suppressions struct {
+	fset       *token.FileSet
+	byFileLine map[string]map[int][]*Suppression
+	malformed  []Diagnostic
+}
+
+// CollectSuppressions parses every comment group of files for lint:ignore
+// directives. A directive suppresses matching diagnostics on its own line
+// (trailing comment) or, when it stands alone on a line, on the next line —
+// the same placement rules staticcheck uses.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{fset: fset, byFileLine: make(map[string]map[int][]*Suppression)}
+	for _, f := range files {
+		// Record which lines hold non-comment tokens, to distinguish a
+		// trailing comment from a comment standing on its own line.
+		codeLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, ok := n.(*ast.Comment); ok {
+				return false
+			}
+			if _, ok := n.(*ast.CommentGroup); ok {
+				return false
+			}
+			codeLines[fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := ignoreRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				reason := strings.TrimSpace(m[2])
+				sup := &Suppression{
+					File:      pos.Filename,
+					Line:      pos.Line,
+					OwnLine:   !codeLines[pos.Line],
+					Analyzers: strings.Split(m[1], ","),
+					Reason:    reason,
+					Pos:       c.Pos(),
+				}
+				if reason == "" {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "lint:ignore directive needs a reason",
+						Analyzer: Prefix + "lint",
+					})
+					continue
+				}
+				line := sup.Line
+				if sup.OwnLine {
+					line++
+				}
+				if s.byFileLine[sup.File] == nil {
+					s.byFileLine[sup.File] = make(map[int][]*Suppression)
+				}
+				s.byFileLine[sup.File][line] = append(s.byFileLine[sup.File][line], sup)
+			}
+		}
+	}
+	return s
+}
+
+// Malformed returns diagnostics for lint:ignore directives missing a
+// reason. Drivers surface these once per package (not per analyzer).
+func (s *Suppressions) Malformed() []Diagnostic { return s.malformed }
+
+// Filter returns the diagnostics of analyzer id that are not suppressed.
+func (s *Suppressions) Filter(id string, diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !s.suppressed(id, d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (s *Suppressions) suppressed(id string, d Diagnostic) bool {
+	pos := s.fset.Position(d.Pos)
+	for _, sup := range s.byFileLine[pos.Filename][pos.Line] {
+		for _, a := range sup.Analyzers {
+			if a == id || a == Prefix+"*" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer for
+// stable output across runs.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

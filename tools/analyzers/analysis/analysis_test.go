@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressionSrc = `package p
+
+func trailing() {
+	bad() //lint:ignore desword/one trailing comments target their own line
+}
+
+func ownLine() {
+	//lint:ignore desword/one standalone comments target the next line
+	bad()
+}
+
+func multi() {
+	//lint:ignore desword/one,desword/two a comma list silences several analyzers
+	bad()
+}
+
+func wildcard() {
+	//lint:ignore desword/* the wildcard silences everything on the line
+	bad()
+}
+
+func malformed() {
+	//lint:ignore desword/one
+	bad()
+}
+
+func unrelated() {
+	// a plain comment is not a directive
+	bad()
+}
+
+func bad() {}
+`
+
+func parseSuppressionSrc(t *testing.T) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressionSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// lineOf returns the 1-based line of the first source line containing
+// substr, so the test stays valid when the fixture is edited.
+func lineOf(t *testing.T, substr string) int {
+	t.Helper()
+	for i, l := range strings.Split(suppressionSrc, "\n") {
+		if strings.Contains(l, substr) {
+			return i + 1
+		}
+	}
+	t.Fatalf("fixture has no line containing %q", substr)
+	return 0
+}
+
+func diagAt(fset *token.FileSet, files []*ast.File, line int, analyzer string) Diagnostic {
+	tf := fset.File(files[0].Pos())
+	return Diagnostic{Pos: tf.LineStart(line), Message: "m", Analyzer: analyzer}
+}
+
+func TestSuppressionPlacement(t *testing.T) {
+	fset, files := parseSuppressionSrc(t)
+	sup := CollectSuppressions(fset, files)
+
+	cases := []struct {
+		name       string
+		line       int
+		analyzer   string
+		suppressed bool
+	}{
+		{"trailing same line", lineOf(t, "trailing comments target"), "desword/one", true},
+		{"own line targets next", lineOf(t, "standalone comments") + 1, "desword/one", true},
+		{"own line not its own", lineOf(t, "standalone comments"), "desword/one", false},
+		{"comma list first", lineOf(t, "comma list") + 1, "desword/one", true},
+		{"comma list second", lineOf(t, "comma list") + 1, "desword/two", true},
+		{"comma list other", lineOf(t, "comma list") + 1, "desword/three", false},
+		{"wildcard", lineOf(t, "wildcard silences") + 1, "desword/anything", true},
+		{"malformed does not suppress", lineOf(t, "func malformed") + 2, "desword/one", false},
+		{"plain comment", lineOf(t, "plain comment") + 1, "desword/one", false},
+	}
+	for _, c := range cases {
+		d := diagAt(fset, files, c.line, c.analyzer)
+		got := len(sup.Filter(c.analyzer, []Diagnostic{d})) == 0
+		if got != c.suppressed {
+			t.Errorf("%s: line %d analyzer %s: suppressed=%v, want %v", c.name, c.line, c.analyzer, got, c.suppressed)
+		}
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	fset, files := parseSuppressionSrc(t)
+	sup := CollectSuppressions(fset, files)
+	mal := sup.Malformed()
+	if len(mal) != 1 {
+		t.Fatalf("got %d malformed directives, want 1: %v", len(mal), mal)
+	}
+	if mal[0].Analyzer != Prefix+"lint" {
+		t.Errorf("malformed directive attributed to %s, want %slint", mal[0].Analyzer, Prefix)
+	}
+	if !strings.Contains(mal[0].Message, "needs a reason") {
+		t.Errorf("malformed message = %q", mal[0].Message)
+	}
+	wantLine := lineOf(t, "func malformed") + 1
+	if got := fset.Position(mal[0].Pos).Line; got != wantLine {
+		t.Errorf("malformed directive reported at line %d, want %d", got, wantLine)
+	}
+}

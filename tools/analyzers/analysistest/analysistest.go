@@ -1,0 +1,276 @@
+// Package analysistest is a stdlib-only equivalent of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over
+// golden packages under testdata/src and matches the diagnostics against
+// `// want "regexp"` comments. Suppression comments are honored exactly as
+// in the real drivers, so testdata can assert both that violations are
+// caught and that a justified //lint:ignore silences them.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"desword/tools/analyzers/analysis"
+	"desword/tools/analyzers/loader"
+)
+
+// Run analyzes each package path (a directory under testdata/src) with a
+// and reports mismatches against the // want expectations via t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		runPackage(t, testdata, a, pkgPath)
+	}
+}
+
+func runPackage(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	ld := &tdLoader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*tdPackage),
+	}
+	pkg, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("%s: loading %s: %v", a.Name, pkgPath, err)
+	}
+	for _, terr := range pkg.typeErrors {
+		t.Errorf("%s: typecheck %s: %v", a.Name, pkgPath, terr)
+	}
+
+	diags, err := analysis.Run(a, ld.fset, pkg.files, pkg.types, pkg.info)
+	if err != nil {
+		t.Fatalf("%s: running on %s: %v", a.Name, pkgPath, err)
+	}
+	diags = append(diags, analysis.CollectSuppressions(ld.fset, pkg.files).Malformed()...)
+	analysis.SortDiagnostics(ld.fset, diags)
+
+	wants := collectWants(t, ld.fset, pkg.files)
+	for _, d := range diags {
+		pos := ld.fset.Position(d.Pos)
+		if !consumeWant(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", a.Name, filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, filepath.Base(w.file), w.line, w.pattern)
+		}
+	}
+}
+
+// want is one `// want "rx"` expectation.
+type want struct {
+	file    string
+	line    int
+	pattern string
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					pattern, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("bad want pattern %s at %s: %v", q, pos, err)
+					}
+					rx, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("bad want regexp %q at %s: %v", pattern, pos, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: pattern, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the double-quoted chunks of a want payload.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if !strings.HasPrefix(s, `"`) {
+			return out
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return out
+		}
+		out = append(out, s[:end+1])
+		s = s[end+1:]
+	}
+}
+
+func consumeWant(wants []*want, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.rx.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// tdLoader type-checks testdata packages from source, resolving imports
+// first against sibling testdata packages (so fixtures can model
+// internal/obs and friends) and then against stdlib export data obtained
+// from `go list -export`.
+type tdLoader struct {
+	testdata string
+	fset     *token.FileSet
+	pkgs     map[string]*tdPackage
+	stdImp   types.Importer // one importer per loader keeps type identities consistent
+}
+
+type tdPackage struct {
+	files      []*ast.File
+	types      *types.Package
+	info       *types.Info
+	typeErrors []error
+}
+
+func (l *tdLoader) load(pkgPath string) (*tdPackage, error) {
+	if p, ok := l.pkgs[pkgPath]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.testdata, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	p := &tdPackage{files: files}
+	conf := types.Config{
+		Importer: &tdImporter{loader: l},
+		Error:    func(err error) { p.typeErrors = append(p.typeErrors, err) },
+	}
+	p.info = loader.NewInfo()
+	p.types, _ = conf.Check(pkgPath, l.fset, files, p.info)
+	l.pkgs[pkgPath] = p
+	return p, nil
+}
+
+type tdImporter struct {
+	loader *tdLoader
+}
+
+func (i *tdImporter) Import(path string) (*types.Package, error) {
+	// Sibling testdata package?
+	if _, err := os.Stat(filepath.Join(i.loader.testdata, "src", filepath.FromSlash(path))); err == nil {
+		p, err := i.loader.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	if err := ensureStdExport(path); err != nil {
+		return nil, err
+	}
+	if i.loader.stdImp == nil {
+		i.loader.stdImp = importer.ForCompiler(i.loader.fset, "gc", stdLookup)
+	}
+	return i.loader.stdImp.Import(path)
+}
+
+// stdExports caches stdlib export-data file locations process-wide. The
+// build cache makes repeat `go list -export` calls cheap, but one exec per
+// package per process is still worth avoiding.
+var (
+	stdMu      sync.Mutex
+	stdExports = map[string]string{}
+)
+
+func ensureStdExport(path string) error {
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	if _, ok := stdExports[path]; ok {
+		return nil
+	}
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json=ImportPath,Export", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			stdExports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+func stdLookup(path string) (io.ReadCloser, error) {
+	stdMu.Lock()
+	file, ok := stdExports[path]
+	stdMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}

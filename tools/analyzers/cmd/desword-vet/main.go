@@ -1,0 +1,232 @@
+// Command desword-vet is the multichecker for the desword project
+// invariants. It runs in two modes:
+//
+//   - Standalone: `desword-vet [-dir module] [packages...]` loads the
+//     module's packages via `go list -export` and analyzes them. This is
+//     what `make lint` runs.
+//
+//   - Vettool: when invoked by `go vet -vettool=$(which desword-vet)`, it
+//     speaks the cmd/go unitchecker protocol (-V=full, -flags, *.cfg) and
+//     analyzes one compilation unit per invocation, reusing go vet's
+//     per-package caching.
+//
+// Exit status: 0 clean, 1 findings or load failure (standalone),
+// 2 findings (vettool, matching cmd/vet).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"desword/tools/analyzers/analysis"
+	"desword/tools/analyzers/loader"
+	"desword/tools/analyzers/passes/bigintalias"
+	"desword/tools/analyzers/passes/cryptorand"
+	"desword/tools/analyzers/passes/ctxfirst"
+	"desword/tools/analyzers/passes/determinism"
+	"desword/tools/analyzers/passes/errwrap"
+	"desword/tools/analyzers/passes/metriclabel"
+	"desword/tools/analyzers/passes/shadow"
+)
+
+var analyzers = []*analysis.Analyzer{
+	bigintalias.Analyzer,
+	cryptorand.Analyzer,
+	ctxfirst.Analyzer,
+	determinism.Analyzer,
+	errwrap.Analyzer,
+	metriclabel.Analyzer,
+	shadow.Analyzer,
+}
+
+func main() {
+	// cmd/go probes vettools with -V=full (for the build cache key) and
+	// -flags (for flag registration) before handing over .cfg files.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" {
+			name := strings.TrimSuffix(filepath.Base(os.Args[0]), ".exe")
+			fmt.Printf("%s version desword-vet-1.0.0\n", name)
+			return
+		}
+		if arg == "-flags" || arg == "--flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(unitchecker(os.Args[1]))
+	}
+
+	dir := flag.String("dir", ".", "module directory to analyze")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-22s %s\n", a.ID(), a.Doc)
+		}
+		return
+	}
+	os.Exit(standalone(*dir, selected(*only), flag.Args()))
+}
+
+func selected(only string) []*analysis.Analyzer {
+	if only == "" {
+		return analyzers
+	}
+	want := make(map[string]bool)
+	for _, name := range strings.Split(only, ",") {
+		want[strings.TrimSpace(strings.TrimPrefix(name, analysis.Prefix))] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range analyzers {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func standalone(dir string, as []*analysis.Analyzer, patterns []string) int {
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "desword-vet: %v\n", err)
+		return 1
+	}
+	exit := 0
+	for _, pkg := range pkgs {
+		diags, err := analyze(pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, as)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "desword-vet: %s: %v\n", pkg.Path, err)
+			return 1
+		}
+		if len(diags) > 0 {
+			exit = 1
+			printDiags(pkg.Fset, diags)
+			// Surface soft type errors only alongside findings: an
+			// analyzer misled by a broken type graph should be debuggable.
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "desword-vet: note: typecheck %s: %v\n", pkg.Path, terr)
+			}
+		}
+	}
+	return exit
+}
+
+// analyze runs every analyzer over one package and returns the surviving
+// diagnostics plus malformed-suppression reports, sorted.
+func analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, as []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	for _, a := range as {
+		ds, err := analysis.Run(a, fset, files, pkg, info)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	diags = append(diags, analysis.CollectSuppressions(fset, files).Malformed()...)
+	analysis.SortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+}
+
+// vetConfig mirrors the JSON config cmd/go hands to vet tools (the
+// x/tools unitchecker.Config schema).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	ModulePath                string
+	ModuleVersion             string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitchecker(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "desword-vet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "desword-vet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The tool exports no facts, but cmd/go requires the vetx file to
+	// exist to cache the run.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("desword-vet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "desword-vet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, and we have none
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "desword-vet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer:    loader.ExportImporter(fset, cfg.PackageFile, cfg.ImportMap),
+		FakeImportC: true,
+		GoVersion:   cfg.GoVersion,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	info := loader.NewInfo()
+	tpkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if typeErr != nil && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+
+	diags, err := analyze(fset, files, tpkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "desword-vet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	printDiags(fset, diags)
+	return 2
+}

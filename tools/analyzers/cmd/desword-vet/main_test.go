@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"desword/tools/analyzers/loader"
+)
+
+// TestMainModuleClean is the tree gate: every analyzer must run clean over
+// the parent desword module. A failure here means either a real invariant
+// violation crept in (fix the code) or an analyzer grew a false positive
+// (fix the analyzer, or suppress with a //lint:ignore carrying a reason).
+func TestMainModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole parent module via go list -export")
+	}
+	pkgs, err := loader.Load("../../../..", "./...")
+	if err != nil {
+		t.Fatalf("loading parent module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages for the parent module")
+	}
+	for _, pkg := range pkgs {
+		diags, err := analyze(pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s: %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module desword/tools/analyzers
+
+go 1.22

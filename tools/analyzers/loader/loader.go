@@ -1,0 +1,222 @@
+// Package loader type-checks the packages of a Go module without
+// golang.org/x/tools/go/packages: it shells out to `go list -export` for
+// package metadata and compiled export data, parses the source files, and
+// runs the stdlib type checker with a gc-export-data importer. That keeps
+// desword-vet fully offline — the only external dependency is the go
+// toolchain already required to build the repo.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+	Standard   bool
+	ForTest    string
+	Error      *struct{ Err string }
+}
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path      string // import path as the analyzers see it (no test-variant suffix)
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// TypeErrors holds soft type-checking problems. Analysis still runs —
+	// export-data gaps in test variants must not hide findings — but
+	// drivers surface them when analysis of the package reports nothing.
+	TypeErrors []error
+}
+
+// Load lists patterns in dir (module root), including test variants, and
+// returns the type-checked module-local packages. Synthesized test mains
+// (".test" packages) are skipped; the test-augmented variant of a package
+// replaces its plain form so test files are analyzed exactly once.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-test", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	var all []*listPackage
+	exports := make(map[string]string) // ImportPath (incl. variant suffix) → export file
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		all = append(all, &p)
+	}
+
+	modulePath, err := currentModule(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pick analysis targets: module-local, not a synthesized test main.
+	// When both "pkg" and "pkg [pkg.test]" are listed, keep the augmented
+	// variant — its GoFiles are a superset including the in-package tests.
+	targets := make(map[string]*listPackage)
+	for _, p := range all {
+		if p.Standard || p.Module == nil || p.Module.Path != modulePath {
+			continue
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") || len(p.GoFiles)+len(p.CgoFiles) == 0 {
+			continue
+		}
+		key := basePath(p.ImportPath)
+		if prev, ok := targets[key]; ok {
+			// Prefer the test-augmented variant over the plain package.
+			if prev.ForTest != "" && p.ForTest == "" {
+				continue
+			}
+		}
+		targets[key] = p
+	}
+
+	var pkgs []*Package
+	for _, p := range sortedTargets(targets) {
+		pkg, err := check(p, exports)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func sortedTargets(targets map[string]*listPackage) []*listPackage {
+	keys := make([]string, 0, len(targets))
+	for k := range targets {
+		keys = append(keys, k)
+	}
+	// Deterministic analysis order → deterministic diagnostic order.
+	sort.Strings(keys)
+	out := make([]*listPackage, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, targets[k])
+	}
+	return out
+}
+
+// basePath strips the " [pkg.test]" variant suffix go list -test appends.
+func basePath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+func currentModule(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %w", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// check parses and type-checks one listed package against the export data
+// of its dependencies.
+func check(p *listPackage, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range append(append([]string{}, p.GoFiles...), p.CgoFiles...) {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    ExportImporter(fset, exports, p.ImportMap),
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := NewInfo()
+	tpkg, _ := conf.Check(basePath(p.ImportPath), fset, files, info)
+	return &Package{
+		Path:       basePath(p.ImportPath),
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+		TypeErrors: typeErrs,
+	}, nil
+}
+
+// NewInfo allocates a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// ExportImporter returns a types.Importer that resolves imports through
+// importMap (vendor/test-variant indirection) and reads gc export data
+// files produced by `go list -export`. Each call returns a fresh importer
+// with its own package cache: test variants of the same import path carry
+// different type identities, so caches must not be shared across targets.
+func ExportImporter(fset *token.FileSet, exports, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		eff := path
+		if m, ok := importMap[path]; ok {
+			eff = m
+		}
+		file, ok := exports[eff]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (as %q)", path, eff)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

@@ -1,0 +1,135 @@
+// Package bigintalias guards the big.Int ownership discipline of the
+// cryptographic packages.
+//
+// Paper invariant: commitments, witnesses and CRS parameters hand *big.Int
+// values across package boundaries (group scalars, RSA accumulator bases,
+// q-mercurial messages). A callee that mutates a *big.Int it received as a
+// parameter corrupts its caller's commitment state — the classic source of
+// "verifies locally, fails remotely" bugs. math/big documents most z.Op(x,
+// y) forms as alias-safe, so plain in-place arithmetic on locally owned
+// values is fine; what the analyzer flags is
+//
+//  1. calling a destination-mutating big.Int method on a *big.Int function
+//     parameter (the callee does not own it), and
+//  2. receiver/argument aliasing on the few methods whose documentation
+//     requires distinct operands (DivMod, QuoRem, GCD): x.DivMod(a, b, x)
+//     silently overwrites the quotient with the remainder.
+package bigintalias
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"desword/tools/analyzers/analysis"
+	"desword/tools/analyzers/internal/lintutil"
+)
+
+var enforced = regexp.MustCompile(`(^|/)internal/(zkedb|qmercurial|mercurial|chlmr|rsavc|group|poc)(/|$)`)
+
+// mutators are the big.Int methods that write their receiver.
+var mutators = map[string]bool{
+	"Abs": true, "Add": true, "And": true, "AndNot": true, "Div": true,
+	"DivMod": true, "Exp": true, "GCD": true, "Lsh": true, "Mod": true,
+	"ModInverse": true, "ModSqrt": true, "Mul": true, "MulRange": true,
+	"Neg": true, "Not": true, "Or": true, "Quo": true, "QuoRem": true,
+	"Rand": true, "Rem": true, "Rsh": true, "Set": true, "SetBit": true,
+	"SetBits": true, "SetBytes": true, "SetInt64": true, "SetString": true,
+	"SetUint64": true, "Sqrt": true, "Sub": true, "Xor": true,
+	"UnmarshalJSON": true, "UnmarshalText": true, "GobDecode": true, "Scan": true,
+}
+
+// unsafeAlias maps the methods whose receiver must not alias particular
+// arguments to the indices of those arguments.
+var unsafeAlias = map[string][]int{
+	"DivMod": {2}, // z.DivMod(x, y, m): z and m are distinct results
+	"QuoRem": {2}, // z.QuoRem(x, y, r): z and r are distinct results
+	"GCD":    {0, 1},
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "bigintalias",
+	Doc:  "flag mutation of *big.Int parameters and receiver aliasing on DivMod/QuoRem/GCD in the crypto packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !enforced.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			params := bigIntParams(pass.TypesInfo, fn)
+			checkBody(pass, fn.Body, params)
+			return true
+		})
+	}
+	return nil
+}
+
+// bigIntParams collects the *big.Int parameter objects of fn. Named
+// results are excluded: the function owns those.
+func bigIntParams(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	params := make(map[types.Object]bool)
+	if fn.Type.Params == nil {
+		return params
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && lintutil.IsNamed(obj.Type(), "math/big", "Int") {
+				if _, isPtr := obj.Type().(*types.Pointer); isPtr {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	return params
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, params map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Nested function literals keep the outer parameter set: a closure
+		// mutating the enclosing function's parameter is just as wrong.
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math/big" {
+			return true
+		}
+		recv := lintutil.ReceiverExpr(call)
+		if recv == nil || !lintutil.IsNamed(pass.TypesInfo.TypeOf(recv), "math/big", "Int") {
+			return true
+		}
+		name := fn.Name()
+		if mutators[name] {
+			if id, ok := ast.Unparen(recv).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && params[obj] {
+					pass.Reportf(call.Pos(),
+						"%s mutates *big.Int parameter %s; the callee does not own it — write into a new(big.Int) instead",
+						name, id.Name)
+				}
+			}
+		}
+		if idxs, ok := unsafeAlias[name]; ok {
+			recvStr := types.ExprString(ast.Unparen(recv))
+			for _, i := range idxs {
+				if i < len(call.Args) && types.ExprString(ast.Unparen(call.Args[i])) == recvStr {
+					pass.Reportf(call.Pos(),
+						"%s receiver %s aliases result argument %d; math/big requires distinct values here",
+						name, recvStr, i)
+				}
+			}
+		}
+		return true
+	})
+}

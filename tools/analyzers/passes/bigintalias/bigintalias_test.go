@@ -1,0 +1,12 @@
+package bigintalias_test
+
+import (
+	"testing"
+
+	"desword/tools/analyzers/analysistest"
+	"desword/tools/analyzers/passes/bigintalias"
+)
+
+func TestBigIntAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", bigintalias.Analyzer, "internal/rsavc", "internal/trace")
+}

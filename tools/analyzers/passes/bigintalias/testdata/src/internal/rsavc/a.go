@@ -1,0 +1,53 @@
+// Package rsavc is a golden fixture for bigintalias: parameter mutation
+// and documented-unsafe aliasing are diagnosed; in-place arithmetic on
+// locally owned values is not.
+package rsavc
+
+import "math/big"
+
+var one = big.NewInt(1)
+
+func mutatesParam(x *big.Int) *big.Int {
+	x.Add(x, one) // want "Add mutates \\*big.Int parameter x"
+	return x
+}
+
+func mutatesParamInClosure(x *big.Int) func() {
+	return func() {
+		x.SetInt64(7) // want "SetInt64 mutates \\*big.Int parameter x"
+	}
+}
+
+func aliasDivMod(a, b *big.Int) *big.Int {
+	q := new(big.Int)
+	r := new(big.Int)
+	q.DivMod(a, b, q) // want "DivMod receiver q aliases result argument 2"
+	return r
+}
+
+func aliasGCD(a, b *big.Int) *big.Int {
+	g := new(big.Int)
+	g.GCD(g, nil, a, b) // want "GCD receiver g aliases result argument 0"
+	return g
+}
+
+func okLocalInPlace(a *big.Int) *big.Int {
+	x := new(big.Int).Set(a)
+	x.Mod(x, one) // in-place on an owned local is documented alias-safe
+	return x
+}
+
+func okFreshDestination(a, b *big.Int) *big.Int {
+	return new(big.Int).Add(a, b)
+}
+
+func okDistinctDivMod(a, b *big.Int) (*big.Int, *big.Int) {
+	q, r := new(big.Int), new(big.Int)
+	q.DivMod(a, b, r)
+	return q, r
+}
+
+func suppressedMutation(x *big.Int) {
+	//lint:ignore desword/bigintalias fixture asserts the caller hands over ownership
+	x.SetInt64(7)
+}

@@ -1,0 +1,7 @@
+// Package trace is off the enforced path: parameter mutation here is not
+// the analyzer's business.
+package trace
+
+import "math/big"
+
+func mutate(x *big.Int) { x.SetInt64(1) }

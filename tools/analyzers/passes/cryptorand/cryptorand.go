@@ -1,0 +1,52 @@
+// Package cryptorand forbids math/rand in the cryptographic packages.
+//
+// Paper invariant: the hiding property of the mercurial / q-mercurial
+// commitments and the zero-knowledge property of the ZK-EDB proofs rest on
+// commitment randomness being unpredictable. A math/rand source — seeded
+// or not — makes soft-commitment randomness recoverable and lets a
+// malicious verifier distinguish teases from hard openings. Only
+// crypto/rand may supply randomness in the proof packages; deterministic
+// property tests (seeded generators in _test.go files) stay exempt.
+package cryptorand
+
+import (
+	"regexp"
+	"strconv"
+
+	"desword/tools/analyzers/analysis"
+)
+
+// enforced matches the packages whose randomness must be crypto/rand.
+var enforced = regexp.MustCompile(`(^|/)internal/(zkedb|qmercurial|mercurial|chlmr|rsavc|group|poc)(/|$)`)
+
+var banned = map[string]string{
+	"math/rand":    "math/rand is predictable",
+	"math/rand/v2": "math/rand/v2 is predictable",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "cryptorand",
+	Doc:  "forbid math/rand in the cryptographic packages; commitment hiding requires crypto/rand",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !enforced.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if pass.InTestFile(imp.Pos()) {
+				continue
+			}
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := banned[path]; ok {
+				pass.Reportf(imp.Pos(), "package %s imports %s: %s; use crypto/rand", pass.Pkg.Path(), path, why)
+			}
+		}
+	}
+	return nil
+}

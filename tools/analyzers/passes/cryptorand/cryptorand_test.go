@@ -1,0 +1,12 @@
+package cryptorand_test
+
+import (
+	"testing"
+
+	"desword/tools/analyzers/analysistest"
+	"desword/tools/analyzers/passes/cryptorand"
+)
+
+func TestCryptorand(t *testing.T) {
+	analysistest.Run(t, "testdata", cryptorand.Analyzer, "internal/zkedb", "internal/sim")
+}

@@ -1,0 +1,15 @@
+// Package zkedb is a golden fixture: it sits on an enforced path, so
+// math/rand imports must be diagnosed while crypto/rand stays legal.
+package zkedb
+
+import (
+	crand "crypto/rand"
+	"math/rand"       // want "imports math/rand: math/rand is predictable; use crypto/rand"
+	v2 "math/rand/v2" // want "imports math/rand/v2: math/rand/v2 is predictable; use crypto/rand"
+)
+
+func use() ([]byte, int, uint64) {
+	buf := make([]byte, 8)
+	_, _ = crand.Read(buf)
+	return buf, rand.Int(), v2.Uint64()
+}

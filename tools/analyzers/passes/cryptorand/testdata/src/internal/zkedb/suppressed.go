@@ -1,0 +1,8 @@
+package zkedb
+
+import (
+	//lint:ignore desword/cryptorand fixture models a justified, reviewed exception
+	mrand "math/rand"
+)
+
+func seeded() int { return mrand.New(mrand.NewSource(1)).Int() }

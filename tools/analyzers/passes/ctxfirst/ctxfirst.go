@@ -1,0 +1,81 @@
+// Package ctxfirst enforces end-to-end context threading in the query
+// path.
+//
+// Paper invariant: a product path query fans out across proxy and
+// participant processes; deadlines, cancellation and the distributed trace
+// (DESIGN §7–8) ride on context.Context. A function that accepts a context
+// anywhere but first hides it from callers, and a context.Background()
+// minted mid-path silently detaches a subtree from the caller's deadline
+// and trace — the exact failure mode PRs 2–3 were built to prevent. The
+// analyzer enforces, in internal/core and internal/node: (1) any function
+// taking a context.Context takes it as the first parameter; (2) no
+// context.Background()/TODO() outside main packages and _test.go files —
+// the root context is created by the binary, not the library.
+package ctxfirst
+
+import (
+	"go/ast"
+	"regexp"
+
+	"desword/tools/analyzers/analysis"
+	"desword/tools/analyzers/internal/lintutil"
+)
+
+var enforced = regexp.MustCompile(`(^|/)internal/(core|node)(/|$)`)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter and must not be minted via context.Background() in library code on the query path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !enforced.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSignature(pass, n.Name.Name, n.Type)
+			case *ast.FuncLit:
+				checkSignature(pass, "func literal", n.Type)
+			case *ast.CallExpr:
+				checkBackground(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSignature(pass *analysis.Pass, name string, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for fieldIdx, field := range ft.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if lintutil.IsContextType(t) && !(fieldIdx == 0 && pos == 0) {
+			pass.Reportf(field.Pos(),
+				"%s takes context.Context as parameter %d; it must be the first parameter", name, pos)
+		}
+		pos += n
+	}
+}
+
+func checkBackground(pass *analysis.Pass, call *ast.CallExpr) {
+	if pass.Pkg.Name() == "main" || pass.InTestFile(call.Pos()) {
+		return
+	}
+	fn := lintutil.Callee(pass.TypesInfo, call)
+	if lintutil.IsFunc(fn, "context", "Background") || lintutil.IsFunc(fn, "context", "TODO") {
+		pass.Reportf(call.Pos(),
+			"context.%s() in library code detaches this call tree from the caller's deadline and trace; thread the caller's ctx instead",
+			fn.Name())
+	}
+}

@@ -1,0 +1,34 @@
+// Package core is a golden fixture for ctxfirst: misplaced contexts and
+// library-minted roots are diagnosed on the enforced query path.
+package core
+
+import "context"
+
+func ok(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+func misplaced(n int, ctx context.Context) { // want "misplaced takes context.Context as parameter 1; it must be the first parameter"
+	_ = n
+	_ = ctx
+}
+
+var handler = func(n int, ctx context.Context) { // want "func literal takes context.Context as parameter 1"
+	_ = n
+	_ = ctx
+}
+
+func mintsRoot() context.Context {
+	return context.Background() // want "context.Background\\(\\) in library code"
+}
+
+func mintsTODO() context.Context {
+	return context.TODO() // want "context.TODO\\(\\) in library code"
+}
+
+func suppressedRoot() context.Context {
+	//lint:ignore desword/ctxfirst fixture: this is the process root builder
+	return context.Background()
+}

@@ -1,0 +1,8 @@
+package core
+
+// Tests construct ad-hoc root contexts all the time; the Background ban
+// exempts _test.go files.
+
+import "context"
+
+func testRoot() context.Context { return context.Background() }

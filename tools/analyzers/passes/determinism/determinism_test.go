@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"desword/tools/analyzers/analysistest"
+	"desword/tools/analyzers/passes/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "internal/qmercurial", "internal/trace")
+}

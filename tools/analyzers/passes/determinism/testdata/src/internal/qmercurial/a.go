@@ -1,0 +1,55 @@
+// Package qmercurial is a golden fixture for determinism: wall-clock reads
+// and map-iteration-order-dependent output are diagnosed in proof packages.
+package qmercurial
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+func timestamped() int64 {
+	return time.Now().Unix() // want "time.Now in a proof package"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in a proof package"
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside range over map"
+	}
+	return keys
+}
+
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below, so iteration order cannot leak
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func hashed(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "WriteString inside range over map"
+	}
+	return b.String()
+}
+
+func concatenated(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want "string built inside range over map"
+	}
+	return out
+}
+
+func suppressedClock() time.Time {
+	//lint:ignore desword/determinism fixture models a legacy timestamped header
+	return time.Now()
+}

@@ -1,0 +1,146 @@
+// Package errwrap enforces the error-chain discipline the retry and
+// fast-fail layers depend on.
+//
+// Paper/system invariant: the pooled transport (DESIGN §8) gates retries
+// and endpoint cooldown on errors.Is(err, ErrEndpointDown) and friends; the
+// persistence layer tags state corruption with ErrBadState. Both only work
+// if every wrapping site uses %w (so the sentinel stays reachable through
+// the chain) and every comparison uses errors.Is (so wrapped sentinels
+// still match). The analyzer flags (1) fmt.Errorf calls that format an
+// error operand with any verb but %w, and (2) ==/!= comparisons between an
+// error and a declared sentinel error variable.
+package errwrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"desword/tools/analyzers/analysis"
+	"desword/tools/analyzers/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf must wrap error operands with %w; sentinel errors must be compared with errors.Is",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if !lintutil.IsFunc(lintutil.Callee(pass.TypesInfo, call), "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := lintutil.ConstString(pass.TypesInfo, call.Args[0])
+	if !ok {
+		return
+	}
+	verbs := parseVerbs(format)
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb == 'w' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if lintutil.IsErrorType(pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(),
+				"error %s formatted with %%%c; use %%w so the chain stays matchable with errors.Is/As",
+				types.ExprString(arg), verb)
+		}
+	}
+}
+
+// parseVerbs returns one rune per argument-consuming verb of a Printf
+// format string, with '*' width/precision arguments represented as '*'.
+func parseVerbs(format string) []rune {
+	var verbs []rune
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(runes) && runes[i] == '%' {
+			continue
+		}
+		// Skip flags, width, precision; '*' consumes an argument of its own.
+		for i < len(runes) {
+			c := runes[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '1' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(runes) {
+			verbs = append(verbs, runes[i])
+		}
+	}
+	return verbs
+}
+
+func checkSentinelCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	xErr := lintutil.IsErrorType(pass.TypesInfo.TypeOf(be.X))
+	yErr := lintutil.IsErrorType(pass.TypesInfo.TypeOf(be.Y))
+	if !xErr || !yErr {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if sent := sentinelVar(pass.TypesInfo, side); sent != nil {
+			pass.Reportf(be.Pos(),
+				"comparing error with %s using %s; use errors.Is so wrapped chains still match",
+				sent.Name(), be.Op)
+			return
+		}
+	}
+}
+
+// sentinelVar resolves expr to a package-level error variable (a sentinel
+// like ErrEndpointDown or io.EOF), or nil.
+func sentinelVar(info *types.Info, expr ast.Expr) *types.Var {
+	var obj types.Object
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = info.Uses[e.Sel]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Parent() == nil {
+		return nil
+	}
+	// Package-level: declared in a package scope, not function-local.
+	if v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !lintutil.IsErrorType(v.Type()) {
+		return nil
+	}
+	return v
+}

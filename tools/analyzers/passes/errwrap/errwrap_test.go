@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"desword/tools/analyzers/analysistest"
+	"desword/tools/analyzers/passes/errwrap"
+)
+
+func TestErrWrap(t *testing.T) {
+	analysistest.Run(t, "testdata", errwrap.Analyzer, "a")
+}

@@ -1,0 +1,60 @@
+// Package a is a golden fixture for errwrap: %v/%s wrapping of error
+// operands and == comparison against sentinels are diagnosed everywhere.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrClosed = errors.New("closed")
+
+func wrapWithV(err error) error {
+	return fmt.Errorf("query failed: %v", err) // want "error err formatted with %v; use %w"
+}
+
+func wrapWithS(err error) error {
+	return fmt.Errorf("query failed: %s", err) // want "error err formatted with %s; use %w"
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("query failed: %w", err)
+}
+
+func doubleWrapOK(err error) error {
+	return fmt.Errorf("%w: %w", ErrClosed, err)
+}
+
+func mixedPositionsOK(n int, err error) error {
+	return fmt.Errorf("hop %d of %s: %w", n, "path", err)
+}
+
+func nonErrorOperandOK(n int) error {
+	return fmt.Errorf("bad value %d", n)
+}
+
+func compareEq(err error) bool {
+	return err == ErrClosed // want "comparing error with ErrClosed using ==; use errors.Is"
+}
+
+func compareNeq(err error) bool {
+	return ErrClosed != err // want "comparing error with ErrClosed using !="
+}
+
+func compareIsOK(err error) bool {
+	return errors.Is(err, ErrClosed)
+}
+
+func nilCheckOK(err error) bool {
+	return err == nil
+}
+
+func localsOK(err error) bool {
+	other := errors.New("other")
+	return err == other // neither side is a package-level sentinel
+}
+
+func suppressedCompare(err error) bool {
+	//lint:ignore desword/errwrap fixture: identity comparison is intentional here
+	return err == ErrClosed
+}

@@ -1,0 +1,52 @@
+// Package metrics exercises metriclabel against the obs fixture: names and
+// label keys must be compile-time constants matching ^[a-z_]+$; label
+// values may be dynamic.
+package metrics
+
+import "internal/obs"
+
+const queries = "desword_queries_total"
+
+func good(r *obs.Registry, role string) {
+	r.Counter(queries, "total queries", "role", role)
+	r.Gauge("desword_pool_idle", "idle connections")
+	r.Histogram("desword_verify_seconds", "verify latency", []float64{0.01, 0.1}, "kind", role)
+	obs.Default.Counter("desword_default_total", "via the default registry", "role", role)
+}
+
+func dynamicName(r *obs.Registry, which string) {
+	r.Counter("desword_"+which, "dynamic", "role", "proxy") // want "metric name must be a compile-time constant"
+}
+
+func badName(r *obs.Registry) {
+	r.Counter("Desword-Queries", "bad name") // want "metric name \"Desword-Queries\" must match"
+}
+
+func spreadLabels(r *obs.Registry, labels []string) {
+	r.Counter("desword_spread_total", "spread", labels...) // want "labels passed as a spread slice"
+}
+
+func oddLabels(r *obs.Registry) {
+	r.Counter("desword_odd_total", "odd", "role") // want "odd label list \\(1 values\\)"
+}
+
+func dynamicKey(r *obs.Registry, k string) {
+	r.Counter("desword_dyn_total", "dyn", k, "proxy") // want "metric label key must be a compile-time constant"
+}
+
+func badKey(r *obs.Registry) {
+	r.Counter("desword_badkey_total", "bad", "Role", "proxy") // want "metric label key \"Role\" must match"
+}
+
+func suppressed(r *obs.Registry, which string) {
+	//lint:ignore desword/metriclabel fixture: the name set is closed at this call site
+	r.Counter("desword_"+which, "suppressed")
+}
+
+// fake has the same method shape but is not the obs Registry; calls on it
+// are out of scope.
+type fake struct{}
+
+func (fake) Counter(name, help string, labels ...string) {}
+
+func notTheRegistry(f fake, n string) { f.Counter(n, "dynamic but fine") }

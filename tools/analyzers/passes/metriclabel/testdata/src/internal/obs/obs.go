@@ -1,0 +1,22 @@
+// Package obs is a minimal model of the real internal/obs registry so the
+// metriclabel fixtures type-check; the analyzer matches it by the
+// internal/obs path suffix and the Registry type name.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+func (r *Registry) Counter(name, help string, labels ...string) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	return &Histogram{}
+}
+
+var Default = &Registry{}

@@ -1,0 +1,123 @@
+// Package shadow is a deliberately narrow, low-noise variant of the
+// x/tools shadow pass, implemented locally because the build image has no
+// module proxy access. It flags only the shadowing class that has caused
+// real bugs in this codebase's ancestors: a := declaration that shadows a
+// parameter or named result of the function it appears in. Shadowing a
+// named result (classically `err`) makes `defer`red error handling and
+// naked returns observe the wrong value; shadowing a parameter silently
+// forks state mid-function. Generic block-local shadowing (the noisy part
+// of the upstream pass) is out of scope.
+package shadow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"desword/tools/analyzers/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "flag := declarations that shadow a parameter or named result of the enclosing function",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFunc(pass, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				checkFunc(pass, n.Type, n.Body)
+				return false // the nested walk handles inner literals
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc flags shadowing of ft's own parameters/results inside body.
+// Nested function literals are checked against their own signatures only:
+// redeclaring an outer function's name inside a closure is usually an
+// intentional capture cut.
+func checkFunc(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	outer := make(map[string]string) // name → "parameter" | "named result"
+	collect := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					outer[name.Name] = kind
+				}
+			}
+		}
+	}
+	collect(ft.Params, "parameter")
+	collect(ft.Results, "named result")
+	if len(outer) == 0 {
+		return
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // checked separately against its own signature
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok.String() != ":=" {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			kind, shadows := outer[id.Name]
+			if !shadows {
+				continue
+			}
+			// Only flag genuine new objects (a := with one new and one
+			// existing var redeclares, which is not shadowing).
+			if obj, ok := pass.TypesInfo.Defs[id]; ok && obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					pass.Reportf(id.Pos(),
+						"declaration of %s shadows the %s of the enclosing function", id.Name, kind)
+				}
+			}
+		}
+		return true
+	})
+
+	checkRanges(pass, body, outer)
+}
+
+// checkRanges extends the same rule to for/range clause variables.
+func checkRanges(pass *analysis.Pass, body *ast.BlockStmt, outer map[string]string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || rng.Tok.String() != ":=" {
+			return true
+		}
+		for _, e := range []ast.Expr{rng.Key, rng.Value} {
+			id, ok := e.(*ast.Ident)
+			if !ok || id == nil || id.Name == "_" {
+				continue
+			}
+			if kind, shadows := outer[id.Name]; shadows {
+				if obj, ok := pass.TypesInfo.Defs[id]; ok && obj != nil {
+					pass.Reportf(id.Pos(),
+						"range variable %s shadows the %s of the enclosing function", id.Name, kind)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"desword/tools/analyzers/analysistest"
+	"desword/tools/analyzers/passes/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, "testdata", shadow.Analyzer, "a")
+}

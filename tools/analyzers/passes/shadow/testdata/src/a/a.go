@@ -1,0 +1,69 @@
+// Package a is a golden fixture for shadow: := declarations that shadow a
+// parameter or named result of the enclosing function are diagnosed;
+// block-local shadowing of anything else is not.
+package a
+
+import "errors"
+
+func shadowsResult() (err error) {
+	if true {
+		err := errors.New("inner") // want "declaration of err shadows the named result"
+		_ = err
+	}
+	return nil
+}
+
+func shadowsParam(n int) int {
+	if n > 0 {
+		n := n - 1 // want "declaration of n shadows the parameter"
+		return n
+	}
+	return n
+}
+
+func shadowsInRange(items []int) (total int) {
+	for _, total := range items { // want "range variable total shadows the named result"
+		_ = total
+	}
+	return 0
+}
+
+func pair(n int) (int, error) { return n, nil }
+
+func okNewNames(n int) (int, error) {
+	v, err := pair(n) // err is a fresh local, not a shadow
+	return v, err
+}
+
+func okIfScoped() int {
+	if err := errors.New("x"); err != nil { // no parameter or result named err
+		return 1
+	}
+	return 0
+}
+
+func okClosureCut(n int) func() int {
+	return func() int {
+		n := 1 // the literal's own scope; intentional capture cut
+		return n
+	}
+}
+
+func closureOwnParam() func(int) int {
+	return func(m int) int {
+		if m > 0 {
+			m := m * 2 // want "declaration of m shadows the parameter"
+			return m
+		}
+		return m
+	}
+}
+
+func suppressedShadow(w int) int {
+	if w > 0 {
+		//lint:ignore desword/shadow fixture narrows the variable deliberately
+		w := w - 1
+		_ = w
+	}
+	return w
+}
