@@ -82,11 +82,11 @@ func macroFixtureFor(b *testing.B, qh bench.QH) *macroFixture {
 		{Product: "bench-id-0", Data: []byte("bench trace 0")},
 		{Product: "bench-id-1", Data: []byte("bench trace 1")},
 	}
-	cred, dpoc, err := poc.Agg(ps, "vB", traces)
+	cred, dpoc, err := poc.Agg(ps, "vB", traces, poc.AggOptions{ProofCacheSize: -1})
 	if err != nil {
 		b.Fatal(err)
 	}
-	proof, err := dpoc.Prove("bench-id-0")
+	proof, err := dpoc.Prove(context.Background(), "bench-id-0")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -209,11 +209,11 @@ func BenchmarkE4Table2ProofSize(b *testing.B) {
 	for _, qh := range bench.PaperQH() {
 		b.Run(fmt.Sprintf("q=%d/h=%d", qh.Q, qh.H), func(b *testing.B) {
 			fx := macroFixtureFor(b, qh)
-			own, err := fx.dpoc.Prove(fx.product)
+			own, err := fx.dpoc.Prove(context.Background(), fx.product)
 			if err != nil {
 				b.Fatal(err)
 			}
-			nOwn, err := fx.dpoc.Prove("bench-absent")
+			nOwn, err := fx.dpoc.Prove(context.Background(), "bench-absent")
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -247,7 +247,7 @@ func BenchmarkE5Fig5ProofGen(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := fx.dpoc.Prove(fx.product); err != nil {
+				if _, err := fx.dpoc.Prove(context.Background(), fx.product); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -262,7 +262,7 @@ func BenchmarkE5Fig5ProofVerify(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := poc.Verify(fx.ps, fx.cred, fx.product, fx.proof); err != nil {
+				if _, err := poc.Verify(context.Background(), fx.ps, fx.cred, fx.product, fx.proof); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -302,7 +302,7 @@ func BenchmarkE6ZKEDBAgg(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := poc.Agg(ps, "vB", traces); err != nil {
+		if _, _, err := poc.Agg(ps, "vB", traces, poc.AggOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -451,17 +451,63 @@ func BenchmarkA1ProofGenByDBSize(b *testing.B) {
 			for i := range traces {
 				traces[i] = poc.Trace{Product: poc.ProductID(fmt.Sprintf("t-%d", i)), Data: []byte("d")}
 			}
-			_, dpoc, err := poc.Agg(ps, "vB", traces)
+			_, dpoc, err := poc.Agg(ps, "vB", traces, poc.AggOptions{ProofCacheSize: -1})
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := dpoc.Prove(traces[i%n].Product); err != nil {
+				if _, err := dpoc.Prove(context.Background(), traces[i%n].Product); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
+}
+
+// --- Proof cache: cold vs warm ownership proofs ---
+
+// BenchmarkProve measures proof generation with the DPOC proof cache out of
+// the loop (cold: every call recomputes the mercurial openings) and in the
+// loop (warm: repeats are served from the single-flight LRU). The warm path
+// is expected to be orders of magnitude faster — the gap is the win the
+// cache buys a participant answering repeated demands for a hot product.
+func BenchmarkProve(b *testing.B) {
+	ps, err := poc.PSGen(zkedb.TestParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	traces := []poc.Trace{{Product: "hot-product", Data: []byte("hot trace")}}
+
+	b.Run("cold", func(b *testing.B) {
+		_, dpoc, err := poc.Agg(ps, "vB", traces, poc.AggOptions{ProofCacheSize: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dpoc.Prove(context.Background(), "hot-product"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		_, dpoc, err := poc.Agg(ps, "vB", traces, poc.AggOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dpoc.Prove(context.Background(), "hot-product"); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := dpoc.Prove(context.Background(), "hot-product"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

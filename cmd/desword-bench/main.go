@@ -11,12 +11,14 @@
 //	desword-bench -exp e2e -metrics-out bench-metrics.prom
 //
 // Experiments: tmc (E1), fig4a (E2), fig4b (E3), table2 (E4), fig5 (E5),
-// baseline (E6), incentive (E7), e2e (E8), transport (E9), ablation (A1–A4).
+// baseline (E6), incentive (E7), e2e (E8), transport (E9), crypto (E10),
+// ablation (A1–A4).
 //
 // With -metrics-out, the process-wide metrics registry (proof generation and
-// verification timings, query latencies, …) is snapshotted to the file in
-// Prometheus text format after each experiment, so bench runs emit
-// machine-readable telemetry alongside the rendered tables.
+// verification timings, query latencies, …) is snapshotted to the file after
+// each experiment, so bench runs emit machine-readable telemetry alongside
+// the rendered tables. A file ending in .json gets the registry's JSON form
+// (one object per series); any other name gets Prometheus text format.
 package main
 
 import (
@@ -49,7 +51,7 @@ type renderer interface {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all|tmc|fig4a|fig4b|table2|fig5|baseline|incentive|e2e|transport|ablation")
+		exp        = flag.String("exp", "all", "experiment: all|tmc|fig4a|fig4b|table2|fig5|baseline|incentive|e2e|transport|crypto|ablation")
 		modulus    = flag.Int("modulus", 1024, "RSA modulus bits for the qTMC layer")
 		reps       = flag.Int("reps", 10, "repetitions per timing point (paper smooths over 50)")
 		dbSize     = flag.Int("db", 8, "committed traces per participant in macro benches")
@@ -121,6 +123,23 @@ func run() error {
 			}
 			return render(bench.RunTransport(params, lengths, *reps))
 		}},
+		{"crypto", func() error {
+			params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}
+			size := *dbSize * 8
+			workers := []int{1, 2, 4, 8}
+			if *fast {
+				params = zkedb.TestParams()
+				size = *dbSize
+				workers = []int{1, 2, 4}
+			}
+			if err := render(bench.RunCryptoCommit(params, size, workers, *reps)); err != nil {
+				return fmt.Errorf("E10a: %w", err)
+			}
+			if err := render(bench.RunCryptoProofCache(params, size, *reps)); err != nil {
+				return fmt.Errorf("E10b: %w", err)
+			}
+			return nil
+		}},
 		{"ablation", func() error {
 			params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}
 			sizes := []int{1, 4, 16, 64}
@@ -189,13 +208,18 @@ func run() error {
 
 // snapshotMetrics rewrites path with the current cumulative registry state,
 // so the file always holds one consistent, complete exposition even if a
-// later experiment is interrupted.
+// later experiment is interrupted. The extension picks the format: .json
+// gets the registry's JSON form, anything else Prometheus text.
 func snapshotMetrics(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("creating metrics snapshot: %w", err)
 	}
-	if err := obs.Default.WritePrometheus(f); err != nil {
+	write := obs.Default.WritePrometheus
+	if strings.HasSuffix(path, ".json") {
+		write = obs.Default.WriteJSON
+	}
+	if err := write(f); err != nil {
 		_ = f.Close()
 		return fmt.Errorf("writing metrics snapshot: %w", err)
 	}

@@ -82,9 +82,11 @@ func run() error {
 		sample    = flag.Float64("trace-sample", 0, "fraction of locally-rooted traces to sample in [0,1]; remote-parented requests are always traced when the caller traces them")
 		logCfg    obs.LogConfig
 		clientCfg node.ClientConfig
+		cryptoCfg core.CryptoConfig
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
 	clientCfg.RegisterFlags(flag.CommandLine)
+	cryptoCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	logger, err := logCfg.Setup(os.Stderr)
 	if err != nil {
@@ -95,10 +97,10 @@ func run() error {
 	if *assemble {
 		return runAssemble(logger, *proxyAddr, *task, *pairs, *pocs, clientCfg)
 	}
-	return runServe(logger, *id, *listen, *proxyAddr, *admin, *traces, *writePOC, clientCfg)
+	return runServe(logger, *id, *listen, *proxyAddr, *admin, *traces, *writePOC, clientCfg, cryptoCfg)
 }
 
-func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, writePOC string, clientCfg node.ClientConfig) error {
+func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, writePOC string, clientCfg node.ClientConfig, cryptoCfg core.CryptoConfig) error {
 	if id == "" || tracesFile == "" {
 		return fmt.Errorf("-id and -traces are required in serve mode")
 	}
@@ -122,7 +124,7 @@ func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, wri
 	}
 	logger.Info("fetched public parameter", "proxy", proxyAddr)
 
-	member := core.NewMember(ps, supplychain.NewParticipant(poc.ParticipantID(id)))
+	member := core.NewMember(ps, supplychain.NewParticipant(poc.ParticipantID(id)), cryptoCfg.MemberOptions()...)
 	for _, tr := range sc.Traces {
 		if err := member.Participant().RecordTrace(poc.Trace{Product: tr.Product, Data: []byte(tr.Data)}); err != nil {
 			return err

@@ -6,11 +6,12 @@
 // hash chain before returning it), replays the scores independently — and
 // then demonstrates that a doctored history is caught.
 //
-//	go run ./examples/audit
+//	go run ./examples/audit [-timeout 5s] [-retries 2]
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 
@@ -22,7 +23,13 @@ import (
 	"desword/internal/zkedb"
 )
 
+// clientCfg carries the shared transport flags (-timeout, -retries, ...) so
+// the example's client is tuned the same way the cmd binaries are.
+var clientCfg node.ClientConfig
+
 func main() {
+	clientCfg.RegisterFlags(flag.CommandLine)
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "audit:", err)
 		os.Exit(1)
@@ -66,7 +73,7 @@ func run() error {
 		return err
 	}
 	defer closeQuietly(proxySrv)
-	client := node.NewProxyClient(proxySrv.Addr())
+	client := node.NewProxyClient(proxySrv.Addr(), clientCfg.Options()...)
 	defer closeQuietly(client)
 	if err := client.RegisterList(context.Background(), dist.TaskID, dist.List); err != nil {
 		return err

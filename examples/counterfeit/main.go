@@ -132,7 +132,7 @@ func run() error {
 	if resp.Claim != core.ClaimProcessed {
 		return fmt.Errorf("fixture broken: farmer should claim processing")
 	}
-	if _, err := poc.Verify(ps, credential, targetID, resp.Proof); err != nil {
+	if _, err := poc.Verify(context.Background(), ps, credential, targetID, resp.Proof); err != nil {
 		fmt.Printf("   forged ownership proof REJECTED: %v\n", err)
 	} else {
 		return fmt.Errorf("forged proof unexpectedly verified")

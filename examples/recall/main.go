@@ -8,11 +8,12 @@
 // localhost, exchanging the same wire messages a distributed deployment
 // would.
 //
-//	go run ./examples/recall
+//	go run ./examples/recall [-timeout 5s] [-retries 2]
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"os"
 
@@ -24,7 +25,13 @@ import (
 	"desword/internal/zkedb"
 )
 
+// clientCfg carries the shared transport flags (-timeout, -retries, ...) so
+// the example's client is tuned the same way the cmd binaries are.
+var clientCfg node.ClientConfig
+
 func main() {
+	clientCfg.RegisterFlags(flag.CommandLine)
+	flag.Parse()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "recall:", err)
 		os.Exit(1)
@@ -82,7 +89,7 @@ func run() error {
 		return err
 	}
 	defer closeQuietly(proxySrv)
-	client := node.NewProxyClient(proxySrv.Addr())
+	client := node.NewProxyClient(proxySrv.Addr(), clientCfg.Options()...)
 	defer closeQuietly(client)
 	fmt.Printf("② %d participant servers + proxy server live on localhost\n", len(directory))
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"desword/internal/chlmr"
@@ -41,23 +42,23 @@ func RunAblationDBSize(params zkedb.Params, sizes []int, reps int) (*Table, erro
 		var dpoc *poc.DPOC
 		commit := Measure(1, func() {
 			var aerr error
-			cred, dpoc, aerr = poc.Agg(ps, "vA", traces)
+			cred, dpoc, aerr = poc.Agg(ps, "vA", traces, poc.AggOptions{ProofCacheSize: -1})
 			if aerr != nil {
 				panic(aerr)
 			}
 		})
 		target := traces[n/2].Product
-		proof, err := dpoc.Prove(target)
+		proof, err := dpoc.Prove(context.Background(), target)
 		if err != nil {
 			return nil, err
 		}
 		gen := Measure(reps, func() {
-			if _, err := dpoc.Prove(target); err != nil {
+			if _, err := dpoc.Prove(context.Background(), target); err != nil {
 				panic(err)
 			}
 		})
 		verify := Measure(reps, func() {
-			if _, err := poc.Verify(ps, cred, target, proof); err != nil {
+			if _, err := poc.Verify(context.Background(), ps, cred, target, proof); err != nil {
 				panic(err)
 			}
 		})
@@ -85,23 +86,23 @@ func RunAblationModulus(q, h int, moduli []int, reps int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		proof, err := fx.dpoc.Prove(fx.present)
+		proof, err := fx.dpoc.Prove(context.Background(), fx.present)
 		if err != nil {
 			return nil, err
 		}
 		traces := []poc.Trace{{Product: "re", Data: []byte("re")}}
 		commit := Measure(1, func() {
-			if _, _, err := poc.Agg(fx.ps, "vA", traces); err != nil {
+			if _, _, err := poc.Agg(fx.ps, "vA", traces, poc.AggOptions{}); err != nil {
 				panic(err)
 			}
 		})
 		gen := Measure(reps, func() {
-			if _, err := fx.dpoc.Prove(fx.present); err != nil {
+			if _, err := fx.dpoc.Prove(context.Background(), fx.present); err != nil {
 				panic(err)
 			}
 		})
 		verify := Measure(reps, func() {
-			if _, err := poc.Verify(fx.ps, fx.cred, fx.present, proof); err != nil {
+			if _, err := poc.Verify(context.Background(), fx.ps, fx.cred, fx.present, proof); err != nil {
 				panic(err)
 			}
 		})
@@ -129,14 +130,14 @@ func RunAblationSoftCache(params zkedb.Params, reps int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, dpoc, err := poc.Agg(ps, "vA", []poc.Trace{{Product: "present", Data: []byte("x")}})
+	_, dpoc, err := poc.Agg(ps, "vA", []poc.Trace{{Product: "present", Data: []byte("x")}}, poc.AggOptions{ProofCacheSize: -1})
 	if err != nil {
 		return nil, err
 	}
 	var first *poc.Proof
 	firstTime := Measure(1, func() {
 		var perr error
-		first, perr = dpoc.Prove("absent-key")
+		first, perr = dpoc.Prove(context.Background(), "absent-key")
 		if perr != nil {
 			panic(perr)
 		}
@@ -144,7 +145,7 @@ func RunAblationSoftCache(params zkedb.Params, reps int) (*Table, error) {
 	var repeat *poc.Proof
 	repeatTime := Measure(reps, func() {
 		var perr error
-		repeat, perr = dpoc.Prove("absent-key")
+		repeat, perr = dpoc.Prove(context.Background(), "absent-key")
 		if perr != nil {
 			panic(perr)
 		}
@@ -200,7 +201,7 @@ func RunAblationTreeScheme(rows []QH, modulusBits int, reps int) (*Table, error)
 		if err != nil {
 			return nil, err
 		}
-		qProof, err := fx.dpoc.Prove(fx.present)
+		qProof, err := fx.dpoc.Prove(context.Background(), fx.present)
 		if err != nil {
 			return nil, err
 		}
@@ -209,7 +210,7 @@ func RunAblationTreeScheme(rows []QH, modulusBits int, reps int) (*Table, error)
 			return nil, err
 		}
 		qGen := Measure(reps, func() {
-			if _, err := fx.dpoc.Prove(fx.present); err != nil {
+			if _, err := fx.dpoc.Prove(context.Background(), fx.present); err != nil {
 				panic(err)
 			}
 		})

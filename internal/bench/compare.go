@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -55,7 +56,7 @@ func RunBaselineComparison(params zkedb.Params, nTraces int) (*Table, error) {
 	var dpoc *poc.DPOC
 	zkBuild := Measure(1, func() {
 		var aerr error
-		cred, dpoc, aerr = poc.Agg(ps, "vC", traces)
+		cred, dpoc, aerr = poc.Agg(ps, "vC", traces, poc.AggOptions{})
 		if aerr != nil {
 			panic(aerr)
 		}
@@ -64,7 +65,7 @@ func RunBaselineComparison(params zkedb.Params, nTraces int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	own, err := dpoc.Prove(traces[0].Product)
+	own, err := dpoc.Prove(context.Background(), traces[0].Product)
 	if err != nil {
 		return nil, err
 	}
@@ -72,7 +73,7 @@ func RunBaselineComparison(params zkedb.Params, nTraces int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	nOwn, err := dpoc.Prove("cmp-absent")
+	nOwn, err := dpoc.Prove(context.Background(), "cmp-absent")
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"desword/internal/poc"
@@ -35,7 +36,9 @@ func newMacroFixture(qh QH, modulusBits, dbSize int) (*macroFixture, error) {
 			Data:    []byte(fmt.Sprintf("participant=vM;product=macro-id-%03d;op=process", i)),
 		})
 	}
-	cred, dpoc, err := poc.Agg(ps, "vM", traces)
+	// The macro experiments measure cold proof-generation cost, so the proof
+	// cache must be out of the loop — memoized repeats would read as zero.
+	cred, dpoc, err := poc.Agg(ps, "vM", traces, poc.AggOptions{ProofCacheSize: -1})
 	if err != nil {
 		return nil, fmt.Errorf("bench: aggregating q=%d h=%d: %w", qh.Q, qh.H, err)
 	}
@@ -64,11 +67,11 @@ func RunTable2(rows []QH, modulusBits, dbSize int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		own, err := fx.dpoc.Prove(fx.present)
+		own, err := fx.dpoc.Prove(context.Background(), fx.present)
 		if err != nil {
 			return nil, err
 		}
-		nOwn, err := fx.dpoc.Prove(fx.absent)
+		nOwn, err := fx.dpoc.Prove(context.Background(), fx.absent)
 		if err != nil {
 			return nil, err
 		}
@@ -101,17 +104,17 @@ func RunFig5(rows []QH, modulusBits, dbSize, reps int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		proof, err := fx.dpoc.Prove(fx.present)
+		proof, err := fx.dpoc.Prove(context.Background(), fx.present)
 		if err != nil {
 			return nil, err
 		}
 		gen := Measure(reps, func() {
-			if _, err := fx.dpoc.Prove(fx.present); err != nil {
+			if _, err := fx.dpoc.Prove(context.Background(), fx.present); err != nil {
 				panic(err)
 			}
 		})
 		verify := Measure(reps, func() {
-			if _, err := poc.Verify(fx.ps, fx.cred, fx.present, proof); err != nil {
+			if _, err := poc.Verify(context.Background(), fx.ps, fx.cred, fx.present, proof); err != nil {
 				panic(err)
 			}
 		})
@@ -123,7 +126,7 @@ func RunFig5(rows []QH, modulusBits, dbSize, reps int) (*Table, error) {
 			})
 		}
 		commit := Measure(1, func() {
-			if _, _, err := poc.Agg(fx.ps, "vM", traces); err != nil {
+			if _, _, err := poc.Agg(fx.ps, "vM", traces, poc.AggOptions{}); err != nil {
 				panic(err)
 			}
 		})

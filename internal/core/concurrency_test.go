@@ -92,7 +92,7 @@ func TestConcurrentProofsOneDPOC(t *testing.T) {
 					errCh <- err
 					return
 				}
-				if _, err := poc.Verify(fx.ps, credential, id, resp.Proof); err != nil {
+				if _, err := poc.Verify(context.Background(), fx.ps, credential, id, resp.Proof); err != nil {
 					errCh <- err
 					return
 				}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"flag"
+
+	"desword/internal/poc"
+	"desword/internal/zkedb"
+)
+
+// CryptoConfig is the shared crypto-engine configuration of the cmd
+// binaries: one set of commit/prove flags, one translation to aggregation
+// options — the crypto counterpart of node.ClientConfig for the transport.
+type CryptoConfig struct {
+	// CommitWorkers bounds the ZK-EDB commit worker pool. 0 selects one
+	// worker per CPU; 1 forces the serial build.
+	CommitWorkers int
+	// ProofCache bounds the per-task POC proof cache in entries. 0 selects
+	// poc.DefaultProofCacheSize; negative disables caching.
+	ProofCache int
+}
+
+// RegisterFlags registers the crypto flags on fs (use flag.CommandLine in
+// main). Zero values keep the package defaults.
+func (c *CryptoConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.IntVar(&c.CommitWorkers, "commit-workers", c.CommitWorkers,
+		"ZK-EDB commit worker pool size (0 = one per CPU, 1 = serial)")
+	fs.IntVar(&c.ProofCache, "proof-cache", c.ProofCache,
+		"POC proof cache entries per task (0 = default, negative = disabled)")
+}
+
+// AggOptions translates the configuration into POC aggregation options.
+func (c *CryptoConfig) AggOptions() poc.AggOptions {
+	return poc.AggOptions{
+		Commit:         zkedb.CommitOptions{Workers: c.CommitWorkers},
+		ProofCacheSize: c.ProofCache,
+	}
+}
+
+// MemberOptions translates the configuration into Member options.
+func (c *CryptoConfig) MemberOptions() []MemberOption {
+	return []MemberOption{WithAggOptions(c.AggOptions())}
+}

@@ -19,6 +19,7 @@ import (
 type Member struct {
 	ps   *poc.PublicParams
 	part *supplychain.Participant
+	agg  poc.AggOptions
 
 	mu    sync.RWMutex
 	tasks map[string]*memberTask
@@ -31,9 +32,24 @@ type memberTask struct {
 	next       map[poc.ProductID]poc.ParticipantID
 }
 
+// MemberOption customizes a Member at construction time.
+type MemberOption func(*Member)
+
+// WithAggOptions sets the POC aggregation options every CommitTask uses:
+// the commit worker-pool width and the proof-cache size. The zero value of
+// poc.AggOptions (the default) selects a GOMAXPROCS-wide pool and a
+// default-sized cache.
+func WithAggOptions(opts poc.AggOptions) MemberOption {
+	return func(m *Member) { m.agg = opts }
+}
+
 // NewMember wraps a supply-chain participant with DE-Sword state.
-func NewMember(ps *poc.PublicParams, part *supplychain.Participant) *Member {
-	return &Member{ps: ps, part: part, tasks: make(map[string]*memberTask)}
+func NewMember(ps *poc.PublicParams, part *supplychain.Participant, opts ...MemberOption) *Member {
+	m := &Member{ps: ps, part: part, tasks: make(map[string]*memberTask)}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
 }
 
 // ID returns the member's participant identity.
@@ -47,7 +63,7 @@ func (m *Member) Participant() *supplychain.Participant { return m.part }
 // snapshot is taken at call time, so any dishonest database mutation must
 // happen before this call — exactly the paper's threat window.
 func (m *Member) CommitTask(taskID string) (poc.POC, error) {
-	credential, dpoc, err := poc.Agg(m.ps, m.part.ID(), m.part.Traces())
+	credential, dpoc, err := poc.Agg(m.ps, m.part.ID(), m.part.Traces(), m.agg)
 	if err != nil {
 		return poc.POC{}, fmt.Errorf("core: %s committing task %s: %w", m.part.ID(), taskID, err)
 	}
@@ -108,7 +124,7 @@ func (m *Member) Query(ctx context.Context, taskID string, id poc.ProductID, qua
 		span.SetError(err)
 		return nil, err
 	}
-	proof, err := entry.dpoc.ProveCtx(ctx, id)
+	proof, err := entry.dpoc.Prove(ctx, id)
 	if err != nil {
 		span.SetError(err)
 		return nil, fmt.Errorf("core: %s proving %s: %w", m.part.ID(), id, err)
@@ -135,7 +151,7 @@ func (m *Member) DemandOwnership(ctx context.Context, taskID string, id poc.Prod
 		span.SetError(err)
 		return nil, err
 	}
-	proof, err := entry.dpoc.ProveCtx(ctx, id)
+	proof, err := entry.dpoc.Prove(ctx, id)
 	if err != nil {
 		span.SetError(err)
 		return nil, fmt.Errorf("core: %s proving %s: %w", m.part.ID(), id, err)

@@ -255,7 +255,7 @@ func (px *Proxy) identifyGood(ctx context.Context, credential poc.POC, v poc.Par
 			Detail: "claimed processing without an ownership proof",
 		}}}
 	}
-	tr, err := poc.VerifyCtx(ctx, px.ps, credential, id, resp.Proof)
+	tr, err := poc.Verify(ctx, px.ps, credential, id, resp.Proof)
 	if err != nil {
 		return identifyOutcome{violations: []Violation{{
 			Participant: v, Type: ViolationClaimProcessing,
@@ -271,14 +271,14 @@ func (px *Proxy) identifyGood(ctx context.Context, credential poc.POC, v poc.Par
 func (px *Proxy) identifyBad(ctx context.Context, taskID string, credential poc.POC, v poc.ParticipantID, id poc.ProductID, resp *Response, responder Responder) identifyOutcome {
 	if resp.Claim == ClaimNotProcessed {
 		if resp.Proof != nil && resp.Proof.Kind == poc.NonOwnership {
-			if _, err := poc.VerifyCtx(ctx, px.ps, credential, id, resp.Proof); err == nil {
+			if _, err := poc.Verify(ctx, px.ps, credential, id, resp.Proof); err == nil {
 				return identifyOutcome{} // cleared
 			}
 		}
 		// The non-ownership claim did not hold up: demand an ownership proof.
 		demand, err := responder.DemandOwnership(ctx, taskID, id)
 		if err == nil && demand != nil && demand.Proof != nil && demand.Proof.Kind == poc.Ownership {
-			if tr, verr := poc.VerifyCtx(ctx, px.ps, credential, id, demand.Proof); verr == nil {
+			if tr, verr := poc.Verify(ctx, px.ps, credential, id, demand.Proof); verr == nil {
 				return identifyOutcome{
 					identified: true,
 					trace:      tr,
@@ -302,7 +302,7 @@ func (px *Proxy) identifyBad(ctx context.Context, taskID string, credential poc.
 	}
 	// Claims processing in the bad case: verify the ownership proof.
 	if resp.Proof != nil && resp.Proof.Kind == poc.Ownership {
-		if tr, err := poc.VerifyCtx(ctx, px.ps, credential, id, resp.Proof); err == nil {
+		if tr, err := poc.Verify(ctx, px.ps, credential, id, resp.Proof); err == nil {
 			return identifyOutcome{identified: true, trace: tr, next: resp.Next}
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 )
 
@@ -114,11 +115,19 @@ func (p Point) Equal(q Point) bool {
 
 // RandomScalar returns a uniformly random scalar in [1, order).
 func (g *Group) RandomScalar() *big.Int {
+	return g.RandomScalarFrom(rand.Reader)
+}
+
+// RandomScalarFrom returns a uniformly random scalar in [1, order) sampled
+// from rnd. Production callers pass crypto/rand.Reader (or use RandomScalar);
+// deterministic readers let seeded tree builds reproduce commitments bit for
+// bit regardless of evaluation order.
+func (g *Group) RandomScalarFrom(rnd io.Reader) *big.Int {
 	for {
-		k, err := rand.Int(rand.Reader, g.order)
+		k, err := rand.Int(rnd, g.order)
 		if err != nil {
-			// crypto/rand failure is unrecoverable for key material.
-			panic(fmt.Sprintf("group: crypto/rand failed: %v", err))
+			// Randomness failure is unrecoverable for key material.
+			panic(fmt.Sprintf("group: randomness source failed: %v", err))
 		}
 		if k.Sign() != 0 {
 			return k

@@ -29,7 +29,9 @@
 package mercurial
 
 import (
+	"crypto/rand"
 	"errors"
+	"io"
 	"math/big"
 
 	"desword/internal/group"
@@ -116,8 +118,14 @@ func (pk *PublicKey) Group() *group.Group { return pk.grp }
 // HCom produces a hard commitment to message m (a scalar) and its secret
 // decommitment.
 func (pk *PublicKey) HCom(m *big.Int) (Commitment, HardDecommit) {
-	r0 := pk.grp.RandomScalar()
-	r1 := pk.grp.RandomScalar()
+	return pk.HComFrom(rand.Reader, m)
+}
+
+// HComFrom is HCom with the commitment randomness drawn from rnd, so seeded
+// builds (zkedb's deterministic commit mode) can reproduce commitments.
+func (pk *PublicKey) HComFrom(rnd io.Reader, m *big.Int) (Commitment, HardDecommit) {
+	r0 := pk.grp.RandomScalarFrom(rnd)
+	r1 := pk.grp.RandomScalarFrom(rnd)
 	c1 := pk.grp.ScalarMult(pk.h, r1)
 	c0 := pk.grp.Add(pk.grp.ScalarBaseMult(m), pk.grp.ScalarMult(c1, r0))
 	return Commitment{C0: c0, C1: c1},
@@ -127,8 +135,13 @@ func (pk *PublicKey) HCom(m *big.Int) (Commitment, HardDecommit) {
 // SCom produces a soft commitment (committing to nothing) and its secret
 // decommitment.
 func (pk *PublicKey) SCom() (Commitment, SoftDecommit) {
-	r0 := pk.grp.RandomScalar()
-	r1 := pk.grp.RandomScalar()
+	return pk.SComFrom(rand.Reader)
+}
+
+// SComFrom is SCom with the commitment randomness drawn from rnd.
+func (pk *PublicKey) SComFrom(rnd io.Reader) (Commitment, SoftDecommit) {
+	r0 := pk.grp.RandomScalarFrom(rnd)
+	r1 := pk.grp.RandomScalarFrom(rnd)
 	return Commitment{
 		C0: pk.grp.ScalarBaseMult(r0),
 		C1: pk.grp.ScalarBaseMult(r1),

@@ -234,15 +234,15 @@ func TestGetParamsOverWire(t *testing.T) {
 		t.Fatalf("GetParams: %v", err)
 	}
 	// The fetched parameters must be usable: aggregate and verify a proof.
-	credential, dpoc, err := poc.Agg(ps, "vX", []poc.Trace{{Product: "w1", Data: []byte("d")}})
+	credential, dpoc, err := poc.Agg(ps, "vX", []poc.Trace{{Product: "w1", Data: []byte("d")}}, poc.AggOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dpoc.Prove("w1")
+	proof, err := dpoc.Prove(context.Background(), "w1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := poc.Verify(d.ps, credential, "w1", proof); err != nil {
+	if _, err := poc.Verify(context.Background(), d.ps, credential, "w1", proof); err != nil {
 		t.Fatalf("proof under fetched params must verify under original params: %v", err)
 	}
 }

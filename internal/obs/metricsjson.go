@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// metricSample is the JSON image of one metric series: a flat, self-contained
+// record so downstream tooling (jq, awk, the bench-smoke gate) can filter on
+// name and read a value without reconstructing Prometheus families.
+type metricSample struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Labels string `json:"labels,omitempty"`
+	// Value carries the counter or gauge reading.
+	Value *int64 `json:"value,omitempty"`
+	// Count and Sum carry the histogram reading.
+	Count *uint64  `json:"count,omitempty"`
+	Sum   *float64 `json:"sum,omitempty"`
+}
+
+// WriteJSON writes the registry contents as a JSON array with one object per
+// series, each on its own line, families and series in sorted order. It is
+// the machine-readable sibling of WritePrometheus, used by desword-bench's
+// -metrics-out when the file name ends in .json.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	samples := make([]metricSample, 0, len(fams))
+	for _, f := range fams {
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			sample := metricSample{Name: f.name, Kind: f.kind.String(), Labels: s.labels}
+			switch f.kind {
+			case KindCounter:
+				v := int64(s.counter.Value())
+				sample.Value = &v
+			case KindGauge:
+				v := s.gauge.Value()
+				sample.Value = &v
+			case KindHistogram:
+				count, sum := s.hist.Count(), s.hist.Sum()
+				sample.Count = &count
+				sample.Sum = &sum
+			}
+			samples = append(samples, sample)
+		}
+	}
+
+	// One object per line keeps the array valid JSON and line-tools friendly.
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, sample := range samples {
+		line, err := json.Marshal(sample)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(samples)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "  %s%s", line, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

@@ -1,0 +1,121 @@
+package poc
+
+import (
+	"container/list"
+	"sync"
+
+	"desword/internal/obs"
+)
+
+// DefaultProofCacheSize bounds the per-DPOC proof cache when
+// AggOptions.ProofCacheSize is left at zero.
+const DefaultProofCacheSize = 128
+
+// cacheCounters are the process-wide proof-cache metrics. Hits count proofs
+// served without recomputation, misses count leader computations, evictions
+// count LRU removals. They aggregate across every DPOC in the process.
+type cacheCounters struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+}
+
+var cacheMetrics = sync.OnceValue(func() *cacheCounters {
+	return &cacheCounters{
+		hits: obs.Default.Counter("desword_proofcache_hits",
+			"POC proof cache hits: proofs served without recomputing the mercurial openings."),
+		misses: obs.Default.Counter("desword_proofcache_misses",
+			"POC proof cache misses: proofs computed and inserted by a single-flight leader."),
+		evictions: obs.Default.Counter("desword_proofcache_evictions",
+			"POC proof cache LRU evictions."),
+	}
+})
+
+// proofCache is a bounded single-flight LRU over product ids. The first
+// Prove for an id becomes the leader and computes; concurrent followers park
+// on the entry's ready channel and share the result, so N simultaneous
+// demands for one hot product cost one proof computation. Entries never go
+// stale within a DPOC: the decommitment tree is immutable after Agg, so
+// invalidation is structural — committing new task state mints a new DPOC
+// and with it a fresh cache (DESIGN §10).
+type proofCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[ProductID]*list.Element
+}
+
+// cacheEntry is one id's slot. proof/err are written once by the leader
+// before ready is closed; followers read them only after <-ready.
+type cacheEntry struct {
+	id    ProductID
+	ready chan struct{}
+	proof *Proof
+	err   error
+}
+
+// newProofCache translates the AggOptions knob: 0 selects the default size,
+// negative disables caching entirely.
+func newProofCache(size int) *proofCache {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
+		size = DefaultProofCacheSize
+	}
+	return &proofCache{
+		max:     size,
+		ll:      list.New(),
+		entries: make(map[ProductID]*list.Element),
+	}
+}
+
+// getOrLead returns the entry for id and whether the caller is its leader.
+// Leaders must compute the proof and publish it via finish; followers wait
+// on entry.ready. Inserting may evict the least recently used entries —
+// including in-flight ones, whose waiters keep their reference and are
+// unaffected.
+func (pc *proofCache) getOrLead(id ProductID) (*cacheEntry, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.entries[id]; ok {
+		pc.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry), false
+	}
+	ent := &cacheEntry{id: id, ready: make(chan struct{})}
+	el := pc.ll.PushFront(ent)
+	pc.entries[id] = el
+	for pc.ll.Len() > pc.max {
+		oldest := pc.ll.Back()
+		if oldest == el {
+			break
+		}
+		pc.ll.Remove(oldest)
+		delete(pc.entries, oldest.Value.(*cacheEntry).id)
+		cacheMetrics().evictions.Inc()
+	}
+	return ent, true
+}
+
+// finish publishes the leader's result and wakes the followers. Failed
+// computations are removed from the cache so the next Prove for the id
+// retries instead of replaying the error forever.
+func (pc *proofCache) finish(ent *cacheEntry, proof *Proof, err error) {
+	pc.mu.Lock()
+	ent.proof, ent.err = proof, err
+	if err != nil {
+		if el, ok := pc.entries[ent.id]; ok && el.Value == ent {
+			pc.ll.Remove(el)
+			delete(pc.entries, ent.id)
+		}
+	}
+	pc.mu.Unlock()
+	close(ent.ready)
+}
+
+// len reports the current entry count, for tests.
+func (pc *proofCache) len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.ll.Len()
+}

@@ -1,6 +1,7 @@
 package poc
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"testing"
@@ -36,7 +37,7 @@ func sampleTraces(v ParticipantID, n int) []Trace {
 func TestAggProveVerifyOwnership(t *testing.T) {
 	ps := testPS(t)
 	traces := sampleTraces("v1", 5)
-	credential, dpoc, err := Agg(ps, "v1", traces)
+	credential, dpoc, err := Agg(ps, "v1", traces, AggOptions{})
 	if err != nil {
 		t.Fatalf("Agg: %v", err)
 	}
@@ -44,14 +45,14 @@ func TestAggProveVerifyOwnership(t *testing.T) {
 		t.Fatal("POC must carry the participant identity")
 	}
 	for _, tr := range traces {
-		proof, err := dpoc.Prove(tr.Product)
+		proof, err := dpoc.Prove(context.Background(), tr.Product)
 		if err != nil {
 			t.Fatalf("Prove(%s): %v", tr.Product, err)
 		}
 		if proof.Kind != Ownership {
 			t.Fatalf("expected ownership proof for %s", tr.Product)
 		}
-		got, err := Verify(ps, credential, tr.Product, proof)
+		got, err := Verify(context.Background(), ps, credential, tr.Product, proof)
 		if err != nil {
 			t.Fatalf("Verify(%s): %v", tr.Product, err)
 		}
@@ -63,18 +64,18 @@ func TestAggProveVerifyOwnership(t *testing.T) {
 
 func TestAggProveVerifyNonOwnership(t *testing.T) {
 	ps := testPS(t)
-	credential, dpoc, err := Agg(ps, "v1", sampleTraces("v1", 3))
+	credential, dpoc, err := Agg(ps, "v1", sampleTraces("v1", 3), AggOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dpoc.Prove("unprocessed-product")
+	proof, err := dpoc.Prove(context.Background(), "unprocessed-product")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if proof.Kind != NonOwnership {
 		t.Fatal("expected non-ownership proof")
 	}
-	got, err := Verify(ps, credential, "unprocessed-product", proof)
+	got, err := Verify(context.Background(), ps, credential, "unprocessed-product", proof)
 	if err != nil {
 		t.Fatalf("valid non-ownership proof must verify: %v", err)
 	}
@@ -85,15 +86,15 @@ func TestAggProveVerifyNonOwnership(t *testing.T) {
 
 func TestEmptyTraceSet(t *testing.T) {
 	ps := testPS(t)
-	credential, dpoc, err := Agg(ps, "leafless", nil)
+	credential, dpoc, err := Agg(ps, "leafless", nil, AggOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dpoc.Prove("anything")
+	proof, err := dpoc.Prove(context.Background(), "anything")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Verify(ps, credential, "anything", proof); err != nil {
+	if _, err := Verify(context.Background(), ps, credential, "anything", proof); err != nil {
 		t.Fatalf("empty POC must prove non-ownership of everything: %v", err)
 	}
 }
@@ -104,29 +105,29 @@ func TestDuplicateTraceRejected(t *testing.T) {
 		{Product: "dup", Data: []byte("a")},
 		{Product: "dup", Data: []byte("b")},
 	}
-	if _, _, err := Agg(ps, "v1", traces); err == nil {
+	if _, _, err := Agg(ps, "v1", traces, AggOptions{}); err == nil {
 		t.Fatal("duplicate product ids must be rejected")
 	}
 }
 
 func TestVerifyRejectsKindMismatch(t *testing.T) {
 	ps := testPS(t)
-	credential, dpoc, err := Agg(ps, "v1", sampleTraces("v1", 2))
+	credential, dpoc, err := Agg(ps, "v1", sampleTraces("v1", 2), AggOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dpoc.Prove("id-00")
+	proof, err := dpoc.Prove(context.Background(), "id-00")
 	if err != nil {
 		t.Fatal(err)
 	}
 	proof.Kind = NonOwnership // lie about the kind
-	if _, err := Verify(ps, credential, "id-00", proof); err == nil {
+	if _, err := Verify(context.Background(), ps, credential, "id-00", proof); err == nil {
 		t.Fatal("relabeled proof kind must be rejected")
 	}
-	if _, err := Verify(ps, credential, "id-00", nil); err == nil {
+	if _, err := Verify(context.Background(), ps, credential, "id-00", nil); err == nil {
 		t.Fatal("nil proof must be rejected")
 	}
-	if _, err := Verify(ps, credential, "id-00", &Proof{Kind: ProofKind(5), ZK: proof.ZK}); err == nil {
+	if _, err := Verify(context.Background(), ps, credential, "id-00", &Proof{Kind: ProofKind(5), ZK: proof.ZK}); err == nil {
 		t.Fatal("unknown proof kind must be rejected")
 	}
 }
@@ -135,19 +136,19 @@ func TestVerifyRejectsCrossParticipantProof(t *testing.T) {
 	// Claim 2 in action at the POC layer: v2 cannot answer a query with v1's
 	// proof because the POC commits to the participant's own database.
 	ps := testPS(t)
-	_, dpoc1, err := Agg(ps, "v1", sampleTraces("v1", 2))
+	_, dpoc1, err := Agg(ps, "v1", sampleTraces("v1", 2), AggOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	poc2, _, err := Agg(ps, "v2", sampleTraces("v2", 2))
+	poc2, _, err := Agg(ps, "v2", sampleTraces("v2", 2), AggOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dpoc1.Prove("id-00")
+	proof, err := dpoc1.Prove(context.Background(), "id-00")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Verify(ps, poc2, "id-00", proof); err == nil {
+	if _, err := Verify(context.Background(), ps, poc2, "id-00", proof); err == nil {
 		t.Fatal("a proof against v1's POC must not verify against v2's")
 	}
 }
@@ -165,7 +166,7 @@ func TestListAddAndLookup(t *testing.T) {
 	ps := testPS(t)
 	list := NewList()
 	for _, v := range []ParticipantID{"v0", "v2", "v5"} {
-		credential, _, err := Agg(ps, v, sampleTraces(v, 1))
+		credential, _, err := Agg(ps, v, sampleTraces(v, 1), AggOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +205,7 @@ func TestListAddAndLookup(t *testing.T) {
 func TestListRejectsDuplicatesAndDangling(t *testing.T) {
 	ps := testPS(t)
 	list := NewList()
-	credential, _, err := Agg(ps, "v0", nil)
+	credential, _, err := Agg(ps, "v0", nil, AggOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestListRejectsDuplicatesAndDangling(t *testing.T) {
 func TestDPOCPersistence(t *testing.T) {
 	ps := testPS(t)
 	traces := sampleTraces("v1", 3)
-	credential, dpoc, err := Agg(ps, "v1", traces)
+	credential, dpoc, err := Agg(ps, "v1", traces, AggOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,19 +244,19 @@ func TestDPOCPersistence(t *testing.T) {
 		t.Fatalf("restored participant = %s", restored.Participant)
 	}
 	// Proofs from the restored DPOC must verify against the original POC.
-	proof, err := restored.Prove("id-01")
+	proof, err := restored.Prove(context.Background(), "id-01")
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Verify(ps, credential, "id-01", proof)
+	got, err := Verify(context.Background(), ps, credential, "id-01", proof)
 	if err != nil || got == nil {
 		t.Fatalf("restored ownership proof failed: %v", err)
 	}
-	absent, err := restored.Prove("never-processed")
+	absent, err := restored.Prove(context.Background(), "never-processed")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Verify(ps, credential, "never-processed", absent); err != nil {
+	if _, err := Verify(context.Background(), ps, credential, "never-processed", absent); err != nil {
 		t.Fatalf("restored non-ownership proof failed: %v", err)
 	}
 }

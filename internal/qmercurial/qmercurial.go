@@ -26,8 +26,10 @@
 package qmercurial
 
 import (
+	"crypto/rand"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 
 	"desword/internal/mercurial"
@@ -118,10 +120,17 @@ func (pk *PublicKey) hashV(v *big.Int) *big.Int {
 
 // HCom hard-commits to the message vector ms.
 func (pk *PublicKey) HCom(ms []*big.Int) (Commitment, HardDecommit, error) {
+	return pk.HComFrom(rand.Reader, ms)
+}
+
+// HComFrom is HCom with all commitment randomness (the RSA hiding exponent
+// and the mercurial layer's scalars) drawn from rnd, enabling seeded
+// reproducible tree builds.
+func (pk *PublicKey) HComFrom(rnd io.Reader, ms []*big.Int) (Commitment, HardDecommit, error) {
 	if len(ms) != pk.VC.Q {
 		return Commitment{}, HardDecommit{}, ErrVectorLength
 	}
-	r, err := pk.VC.RandomHiding()
+	r, err := pk.VC.RandomHidingFrom(rnd)
 	if err != nil {
 		return Commitment{}, HardDecommit{}, err
 	}
@@ -129,7 +138,7 @@ func (pk *PublicKey) HCom(ms []*big.Int) (Commitment, HardDecommit, error) {
 	if err != nil {
 		return Commitment{}, HardDecommit{}, err
 	}
-	mc, mcDec := pk.TMC.HCom(pk.hashV(v))
+	mc, mcDec := pk.TMC.HComFrom(rnd, pk.hashV(v))
 	msCopy := make([]*big.Int, len(ms))
 	copy(msCopy, ms)
 	return Commitment{MC: mc}, HardDecommit{Messages: msCopy, Hiding: r, V: v, MCDec: mcDec}, nil
@@ -137,7 +146,12 @@ func (pk *PublicKey) HCom(ms []*big.Int) (Commitment, HardDecommit, error) {
 
 // SCom produces a soft q-commitment, committing to no vector at all.
 func (pk *PublicKey) SCom() (Commitment, SoftDecommit) {
-	mc, mcDec := pk.TMC.SCom()
+	return pk.SComFrom(rand.Reader)
+}
+
+// SComFrom is SCom with the commitment randomness drawn from rnd.
+func (pk *PublicKey) SComFrom(rnd io.Reader) (Commitment, SoftDecommit) {
+	mc, mcDec := pk.TMC.SComFrom(rnd)
 	return Commitment{MC: mc}, SoftDecommit{MCDec: mcDec}
 }
 

@@ -26,6 +26,7 @@ import (
 	"crypto/rsa"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
 )
 
@@ -168,8 +169,15 @@ func (p *Params) checkMessage(m *big.Int) error {
 
 // RandomHiding samples the hiding randomness r for a commitment.
 func (p *Params) RandomHiding() (*big.Int, error) {
+	return p.RandomHidingFrom(rand.Reader)
+}
+
+// RandomHidingFrom samples the hiding randomness r for a commitment from
+// rnd. Production callers use RandomHiding (crypto/rand); deterministic
+// readers support seeded, reproducible commitments.
+func (p *Params) RandomHidingFrom(rnd io.Reader) (*big.Int, error) {
 	bound := new(big.Int).Lsh(big.NewInt(1), hidingBits)
-	r, err := rand.Int(rand.Reader, bound)
+	r, err := rand.Int(rnd, bound)
 	if err != nil {
 		return nil, fmt.Errorf("rsavc: sampling hiding randomness: %w", err)
 	}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"desword/internal/core"
@@ -100,12 +101,12 @@ func TestProofRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	credential, dpoc, err := poc.Agg(ps, "v1", []poc.Trace{{Product: "id1", Data: []byte("d")}})
+	credential, dpoc, err := poc.Agg(ps, "v1", []poc.Trace{{Product: "id1", Data: []byte("d")}}, poc.AggOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, product := range []poc.ProductID{"id1", "missing"} {
-		proof, err := dpoc.Prove(product)
+		proof, err := dpoc.Prove(context.Background(), product)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,7 +121,7 @@ func TestProofRoundTrip(t *testing.T) {
 		if decoded.Kind != proof.Kind {
 			t.Fatal("kind must survive the round trip")
 		}
-		if _, err := poc.Verify(ps, credential, product, decoded); err != nil {
+		if _, err := poc.Verify(context.Background(), ps, credential, product, decoded); err != nil {
 			t.Fatalf("round-tripped proof must verify: %v", err)
 		}
 	}
@@ -140,11 +141,11 @@ func TestResponseRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, dpoc, err := poc.Agg(ps, "v1", []poc.Trace{{Product: "id1", Data: []byte("d")}})
+	_, dpoc, err := poc.Agg(ps, "v1", []poc.Trace{{Product: "id1", Data: []byte("d")}}, poc.AggOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dpoc.Prove("id1")
+	proof, err := dpoc.Prove(context.Background(), "id1")
 	if err != nil {
 		t.Fatal(err)
 	}

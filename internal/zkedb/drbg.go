@@ -1,0 +1,56 @@
+package zkedb
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// commitDRBG is the deterministic randomness stream behind seeded commits
+// (CommitOptions.Seed): SHA-256 in counter mode, keyed by the seed and one
+// tree position. Keying by position rather than by draw sequence is what
+// makes the parallel build order-independent — every worker schedule reads
+// the same bytes for the same commitment, so serial and parallel builds are
+// byte-identical (pinned by TestCommitParallelByteIdentical).
+//
+// This is a reproducibility tool, not a CSPRNG for production key material:
+// anyone holding the seed can regenerate every commitment's randomness.
+type commitDRBG struct {
+	key     [sha256.Size]byte
+	counter uint64
+	buf     []byte
+}
+
+// newCommitDRBG derives the stream key as
+// H(tag ‖ len(seed) ‖ seed ‖ position), with the position encoded one byte
+// per digit exactly as prefixKey does.
+func newCommitDRBG(seed []byte, prefix []int) *commitDRBG {
+	h := sha256.New()
+	h.Write([]byte("zkedb/commit-drbg/v1"))
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(seed)))
+	h.Write(lenBuf[:])
+	h.Write(seed)
+	h.Write([]byte(prefixKey(prefix)))
+	d := &commitDRBG{}
+	h.Sum(d.key[:0])
+	return d
+}
+
+// Read implements io.Reader; it never fails.
+func (d *commitDRBG) Read(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		if len(d.buf) == 0 {
+			var block [sha256.Size + 8]byte
+			copy(block[:], d.key[:])
+			binary.BigEndian.PutUint64(block[sha256.Size:], d.counter)
+			d.counter++
+			sum := sha256.Sum256(block[:])
+			d.buf = sum[:]
+		}
+		n := copy(p, d.buf)
+		d.buf = d.buf[n:]
+		p = p[n:]
+	}
+	return total, nil
+}

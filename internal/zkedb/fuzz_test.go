@@ -1,6 +1,7 @@
 package zkedb
 
 import (
+	"context"
 	"testing"
 )
 
@@ -14,11 +15,11 @@ func FuzzProofUnmarshal(f *testing.F) {
 		f.Fatal(err)
 	}
 	db := map[string][]byte{"seed-key": []byte("seed-value")}
-	_, dec, err := crs.Commit(db)
+	_, dec, err := crs.Commit(db, CommitOptions{})
 	if err != nil {
 		f.Fatal(err)
 	}
-	own, err := dec.Prove("seed-key")
+	own, err := dec.Prove(context.Background(), "seed-key")
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func FuzzProofUnmarshal(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	nOwn, err := dec.Prove("seed-missing")
+	nOwn, err := dec.Prove(context.Background(), "seed-missing")
 	if err != nil {
 		f.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package zkedb
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 )
@@ -8,13 +9,13 @@ import (
 func TestDecommitmentRoundTrip(t *testing.T) {
 	crs := testCRS(t)
 	db := testDB(6)
-	com, dec, err := crs.Commit(db)
+	com, dec, err := crs.Commit(db, CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Force some lazily created soft-chain entries into the cache first, so
 	// their pinning survives the round trip.
-	preRestart, err := dec.Prove("ghost-key")
+	preRestart, err := dec.Prove(context.Background(), "ghost-key")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestDecommitmentRoundTrip(t *testing.T) {
 	// Ownership proofs from the restored state must verify against the
 	// ORIGINAL commitment — the whole point of persistence.
 	for key, want := range db {
-		proof, err := restored.Prove(key)
+		proof, err := restored.Prove(context.Background(), key)
 		if err != nil {
 			t.Fatalf("Prove(%q) after restore: %v", key, err)
 		}
@@ -43,7 +44,7 @@ func TestDecommitmentRoundTrip(t *testing.T) {
 
 	// Non-ownership proofs must reuse the same pinned soft chain: the child
 	// commitments shown before and after the restart must be identical.
-	postRestart, err := restored.Prove("ghost-key")
+	postRestart, err := restored.Prove(context.Background(), "ghost-key")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestDecommitmentRoundTrip(t *testing.T) {
 
 func TestRestoreRejectsWrongGeometry(t *testing.T) {
 	crs := testCRS(t)
-	_, dec, err := crs.Commit(testDB(2))
+	_, dec, err := crs.Commit(testDB(2), CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 
 func TestRestoreRejectsTamperedState(t *testing.T) {
 	crs := testCRS(t)
-	_, dec, err := crs.Commit(testDB(2))
+	_, dec, err := crs.Commit(testDB(2), CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestRestoreRejectsTamperedState(t *testing.T) {
 
 func TestEmptyDatabaseRoundTrip(t *testing.T) {
 	crs := testCRS(t)
-	com, dec, err := crs.Commit(nil)
+	com, dec, err := crs.Commit(nil, CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestEmptyDatabaseRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := restored.Prove("anything")
+	proof, err := restored.Prove(context.Background(), "anything")
 	if err != nil {
 		t.Fatal(err)
 	}

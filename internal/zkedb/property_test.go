@@ -1,6 +1,7 @@
 package zkedb
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -27,13 +28,13 @@ func TestPropertyCommitProveVerify(t *testing.T) {
 			rng.Read(val)
 			db[key] = val
 		}
-		com, dec, err := crs.Commit(db)
+		com, dec, err := crs.Commit(db, CommitOptions{})
 		if err != nil {
 			t.Logf("commit: %v", err)
 			return false
 		}
 		for key, want := range db {
-			proof, err := dec.Prove(key)
+			proof, err := dec.Prove(context.Background(), key)
 			if err != nil {
 				t.Logf("prove %q: %v", key, err)
 				return false
@@ -49,7 +50,7 @@ func TestPropertyCommitProveVerify(t *testing.T) {
 			if _, inDB := db[near]; inDB {
 				continue
 			}
-			nProof, err := dec.Prove(near)
+			nProof, err := dec.Prove(context.Background(), near)
 			if err != nil {
 				t.Logf("prove absent %q: %v", near, err)
 				return false
@@ -75,11 +76,11 @@ func TestPropertyProofsNeverCrossVerify(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		dbA := map[string][]byte{fmt.Sprintf("a-%d", rng.Int63()): []byte("va")}
 		dbB := map[string][]byte{fmt.Sprintf("b-%d", rng.Int63()): []byte("vb")}
-		comA, decA, err := crs.Commit(dbA)
+		comA, decA, err := crs.Commit(dbA, CommitOptions{})
 		if err != nil {
 			return false
 		}
-		comB, _, err := crs.Commit(dbB)
+		comB, _, err := crs.Commit(dbB, CommitOptions{})
 		if err != nil {
 			return false
 		}
@@ -87,7 +88,7 @@ func TestPropertyProofsNeverCrossVerify(t *testing.T) {
 		for k := range dbA {
 			keyA = k
 		}
-		proofA, err := decA.Prove(keyA)
+		proofA, err := decA.Prove(context.Background(), keyA)
 		if err != nil {
 			return false
 		}
@@ -110,7 +111,7 @@ func TestPropertyBinaryEncodingTotal(t *testing.T) {
 		t.Skip("property test skipped in short mode")
 	}
 	crs := testCRS(t)
-	_, dec, err := crs.Commit(map[string][]byte{"k": []byte("v")})
+	_, dec, err := crs.Commit(map[string][]byte{"k": []byte("v")}, CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestPropertyBinaryEncodingTotal(t *testing.T) {
 		if key == "" {
 			key = "empty"
 		}
-		proof, err := dec.Prove(key)
+		proof, err := dec.Prove(context.Background(), key)
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package zkedb
 
 import (
+	"context"
 	"testing"
 
 	"desword/internal/mercurial"
@@ -21,7 +22,7 @@ func claim1Fixture(t *testing.T) (*CRS, Commitment, *Decommitment, string) {
 		"committed-key": []byte("committed-value"),
 		"other-key":     []byte("other-value"),
 	}
-	com, dec, err := crs.Commit(db)
+	com, dec, err := crs.Commit(db, CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestClaim1ForgedNonOwnershipViaTeases(t *testing.T) {
 	// is stopped only at the leaf, which is hard-committed to the key/value
 	// message and therefore cannot tease to the "absent" message.
 	crs, com, dec, key := claim1Fixture(t)
-	own, err := dec.Prove(key)
+	own, err := dec.Prove(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestClaim1ForgedOwnershipForAbsentKey(t *testing.T) {
 	// chain, not the forged leaf.
 	crs, com, dec, _ := claim1Fixture(t)
 	absent := "never-committed"
-	nOwn, err := dec.Prove(absent)
+	nOwn, err := dec.Prove(context.Background(), absent)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestClaim2SecondValueViaForgedLeaf(t *testing.T) {
 	// level-H-1 hard opening binds the real leaf's hash, so the swapped leaf
 	// commitment must be rejected by the slot-message check.
 	crs, com, dec, key := claim1Fixture(t)
-	own, err := dec.Prove(key)
+	own, err := dec.Prove(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,15 +135,15 @@ func TestSpliceAttackAcrossKeys(t *testing.T) {
 	// longer matches the queried key's digits).
 	crs := testCRS(t)
 	db := map[string][]byte{"key-a": []byte("va"), "key-b": []byte("vb")}
-	com, dec, err := crs.Commit(db)
+	com, dec, err := crs.Commit(db, CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ownA, err := dec.Prove("key-a")
+	ownA, err := dec.Prove(context.Background(), "key-a")
 	if err != nil {
 		t.Fatal(err)
 	}
-	nOwnGhost, err := dec.Prove("ghost")
+	nOwnGhost, err := dec.Prove(context.Background(), "ghost")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,11 +175,11 @@ func TestReplayOwnershipUnderOtherCRS(t *testing.T) {
 		t.Fatal(err)
 	}
 	db := map[string][]byte{"k": []byte("v")}
-	com, dec, err := crs.Commit(db)
+	com, dec, err := crs.Commit(db, CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dec.Prove("k")
+	proof, err := dec.Prove(context.Background(), "k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestSlotIndexForgery(t *testing.T) {
 	// Open the right node at the WRONG slot whose content the adversary
 	// controls: verification must pin the slot to the queried key's digit.
 	crs, com, dec, key := claim1Fixture(t)
-	own, err := dec.Prove(key)
+	own, err := dec.Prove(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,11 +235,11 @@ func TestSoftRootCannotAnchorOwnership(t *testing.T) {
 	crs := testCRS(t)
 	softCom, _ := crs.Key.SCom()
 	fakeCom := Commitment{Root: softCom}
-	_, dec, err := crs.Commit(map[string][]byte{"k": []byte("v")})
+	_, dec, err := crs.Commit(map[string][]byte{"k": []byte("v")}, CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dec.Prove("k")
+	proof, err := dec.Prove(context.Background(), "k")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,11 +253,11 @@ func TestMixedFlavourLevels(t *testing.T) {
 	// (or vice versa) must be rejected by the flavour check, not silently
 	// accepted.
 	crs, com, dec, key := claim1Fixture(t)
-	own, err := dec.Prove(key)
+	own, err := dec.Prove(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ghost, err := dec.Prove("some-ghost")
+	ghost, err := dec.Prove(context.Background(), "some-ghost")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +278,7 @@ func TestForgedWitnessAgainstRealV(t *testing.T) {
 	// Strong-RSA probe at the zkedb layer: keep the real V but present a
 	// witness for a different message at the queried slot.
 	crs, com, dec, key := claim1Fixture(t)
-	own, err := dec.Prove(key)
+	own, err := dec.Prove(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestLeafFlavourConfusion(t *testing.T) {
 	// leaf's tease (which binds to the key/value message, not the absent
 	// message): rejected by the absent-message check.
 	crs, com, dec, key := claim1Fixture(t)
-	ghost, err := dec.Prove("ghost-key")
+	ghost, err := dec.Prove(context.Background(), "ghost-key")
 	if err != nil {
 		t.Fatal(err)
 	}

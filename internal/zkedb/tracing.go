@@ -6,21 +6,25 @@ import (
 	"desword/internal/trace"
 )
 
-// ProveCtx is Prove with distributed-trace instrumentation: when ctx carries
-// an active span, proof generation is recorded as a "zkedb.prove" child span
-// tagged with the tree geometry and the resulting proof kind. Without an
-// active span it is exactly Prove — no allocation, no extra work.
-func (d *Decommitment) ProveCtx(ctx context.Context, key string) (*Proof, error) {
-	_, span := trace.Default.StartChild(ctx, "zkedb.prove",
-		trace.Int("q", d.crs.Params.Q), trace.Int("h", d.crs.Params.H))
-	proof, err := d.Prove(key)
-	if err != nil {
-		span.SetError(err)
-	} else {
-		span.SetAttr(trace.String("kind", proof.Kind.String()))
+// proveAttrsKey carries caller-supplied span attributes for Prove.
+type proveAttrsKey struct{}
+
+// WithProveAttrs returns a ctx whose "zkedb.prove" spans carry the extra
+// attributes. Layers above the ZK-EDB use it to annotate proof generation
+// without this package knowing about them — the proof cache in internal/poc
+// tags the spans of cache misses this way, so per-hop timelines distinguish
+// recomputed proofs from cached ones.
+func WithProveAttrs(ctx context.Context, attrs ...trace.Attr) context.Context {
+	if len(attrs) == 0 {
+		return ctx
 	}
-	span.End()
-	return proof, err
+	return context.WithValue(ctx, proveAttrsKey{}, attrs)
+}
+
+// proveAttrs extracts attributes attached via WithProveAttrs.
+func proveAttrs(ctx context.Context) []trace.Attr {
+	attrs, _ := ctx.Value(proveAttrsKey{}).([]trace.Attr)
+	return attrs
 }
 
 // VerifyCtx is Verify with distributed-trace instrumentation: when ctx

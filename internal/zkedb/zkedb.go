@@ -33,10 +33,14 @@
 package zkedb
 
 import (
+	"context"
+	"crypto/rand"
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"io"
 	"math/big"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,6 +49,7 @@ import (
 	"desword/internal/obs"
 	"desword/internal/qmercurial"
 	"desword/internal/rsavc"
+	"desword/internal/trace"
 )
 
 // slotMessageBits is the size of the hash binding a child commitment into
@@ -246,15 +251,47 @@ type Decommitment struct {
 	soft map[string]*softEntry // key: digit path prefix, one byte per digit
 }
 
+// Params exposes the tree geometry this decommitment was committed under,
+// for callers annotating telemetry about proofs they hold.
+func (d *Decommitment) Params() Params { return d.crs.Params }
+
 type keyItem struct {
 	key    string
 	value  []byte
 	digits []int
 }
 
+// CommitOptions configures Commit. The zero value selects the defaults:
+// one worker per CPU and fresh crypto/rand commitment randomness.
+type CommitOptions struct {
+	// Workers bounds the worker pool fanning the q-ary subtree build out
+	// across slots. 0 selects runtime.GOMAXPROCS(0); 1 forces the serial
+	// build.
+	Workers int
+	// Seed, when non-nil, derives every commitment's randomness from a
+	// deterministic generator keyed by (Seed, tree position) instead of
+	// crypto/rand, making the build reproducible bit for bit at any worker
+	// count. Position keying means no draw depends on build order, which is
+	// what lets the parallel build match the serial one exactly. A seeded
+	// commitment forfeits hiding against anyone holding the seed; it exists
+	// for tests and byte-identity pinning, not production.
+	Seed []byte
+}
+
+// workerCount resolves the effective pool size.
+func (o CommitOptions) workerCount() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
 // Commit commits to the database db (the paper's EDB-commit(D, σ) →
 // (Com, Dec)). The commitment hides everything about db, including its size.
-func (c *CRS) Commit(db map[string][]byte) (Commitment, *Decommitment, error) {
+// Subtrees of each node build in parallel on a bounded worker pool; per-slot
+// openings are independent (Catalano–Fiore), so the fan-out changes nothing
+// about the output. Pass CommitOptions{} for the defaults.
+func (c *CRS) Commit(db map[string][]byte, opts CommitOptions) (Commitment, *Decommitment, error) {
 	items := make([]keyItem, 0, len(db))
 	for k, v := range db {
 		items = append(items, keyItem{key: k, value: v, digits: c.digits(c.digest(k))})
@@ -271,7 +308,11 @@ func (c *CRS) Commit(db map[string][]byte) (Commitment, *Decommitment, error) {
 		copy(cp, v)
 		dec.db[k] = cp
 	}
-	root, err := c.build(0, nil, items, dec)
+	b := &builder{crs: c, dec: dec, seed: opts.Seed}
+	if spare := opts.workerCount() - 1; spare > 0 {
+		b.sem = make(chan struct{}, spare)
+	}
+	root, err := b.build(0, nil, items)
 	if err != nil {
 		return Commitment{}, nil, err
 	}
@@ -279,14 +320,39 @@ func (c *CRS) Commit(db map[string][]byte) (Commitment, *Decommitment, error) {
 	return Commitment{Root: root.qCom}, dec, nil
 }
 
+// builder carries the per-Commit build state: the worker-pool semaphore and
+// the randomness mode.
+type builder struct {
+	crs  *CRS
+	dec  *Decommitment
+	seed []byte
+	// sem holds the spare worker tokens (pool size minus the calling
+	// goroutine). Child builds try-acquire a token and fall back to building
+	// inline, so recursion can never deadlock on pool exhaustion.
+	sem chan struct{}
+}
+
+// rnd returns the randomness source for the commitment pinned at the given
+// tree position: crypto/rand by default, a position-keyed deterministic
+// stream in seeded mode. Exactly one commitment is ever drawn per position
+// (a slot holds either a child subtree or a pinned soft commitment), so
+// streams are never shared.
+func (b *builder) rnd(prefix []int) io.Reader {
+	if b.seed == nil {
+		return rand.Reader
+	}
+	return newCommitDRBG(b.seed, prefix)
+}
+
 // build materializes the subtree at the given level/prefix covering items.
-func (c *CRS) build(level int, prefix []int, items []keyItem, dec *Decommitment) (*node, error) {
+func (b *builder) build(level int, prefix []int, items []keyItem) (*node, error) {
+	c := b.crs
 	if level == c.Params.H {
 		if len(items) != 1 {
 			return nil, fmt.Errorf("%w: %d keys at leaf %v", ErrDigestCollision, len(items), prefix)
 		}
 		it := items[0]
-		com, leafDec := c.Key.TMC.HCom(c.leafMessage(it.key, it.value))
+		com, leafDec := c.Key.TMC.HComFrom(b.rnd(prefix), c.leafMessage(it.key, it.value))
 		return &node{
 			level:     level,
 			leafCom:   com,
@@ -302,25 +368,55 @@ func (c *CRS) build(level int, prefix []int, items []keyItem, dec *Decommitment)
 	}
 	n := &node{level: level, children: make(map[int]*node, len(bySlot))}
 	messages := make([]*big.Int, c.Params.Q)
+	// Children land in a slice, not the node map, so spawned workers write
+	// disjoint indices; the map is filled after the join below.
+	children := make([]*node, c.Params.Q)
+	errs := make([]error, c.Params.Q)
+	var wg sync.WaitGroup
 	for slot := 0; slot < c.Params.Q; slot++ {
 		childPrefix := append(append(make([]int, 0, level+1), prefix...), slot)
-		if slotItems, ok := bySlot[slot]; ok {
-			child, err := c.build(level+1, childPrefix, slotItems, dec)
-			if err != nil {
-				return nil, err
-			}
-			n.children[slot] = child
-			messages[slot] = slotHash(child.commitment())
+		slotItems, ok := bySlot[slot]
+		if !ok {
+			// Empty subtree: pin a soft commitment to this position now so the
+			// parent's vector is fixed; non-ownership proofs extend from here.
+			com, sdec := c.Key.TMC.SComFrom(b.rnd(childPrefix))
+			b.dec.putSoft(prefixKey(childPrefix), &softEntry{com: com, dec: sdec})
+			messages[slot] = slotHash(com)
 			continue
 		}
-		// Empty subtree: pin a soft commitment to this position now so the
-		// parent's vector is fixed; non-ownership proofs extend from here.
-		com, sdec := c.Key.TMC.SCom()
-		entry := &softEntry{com: com, dec: sdec}
-		dec.soft[prefixKey(childPrefix)] = entry
-		messages[slot] = slotHash(com)
+		if b.sem != nil {
+			select {
+			case b.sem <- struct{}{}:
+				wg.Add(1)
+				go func(slot int, childPrefix []int, slotItems []keyItem) {
+					defer wg.Done()
+					defer func() { <-b.sem }()
+					children[slot], errs[slot] = b.build(level+1, childPrefix, slotItems)
+				}(slot, childPrefix, slotItems)
+				continue
+			default:
+				// Pool saturated: build inline rather than queue, so the
+				// calling goroutine always makes progress.
+			}
+		}
+		children[slot], errs[slot] = b.build(level+1, childPrefix, slotItems)
 	}
-	qCom, qDec, err := c.Key.HCom(messages)
+	wg.Wait()
+	for _, err := range errs {
+		// The lowest failing slot wins, matching the serial build's
+		// first-error behaviour at any worker count.
+		if err != nil {
+			return nil, err
+		}
+	}
+	for slot, child := range children {
+		if child == nil {
+			continue
+		}
+		n.children[slot] = child
+		messages[slot] = slotHash(child.commitment())
+	}
+	qCom, qDec, err := c.Key.HComFrom(b.rnd(prefix), messages)
 	if err != nil {
 		return nil, fmt.Errorf("zkedb: committing node at level %d: %w", level, err)
 	}
@@ -390,31 +486,56 @@ type Proof struct {
 
 // Prove generates the proof for key (the paper's EDB-proof): an ownership
 // proof when the key is in the committed database, a non-ownership proof
-// otherwise.
-func (d *Decommitment) Prove(key string) (*Proof, error) {
+// otherwise. When ctx carries an active trace span, generation is recorded
+// as a "zkedb.prove" child span tagged with the tree geometry, the proof
+// kind, and any attributes attached via WithProveAttrs. ctx cancellation is
+// honoured between tree levels, so an expired deadline aborts a proof
+// mid-walk instead of paying for the remaining openings.
+func (d *Decommitment) Prove(ctx context.Context, key string) (*Proof, error) {
+	attrs := append([]trace.Attr{
+		trace.Int("q", d.crs.Params.Q), trace.Int("h", d.crs.Params.H),
+	}, proveAttrs(ctx)...)
+	_, span := trace.Default.StartChild(ctx, "zkedb.prove", attrs...)
 	timer := obs.StartTimer()
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	proof, err := d.prove(key)
+	proof, err := d.prove(ctx, key)
 	if err == nil {
 		d.crs.metrics().prove(proof.Kind).ObserveTimer(timer)
+		span.SetAttr(trace.String("kind", proof.Kind.String()))
+	} else {
+		span.SetError(err)
 	}
+	span.End()
 	return proof, err
 }
 
-func (d *Decommitment) prove(key string) (*Proof, error) {
+func (d *Decommitment) prove(ctx context.Context, key string) (*Proof, error) {
+	// The tree and db maps are immutable after Commit; only the soft cache
+	// mutates, under its own lock in softAt. Proofs for different keys
+	// therefore run concurrently without serializing on d.mu.
 	if _, ok := d.db[key]; ok {
-		return d.proveOwnership(key)
+		return d.proveOwnership(ctx, key)
 	}
-	return d.proveNonOwnership(key)
+	return d.proveNonOwnership(ctx, key)
 }
 
-func (d *Decommitment) proveOwnership(key string) (*Proof, error) {
+// checkCtx reports a proof-aborting cancellation, wrapped so callers can
+// errors.Is against context.Canceled / DeadlineExceeded.
+func checkCtx(ctx context.Context, key string, level int) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("zkedb: proving %q cancelled at level %d: %w", key, level, err)
+	}
+	return nil
+}
+
+func (d *Decommitment) proveOwnership(ctx context.Context, key string) (*Proof, error) {
 	c := d.crs
 	digits := c.digits(c.digest(key))
 	proof := &Proof{Kind: ProofOwnership, Levels: make([]LevelOpening, 0, c.Params.H)}
 	cur := d.root
 	for level := 0; level < c.Params.H; level++ {
+		if err := checkCtx(ctx, key, level); err != nil {
+			return nil, err
+		}
 		slot := digits[level]
 		child, ok := cur.children[slot]
 		if !ok {
@@ -436,7 +557,7 @@ func (d *Decommitment) proveOwnership(key string) (*Proof, error) {
 	return proof, nil
 }
 
-func (d *Decommitment) proveNonOwnership(key string) (*Proof, error) {
+func (d *Decommitment) proveNonOwnership(ctx context.Context, key string) (*Proof, error) {
 	c := d.crs
 	digits := c.digits(c.digest(key))
 	proof := &Proof{Kind: ProofNonOwnership, Levels: make([]LevelOpening, 0, c.Params.H)}
@@ -445,6 +566,9 @@ func (d *Decommitment) proveNonOwnership(key string) (*Proof, error) {
 	cur := d.root
 	level := 0
 	for ; level < c.Params.H; level++ {
+		if err := checkCtx(ctx, key, level); err != nil {
+			return nil, err
+		}
 		slot := digits[level]
 		child, ok := cur.children[slot]
 		if !ok {
@@ -474,6 +598,9 @@ func (d *Decommitment) proveNonOwnership(key string) (*Proof, error) {
 	level++
 
 	for ; level < c.Params.H; level++ {
+		if err := checkCtx(ctx, key, level); err != nil {
+			return nil, err
+		}
 		next := d.softAt(digits[:level+1])
 		sop, err := c.Key.SOpenSoft(
 			qmercurial.SoftDecommit{MCDec: entry.dec}, digits[level], slotHash(next.com))
@@ -493,9 +620,13 @@ func (d *Decommitment) proveNonOwnership(key string) (*Proof, error) {
 }
 
 // softAt returns the soft commitment pinned at the given digit path,
-// creating and caching it if this is the first query to pass through.
+// creating and caching it if this is the first query to pass through. It is
+// the only Prove-path writer of Decommitment state, so it alone takes the
+// lock (shared with putSoft and MarshalJSON).
 func (d *Decommitment) softAt(prefix []int) *softEntry {
 	k := prefixKey(prefix)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if entry, ok := d.soft[k]; ok {
 		return entry
 	}
@@ -503,6 +634,14 @@ func (d *Decommitment) softAt(prefix []int) *softEntry {
 	entry := &softEntry{com: com, dec: sdec}
 	d.soft[k] = entry
 	return entry
+}
+
+// putSoft pins a commit-time soft entry; parallel subtree workers insert
+// concurrently.
+func (d *Decommitment) putSoft(key string, entry *softEntry) {
+	d.mu.Lock()
+	d.soft[key] = entry
+	d.mu.Unlock()
 }
 
 // Verify checks a proof for key against a commitment (the paper's

@@ -1,6 +1,7 @@
 package zkedb
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"testing"
@@ -93,12 +94,12 @@ func TestDigitsCoverDigestExactly(t *testing.T) {
 func TestCommitProveVerifyOwnership(t *testing.T) {
 	crs := testCRS(t)
 	db := testDB(8)
-	com, dec, err := crs.Commit(db)
+	com, dec, err := crs.Commit(db, CommitOptions{})
 	if err != nil {
 		t.Fatalf("Commit: %v", err)
 	}
 	for key, want := range db {
-		proof, err := dec.Prove(key)
+		proof, err := dec.Prove(context.Background(), key)
 		if err != nil {
 			t.Fatalf("Prove(%q): %v", key, err)
 		}
@@ -118,12 +119,12 @@ func TestCommitProveVerifyOwnership(t *testing.T) {
 func TestCommitProveVerifyNonOwnership(t *testing.T) {
 	crs := testCRS(t)
 	db := testDB(8)
-	com, dec, err := crs.Commit(db)
+	com, dec, err := crs.Commit(db, CommitOptions{})
 	if err != nil {
 		t.Fatalf("Commit: %v", err)
 	}
 	for _, key := range []string{"absent-1", "absent-2", "never-seen"} {
-		proof, err := dec.Prove(key)
+		proof, err := dec.Prove(context.Background(), key)
 		if err != nil {
 			t.Fatalf("Prove(%q): %v", key, err)
 		}
@@ -142,11 +143,11 @@ func TestCommitProveVerifyNonOwnership(t *testing.T) {
 
 func TestEmptyDatabase(t *testing.T) {
 	crs := testCRS(t)
-	com, dec, err := crs.Commit(nil)
+	com, dec, err := crs.Commit(nil, CommitOptions{})
 	if err != nil {
 		t.Fatalf("Commit(nil): %v", err)
 	}
-	proof, err := dec.Prove("anything")
+	proof, err := dec.Prove(context.Background(), "anything")
 	if err != nil {
 		t.Fatalf("Prove: %v", err)
 	}
@@ -158,11 +159,11 @@ func TestEmptyDatabase(t *testing.T) {
 func TestSingleKeyDatabase(t *testing.T) {
 	crs := testCRS(t)
 	db := map[string][]byte{"only": []byte("value")}
-	com, dec, err := crs.Commit(db)
+	com, dec, err := crs.Commit(db, CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dec.Prove("only")
+	proof, err := dec.Prove(context.Background(), "only")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,15 +175,15 @@ func TestSingleKeyDatabase(t *testing.T) {
 
 func TestRepeatedNonOwnershipQueriesConsistent(t *testing.T) {
 	crs := testCRS(t)
-	_, dec, err := crs.Commit(testDB(4))
+	_, dec, err := crs.Commit(testDB(4), CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p1, err := dec.Prove("ghost")
+	p1, err := dec.Prove(context.Background(), "ghost")
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := dec.Prove("ghost")
+	p2, err := dec.Prove(context.Background(), "ghost")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,18 +202,18 @@ func TestRepeatedNonOwnershipQueriesConsistent(t *testing.T) {
 func TestProofWrongKeyRejected(t *testing.T) {
 	crs := testCRS(t)
 	db := testDB(4)
-	com, dec, err := crs.Commit(db)
+	com, dec, err := crs.Commit(db, CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dec.Prove("product-001")
+	proof, err := dec.Prove(context.Background(), "product-001")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := crs.Verify(com, "product-002", proof); err == nil {
 		t.Fatal("ownership proof replayed for a different key must fail")
 	}
-	absent, err := dec.Prove("ghost-a")
+	absent, err := dec.Prove(context.Background(), "ghost-a")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,18 +224,18 @@ func TestProofWrongKeyRejected(t *testing.T) {
 
 func TestProofWrongCommitmentRejected(t *testing.T) {
 	crs := testCRS(t)
-	com1, dec1, err := crs.Commit(testDB(4))
+	com1, dec1, err := crs.Commit(testDB(4), CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	com2, _, err := crs.Commit(map[string][]byte{"other": []byte("db")})
+	com2, _, err := crs.Commit(map[string][]byte{"other": []byte("db")}, CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if com1.Equal(com2) {
 		t.Fatal("distinct databases must have distinct commitments")
 	}
-	proof, err := dec1.Prove("product-001")
+	proof, err := dec1.Prove(context.Background(), "product-001")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,11 +247,11 @@ func TestProofWrongCommitmentRejected(t *testing.T) {
 func TestTamperedValueRejected(t *testing.T) {
 	crs := testCRS(t)
 	db := testDB(4)
-	com, dec, err := crs.Commit(db)
+	com, dec, err := crs.Commit(db, CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dec.Prove("product-000")
+	proof, err := dec.Prove(context.Background(), "product-000")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,11 +263,11 @@ func TestTamperedValueRejected(t *testing.T) {
 
 func TestTamperedLevelRejected(t *testing.T) {
 	crs := testCRS(t)
-	com, dec, err := crs.Commit(testDB(4))
+	com, dec, err := crs.Commit(testDB(4), CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dec.Prove("product-000")
+	proof, err := dec.Prove(context.Background(), "product-000")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,11 +279,11 @@ func TestTamperedLevelRejected(t *testing.T) {
 
 func TestTruncatedProofRejected(t *testing.T) {
 	crs := testCRS(t)
-	com, dec, err := crs.Commit(testDB(4))
+	com, dec, err := crs.Commit(testDB(4), CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dec.Prove("product-000")
+	proof, err := dec.Prove(context.Background(), "product-000")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,11 +295,11 @@ func TestTruncatedProofRejected(t *testing.T) {
 
 func TestMixedKindProofRejected(t *testing.T) {
 	crs := testCRS(t)
-	com, dec, err := crs.Commit(testDB(4))
+	com, dec, err := crs.Commit(testDB(4), CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	owned, err := dec.Prove("product-000")
+	owned, err := dec.Prove(context.Background(), "product-000")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,22 +319,22 @@ func TestMixedKindProofRejected(t *testing.T) {
 
 func TestCannotProveNonOwnershipOfPresentKey(t *testing.T) {
 	crs := testCRS(t)
-	_, dec, err := crs.Commit(testDB(2))
+	_, dec, err := crs.Commit(testDB(2), CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dec.proveNonOwnership("product-000"); err == nil {
+	if _, err := dec.proveNonOwnership(context.Background(), "product-000"); err == nil {
 		t.Fatal("honest prover must refuse non-ownership of a present key")
 	}
 }
 
 func TestCommitmentHidesCardinality(t *testing.T) {
 	crs := testCRS(t)
-	comSmall, _, err := crs.Commit(testDB(1))
+	comSmall, _, err := crs.Commit(testDB(1), CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	comLarge, _, err := crs.Commit(testDB(16))
+	comLarge, _, err := crs.Commit(testDB(16), CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,12 +345,12 @@ func TestCommitmentHidesCardinality(t *testing.T) {
 
 func TestProofBinaryRoundTrip(t *testing.T) {
 	crs := testCRS(t)
-	com, dec, err := crs.Commit(testDB(4))
+	com, dec, err := crs.Commit(testDB(4), CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"product-001", "missing-key"} {
-		proof, err := dec.Prove(key)
+		proof, err := dec.Prove(context.Background(), key)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -376,11 +377,11 @@ func TestProofBinaryRejectsGarbage(t *testing.T) {
 		t.Fatal("unknown kind must be rejected")
 	}
 	crs := testCRS(t)
-	_, dec, err := crs.Commit(testDB(2))
+	_, dec, err := crs.Commit(testDB(2), CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dec.Prove("product-000")
+	proof, err := dec.Prove(context.Background(), "product-000")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -400,15 +401,15 @@ func TestOwnershipLargerThanNonOwnership(t *testing.T) {
 	// Table II: ownership proofs are consistently larger than non-ownership
 	// proofs at every (q,h).
 	crs := testCRS(t)
-	_, dec, err := crs.Commit(testDB(4))
+	_, dec, err := crs.Commit(testDB(4), CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	own, err := dec.Prove("product-000")
+	own, err := dec.Prove(context.Background(), "product-000")
 	if err != nil {
 		t.Fatal(err)
 	}
-	non, err := dec.Prove("missing")
+	non, err := dec.Prove(context.Background(), "missing")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -433,11 +434,11 @@ func TestVerifierSeesOnlyQueriedSlot(t *testing.T) {
 		"target": []byte("target-value"),
 		"secret": []byte("super-secret-value"),
 	}
-	_, dec, err := crs.Commit(db)
+	_, dec, err := crs.Commit(db, CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dec.Prove("target")
+	proof, err := dec.Prove(context.Background(), "target")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,11 +474,11 @@ func TestCRSRehydrate(t *testing.T) {
 		t.Fatal(err)
 	}
 	db := testDB(2)
-	com, dec, err := crs.Commit(db)
+	com, dec, err := crs.Commit(db, CommitOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	proof, err := dec.Prove("product-000")
+	proof, err := dec.Prove(context.Background(), "product-000")
 	if err != nil {
 		t.Fatal(err)
 	}

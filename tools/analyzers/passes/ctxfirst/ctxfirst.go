@@ -7,10 +7,12 @@
 // anywhere but first hides it from callers, and a context.Background()
 // minted mid-path silently detaches a subtree from the caller's deadline
 // and trace — the exact failure mode PRs 2–3 were built to prevent. The
-// analyzer enforces, in internal/core and internal/node: (1) any function
-// taking a context.Context takes it as the first parameter; (2) no
-// context.Background()/TODO() outside main packages and _test.go files —
-// the root context is created by the binary, not the library.
+// analyzer enforces, in internal/core, internal/node and internal/poc —
+// the proving layer joined the scope when Prove/Verify became ctx-first:
+// (1) any function taking a context.Context takes it as the first
+// parameter; (2) no context.Background()/TODO() outside main packages and
+// _test.go files — the root context is created by the binary, not the
+// library.
 package ctxfirst
 
 import (
@@ -21,7 +23,7 @@ import (
 	"desword/tools/analyzers/internal/lintutil"
 )
 
-var enforced = regexp.MustCompile(`(^|/)internal/(core|node)(/|$)`)
+var enforced = regexp.MustCompile(`(^|/)internal/(core|node|poc)(/|$)`)
 
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxfirst",

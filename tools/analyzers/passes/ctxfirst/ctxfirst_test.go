@@ -8,5 +8,5 @@ import (
 )
 
 func TestCtxFirst(t *testing.T) {
-	analysistest.Run(t, "testdata", ctxfirst.Analyzer, "internal/core", "internal/apps")
+	analysistest.Run(t, "testdata", ctxfirst.Analyzer, "internal/core", "internal/poc", "internal/apps")
 }

@@ -1,0 +1,21 @@
+// Package poc is a golden fixture for ctxfirst: the proving layer is on the
+// enforced query path, so misplaced contexts and library-minted roots are
+// diagnosed here exactly as in core and node.
+package poc
+
+import "context"
+
+func prove(ctx context.Context, id string) error {
+	_ = ctx
+	_ = id
+	return nil
+}
+
+func verify(id string, ctx context.Context) { // want "verify takes context.Context as parameter 1; it must be the first parameter"
+	_ = id
+	_ = ctx
+}
+
+func detached() context.Context {
+	return context.Background() // want "context.Background\\(\\) in library code"
+}
