@@ -1,7 +1,7 @@
 GO ?= go
 VET := bin/desword-vet
 
-.PHONY: all check build test vet fmt race bench bench-smoke lint analyzers tidy fuzz-short
+.PHONY: all check build test vet fmt race bench bench-smoke telemetry-smoke lint analyzers tidy fuzz-short
 
 all: check
 
@@ -26,7 +26,7 @@ fmt:
 	fi
 
 race:
-	$(GO) test -race ./internal/obs ./internal/node ./internal/core ./internal/trace ./internal/wire ./internal/zkedb ./internal/poc
+	$(GO) test -race ./internal/obs ./internal/node ./internal/core ./internal/trace ./internal/wire ./internal/zkedb ./internal/poc ./internal/telemetry
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -43,6 +43,14 @@ bench-smoke:
 		echo "bench-smoke: expected desword_proofcache_hits >= 1, got '$$hits'"; exit 1; \
 	fi; \
 	echo "bench-smoke: desword_proofcache_hits = $$hits"
+
+# telemetry-smoke runs the fleet-telemetry pipeline end to end over real TCP
+# (see TestTelemetrySmoke): traced queries against a served chain, registry
+# pulls over the wire telemetry message, then asserts /debug/statusz?format=json
+# carries per-peer quantiles and SLO states and that a slow-query exemplar's
+# trace id resolves at /debug/traces/<id>.
+telemetry-smoke:
+	$(GO) test -run '^TestTelemetrySmoke$$' -count=1 -v ./internal/telemetry
 
 # lint is the correctness gate beyond tier-1: the project analyzers
 # (desword-vet, see DESIGN.md §9) run through go vet's unitchecker driver

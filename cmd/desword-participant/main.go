@@ -25,7 +25,10 @@
 // pairs.json: [{"parent": "v0", "child": "v2"}, {"parent": "v2", "child": "v5"}]
 //
 // With -admin set, an HTTP listener exposes /metrics (Prometheus text
-// format), /healthz and /debug/pprof for profiling a live participant.
+// format), /healthz, /debug/pprof, and a local /debug/statusz with this
+// participant's request rates, latency quantiles and SLO state. With -slo
+// set, objective breaches flip /healthz to 503 and, when -profile-dir is
+// set, capture CPU+heap profiles into a bounded on-disk ring.
 package main
 
 import (
@@ -45,6 +48,7 @@ import (
 	"desword/internal/obs"
 	"desword/internal/poc"
 	"desword/internal/supplychain"
+	"desword/internal/telemetry"
 	"desword/internal/trace"
 )
 
@@ -83,24 +87,27 @@ func run() error {
 		logCfg    obs.LogConfig
 		clientCfg node.ClientConfig
 		cryptoCfg core.CryptoConfig
+		telCfg    telemetry.Config
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
 	clientCfg.RegisterFlags(flag.CommandLine)
 	cryptoCfg.RegisterFlags(flag.CommandLine)
+	telCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	logger, err := logCfg.Setup(os.Stderr)
 	if err != nil {
 		return err
 	}
+	obs.RegisterProcessMetrics(obs.Default)
 	trace.Default.SetService("participant:" + *id)
 	trace.Default.SetSampleRate(*sample)
 	if *assemble {
 		return runAssemble(logger, *proxyAddr, *task, *pairs, *pocs, clientCfg)
 	}
-	return runServe(logger, *id, *listen, *proxyAddr, *admin, *traces, *writePOC, clientCfg, cryptoCfg)
+	return runServe(logger, *id, *listen, *proxyAddr, *admin, *traces, *writePOC, clientCfg, cryptoCfg, telCfg)
 }
 
-func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, writePOC string, clientCfg node.ClientConfig, cryptoCfg core.CryptoConfig) error {
+func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, writePOC string, clientCfg node.ClientConfig, cryptoCfg core.CryptoConfig, telCfg telemetry.Config) error {
 	if id == "" || tracesFile == "" {
 		return fmt.Errorf("-id and -traces are required in serve mode")
 	}
@@ -153,8 +160,31 @@ func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, wri
 		logger.Info("POC exported", "participant", id, "file", writePOC)
 	}
 
+	// Local telemetry: registry snapshots on a ticker, -slo scoring, and a
+	// single-peer statusz so one participant is debuggable on its own.
+	collector, engine, err := telCfg.Build(obs.Default, "participant:"+id)
+	if err != nil {
+		return err
+	}
+	collector.Start()
+	defer collector.Stop()
+	monitorOpts := []telemetry.MonitorOption{telemetry.WithPollInterval(telCfg.Interval)}
+	if engine != nil {
+		monitorOpts = append(monitorOpts, telemetry.WithObjectives(engine.Objectives()))
+	}
+	monitor := telemetry.NewMonitor(monitorOpts...)
+	monitor.AddLocal("participant:"+id, collector)
+	monitor.Start()
+	defer monitor.Stop()
+
 	if admin != "" {
-		adminSrv, err := obs.ServeAdmin(admin, obs.Default)
+		adminOpts := []obs.AdminOption{
+			obs.WithRoute("/debug/statusz", telemetry.StatuszHandler(monitor)),
+		}
+		if engine != nil {
+			adminOpts = append(adminOpts, obs.WithHealth(engine.Health))
+		}
+		adminSrv, err := obs.ServeAdmin(admin, obs.Default, adminOpts...)
 		if err != nil {
 			return err
 		}

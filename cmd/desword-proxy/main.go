@@ -12,7 +12,12 @@
 //	{"v0": "127.0.0.1:7701", "v1": "127.0.0.1:7702"}
 //
 // With -admin set, an HTTP listener exposes /metrics (Prometheus text
-// format), /healthz and /debug/pprof for profiling a live proxy.
+// format), /healthz, /debug/pprof, and /debug/statusz — a fleet view that
+// polls every directory participant over the wire's telemetry message and
+// shows per-endpoint request rates, latency quantiles, SLO budget burn, and
+// exemplar trace links. With -slo set, objective breaches flip /healthz to
+// 503 and, when -profile-dir is set, capture CPU+heap profiles into a
+// bounded on-disk ring.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"desword/internal/obs"
 	"desword/internal/poc"
 	"desword/internal/reputation"
+	"desword/internal/telemetry"
 	"desword/internal/trace"
 	"desword/internal/zkedb"
 )
@@ -55,14 +61,17 @@ func run() error {
 		sample  = flag.Float64("trace-sample", 0, "fraction of path queries to trace in [0,1]; traces appear under /debug/traces on the admin listener")
 		logCfg  obs.LogConfig
 		tcfg    node.ClientConfig
+		telCfg  telemetry.Config
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
 	tcfg.RegisterFlags(flag.CommandLine)
+	telCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	logger, err := logCfg.Setup(os.Stderr)
 	if err != nil {
 		return err
 	}
+	obs.RegisterProcessMetrics(obs.Default)
 	trace.Default.SetService("proxy")
 	trace.Default.SetSampleRate(*sample)
 	if *dirFile == "" {
@@ -87,8 +96,47 @@ func run() error {
 	}
 	logger.Info("public parameter ready", "elapsed", time.Since(genStart))
 
+	directory := node.DirectoryResolver(dir, tcfg.Options()...)
+	defer directory.Close()
+
+	// The collector snapshots the local registry on a ticker, scoring the
+	// -slo objectives and capturing profiles on breach; the monitor adds the
+	// fleet dimension, polling every directory participant over the wire's
+	// idempotent telemetry message.
+	collector, engine, err := telCfg.Build(obs.Default, "proxy")
+	if err != nil {
+		return err
+	}
+	collector.Start()
+	defer collector.Stop()
+	monitorOpts := []telemetry.MonitorOption{telemetry.WithPollInterval(telCfg.Interval)}
+	if engine != nil {
+		monitorOpts = append(monitorOpts, telemetry.WithObjectives(engine.Objectives()))
+	}
+	monitor := telemetry.NewMonitor(monitorOpts...)
+	monitor.AddLocal("proxy", collector)
+	for pid := range dir {
+		responder, err := directory.Resolve(pid)
+		if err != nil {
+			return err
+		}
+		client, ok := responder.(*node.ResponderClient)
+		if !ok {
+			continue
+		}
+		monitor.AddPeer(string(pid), client.Telemetry)
+	}
+	monitor.Start()
+	defer monitor.Stop()
+
 	if *admin != "" {
-		adminSrv, err := obs.ServeAdmin(*admin, obs.Default)
+		adminOpts := []obs.AdminOption{
+			obs.WithRoute("/debug/statusz", telemetry.StatuszHandler(monitor)),
+		}
+		if engine != nil {
+			adminOpts = append(adminOpts, obs.WithHealth(engine.Health))
+		}
+		adminSrv, err := obs.ServeAdmin(*admin, obs.Default, adminOpts...)
 		if err != nil {
 			return err
 		}
@@ -100,8 +148,6 @@ func run() error {
 		logger.Info("admin listener up", "addr", adminSrv.Addr())
 	}
 
-	directory := node.DirectoryResolver(dir, tcfg.Options()...)
-	defer directory.Close()
 	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), directory.Resolver(),
 		core.WithProbeFanout(*fanout))
 	srv, err := node.ServeProxy(context.Background(), *listen, proxy, node.WithTimeout(tcfg.Timeout))

@@ -47,6 +47,7 @@ func run() error {
 	if _, err := logCfg.Setup(os.Stderr); err != nil {
 		return err
 	}
+	obs.RegisterProcessMetrics(obs.Default)
 	trace.Default.SetService("query")
 	trace.Default.SetSampleRate(*sample)
 	// Query results render to stdout below — that is the command's output,

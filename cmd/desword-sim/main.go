@@ -45,6 +45,7 @@ func run() error {
 	if _, err := logCfg.Setup(os.Stderr); err != nil {
 		return err
 	}
+	obs.RegisterProcessMetrics(obs.Default)
 
 	pBads := []float64{cfg.PBad}
 	if sweep != "" {

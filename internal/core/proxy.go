@@ -130,7 +130,12 @@ func (px *Proxy) QueryPath(ctx context.Context, id poc.ProductID, quality Qualit
 	ctx, span := trace.Default.Start(ctx, "proxy.query_path",
 		trace.String("product", string(id)), trace.String("quality", quality.String()))
 	defer span.End()
-	defer queryLatency(quality).ObserveSince(time.Now())
+	qStart := time.Now()
+	// Sampled queries stamp their trace id on the latency observation, so
+	// the slowest path walks are one click from their traces on statusz.
+	defer func() {
+		queryLatency(quality).ObserveWithExemplar(time.Since(qStart).Seconds(), span.TraceID())
+	}()
 	px.counters.addQuery(quality)
 	countQuery(quality)
 	result := &Result{

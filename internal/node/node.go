@@ -18,8 +18,10 @@ import (
 	"time"
 
 	"desword/internal/core"
+	"desword/internal/obs"
 	"desword/internal/poc"
 	"desword/internal/reputation"
+	"desword/internal/telemetry"
 	"desword/internal/trace"
 	"desword/internal/wire"
 )
@@ -341,7 +343,10 @@ func (s *server) serveConn(conn net.Conn, handle func(context.Context, *wire.Env
 			s.metrics.errWrite.Inc()
 			return
 		}
-		s.metrics.requestLatency(env.Type).ObserveSince(start)
+		// Traced requests attach their trace id to the latency observation,
+		// so a slow quantile on statusz links straight to its trace.
+		s.metrics.requestLatency(env.Type).ObserveWithExemplar(
+			time.Since(start).Seconds(), span.TraceID())
 		if s.markIdle(conn) {
 			return // server closing: deliver the response, then hang up
 		}
@@ -424,6 +429,8 @@ func ServeParticipant(ctx context.Context, addr string, responder core.Responder
 
 func (s *ParticipantServer) handle(ctx context.Context, env *wire.Envelope) (string, any) {
 	switch env.Type {
+	case wire.TypeTelemetry:
+		return wire.TypeTelemetrySnapshot, telemetry.TakeSnapshot(obs.Default, s.role)
 	case wire.TypeQuery:
 		var req wire.QueryRequest
 		if err := env.Decode(&req); err != nil {
@@ -505,6 +512,27 @@ func (c *ResponderClient) roundTrip(ctx context.Context, msgType string, payload
 		return nil, err
 	}
 	return wire.DecodeResponse(&resp)
+}
+
+// Telemetry fetches a snapshot of the remote participant's metrics registry.
+func (c *ResponderClient) Telemetry(ctx context.Context) (*telemetry.Snapshot, error) {
+	return fetchTelemetry(ctx, c.pool)
+}
+
+// fetchTelemetry runs the idempotent telemetry exchange over a pool.
+func fetchTelemetry(ctx context.Context, p *Pool) (*telemetry.Snapshot, error) {
+	env, err := p.Exchange(ctx, wire.TypeTelemetry, struct{}{})
+	if err != nil {
+		return nil, err
+	}
+	if env.Type != wire.TypeTelemetrySnapshot {
+		return nil, remoteError(env)
+	}
+	var snap telemetry.Snapshot
+	if err := env.Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
 }
 
 // DirectoryResolver builds a core.Resolver from a participant→address map.
@@ -596,6 +624,8 @@ func ServeProxy(ctx context.Context, addr string, proxy *core.Proxy, opts ...Opt
 
 func (s *ProxyServer) handle(ctx context.Context, env *wire.Envelope) (string, any) {
 	switch env.Type {
+	case wire.TypeTelemetry:
+		return wire.TypeTelemetrySnapshot, telemetry.TakeSnapshot(obs.Default, s.role)
 	case wire.TypeGetParams:
 		return wire.TypeParams, s.proxy.PublicParams()
 	case wire.TypeRegisterList:
@@ -700,6 +730,11 @@ func (c *ProxyClient) QueryPath(ctx context.Context, id poc.ProductID, quality c
 		return nil, err
 	}
 	return wire.DecodePathResult(&result), nil
+}
+
+// Telemetry fetches a snapshot of the remote proxy's metrics registry.
+func (c *ProxyClient) Telemetry(ctx context.Context) (*telemetry.Snapshot, error) {
+	return fetchTelemetry(ctx, c.pool)
 }
 
 // Scores fetches the public reputation table.

@@ -425,3 +425,47 @@ func TestConcurrentNetworkClients(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTelemetryOverWire(t *testing.T) {
+	d := deploy(t, 3, nil)
+	if _, err := d.client.QueryPath(context.Background(), d.product, core.Good); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.client.Telemetry(context.Background())
+	if err != nil {
+		t.Fatalf("Telemetry over TCP: %v", err)
+	}
+	if snap.Service != "proxy" {
+		t.Fatalf("snapshot service = %q, want proxy", snap.Service)
+	}
+	if snap.Time.IsZero() || snap.Start.IsZero() || len(snap.Samples) == 0 {
+		t.Fatalf("snapshot incomplete: %+v", snap)
+	}
+	// The registry is shared process-wide, so the snapshot must include the
+	// query the test just drove.
+	found := false
+	for _, s := range snap.Samples {
+		if s.Name == "desword_queries_total" && s.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("snapshot missing desword_queries_total progress")
+	}
+
+	// Participants answer the same message through their responder client.
+	for id := range d.servers {
+		rc := NewResponderClient(d.servers[id].Addr())
+		psnap, err := rc.Telemetry(context.Background())
+		if cerr := rc.Close(); cerr != nil {
+			t.Errorf("closing responder client: %v", cerr)
+		}
+		if err != nil {
+			t.Fatalf("participant telemetry: %v", err)
+		}
+		if psnap.Service != "participant" || len(psnap.Samples) == 0 {
+			t.Fatalf("participant snapshot = service %q, %d samples", psnap.Service, len(psnap.Samples))
+		}
+		break
+	}
+}

@@ -237,7 +237,8 @@ func (p *Pool) exchangeAttempts(ctx context.Context, span *trace.Span, msgType s
 func retrySafe(msgType string, wrote bool) bool {
 	switch msgType {
 	case wire.TypeQuery, wire.TypeDemandOwnership,
-		wire.TypeGetParams, wire.TypeScores, wire.TypeAuditLog:
+		wire.TypeGetParams, wire.TypeScores, wire.TypeAuditLog,
+		wire.TypeTelemetry:
 		return true
 	}
 	return !wrote

@@ -22,9 +22,48 @@ type AdminServer struct {
 	srv *http.Server
 }
 
+// HealthReport is what a health hook returns: liveness plus an optional
+// machine-readable detail block (e.g. per-SLO states) that /healthz renders
+// as JSON under ?format=json.
+type HealthReport struct {
+	OK     bool `json:"ok"`
+	Detail any  `json:"detail,omitempty"`
+}
+
+// adminOptions collects the optional admin-surface extensions.
+type adminOptions struct {
+	health func() HealthReport
+	routes map[string]http.Handler
+}
+
+// AdminOption extends the admin route table.
+type AdminOption func(*adminOptions)
+
+// WithHealth installs a health hook: /healthz reports 503 "degraded" when the
+// hook says not-OK (an SLO breach, typically), and serves the hook's detail
+// as JSON under /healthz?format=json either way.
+func WithHealth(f func() HealthReport) AdminOption {
+	return func(o *adminOptions) { o.health = f }
+}
+
+// WithRoute mounts an extra handler on the admin mux (e.g. the telemetry
+// monitor's /debug/statusz).
+func WithRoute(pattern string, h http.Handler) AdminOption {
+	return func(o *adminOptions) {
+		if o.routes == nil {
+			o.routes = make(map[string]http.Handler)
+		}
+		o.routes[pattern] = h
+	}
+}
+
 // AdminMux builds the admin route table over a registry. The pprof handlers
 // are registered explicitly so nothing leaks through http.DefaultServeMux.
-func AdminMux(reg *Registry) *http.ServeMux {
+func AdminMux(reg *Registry, opts ...AdminOption) *http.ServeMux {
+	var o adminOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -34,7 +73,26 @@ func AdminMux(reg *Registry) *http.ServeMux {
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		report := HealthReport{OK: true}
+		if o.health != nil {
+			report = o.health()
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			if !report.OK {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(report)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !report.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "degraded")
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -44,6 +102,9 @@ func AdminMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/traces", TraceExplorer(trace.Default.Recorder()))
 	mux.Handle("/debug/traces/", TraceExplorer(trace.Default.Recorder()))
+	for pattern, h := range o.routes {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 
@@ -109,13 +170,13 @@ func TraceExplorer(rec *trace.Recorder) http.Handler {
 // ServeAdmin starts the admin listener on addr (e.g. ":6060", or
 // "127.0.0.1:0" for an ephemeral port) exposing reg. It returns once the
 // listener is bound; requests are served in the background until Close.
-func ServeAdmin(addr string, reg *Registry) (*AdminServer, error) {
+func ServeAdmin(addr string, reg *Registry, opts ...AdminOption) (*AdminServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: admin listener on %s: %w", addr, err)
 	}
 	srv := &http.Server{
-		Handler:           AdminMux(reg),
+		Handler:           AdminMux(reg, opts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	a := &AdminServer{ln: ln, srv: srv}

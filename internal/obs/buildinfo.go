@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// processStart is stamped at process init so every registry that registers
+// process metrics reports the same start instant.
+var processStart = time.Now()
+
+// RegisterProcessMetrics registers the process-identity gauges every DE-Sword
+// binary exposes:
+//
+//	desword_build_info{version="...",go="..."} 1
+//	desword_process_start_time_seconds <unix seconds>
+//
+// version comes from the module build info when available (VCS revision or
+// module version), falling back to "devel". The call is idempotent per
+// registry in practice (the registry dedupes series), and cheap enough that
+// binaries simply call it once in main.
+func RegisterProcessMetrics(r *Registry) {
+	r.Gauge("desword_build_info",
+		"Build identity; the value is always 1, the labels carry the info.",
+		"version", buildVersion(), "go", runtime.Version()).Set(1)
+	r.Gauge("desword_process_start_time_seconds",
+		"Unix time the process started, in seconds.").Set(processStart.Unix())
+}
+
+// buildVersion extracts the best available version string from the binary's
+// embedded build info: an exact module version, else the VCS revision
+// (truncated), else "devel".
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			return s.Value[:12]
+		}
+	}
+	return "devel"
+}
+
+// ProcessStart returns the instant the process started, as stamped at init.
+func ProcessStart() time.Time { return processStart }

@@ -1,0 +1,94 @@
+package obs
+
+import "sort"
+
+// Sample is the point-in-time image of one metric series, complete enough to
+// recompute rates and quantiles downstream: counters and gauges carry Value,
+// histograms carry their full cumulative bucket vector plus count, sum and
+// exemplars. Samples are what the telemetry collector rings hold and what
+// travels on the wire's telemetry message, so the JSON form must stay
+// self-contained and finite (the +Inf bucket is implied by Count rather than
+// serialized).
+type Sample struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Labels string `json:"labels,omitempty"`
+	// Value carries the counter or gauge reading.
+	Value float64 `json:"value,omitempty"`
+	// Histogram fields: Uppers are the finite bucket upper bounds and
+	// Cumulative the matching cumulative counts; the implicit +Inf bucket's
+	// cumulative count equals Count.
+	Count      uint64     `json:"count,omitempty"`
+	Sum        float64    `json:"sum,omitempty"`
+	Uppers     []float64  `json:"uppers,omitempty"`
+	Cumulative []uint64   `json:"cumulative,omitempty"`
+	Exemplars  []Exemplar `json:"exemplars,omitempty"`
+}
+
+// Key identifies the series across snapshots: name plus canonical labels.
+func (s *Sample) Key() string { return s.Name + "{" + s.Labels + "}" }
+
+// Snapshot captures every series of the registry, families and series in
+// sorted order, reading each value atomically. Concurrent updates during the
+// walk are benign: each series is internally consistent, which is all the
+// delta arithmetic downstream needs.
+func (r *Registry) Snapshot() []Sample {
+	// Series maps are mutated under the registry lock by lookup(), so the map
+	// walks happen under the read lock too; only the atomic value reads run
+	// outside it.
+	type seriesRef struct {
+		f *family
+		s *series
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	refs := make([]seriesRef, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			refs = append(refs, seriesRef{f: f, s: f.series[k]})
+		}
+	}
+	r.mu.RUnlock()
+
+	out := make([]Sample, 0, len(refs))
+	for _, ref := range refs {
+		f, s := ref.f, ref.s
+		sample := Sample{Name: f.name, Kind: f.kind.String(), Labels: s.labels}
+		switch f.kind {
+		case KindCounter:
+			sample.Value = float64(s.counter.Value())
+		case KindGauge:
+			sample.Value = float64(s.gauge.Value())
+		case KindHistogram:
+			sample.Uppers = append([]float64(nil), s.hist.upper...)
+			sample.Cumulative = make([]uint64, len(s.hist.upper))
+			cum := uint64(0)
+			for i := range s.hist.upper {
+				cum += s.hist.counts[i].Load()
+				sample.Cumulative[i] = cum
+			}
+			sample.Count = s.hist.Count()
+			sample.Sum = s.hist.Sum()
+			sample.Exemplars = s.hist.Exemplars()
+			// The bucket and count reads are lock-free, so an observation
+			// landing between them can leave the finite buckets ahead of the
+			// count read. Clamp so every snapshot is internally consistent:
+			// the implied +Inf bucket must never be negative.
+			if n := len(sample.Cumulative); n > 0 && sample.Cumulative[n-1] > sample.Count {
+				sample.Count = sample.Cumulative[n-1]
+			}
+		}
+		out = append(out, sample)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSnapshotCarriesBucketsAndExemplars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("snap_events_total", "events").Add(5)
+	reg.Gauge("snap_depth", "depth").Set(-3)
+	h := reg.Histogram("snap_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.ObserveWithExemplar(0.5, "0123456789abcdef0123456789abcdef")
+	h.ObserveWithExemplar(0.05, "") // no trace: observation only
+
+	samples := reg.Snapshot()
+	byKey := make(map[string]Sample, len(samples))
+	for _, s := range samples {
+		byKey[s.Key()] = s
+	}
+	if got := byKey["snap_events_total{}"]; got.Value != 5 || got.Kind != "counter" {
+		t.Fatalf("counter sample = %+v", got)
+	}
+	if got := byKey["snap_depth{}"]; got.Value != -3 {
+		t.Fatalf("gauge sample = %+v", got)
+	}
+	hs := byKey["snap_latency_seconds{}"]
+	if hs.Count != 3 {
+		t.Fatalf("histogram count = %d, want 3", hs.Count)
+	}
+	if len(hs.Uppers) != 3 || len(hs.Cumulative) != 3 {
+		t.Fatalf("bucket vectors = %v / %v", hs.Uppers, hs.Cumulative)
+	}
+	// 0.005 ≤ 0.01; 0.05 ≤ 0.1; 0.5 ≤ 1 → cumulative 1, 2, 3.
+	if hs.Cumulative[0] != 1 || hs.Cumulative[1] != 2 || hs.Cumulative[2] != 3 {
+		t.Fatalf("cumulative = %v", hs.Cumulative)
+	}
+	if len(hs.Exemplars) != 1 || hs.Exemplars[0].TraceID != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("exemplars = %+v", hs.Exemplars)
+	}
+}
+
+func TestExemplarStoreKeepsSlowest(t *testing.T) {
+	reg := NewRegistry()
+	hh := reg.Histogram("ex_latency_seconds", "latency", []float64{1})
+	for i := 0; i < MaxExemplars+4; i++ {
+		hh.ObserveWithExemplar(float64(i), strings.Repeat("a", 32))
+	}
+	ex := hh.Exemplars()
+	if len(ex) != MaxExemplars {
+		t.Fatalf("store holds %d exemplars, want %d", len(ex), MaxExemplars)
+	}
+	// Slowest observations win: values MaxExemplars+3 … 4, descending.
+	if ex[0].Value != float64(MaxExemplars+3) {
+		t.Fatalf("slowest exemplar %v, want %v", ex[0].Value, MaxExemplars+3)
+	}
+	for i := 1; i < len(ex); i++ {
+		if ex[i].Value > ex[i-1].Value {
+			t.Fatalf("exemplars not sorted: %+v", ex)
+		}
+	}
+	// A faster observation must not displace anything.
+	hh.ObserveWithExemplar(0.5, strings.Repeat("b", 32))
+	if got := hh.Exemplars(); got[len(got)-1].Value == 0.5 {
+		t.Fatalf("fast observation displaced a slow exemplar: %+v", got)
+	}
+}
+
+func TestRegisterProcessMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcessMetrics(reg)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "desword_build_info{") || !strings.Contains(out, `go="go`) {
+		t.Fatalf("build info missing from exposition:\n%s", out)
+	}
+	if !strings.Contains(out, "desword_process_start_time_seconds") {
+		t.Fatalf("process start time missing from exposition:\n%s", out)
+	}
+	if got, want := ProcessStart().Unix(), time.Now().Unix(); got > want {
+		t.Fatalf("process start %d after now %d", got, want)
+	}
+}
+
+func TestHealthzReflectsHealthHook(t *testing.T) {
+	reg := NewRegistry()
+	var ok atomic.Bool
+	ok.Store(true)
+	srv, err := ServeAdmin("127.0.0.1:0", reg, WithHealth(func() HealthReport {
+		return HealthReport{OK: ok.Load(), Detail: map[string]string{"slo": "fine"}}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy healthz = %d", resp.StatusCode)
+	}
+	ok.Store(false)
+	resp, err = http.Get("http://" + srv.Addr() + "/healthz?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz = %d, want 503", resp.StatusCode)
+	}
+}

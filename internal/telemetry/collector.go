@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"desword/internal/obs"
+)
+
+// DefaultInterval is the collector's default tick period.
+const DefaultInterval = 5 * time.Second
+
+// defaultRing is how many snapshots the collector retains. With the default
+// interval that is about a minute of history — enough for rate windows and
+// the SLO lookback without unbounded growth.
+const defaultRing = 16
+
+// Collector snapshots a registry on a ticker into a fixed-size ring, refreshes
+// the runtime sampler first so every snapshot carries process health, and —
+// when configured — drives the SLO engine and breach-triggered profiling. All
+// public methods are safe for concurrent use; readers get immutable snapshots.
+type Collector struct {
+	reg     *obs.Registry
+	service string
+
+	interval time.Duration
+	ringSize int
+	engine   *Engine
+	sink     *ProfileSink
+	sampler  *RuntimeSampler
+
+	mu    sync.Mutex
+	ring  []*Snapshot // newest last, ≤ ringSize
+	stats []SeriesStat
+
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// CollectorOption configures a Collector.
+type CollectorOption func(*Collector)
+
+// WithInterval sets the tick period (≤ 0 keeps DefaultInterval).
+func WithInterval(d time.Duration) CollectorOption {
+	return func(c *Collector) {
+		if d > 0 {
+			c.interval = d
+		}
+	}
+}
+
+// WithRing sets how many snapshots the ring retains (≤ 1 keeps the default).
+func WithRing(n int) CollectorOption {
+	return func(c *Collector) {
+		if n > 1 {
+			c.ringSize = n
+		}
+	}
+}
+
+// WithSLO attaches an SLO engine, evaluated on every tick.
+func WithSLO(e *Engine) CollectorOption {
+	return func(c *Collector) { c.engine = e }
+}
+
+// WithProfileSink attaches breach-triggered profile capture.
+func WithProfileSink(s *ProfileSink) CollectorOption {
+	return func(c *Collector) { c.sink = s }
+}
+
+// NewCollector builds a collector over reg, publishing snapshots under the
+// service name. The runtime sampler is registered into reg immediately so
+// even the first snapshot carries desword_go_* series.
+func NewCollector(reg *obs.Registry, service string, opts ...CollectorOption) *Collector {
+	c := &Collector{
+		reg:      reg,
+		service:  service,
+		interval: DefaultInterval,
+		ringSize: defaultRing,
+		sampler:  NewRuntimeSampler(reg),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Engine returns the attached SLO engine (nil when none).
+func (c *Collector) Engine() *Engine { return c.engine }
+
+// Service returns the service name snapshots are published under.
+func (c *Collector) Service() string { return c.service }
+
+// Interval returns the collector's tick period.
+func (c *Collector) Interval() time.Duration { return c.interval }
+
+// Start launches the tick loop in its own goroutine and takes an immediate
+// first snapshot so Latest never returns nil afterwards. Stop ends it.
+func (c *Collector) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	c.Tick()
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.Tick()
+			}
+		}
+	}()
+}
+
+// Stop ends the tick loop and waits for it to exit. Safe to call more than
+// once, and before Start (the loop goroutine is only awaited if started).
+func (c *Collector) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if started {
+		<-c.done
+	}
+}
+
+// Tick performs one collection: runtime sample, registry snapshot into the
+// ring, window stats refresh, SLO evaluation, and — on a fresh breach —
+// profile capture. Exposed for tests and for the bench harness.
+func (c *Collector) Tick() *Snapshot {
+	c.sampler.Sample()
+	cur := TakeSnapshot(c.reg, c.service)
+
+	c.mu.Lock()
+	var prev *Snapshot
+	if n := len(c.ring); n > 0 {
+		prev = c.ring[n-1]
+	}
+	c.ring = append(c.ring, cur)
+	if len(c.ring) > c.ringSize {
+		c.ring = c.ring[1:]
+	}
+	stats := WindowStats(prev, cur)
+	c.stats = stats
+	c.mu.Unlock()
+
+	if c.engine != nil {
+		_, breaches := c.engine.EvaluateStats(stats)
+		if len(breaches) > 0 && c.sink != nil {
+			c.sink.CaptureAsync(breaches[0])
+		}
+	}
+	return cur
+}
+
+// Latest returns the newest snapshot, or nil before the first tick.
+func (c *Collector) Latest() *Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.ring); n > 0 {
+		return c.ring[n-1]
+	}
+	return nil
+}
+
+// Oldest returns the oldest retained snapshot, or nil before the first tick.
+func (c *Collector) Oldest() *Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.ring) > 0 {
+		return c.ring[0]
+	}
+	return nil
+}
+
+// Stats returns the latest tick's window stats (last interval's rates and
+// quantiles), or nil before the second tick produces a window.
+func (c *Collector) Stats() []SeriesStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// RingLen reports how many snapshots the ring currently holds.
+func (c *Collector) RingLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ring)
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"desword/internal/obs"
+)
+
+// Config is the shared telemetry configuration of the cmd binaries: one set
+// of collector/SLO/profiling flags, one translation into a running Collector.
+type Config struct {
+	// Interval is the collector tick period.
+	Interval time.Duration
+	// SLO is the semicolon-separated objective spec (see ParseSLO).
+	SLO string
+	// ProfileDir enables on-breach pprof capture into this directory.
+	ProfileDir string
+	// ProfileMax bounds how many capture pairs ProfileDir retains.
+	ProfileMax int
+}
+
+// RegisterFlags registers the telemetry flags on fs (use flag.CommandLine in
+// main). Zero-valued fields pick up package defaults first, so a binary can
+// pre-seed its own defaults before calling this.
+func (c *Config) RegisterFlags(fs *flag.FlagSet) {
+	if c.Interval == 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.ProfileMax == 0 {
+		c.ProfileMax = 4
+	}
+	fs.DurationVar(&c.Interval, "telemetry-interval", c.Interval, "telemetry collection tick period")
+	fs.StringVar(&c.SLO, "slo", c.SLO, "semicolon-separated SLO spec, e.g. 'p99(desword_query_latency_seconds)<500ms;ratio(desword_server_errors_total/desword_requests_total)<0.01'")
+	fs.StringVar(&c.ProfileDir, "profile-dir", c.ProfileDir, "directory for on-breach pprof captures (empty disables)")
+	fs.IntVar(&c.ProfileMax, "profile-max", c.ProfileMax, "most recent pprof capture pairs kept in -profile-dir")
+}
+
+// Build assembles a collector over reg per the configuration, without
+// starting it. The returned engine is nil when no SLO spec is set.
+func (c *Config) Build(reg *obs.Registry, service string) (*Collector, *Engine, error) {
+	objectives, err := ParseSLO(c.SLO)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parsing -slo: %w", err)
+	}
+	opts := []CollectorOption{WithInterval(c.Interval)}
+	var engine *Engine
+	if len(objectives) > 0 {
+		engine = NewEngine(objectives, 0)
+		opts = append(opts, WithSLO(engine))
+	}
+	if c.ProfileDir != "" {
+		opts = append(opts, WithProfileSink(NewProfileSink(c.ProfileDir, c.ProfileMax)))
+	}
+	return NewCollector(reg, service, opts...), engine, nil
+}

@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fetcher obtains one telemetry snapshot from a peer. Remote peers fetch over
+// the wire's idempotent telemetry message; the local process adapts its own
+// collector. A fetch error marks the peer degraded but keeps its last stats.
+type Fetcher func(ctx context.Context) (*Snapshot, error)
+
+// Monitor polls a fleet of peers for telemetry snapshots, keeps the previous
+// and current snapshot per peer, and derives per-peer window stats and SLO
+// status from them. It is the data source behind /debug/statusz: the proxy
+// runs one monitor over itself plus every directory participant.
+type Monitor struct {
+	interval   time.Duration
+	objectives []Objective
+	timeout    time.Duration
+
+	mu    sync.Mutex
+	names []string
+	peers map[string]*peerState
+
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+type peerState struct {
+	fetch  Fetcher
+	prev   *Snapshot
+	cur    *Snapshot
+	stats  []SeriesStat
+	engine *Engine
+	err    string
+	lastOK time.Time
+}
+
+// MonitorOption configures a Monitor.
+type MonitorOption func(*Monitor)
+
+// WithPollInterval sets the poll period (≤ 0 keeps DefaultInterval).
+func WithPollInterval(d time.Duration) MonitorOption {
+	return func(m *Monitor) {
+		if d > 0 {
+			m.interval = d
+		}
+	}
+}
+
+// WithObjectives gives every peer its own SLO evaluation over the shared
+// objective set — fleet-wide objectives scored per endpoint.
+func WithObjectives(objectives []Objective) MonitorOption {
+	return func(m *Monitor) { m.objectives = objectives }
+}
+
+// WithFetchTimeout bounds each peer fetch within a poll (default 5s).
+func WithFetchTimeout(d time.Duration) MonitorOption {
+	return func(m *Monitor) {
+		if d > 0 {
+			m.timeout = d
+		}
+	}
+}
+
+// NewMonitor builds an empty monitor; add peers before Start.
+func NewMonitor(opts ...MonitorOption) *Monitor {
+	m := &Monitor{
+		interval: DefaultInterval,
+		timeout:  5 * time.Second,
+		peers:    map[string]*peerState{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// AddPeer registers a named peer. Re-adding a name replaces its fetcher but
+// keeps its history.
+func (m *Monitor) AddPeer(name string, fetch Fetcher) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ps, ok := m.peers[name]; ok {
+		ps.fetch = fetch
+		return
+	}
+	ps := &peerState{fetch: fetch}
+	if len(m.objectives) > 0 {
+		ps.engine = NewEngine(m.objectives, 0)
+	}
+	m.peers[name] = ps
+	m.names = append(m.names, name)
+	sort.Strings(m.names)
+}
+
+// AddLocal registers the process's own collector as a peer: the freshest
+// ring snapshot is served without any wire round trip.
+func (m *Monitor) AddLocal(name string, c *Collector) {
+	m.AddPeer(name, func(context.Context) (*Snapshot, error) {
+		if snap := c.Latest(); snap != nil {
+			return snap, nil
+		}
+		return c.Tick(), nil
+	})
+}
+
+// Poll fetches every peer once, concurrently, and folds the results into
+// per-peer windows. Blocks until all fetches return or time out.
+func (m *Monitor) Poll(ctx context.Context) {
+	m.mu.Lock()
+	type job struct {
+		name  string
+		fetch Fetcher
+	}
+	jobs := make([]job, 0, len(m.names))
+	for _, name := range m.names {
+		jobs = append(jobs, job{name, m.peers[name].fetch})
+	}
+	m.mu.Unlock()
+
+	type result struct {
+		name string
+		snap *Snapshot
+		err  error
+	}
+	results := make(chan result, len(jobs))
+	for _, j := range jobs {
+		go func(j job) {
+			fctx, cancel := context.WithTimeout(ctx, m.timeout)
+			defer cancel()
+			snap, err := j.fetch(fctx)
+			results <- result{j.name, snap, err}
+		}(j)
+	}
+	for range jobs {
+		r := <-results
+		m.fold(r.name, r.snap, r.err)
+	}
+}
+
+// fold applies one fetch result to a peer's window state.
+func (m *Monitor) fold(name string, snap *Snapshot, err error) {
+	m.mu.Lock()
+	ps, ok := m.peers[name]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	if err != nil || snap == nil {
+		if err != nil {
+			ps.err = err.Error()
+		} else {
+			ps.err = "no snapshot"
+		}
+		m.mu.Unlock()
+		return
+	}
+	ps.err = ""
+	ps.lastOK = time.Now()
+	ps.prev, ps.cur = ps.cur, snap
+	if ps.prev != nil && snap.Start.After(ps.prev.Start.Add(time.Second)) {
+		// Peer restarted: the old snapshot belongs to a dead process.
+		ps.prev = nil
+	}
+	ps.stats = WindowStats(ps.prev, ps.cur)
+	stats := ps.stats
+	engine := ps.engine
+	m.mu.Unlock()
+
+	if engine != nil {
+		engine.EvaluateStats(stats)
+	}
+}
+
+// Start launches the poll loop. Stop ends it.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.interval)
+		defer t.Stop()
+		ctx := context.Background()
+		m.Poll(ctx)
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.Poll(ctx)
+			}
+		}
+	}()
+}
+
+// Stop ends the poll loop and waits for it to exit.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	m.mu.Lock()
+	started := m.started
+	m.mu.Unlock()
+	if started {
+		<-m.done
+	}
+}
+
+// PeerStatus is one peer's row in the fleet view.
+type PeerStatus struct {
+	Name string `json:"name"`
+	// Error is set when the last poll failed; Stats then hold the last
+	// successful window.
+	Error         string    `json:"error,omitempty"`
+	Time          time.Time `json:"time"`
+	UptimeSeconds float64   `json:"uptime_seconds,omitempty"`
+	WindowSeconds float64   `json:"window_seconds,omitempty"`
+	// Stats is the key-family view of the peer's last window.
+	Stats []SeriesStat `json:"stats,omitempty"`
+	// SLO is per-objective status when the monitor carries objectives.
+	SLO []ObjectiveStatus `json:"slo,omitempty"`
+}
+
+// FleetStatus is the aggregated statusz payload.
+type FleetStatus struct {
+	Time            time.Time    `json:"time"`
+	IntervalSeconds float64      `json:"interval_seconds"`
+	Peers           []PeerStatus `json:"peers"`
+}
+
+// Status assembles the current fleet view: per-peer key-family window stats
+// and SLO readings, alphabetical by peer name.
+func (m *Monitor) Status() FleetStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fs := FleetStatus{Time: time.Now(), IntervalSeconds: m.interval.Seconds()}
+	for _, name := range m.names {
+		ps := m.peers[name]
+		row := PeerStatus{Name: name, Error: ps.err}
+		if ps.cur != nil {
+			row.Time = ps.cur.Time
+			row.UptimeSeconds = ps.cur.Time.Sub(ps.cur.Start).Seconds()
+			if ps.prev != nil {
+				row.WindowSeconds = ps.cur.Time.Sub(ps.prev.Time).Seconds()
+			} else {
+				row.WindowSeconds = row.UptimeSeconds
+			}
+			row.Stats = FilterKey(ps.stats)
+		}
+		if ps.engine != nil {
+			row.SLO = ps.engine.Status()
+		}
+		fs.Peers = append(fs.Peers, row)
+	}
+	return fs
+}
+
+// Healthy reports fleet health for /healthz: false when any peer is
+// unreachable or any peer objective is in breach.
+func (m *Monitor) Healthy() (bool, []PeerStatus) {
+	status := m.Status()
+	ok := true
+	for _, p := range status.Peers {
+		if p.Error != "" {
+			ok = false
+		}
+		for _, o := range p.SLO {
+			if o.State == StateBreach {
+				ok = false
+			}
+		}
+	}
+	return ok, status.Peers
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"desword/internal/obs"
+)
+
+func TestMonitorFleetStatus(t *testing.T) {
+	objectives, err := ParseSLO("ratio(mon_errs_total/mon_reqs_total)<0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(WithObjectives(objectives))
+
+	// Peer A: a healthy fake whose counters advance between polls.
+	regA := obs.NewRegistry()
+	reqs := regA.Counter("mon_reqs_total", "r")
+	lat := regA.Histogram("desword_query_latency_seconds", "l", nil)
+	m.AddPeer("a", func(context.Context) (*Snapshot, error) {
+		return TakeSnapshot(regA, "a"), nil
+	})
+	// Peer B: always down.
+	m.AddPeer("b", func(context.Context) (*Snapshot, error) {
+		return nil, errors.New("connection refused")
+	})
+
+	reqs.Add(10)
+	lat.ObserveWithExemplar(0.25, strings.Repeat("c", 32))
+	m.Poll(context.Background())
+	reqs.Add(10)
+	m.Poll(context.Background())
+
+	status := m.Status()
+	if len(status.Peers) != 2 {
+		t.Fatalf("fleet has %d peers, want 2", len(status.Peers))
+	}
+	a, b := status.Peers[0], status.Peers[1]
+	if a.Name != "a" || b.Name != "b" {
+		t.Fatalf("peer order = %s, %s", a.Name, b.Name)
+	}
+	if b.Error == "" {
+		t.Fatal("down peer carries no error")
+	}
+	if a.Error != "" || a.WindowSeconds <= 0 {
+		t.Fatalf("healthy peer = %+v", a)
+	}
+	// mon_reqs_total is not a key family; the query latency histogram is,
+	// and must surface its exemplar.
+	for _, st := range a.Stats {
+		if st.Name == "mon_reqs_total" {
+			t.Fatalf("non-key family leaked into statusz: %+v", st)
+		}
+	}
+	var sawExemplar bool
+	for _, st := range a.Stats {
+		if st.Name == "desword_query_latency_seconds" {
+			for _, ex := range st.Exemplars {
+				if ex.TraceID == strings.Repeat("c", 32) {
+					sawExemplar = true
+				}
+			}
+		}
+	}
+	if !sawExemplar {
+		t.Fatal("key histogram lost its exemplar on the way to statusz")
+	}
+	if len(a.SLO) != 1 || a.SLO[0].State != StateOK {
+		t.Fatalf("peer SLO = %+v", a.SLO)
+	}
+	if ok, _ := m.Healthy(); ok {
+		t.Fatal("fleet with a down peer reported healthy")
+	}
+}
+
+func TestMonitorPeerRestartResetsWindow(t *testing.T) {
+	m := NewMonitor()
+	regA := obs.NewRegistry()
+	regA.Counter("mon_events_total", "e").Add(100)
+	snapA := TakeSnapshot(regA, "p")
+	m.AddPeer("p", func(context.Context) (*Snapshot, error) { return snapA, nil })
+	m.Poll(context.Background())
+
+	// The peer restarts: new registry, new process start, smaller counter.
+	regB := obs.NewRegistry()
+	regB.Counter("mon_events_total", "e").Add(5)
+	snapB := TakeSnapshot(regB, "p")
+	snapB.Start = snapA.Start.Add(time.Minute)
+	snapB.Time = snapB.Start.Add(2 * time.Second)
+	m.AddPeer("p", func(context.Context) (*Snapshot, error) { return snapB, nil })
+	m.Poll(context.Background())
+
+	status := m.Status()
+	if got := status.Peers[0].WindowSeconds; got != 2 {
+		t.Fatalf("restarted peer window = %vs, want the 2s uptime", got)
+	}
+}
+
+func TestStatuszHandlerFormats(t *testing.T) {
+	m := NewMonitor()
+	reg := obs.NewRegistry()
+	reg.Histogram("desword_query_latency_seconds", "l", nil).
+		ObserveWithExemplar(1.5, strings.Repeat("d", 32))
+	m.AddPeer("local", func(context.Context) (*Snapshot, error) {
+		return TakeSnapshot(reg, "local"), nil
+	})
+	m.Poll(context.Background())
+
+	h := StatuszHandler(m)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/statusz", nil))
+	html := rec.Body.String()
+	if !strings.Contains(html, "<html>") || !strings.Contains(html, "local") {
+		t.Fatalf("statusz html missing peer section:\n%s", html)
+	}
+	if !strings.Contains(html, "/debug/traces/"+strings.Repeat("d", 32)) {
+		t.Fatalf("statusz html missing exemplar trace link:\n%s", html)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/statusz?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("json content type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `"peers"`) || !strings.Contains(body, `"p99"`) {
+		t.Fatalf("statusz json missing fields:\n%s", body)
+	}
+}

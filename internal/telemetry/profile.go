@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProfileSink captures CPU and heap profiles when an SLO transitions into
+// breach, into a bounded on-disk ring: the -profile-dir directory keeps the
+// N most recent capture pairs and prunes the rest. Capture runs in its own
+// goroutine with an in-flight guard, so a flapping objective cannot stack
+// profile sessions, and a capture costs at most one CPUDuration of profiling
+// overhead per breach.
+type ProfileSink struct {
+	// Dir is the directory profiles are written into (created on demand).
+	Dir string
+	// Max is the number of capture pairs kept; older captures are pruned.
+	Max int
+	// CPUDuration is how long each CPU profile runs. Zero means 1s.
+	CPUDuration time.Duration
+
+	inFlight atomic.Bool
+	mu       sync.Mutex // serialises prune against concurrent captures
+	seq      atomic.Uint64
+
+	// now and onDone are test seams.
+	now    func() time.Time
+	onDone func(err error)
+}
+
+// NewProfileSink builds a sink. max ≤ 0 selects 4 retained captures.
+func NewProfileSink(dir string, max int) *ProfileSink {
+	if max <= 0 {
+		max = 4
+	}
+	return &ProfileSink{Dir: dir, Max: max, CPUDuration: time.Second, now: time.Now}
+}
+
+// CaptureAsync starts a capture for the named breach unless one is already
+// running. It returns immediately; reports whether a capture was started.
+func (p *ProfileSink) CaptureAsync(reason string) bool {
+	if p == nil || p.Dir == "" {
+		return false
+	}
+	if !p.inFlight.CompareAndSwap(false, true) {
+		return false
+	}
+	go func() {
+		err := p.capture(reason)
+		p.inFlight.Store(false)
+		if p.onDone != nil {
+			p.onDone(err)
+		}
+	}()
+	return true
+}
+
+// Capture runs one capture synchronously (tests, CLI hooks).
+func (p *ProfileSink) Capture(reason string) error {
+	if !p.inFlight.CompareAndSwap(false, true) {
+		return fmt.Errorf("telemetry: profile capture already in flight")
+	}
+	defer p.inFlight.Store(false)
+	return p.capture(reason)
+}
+
+func (p *ProfileSink) capture(reason string) error {
+	if err := os.MkdirAll(p.Dir, 0o755); err != nil {
+		return err
+	}
+	stamp := fmt.Sprintf("%s-%04d", p.now().UTC().Format("20060102T150405"), p.seq.Add(1))
+	slug := sanitizeReason(reason)
+
+	cpuPath := filepath.Join(p.Dir, fmt.Sprintf("%s-%s.cpu.pprof", stamp, slug))
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	dur := p.CPUDuration
+	if dur <= 0 {
+		dur = time.Second
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		// Another profiler owns the CPU (e.g. a manual /debug/pprof/profile
+		// fetch); still take the heap snapshot below.
+		f.Close()
+		os.Remove(cpuPath)
+	} else {
+		time.Sleep(dur)
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+
+	heapPath := filepath.Join(p.Dir, fmt.Sprintf("%s-%s.heap.pprof", stamp, slug))
+	hf, err := os.Create(heapPath)
+	if err != nil {
+		return err
+	}
+	err = pprof.Lookup("heap").WriteTo(hf, 0)
+	hf.Close()
+	if err != nil {
+		return err
+	}
+	return p.prune()
+}
+
+// prune keeps the Max most recent capture stamps (a stamp may carry both a
+// .cpu.pprof and a .heap.pprof file).
+func (p *ProfileSink) prune() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entries, err := os.ReadDir(p.Dir)
+	if err != nil {
+		return err
+	}
+	stamps := map[string][]string{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".pprof") {
+			continue
+		}
+		// Stamp is everything up to the second dash-delimited field:
+		// 20060102T150405-0001-<slug>.<kind>.pprof
+		parts := strings.SplitN(name, "-", 3)
+		if len(parts) < 3 {
+			continue
+		}
+		stamp := parts[0] + "-" + parts[1]
+		stamps[stamp] = append(stamps[stamp], name)
+	}
+	if len(stamps) <= p.Max {
+		return nil
+	}
+	keys := make([]string, 0, len(stamps))
+	for k := range stamps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // stamps are lexically time-ordered
+	for _, k := range keys[:len(keys)-p.Max] {
+		for _, name := range stamps[k] {
+			os.Remove(filepath.Join(p.Dir, name))
+		}
+	}
+	return nil
+}
+
+// sanitizeReason turns an objective spec into a filesystem-safe slug.
+func sanitizeReason(reason string) string {
+	var b strings.Builder
+	for _, r := range reason {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('.')
+		}
+		if b.Len() >= 48 {
+			break
+		}
+	}
+	if b.Len() == 0 {
+		return "breach"
+	}
+	return strings.Trim(b.String(), ".")
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"desword/internal/obs"
+)
+
+// TestCollectorSnapshotsRaceLiveUpdates runs the collector's tick loop at
+// full speed while writers hammer every metric kind in the same registry —
+// counters, gauges, histograms, and the exemplar store — and a monitor polls
+// the collector concurrently. Run under -race this pins the snapshot path's
+// synchronization against live updates.
+func TestCollectorSnapshotsRaceLiveUpdates(t *testing.T) {
+	reg := obs.NewRegistry()
+	objectives, err := ParseSLO("p99(race_latency_seconds)<1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector(reg, "race", WithInterval(time.Millisecond),
+		WithRing(4), WithSLO(NewEngine(objectives, 0)))
+	m := NewMonitor(WithPollInterval(time.Millisecond))
+	m.AddLocal("race", c)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			events := reg.Counter("race_events_total", "e", "worker", fmt.Sprint(w))
+			depth := reg.Gauge("race_depth", "d", "worker", fmt.Sprint(w))
+			lat := reg.Histogram("race_latency_seconds", "l", nil, "worker", fmt.Sprint(w))
+			traceID := strings.Repeat("a", 32)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				events.Inc()
+				depth.Set(int64(i % 100))
+				if i%7 == 0 {
+					lat.ObserveWithExemplar(float64(i%50)/100, traceID)
+				} else {
+					lat.Observe(float64(i%50) / 100)
+				}
+			}
+		}(w)
+	}
+	c.Start()
+	m.Start()
+	deadline := time.After(300 * time.Millisecond)
+	// Readers consume snapshots and fleet status while everything churns.
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+			c.Tick()
+			_ = c.Stats()
+			_ = m.Status()
+			m.Poll(context.Background())
+		}
+	}
+	m.Stop()
+	c.Stop()
+	close(stop)
+	wg.Wait()
+
+	snap := c.Latest()
+	if snap == nil || len(snap.Samples) == 0 {
+		t.Fatal("collector produced no snapshots")
+	}
+	// Snapshots taken mid-update must still be internally consistent:
+	// cumulative bucket counts monotone and bounded by the series count.
+	for _, s := range snap.Samples {
+		if s.Kind != "histogram" {
+			continue
+		}
+		var prev uint64
+		for i, cum := range s.Cumulative {
+			if cum < prev {
+				t.Fatalf("series %s: cumulative buckets regress at %d: %v", s.Key(), i, s.Cumulative)
+			}
+			prev = cum
+		}
+		if prev > s.Count {
+			t.Fatalf("series %s: finite buckets %d exceed count %d", s.Key(), prev, s.Count)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+
+	"desword/internal/obs"
+)
+
+// RuntimeSampler publishes Go-runtime and process health as desword_go_* /
+// desword_process_* series in a registry, refreshed on every collector tick:
+// heap and GC figures from runtime.ReadMemStats, goroutine count, and — on
+// Linux — process CPU seconds and resident set size from /proc/self. The
+// samples ride along in every telemetry snapshot, so the fleet monitor sees
+// saturation, not just traffic.
+type RuntimeSampler struct {
+	goroutines *obs.Gauge
+	heapAlloc  *obs.Gauge
+	heapSys    *obs.Gauge
+	gcCycles   *obs.Counter
+	gcPause    *obs.Counter
+	cpu        *obs.Counter
+	rss        *obs.Gauge
+
+	// Last seen cumulative values, so the counters advance by deltas. The
+	// mutex serializes Sample callers: the collector's ticker loop and any
+	// explicit Tick both land here.
+	mu          sync.Mutex
+	lastGC      uint32
+	lastPauseNs uint64
+	lastCPU     float64
+
+	pageSize float64
+	ticksPer float64
+}
+
+// NewRuntimeSampler registers the runtime series in reg and returns the
+// sampler. Call Sample on every collection tick.
+func NewRuntimeSampler(reg *obs.Registry) *RuntimeSampler {
+	return &RuntimeSampler{
+		goroutines: reg.Gauge("desword_go_goroutines",
+			"Live goroutines."),
+		heapAlloc: reg.Gauge("desword_go_heap_alloc_bytes",
+			"Heap bytes allocated and in use."),
+		heapSys: reg.Gauge("desword_go_heap_sys_bytes",
+			"Heap bytes obtained from the OS."),
+		gcCycles: reg.Counter("desword_go_gc_cycles_total",
+			"Completed GC cycles."),
+		gcPause: reg.Counter("desword_go_gc_pause_nanoseconds_total",
+			"Cumulative GC stop-the-world pause time in nanoseconds."),
+		cpu: reg.Counter("desword_process_cpu_seconds_total",
+			"Process CPU time (user+system) in whole seconds, from /proc/self/stat."),
+		rss: reg.Gauge("desword_process_rss_bytes",
+			"Resident set size in bytes, from /proc/self/statm."),
+		pageSize: float64(os.Getpagesize()),
+		ticksPer: 100, // Linux USER_HZ; fixed at 100 on every supported arch
+	}
+}
+
+// Sample refreshes every runtime series. Cheap enough for aggressive tick
+// intervals: one ReadMemStats plus two small /proc reads.
+func (r *RuntimeSampler) Sample() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.goroutines.Set(int64(runtime.NumGoroutine()))
+	r.heapAlloc.Set(int64(ms.HeapAlloc))
+	r.heapSys.Set(int64(ms.HeapSys))
+	if ms.NumGC >= r.lastGC {
+		r.gcCycles.Add(uint64(ms.NumGC - r.lastGC))
+	}
+	r.lastGC = ms.NumGC
+	if ms.PauseTotalNs >= r.lastPauseNs {
+		r.gcPause.Add(ms.PauseTotalNs - r.lastPauseNs)
+	}
+	r.lastPauseNs = ms.PauseTotalNs
+
+	if cpu, ok := readProcCPUSeconds(r.ticksPer); ok && cpu >= r.lastCPU {
+		// The registry's counters are integral; track fractional seconds
+		// locally and publish whole-second progress.
+		r.cpu.Add(uint64(cpu) - uint64(r.lastCPU))
+		r.lastCPU = cpu
+	}
+	if rssPages, ok := readProcRSSPages(); ok {
+		r.rss.Set(int64(rssPages * r.pageSize))
+	}
+}
+
+// readProcCPUSeconds reads utime+stime from /proc/self/stat, in seconds.
+// Returns ok=false on any non-Linux host or parse trouble — runtime sampling
+// degrades gracefully to the portable series.
+func readProcCPUSeconds(ticksPerSec float64) (float64, bool) {
+	data, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0, false
+	}
+	// The comm field (2nd) may contain spaces and parentheses; fields are
+	// counted after the last ')'.
+	s := string(data)
+	close := strings.LastIndexByte(s, ')')
+	if close < 0 {
+		return 0, false
+	}
+	fields := strings.Fields(s[close+1:])
+	// After ')': field 3 is state, so utime is index 11 and stime index 12
+	// (1-based fields 14 and 15 of the full line).
+	if len(fields) < 13 {
+		return 0, false
+	}
+	utime, err1 := strconv.ParseFloat(fields[11], 64)
+	stime, err2 := strconv.ParseFloat(fields[12], 64)
+	if err1 != nil || err2 != nil || ticksPerSec <= 0 {
+		return 0, false
+	}
+	return (utime + stime) / ticksPerSec, true
+}
+
+// readProcRSSPages reads the resident-set page count from /proc/self/statm.
+func readProcRSSPages() (float64, bool) {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0, false
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0, false
+	}
+	rss, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return 0, false
+	}
+	return rss, true
+}

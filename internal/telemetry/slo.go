@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"desword/internal/obs"
+)
+
+// The SLO engine evaluates declarative service-level objectives over the
+// collector's sliding window. Two objective shapes cover the paper's service
+// promises:
+//
+//	p99(desword_query_latency_seconds) < 500ms     — a latency quantile bound
+//	ratio(desword_server_errors_total / desword_connections_total) < 0.01
+//	                                               — an error-budget bound
+//
+// Objectives are evaluated per tick over the window between the two snapshots
+// the engine is handed (all series of a family merged), and each keeps a ring
+// of recent verdicts. The exported state machine:
+//
+//	ok     — the current window satisfies the objective
+//	warn   — the current window violates it, but less than half of the
+//	         lookback windows did (budget is burning, not yet burnt)
+//	breach — the current window violates it and at least half of the
+//	         lookback windows did (the error budget is gone)
+//
+// Burn is the violating fraction of the lookback ring, reported in every
+// state so dashboards see budget pressure before the state flips.
+
+// Objective states.
+const (
+	StateOK     = "ok"
+	StateWarn   = "warn"
+	StateBreach = "breach"
+)
+
+// ObjectiveKind distinguishes quantile and ratio objectives.
+type ObjectiveKind int
+
+const (
+	// KindQuantile bounds a latency quantile of one histogram family.
+	KindQuantile ObjectiveKind = iota + 1
+	// KindRatio bounds the rate ratio of two counter families.
+	KindRatio
+)
+
+// Objective is one parsed service-level objective.
+type Objective struct {
+	Raw       string        // the spec text, used as the display name
+	Kind      ObjectiveKind //
+	Metric    string        // histogram family (quantile) or numerator family (ratio)
+	Denom     string        // denominator family (ratio only)
+	Quantile  float64       // 0.5 / 0.9 / 0.99 (quantile only)
+	Threshold float64       // seconds (quantile) or plain ratio
+}
+
+var (
+	quantileRe = regexp.MustCompile(`^p(50|90|99)\(\s*([a-z_]+)\s*\)\s*<\s*(\S+)$`)
+	ratioRe    = regexp.MustCompile(`^ratio\(\s*([a-z_]+)\s*/\s*([a-z_]+)\s*\)\s*<\s*(\S+)$`)
+)
+
+// ParseSLO parses a semicolon-separated objective list. An empty spec yields
+// no objectives (SLO evaluation disabled).
+func ParseSLO(spec string) ([]Objective, error) {
+	var out []Objective
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if m := quantileRe.FindStringSubmatch(part); m != nil {
+			q, _ := strconv.ParseFloat(m[1], 64)
+			d, err := time.ParseDuration(m[3])
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: objective %q: threshold %q is not a duration: %w", part, m[3], err)
+			}
+			out = append(out, Objective{
+				Raw: part, Kind: KindQuantile, Metric: m[2],
+				Quantile: q / 100, Threshold: d.Seconds(),
+			})
+			continue
+		}
+		if m := ratioRe.FindStringSubmatch(part); m != nil {
+			th, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("telemetry: objective %q: threshold %q is not a number: %w", part, m[3], err)
+			}
+			out = append(out, Objective{
+				Raw: part, Kind: KindRatio, Metric: m[1], Denom: m[2], Threshold: th,
+			})
+			continue
+		}
+		return nil, fmt.Errorf("telemetry: cannot parse objective %q (want p50|p90|p99(family)<dur or ratio(a/b)<x)", part)
+	}
+	return out, nil
+}
+
+// ObjectiveStatus is one objective's current reading.
+type ObjectiveStatus struct {
+	Objective string  `json:"objective"`
+	State     string  `json:"state"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	// Burn is the violating fraction of the lookback ring in [0,1].
+	Burn float64 `json:"burn"`
+}
+
+// DefaultLookback is how many window verdicts the burn ring keeps.
+const DefaultLookback = 12
+
+// Engine evaluates a fixed objective set against successive snapshot windows.
+// Safe for concurrent use: Evaluate is called by the collector/monitor tick,
+// Status and Health by HTTP handlers.
+type Engine struct {
+	objectives []Objective
+	lookback   int
+
+	mu      sync.Mutex
+	history [][]bool // per objective, newest last, ≤ lookback
+	status  []ObjectiveStatus
+}
+
+// NewEngine builds an engine. lookback ≤ 0 selects DefaultLookback.
+func NewEngine(objectives []Objective, lookback int) *Engine {
+	if lookback <= 0 {
+		lookback = DefaultLookback
+	}
+	e := &Engine{
+		objectives: objectives,
+		lookback:   lookback,
+		history:    make([][]bool, len(objectives)),
+		status:     make([]ObjectiveStatus, len(objectives)),
+	}
+	for i, o := range objectives {
+		e.status[i] = ObjectiveStatus{Objective: o.Raw, State: StateOK, Threshold: o.Threshold}
+	}
+	return e
+}
+
+// Objectives returns the engine's objective set.
+func (e *Engine) Objectives() []Objective { return e.objectives }
+
+// Evaluate scores every objective over the (prev, cur] window and returns the
+// updated statuses. Objectives whose family saw no traffic in the window keep
+// their previous verdict out of the burn ring (no data is not a violation,
+// and not a recovery either). Newly transitioned-to-breach objectives are
+// reported in the second return for profile capture.
+func (e *Engine) Evaluate(prev, cur *Snapshot) (statuses []ObjectiveStatus, newBreaches []string) {
+	stats := WindowStats(prev, cur)
+	return e.EvaluateStats(stats)
+}
+
+// EvaluateStats is Evaluate over precomputed window stats (the collector
+// already has them for statusz).
+func (e *Engine) EvaluateStats(stats []SeriesStat) (statuses []ObjectiveStatus, newBreaches []string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, o := range e.objectives {
+		value, hasData := e.measure(o, stats)
+		st := &e.status[i]
+		if hasData {
+			violating := value >= o.Threshold
+			e.history[i] = append(e.history[i], violating)
+			if len(e.history[i]) > e.lookback {
+				e.history[i] = e.history[i][1:]
+			}
+			st.Value = value
+			burnt := 0
+			for _, v := range e.history[i] {
+				if v {
+					burnt++
+				}
+			}
+			// Burn is measured against the full lookback capacity, so a
+			// young ring cannot read as fully burnt off one bad window.
+			st.Burn = float64(burnt) / float64(e.lookback)
+			prevState := st.State
+			switch {
+			case violating && st.Burn >= 0.5:
+				st.State = StateBreach
+			case violating:
+				st.State = StateWarn
+			default:
+				st.State = StateOK
+			}
+			if st.State == StateBreach && prevState != StateBreach {
+				newBreaches = append(newBreaches, o.Raw)
+			}
+		}
+		statuses = append(statuses, *st)
+	}
+	return statuses, newBreaches
+}
+
+// measure computes one objective's value from window stats, merging every
+// series of the family. hasData reports whether the window carried any
+// signal for the objective.
+func (e *Engine) measure(o Objective, stats []SeriesStat) (value float64, hasData bool) {
+	switch o.Kind {
+	case KindQuantile:
+		// Merge the family's series by combining their window histograms:
+		// approximate by taking the count-weighted maximum quantile across
+		// series — conservative (a breach in any flavour counts) and exact
+		// in the common one-series case.
+		var worst float64
+		var count uint64
+		for _, st := range stats {
+			if st.Name != o.Metric || st.Kind != "histogram" || st.Count == 0 {
+				continue
+			}
+			count += st.Count
+			q := st.P50
+			switch o.Quantile {
+			case 0.9:
+				q = st.P90
+			case 0.99:
+				q = st.P99
+			}
+			if q > worst {
+				worst = q
+			}
+		}
+		return worst, count > 0
+	case KindRatio:
+		var num, den float64
+		var sawDen bool
+		for _, st := range stats {
+			if st.Kind != "counter" && st.Kind != "histogram" {
+				continue
+			}
+			delta := st.Delta
+			if st.Kind == "histogram" {
+				delta = float64(st.Count)
+			}
+			if st.Name == o.Metric {
+				num += delta
+			}
+			if st.Name == o.Denom {
+				den += delta
+				sawDen = true
+			}
+		}
+		if !sawDen || den == 0 {
+			// No denominator traffic: nothing happened, nothing violated.
+			return 0, false
+		}
+		return num / den, true
+	default:
+		return 0, false
+	}
+}
+
+// Status returns the latest per-objective readings.
+func (e *Engine) Status() []ObjectiveStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]ObjectiveStatus(nil), e.status...)
+}
+
+// Health adapts the engine to the admin listener's health hook: not-OK as
+// soon as any objective is in breach, with the full per-objective detail.
+func (e *Engine) Health() obs.HealthReport {
+	status := e.Status()
+	ok := true
+	for _, st := range status {
+		if st.State == StateBreach {
+			ok = false
+		}
+	}
+	return obs.HealthReport{OK: ok, Detail: status}
+}

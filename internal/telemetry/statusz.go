@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+)
+
+// StatuszHandler serves the fleet view at /debug/statusz: an HTML table of
+// per-endpoint rates, quantiles and SLO burn by default, the raw FleetStatus
+// as JSON under ?format=json. Exemplar trace IDs link to /debug/traces/<id>
+// on the same admin listener, so a slow quantile is one click from the trace
+// that produced it.
+func StatuszHandler(m *Monitor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		status := m.Status()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(status)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		writeStatuszHTML(w, status)
+	})
+}
+
+func writeStatuszHTML(w http.ResponseWriter, status FleetStatus) {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html><head><title>desword statusz</title><style>
+body { font-family: monospace; margin: 1.5em; }
+table { border-collapse: collapse; margin-bottom: 1.5em; }
+th, td { border: 1px solid #bbb; padding: 0.25em 0.6em; text-align: right; }
+th { background: #eee; }
+td.name, th.name { text-align: left; }
+.ok { color: #060; } .warn { color: #b60; } .breach { color: #b00; font-weight: bold; }
+.err { color: #b00; }
+h2 { margin-bottom: 0.2em; }
+small { color: #666; }
+</style></head><body>
+<h1>desword fleet statusz</h1>
+`)
+	fmt.Fprintf(&b, "<p><small>as of %s · poll interval %.0fs · <a href=\"?format=json\">json</a></small></p>\n",
+		html.EscapeString(status.Time.Format("2006-01-02 15:04:05 MST")), status.IntervalSeconds)
+
+	for _, peer := range status.Peers {
+		fmt.Fprintf(&b, "<h2>%s</h2>\n", html.EscapeString(peer.Name))
+		if peer.Error != "" {
+			fmt.Fprintf(&b, "<p class=\"err\">poll failed: %s</p>\n", html.EscapeString(peer.Error))
+		}
+		if !peer.Time.IsZero() {
+			fmt.Fprintf(&b, "<p><small>uptime %.0fs · window %.1fs</small></p>\n",
+				peer.UptimeSeconds, peer.WindowSeconds)
+		}
+		if len(peer.SLO) > 0 {
+			b.WriteString("<table><tr><th class=\"name\">objective</th><th>state</th><th>value</th><th>threshold</th><th>burn</th></tr>\n")
+			for _, o := range peer.SLO {
+				fmt.Fprintf(&b,
+					"<tr><td class=\"name\">%s</td><td class=\"%s\">%s</td><td>%.4g</td><td>%.4g</td><td>%.0f%%</td></tr>\n",
+					html.EscapeString(o.Objective), o.State, o.State, o.Value, o.Threshold, o.Burn*100)
+			}
+			b.WriteString("</table>\n")
+		}
+		if len(peer.Stats) > 0 {
+			b.WriteString("<table><tr><th class=\"name\">series</th><th>rate/s</th><th>value</th><th>p50</th><th>p90</th><th>p99</th><th class=\"name\">exemplars</th></tr>\n")
+			for _, st := range peer.Stats {
+				name := st.Name
+				if st.Labels != "" {
+					name += "{" + st.Labels + "}"
+				}
+				fmt.Fprintf(&b, "<tr><td class=\"name\">%s</td>", html.EscapeString(name))
+				switch st.Kind {
+				case "gauge":
+					fmt.Fprintf(&b, "<td></td><td>%.4g</td><td></td><td></td><td></td>", st.Value)
+				case "counter":
+					fmt.Fprintf(&b, "<td>%.3g</td><td>%.4g</td><td></td><td></td><td></td>", st.Rate, st.Delta)
+				default:
+					fmt.Fprintf(&b, "<td>%.3g</td><td></td><td>%.4g</td><td>%.4g</td><td>%.4g</td>",
+						st.Rate, st.P50, st.P90, st.P99)
+				}
+				b.WriteString(`<td class="name">`)
+				for i, ex := range st.Exemplars {
+					if i > 0 {
+						b.WriteString(" · ")
+					}
+					fmt.Fprintf(&b, "<a href=\"/debug/traces/%s\">%s</a> (%.3gs)",
+						html.EscapeString(ex.TraceID), html.EscapeString(shortID(ex.TraceID)), ex.Value)
+				}
+				b.WriteString("</td></tr>\n")
+			}
+			b.WriteString("</table>\n")
+		}
+	}
+	b.WriteString("</body></html>\n")
+	w.Write([]byte(b.String()))
+}
+
+// shortID abbreviates a trace ID for display.
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12] + "…"
+	}
+	return id
+}

@@ -1,0 +1,243 @@
+// Package telemetry turns the point-in-time metrics of package obs into
+// operational visibility over time: an in-process collector that snapshots
+// the registry on a ticker into bounded time-series rings (counter deltas →
+// rates, histogram bucket deltas → p50/p90/p99 estimates), a runtime sampler
+// publishing desword_go_* process metrics, a declarative SLO engine with
+// budget-burn states feeding /healthz, bounded on-breach pprof capture, and a
+// fleet monitor that pulls remote registries over the wire's idempotent
+// telemetry message and serves the aggregated /debug/statusz view.
+//
+// Like obs and trace, the package is stdlib-only, and nothing here sits on a
+// request hot path: collection is a ticker-driven registry walk (one lock
+// acquisition plus atomic loads), and everything downstream operates on
+// immutable Snapshot values.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"desword/internal/obs"
+)
+
+// Snapshot is one point-in-time image of a process's telemetry: every metric
+// series of its registry (histogram buckets and exemplars included) plus
+// identity. It is immutable once taken, JSON-ready, and exactly what the wire
+// telemetry message carries — the monitor derives rates and quantiles from
+// consecutive snapshots of the same peer, so the message itself stays a plain
+// idempotent read.
+type Snapshot struct {
+	Service string       `json:"service"`
+	Time    time.Time    `json:"time"`
+	Start   time.Time    `json:"start"`
+	Samples []obs.Sample `json:"samples"`
+}
+
+// TakeSnapshot captures the registry under a service name.
+func TakeSnapshot(reg *obs.Registry, service string) *Snapshot {
+	return &Snapshot{
+		Service: service,
+		Time:    time.Now(),
+		Start:   obs.ProcessStart(),
+		Samples: reg.Snapshot(),
+	}
+}
+
+// index maps series key → sample for delta matching.
+func (s *Snapshot) index() map[string]*obs.Sample {
+	m := make(map[string]*obs.Sample, len(s.Samples))
+	for i := range s.Samples {
+		m[s.Samples[i].Key()] = &s.Samples[i]
+	}
+	return m
+}
+
+// keyFamilies is the curated set of metric families the statusz view surfaces
+// per endpoint; everything else stays available on /metrics but would drown
+// the fleet table. Registration is append-only and names must be compile-time
+// constants (enforced by the desword/metriclabel analyzer).
+var (
+	keyFamMu    sync.Mutex
+	keyFamilies = map[string]bool{}
+)
+
+// RegisterKeyFamily marks metric families as key series for the statusz
+// display. Safe for concurrent use; duplicate registrations are no-ops.
+func RegisterKeyFamily(names ...string) {
+	keyFamMu.Lock()
+	defer keyFamMu.Unlock()
+	for _, n := range names {
+		keyFamilies[n] = true
+	}
+}
+
+// isKeyFamily reports whether a family is on the statusz display list.
+func isKeyFamily(name string) bool {
+	keyFamMu.Lock()
+	defer keyFamMu.Unlock()
+	return keyFamilies[name]
+}
+
+func init() {
+	RegisterKeyFamily(
+		"desword_query_latency_seconds",
+		"desword_queries_total",
+		"desword_request_latency_seconds",
+		"desword_server_errors_total",
+		"desword_wire_frames_total",
+		"desword_pool_reuses_total",
+		"desword_pool_dials_total",
+		"desword_violations_total",
+		"desword_go_goroutines",
+		"desword_go_heap_alloc_bytes",
+		"desword_process_rss_bytes",
+		"desword_process_cpu_seconds_total",
+	)
+}
+
+// SeriesStat is the windowed reading of one metric series between two
+// snapshots: counters carry Rate (events/second) and Delta, gauges carry the
+// latest Value, histograms carry the window's count/rate, mean and quantile
+// estimates plus any exemplars attached to the series.
+type SeriesStat struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Kind   string  `json:"kind"`
+	Rate   float64 `json:"rate,omitempty"`
+	Delta  float64 `json:"delta,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Count  uint64  `json:"count,omitempty"`
+	Mean   float64 `json:"mean,omitempty"`
+	P50    float64 `json:"p50,omitempty"`
+	P90    float64 `json:"p90,omitempty"`
+	P99    float64 `json:"p99,omitempty"`
+
+	Exemplars []obs.Exemplar `json:"exemplars,omitempty"`
+}
+
+// WindowStats computes per-series stats over the window (prev, cur]. prev may
+// be nil, in which case the window runs from the peer's process start (every
+// cumulative value is its own delta). Series present only in prev (a peer
+// restart) are dropped; restarts also reset deltas to the cur value via the
+// counter-reset guard below.
+func WindowStats(prev, cur *Snapshot) []SeriesStat {
+	if cur == nil {
+		return nil
+	}
+	var prevIdx map[string]*obs.Sample
+	window := cur.Time.Sub(cur.Start).Seconds()
+	if prev != nil {
+		prevIdx = prev.index()
+		window = cur.Time.Sub(prev.Time).Seconds()
+	}
+	if window <= 0 {
+		window = 1e-9
+	}
+	out := make([]SeriesStat, 0, len(cur.Samples))
+	for i := range cur.Samples {
+		s := &cur.Samples[i]
+		st := SeriesStat{Name: s.Name, Labels: s.Labels, Kind: s.Kind}
+		var base *obs.Sample
+		if prevIdx != nil {
+			base = prevIdx[s.Key()]
+		}
+		switch s.Kind {
+		case "counter":
+			st.Delta = counterDelta(s.Value, base, func(b *obs.Sample) float64 { return b.Value })
+			st.Rate = st.Delta / window
+		case "gauge":
+			st.Value = s.Value
+		case "histogram":
+			var baseCount uint64
+			var baseSum float64
+			var baseCum []uint64
+			if base != nil && base.Count <= s.Count {
+				baseCount, baseSum, baseCum = base.Count, base.Sum, base.Cumulative
+			}
+			st.Count = s.Count - baseCount
+			st.Rate = float64(st.Count) / window
+			if st.Count > 0 {
+				st.Mean = (s.Sum - baseSum) / float64(st.Count)
+			}
+			st.P50 = histogramQuantile(0.50, s.Uppers, s.Cumulative, baseCum, s.Count, baseCount)
+			st.P90 = histogramQuantile(0.90, s.Uppers, s.Cumulative, baseCum, s.Count, baseCount)
+			st.P99 = histogramQuantile(0.99, s.Uppers, s.Cumulative, baseCum, s.Count, baseCount)
+			st.Exemplars = s.Exemplars
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// counterDelta handles the counter-reset case (peer restart): a cumulative
+// value below the base means the counter restarted, so the current value is
+// the whole delta.
+func counterDelta(cur float64, base *obs.Sample, read func(*obs.Sample) float64) float64 {
+	if base == nil {
+		return cur
+	}
+	b := read(base)
+	if cur < b {
+		return cur
+	}
+	return cur - b
+}
+
+// histogramQuantile estimates quantile q from the window's bucket deltas,
+// Prometheus histogram_quantile style: find the bucket holding the target
+// rank and interpolate linearly inside it. Observations beyond the last
+// finite bucket clamp to that bound (the estimate cannot exceed what the
+// layout can resolve). Returns 0 when the window holds no observations.
+func histogramQuantile(q float64, uppers []float64, cum, baseCum []uint64, count, baseCount uint64) float64 {
+	total := float64(count - baseCount)
+	if total <= 0 || len(uppers) == 0 {
+		return 0
+	}
+	if len(baseCum) != len(cum) {
+		baseCum = nil
+	}
+	rank := q * total
+	lower := 0.0
+	prevDelta := 0.0
+	for i, upper := range uppers {
+		d := float64(cum[i])
+		if baseCum != nil {
+			if cum[i] >= baseCum[i] {
+				d = float64(cum[i] - baseCum[i])
+			}
+		}
+		if d < prevDelta {
+			d = prevDelta // racing snapshot: clamp to monotone
+		}
+		if d >= rank {
+			// Interpolate within (lower, upper].
+			bucketCount := d - prevDelta
+			if bucketCount <= 0 {
+				return upper
+			}
+			return lower + (upper-lower)*(rank-prevDelta)/bucketCount
+		}
+		lower = upper
+		prevDelta = d
+	}
+	return uppers[len(uppers)-1]
+}
+
+// FilterKey keeps only the stats of registered key families — the statusz
+// per-endpoint view.
+func FilterKey(stats []SeriesStat) []SeriesStat {
+	out := make([]SeriesStat, 0, len(stats))
+	for _, st := range stats {
+		if isKeyFamily(st.Name) {
+			out = append(out, st)
+		}
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"desword/internal/obs"
+)
+
+func TestParseSLO(t *testing.T) {
+	objectives, err := ParseSLO(" p99(desword_query_latency_seconds) < 500ms ; ratio(desword_server_errors_total/desword_queries_total)<0.01 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objectives) != 2 {
+		t.Fatalf("parsed %d objectives, want 2", len(objectives))
+	}
+	q := objectives[0]
+	if q.Kind != KindQuantile || q.Metric != "desword_query_latency_seconds" || q.Quantile != 0.99 || q.Threshold != 0.5 {
+		t.Fatalf("quantile objective = %+v", q)
+	}
+	r := objectives[1]
+	if r.Kind != KindRatio || r.Metric != "desword_server_errors_total" || r.Denom != "desword_queries_total" || r.Threshold != 0.01 {
+		t.Fatalf("ratio objective = %+v", r)
+	}
+	if got, _ := ParseSLO(""); len(got) != 0 {
+		t.Fatalf("empty spec parsed to %+v", got)
+	}
+	for _, bad := range []string{"p75(x)<1s", "p99(x)<banana", "ratio(a/b)<fast", "latency<1s"} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// snapPair builds two snapshots dt apart with observations applied between.
+func snapPair(t *testing.T, dt time.Duration, before, between func(reg *obs.Registry)) (*Snapshot, *Snapshot) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	if before != nil {
+		before(reg)
+	}
+	prev := TakeSnapshot(reg, "test")
+	if between != nil {
+		between(reg)
+	}
+	cur := TakeSnapshot(reg, "test")
+	cur.Time = prev.Time.Add(dt) // deterministic window
+	return prev, cur
+}
+
+func TestWindowStatsRatesAndQuantiles(t *testing.T) {
+	prev, cur := snapPair(t, 10*time.Second,
+		func(reg *obs.Registry) {
+			reg.Counter("events_total", "e").Add(100)
+			h := reg.Histogram("lat_seconds", "l", []float64{0.1, 0.2, 0.4, 0.8})
+			h.Observe(0.05)
+		},
+		func(reg *obs.Registry) {
+			reg.Counter("events_total", "e").Add(50)
+			reg.Gauge("depth", "d").Set(7)
+			h := reg.Histogram("lat_seconds", "l", nil)
+			// 90 obs in (0, 0.1], 10 in (0.2, 0.4] → p50 ≈ 0.056, p99 in the
+			// (0.2, 0.4] bucket.
+			for i := 0; i < 90; i++ {
+				h.Observe(0.05)
+			}
+			for i := 0; i < 10; i++ {
+				h.Observe(0.3)
+			}
+		})
+	stats := WindowStats(prev, cur)
+	byKey := map[string]SeriesStat{}
+	for _, st := range stats {
+		byKey[st.Name+"{"+st.Labels+"}"] = st
+	}
+	ev := byKey["events_total{}"]
+	if ev.Delta != 50 || ev.Rate != 5 {
+		t.Fatalf("counter window = %+v, want delta 50 rate 5", ev)
+	}
+	if g := byKey["depth{}"]; g.Value != 7 {
+		t.Fatalf("gauge window = %+v", g)
+	}
+	lat := byKey["lat_seconds{}"]
+	if lat.Count != 100 {
+		t.Fatalf("histogram window count = %d, want 100", lat.Count)
+	}
+	if lat.Rate != 10 {
+		t.Fatalf("histogram rate = %v, want 10", lat.Rate)
+	}
+	if lat.P50 <= 0 || lat.P50 > 0.1 {
+		t.Fatalf("p50 = %v, want within (0, 0.1]", lat.P50)
+	}
+	if lat.P99 <= 0.2 || lat.P99 > 0.4 {
+		t.Fatalf("p99 = %v, want within (0.2, 0.4]", lat.P99)
+	}
+	if lat.Mean <= 0.05 || lat.Mean >= 0.1 {
+		t.Fatalf("mean = %v, want ≈ 0.075", lat.Mean)
+	}
+}
+
+func TestWindowStatsCounterReset(t *testing.T) {
+	// Simulate a restarted peer: cur below prev.
+	regA := obs.NewRegistry()
+	regA.Counter("events_total", "e").Add(100)
+	prev := TakeSnapshot(regA, "p")
+	regB := obs.NewRegistry()
+	regB.Counter("events_total", "e").Add(30)
+	cur := TakeSnapshot(regB, "p")
+	cur.Time = prev.Time.Add(10 * time.Second)
+	stats := WindowStats(prev, cur)
+	if stats[0].Delta != 30 {
+		t.Fatalf("reset delta = %v, want 30 (cur value)", stats[0].Delta)
+	}
+}
+
+func TestWindowStatsNilPrevUsesUptime(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("events_total", "e").Add(10)
+	cur := TakeSnapshot(reg, "p")
+	cur.Start = cur.Time.Add(-5 * time.Second)
+	stats := WindowStats(nil, cur)
+	if stats[0].Delta != 10 || stats[0].Rate != 2 {
+		t.Fatalf("uptime window = %+v, want delta 10 rate 2", stats[0])
+	}
+}
+
+func TestEngineStateMachine(t *testing.T) {
+	objectives, err := ParseSLO("p99(lat_seconds)<100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(objectives, 4)
+	slow := []SeriesStat{{Name: "lat_seconds", Kind: "histogram", Count: 10, P99: 0.5}}
+	fast := []SeriesStat{{Name: "lat_seconds", Kind: "histogram", Count: 10, P99: 0.01}}
+	idle := []SeriesStat{{Name: "lat_seconds", Kind: "histogram", Count: 0}}
+
+	st, breaches := e.EvaluateStats(fast)
+	if st[0].State != StateOK || len(breaches) != 0 {
+		t.Fatalf("fast window = %+v", st[0])
+	}
+	// First violating window: burn 1/2 ≥ 0.5 would trigger at the second
+	// sample; the very first violation (1 of 2 windows) is warn.
+	st, breaches = e.EvaluateStats(slow)
+	if st[0].State != StateWarn {
+		t.Fatalf("first slow window state = %s, want warn", st[0].State)
+	}
+	if len(breaches) != 0 {
+		t.Fatalf("warn must not report a breach")
+	}
+	// Second violating window: 2/3 of lookback violating → breach, reported once.
+	st, breaches = e.EvaluateStats(slow)
+	if st[0].State != StateBreach || len(breaches) != 1 {
+		t.Fatalf("second slow window = %+v breaches=%v", st[0], breaches)
+	}
+	_, breaches = e.EvaluateStats(slow)
+	if len(breaches) != 0 {
+		t.Fatalf("ongoing breach reported again: %v", breaches)
+	}
+	// Idle windows freeze the verdict (no data ≠ recovery).
+	st, _ = e.EvaluateStats(idle)
+	if st[0].State != StateBreach {
+		t.Fatalf("idle window changed state to %s", st[0].State)
+	}
+	// Fast windows drain the ring back to ok.
+	for i := 0; i < 4; i++ {
+		st, _ = e.EvaluateStats(fast)
+	}
+	if st[0].State != StateOK || st[0].Burn != 0 {
+		t.Fatalf("after recovery = %+v", st[0])
+	}
+	if h := e.Health(); !h.OK {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+}
+
+func TestEngineRatioObjective(t *testing.T) {
+	objectives, err := ParseSLO("ratio(errs_total/reqs_total)<0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(objectives, 4)
+	bad := []SeriesStat{
+		{Name: "errs_total", Kind: "counter", Delta: 5},
+		{Name: "reqs_total", Kind: "counter", Delta: 20},
+	}
+	st, _ := e.EvaluateStats(bad)
+	if st[0].State != StateWarn || st[0].Value != 0.25 {
+		t.Fatalf("bad ratio window = %+v", st[0])
+	}
+	quiet := []SeriesStat{{Name: "reqs_total", Kind: "counter", Delta: 0}}
+	st, _ = e.EvaluateStats(quiet)
+	if st[0].State != StateWarn {
+		t.Fatalf("zero-denominator window changed state: %+v", st[0])
+	}
+}
+
+func TestCollectorRingAndStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCollector(reg, "unit", WithRing(3), WithInterval(time.Hour))
+	events := reg.Counter("events_total", "e")
+	for i := 0; i < 5; i++ {
+		events.Add(10)
+		c.Tick()
+	}
+	if c.RingLen() != 3 {
+		t.Fatalf("ring holds %d snapshots, want 3", c.RingLen())
+	}
+	if c.Latest() == nil || c.Oldest() == nil {
+		t.Fatal("ring endpoints missing")
+	}
+	if got := c.Latest().Service; got != "unit" {
+		t.Fatalf("service = %q", got)
+	}
+	var ev *SeriesStat
+	for i, st := range c.Stats() {
+		if st.Name == "events_total" {
+			ev = &c.Stats()[i]
+		}
+	}
+	if ev == nil || ev.Delta != 10 {
+		t.Fatalf("last window counter stat = %+v, want delta 10", ev)
+	}
+	// Runtime sampler series ride along in snapshots.
+	found := false
+	for _, s := range c.Latest().Samples {
+		if s.Name == "desword_go_goroutines" && s.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("runtime series missing from snapshot")
+	}
+	c.Stop() // never started: must not hang
+}
+
+func TestCollectorBreachCapturesProfile(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	objectives, err := ParseSLO("p50(lat_seconds)<1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewProfileSink(dir, 2)
+	sink.CPUDuration = 10 * time.Millisecond
+	done := make(chan error, 4)
+	sink.onDone = func(err error) { done <- err }
+	c := NewCollector(reg, "unit", WithInterval(time.Hour),
+		WithSLO(NewEngine(objectives, 2)), WithProfileSink(sink))
+	h := reg.Histogram("lat_seconds", "l", nil)
+	c.Tick()
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	c.Tick() // warn
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	c.Tick() // breach → capture
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("profile capture: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("profile capture never finished")
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.pprof"))
+	if len(matches) == 0 {
+		t.Fatal("no profiles written on breach")
+	}
+}
+
+func TestProfileSinkPrunes(t *testing.T) {
+	dir := t.TempDir()
+	sink := NewProfileSink(dir, 2)
+	sink.CPUDuration = time.Millisecond
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	tick := 0
+	sink.now = func() time.Time { tick++; return base.Add(time.Duration(tick) * time.Minute) }
+	for i := 0; i < 4; i++ {
+		if err := sink.Capture("p99(lat)<1ms"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamps := map[string]bool{}
+	for _, e := range entries {
+		parts := strings.SplitN(e.Name(), "-", 3)
+		if len(parts) == 3 {
+			stamps[parts[0]+"-"+parts[1]] = true
+		}
+	}
+	if len(stamps) != 2 {
+		t.Fatalf("retained %d capture stamps, want 2: %v", len(stamps), entries)
+	}
+}
+
+func TestRegisterKeyFamilyFilter(t *testing.T) {
+	RegisterKeyFamily("unit_test_only_total")
+	stats := []SeriesStat{
+		{Name: "unit_test_only_total", Kind: "counter"},
+		{Name: "unregistered_series", Kind: "counter"},
+	}
+	kept := FilterKey(stats)
+	if len(kept) != 1 || kept[0].Name != "unit_test_only_total" {
+		t.Fatalf("FilterKey kept %+v", kept)
+	}
+}

@@ -14,7 +14,8 @@ type frameCounters struct {
 var knownTypes = []string{
 	TypeQuery, TypeDemandOwnership, TypeResponse, TypeGetParams, TypeParams,
 	TypeRegisterList, TypeQueryPath, TypePathResult, TypeScores,
-	TypeScoreTable, TypeAuditLog, TypeAuditChain, TypeAck, TypeError,
+	TypeScoreTable, TypeAuditLog, TypeAuditChain, TypeTelemetry,
+	TypeTelemetrySnapshot, TypeAck, TypeError,
 }
 
 var (

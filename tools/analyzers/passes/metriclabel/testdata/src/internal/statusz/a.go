@@ -1,0 +1,35 @@
+// Package statusz exercises metriclabel's telemetry.RegisterKeyFamily
+// check: every name on the statusz display list must be a compile-time
+// constant matching ^[a-z_]+$.
+package statusz
+
+import "internal/telemetry"
+
+const latency = "desword_query_latency_seconds"
+
+func good() {
+	telemetry.RegisterKeyFamily(latency)
+	telemetry.RegisterKeyFamily("desword_queries_total", "desword_go_goroutines")
+}
+
+func dynamicName(which string) {
+	telemetry.RegisterKeyFamily("desword_" + which) // want "key family name must be a compile-time constant"
+}
+
+func badName() {
+	telemetry.RegisterKeyFamily("Desword-Queries") // want "key family name \"Desword-Queries\" must match"
+}
+
+func spreadNames(names []string) {
+	telemetry.RegisterKeyFamily(names...) // want "key families passed as a spread slice"
+}
+
+func suppressed(which string) {
+	//lint:ignore desword/metriclabel fixture: the name set is closed at this call site
+	telemetry.RegisterKeyFamily("desword_" + which)
+}
+
+// fake has the same function name in another package; out of scope.
+func RegisterKeyFamily(names ...string) {}
+
+func notTheTelemetryPackage(n string) { RegisterKeyFamily(n) }

@@ -1,0 +1,6 @@
+// Package telemetry is a minimal model of the real internal/telemetry
+// key-family registry so the metriclabel fixtures type-check; the analyzer
+// matches RegisterKeyFamily by the internal/telemetry path suffix.
+package telemetry
+
+func RegisterKeyFamily(names ...string) {}
