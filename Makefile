@@ -1,7 +1,7 @@
 GO ?= go
 VET := bin/desword-vet
 
-.PHONY: all check build test vet fmt race bench bench-smoke telemetry-smoke lint analyzers tidy fuzz-short
+.PHONY: all check build test vet fmt race bench bench-smoke telemetry-smoke events-smoke lint analyzers tidy fuzz-short
 
 all: check
 
@@ -26,7 +26,7 @@ fmt:
 	fi
 
 race:
-	$(GO) test -race ./internal/obs ./internal/node ./internal/core ./internal/trace ./internal/wire ./internal/zkedb ./internal/poc ./internal/telemetry
+	$(GO) test -race ./internal/obs ./internal/node ./internal/core ./internal/trace ./internal/wire ./internal/zkedb ./internal/poc ./internal/telemetry ./internal/events
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -51,6 +51,13 @@ bench-smoke:
 # trace id resolves at /debug/traces/<id>.
 telemetry-smoke:
 	$(GO) test -run '^TestTelemetrySmoke$$' -count=1 -v ./internal/telemetry
+
+# events-smoke runs the query flight recorder end to end over real TCP
+# (see TestEventsSmoke): journaled queries against a served chain, then an
+# offline desword-events-style scan asserting the journal's aggregates match
+# the proxy's live metrics and that slow queries carry hop breakdowns.
+events-smoke:
+	$(GO) test -run '^TestEventsSmoke$$' -count=1 -v ./internal/events
 
 # lint is the correctness gate beyond tier-1: the project analyzers
 # (desword-vet, see DESIGN.md §9) run through go vet's unitchecker driver

@@ -12,7 +12,7 @@
 //
 // Experiments: tmc (E1), fig4a (E2), fig4b (E3), table2 (E4), fig5 (E5),
 // baseline (E6), incentive (E7), e2e (E8), transport (E9), crypto (E10),
-// telemetry (E11), ablation (A1–A4).
+// telemetry (E11), events (E12), ablation (A1–A4).
 //
 // With -metrics-out, the process-wide metrics registry (proof generation and
 // verification timings, query latencies, …) is snapshotted to the file after
@@ -51,7 +51,7 @@ type renderer interface {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all|tmc|fig4a|fig4b|table2|fig5|baseline|incentive|e2e|transport|crypto|telemetry|ablation")
+		exp        = flag.String("exp", "all", "experiment: all|tmc|fig4a|fig4b|table2|fig5|baseline|incentive|e2e|transport|crypto|telemetry|events|ablation")
 		modulus    = flag.Int("modulus", 1024, "RSA modulus bits for the qTMC layer")
 		reps       = flag.Int("reps", 10, "repetitions per timing point (paper smooths over 50)")
 		dbSize     = flag.Int("db", 8, "committed traces per participant in macro benches")
@@ -149,6 +149,15 @@ func run() error {
 				length = 4
 			}
 			return render(bench.RunTelemetry(params, length, *reps))
+		}},
+		{"events", func() error {
+			params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}
+			length := 6
+			if *fast {
+				params = zkedb.TestParams()
+				length = 4
+			}
+			return render(bench.RunEvents(params, length, *reps))
 		}},
 		{"ablation", func() error {
 			params := zkedb.Params{Q: 16, H: 32, KeyBits: 128, ModulusBits: *modulus}

@@ -1,0 +1,194 @@
+// Command desword-events is the offline analyzer for the flight recorder's
+// JSONL journals: it scans a journal directory (written by desword-proxy,
+// desword-participant or desword-sim with -events-dir), prints aggregate
+// counts and query latency quantiles, shows the slowest queries with their
+// per-hop timing breakdowns, and diffs two journals metric by metric for
+// regression triage.
+//
+// Usage:
+//
+//	desword-events -dir /var/log/desword/events
+//	desword-events -dir events/ -kind query -outcome incomplete -top 10
+//	desword-events -dir before/ -diff after/
+//	desword-events -dir events/ -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"sort"
+	"time"
+
+	"desword/internal/events"
+)
+
+func main() {
+	if err := run(); err != nil {
+		slog.Error("desword-events failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dir     = flag.String("dir", "", "journal directory to scan (required)")
+		diffDir = flag.String("diff", "", "second journal directory: print a metric-by-metric diff (A=-dir, B=-diff)")
+		kind    = flag.String("kind", "", "filter: event kind (query|node_request|campaign)")
+		outcome = flag.String("outcome", "", "filter: outcome (complete|incomplete|no_origin|ok|error)")
+		product = flag.String("product", "", "filter: product id substring")
+		minMS   = flag.Int("min-ms", 0, "filter: minimum event duration in milliseconds")
+		topN    = flag.Int("top", 5, "slowest query events to show with hop breakdowns (0 = none)")
+		jsonOut = flag.Bool("json", false, "emit the summary (or diff rows) as JSON")
+	)
+	flag.Parse()
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	filter := events.Filter{
+		Kind:        events.Kind(*kind),
+		Outcome:     events.Outcome(*outcome),
+		Product:     *product,
+		MinDuration: time.Duration(*minMS) * time.Millisecond,
+	}
+
+	summary, err := events.Summarize(*dir, filter, *topN)
+	if err != nil {
+		return err
+	}
+
+	if *diffDir != "" {
+		other, err := events.Summarize(*diffDir, filter, 0)
+		if err != nil {
+			return err
+		}
+		rows := events.Diff(summary, other)
+		if *jsonOut {
+			return emitJSON(rows)
+		}
+		printDiff(*dir, *diffDir, rows)
+		return nil
+	}
+
+	if *jsonOut {
+		return emitJSON(summary)
+	}
+	printSummary(*dir, summary)
+	return nil
+}
+
+func emitJSON(v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func printSummary(dir string, s *events.Summary) {
+	fmt.Printf("journal %s: %d segment(s), %d line(s)", dir, s.Stats.Files, s.Stats.Lines)
+	if s.Stats.Torn > 0 {
+		fmt.Printf(", %d torn tail(s) skipped", s.Stats.Torn)
+	}
+	if s.Stats.Malformed > 0 {
+		fmt.Printf(", %d malformed line(s) skipped", s.Stats.Malformed)
+	}
+	fmt.Printf("\n%d event(s) matched\n", s.Total)
+	printCounts("by kind", s.ByKind)
+	printCounts("by outcome", s.ByOutcome)
+	printCounts("by quality", s.ByQuality)
+	if s.Queries == 0 {
+		return
+	}
+	l := s.QueryLatency
+	fmt.Printf("queries: %d, hops: %d\n", s.Queries, s.Hops)
+	fmt.Printf("query latency: mean=%s p50=%s p90=%s p99=%s max=%s\n",
+		us(l.MeanUS), us(l.P50US), us(l.P90US), us(l.P99US), us(l.MaxUS))
+	fmt.Printf("resources: cache_hits=%d cache_misses=%d pool_reused=%d pool_retries=%d\n",
+		s.CacheHits, s.CacheMisses, s.PoolReused, s.PoolRetries)
+	printCounts("violations", s.Violations)
+	if len(s.Slowest) > 0 {
+		fmt.Printf("slowest %d quer%s:\n", len(s.Slowest), plural(len(s.Slowest), "y", "ies"))
+		for _, ev := range s.Slowest {
+			printSlow(ev)
+		}
+	}
+}
+
+// printSlow renders one slow query with its per-hop timing breakdown — the
+// "why was this one slow" view: which hop burned the time, and in which leg
+// (prove round trip, proxy-side verify, ownership demand).
+func printSlow(ev *events.Event) {
+	fmt.Printf("  %s  %-10s product=%s path_len=%d", us(ev.DurationUS), ev.Outcome, ev.Product, ev.PathLen)
+	if ev.TraceID != "" {
+		fmt.Printf(" trace=%s", ev.TraceID)
+	}
+	fmt.Println()
+	for i, h := range ev.Hops {
+		fmt.Printf("    hop %d: %-12s identify=%s", i+1, h.Participant, us(h.IdentifyUS))
+		if h.ProveUS > 0 {
+			fmt.Printf(" prove=%s", us(h.ProveUS))
+		}
+		if h.VerifyUS > 0 {
+			fmt.Printf(" verify=%s", us(h.VerifyUS))
+		}
+		if h.DemandUS > 0 {
+			fmt.Printf(" demand=%s", us(h.DemandUS))
+		}
+		if h.Violations > 0 {
+			fmt.Printf(" violations=%d", h.Violations)
+		}
+		if !h.Identified {
+			fmt.Printf(" (not identified)")
+		}
+		fmt.Println()
+	}
+	if ev.HopsTruncated > 0 {
+		fmt.Printf("    ... %d hop(s) truncated\n", ev.HopsTruncated)
+	}
+}
+
+func printDiff(dirA, dirB string, rows []events.DiffRow) {
+	fmt.Printf("diff: A=%s  B=%s\n", dirA, dirB)
+	width := 0
+	for _, r := range rows {
+		if len(r.Metric) > width {
+			width = len(r.Metric)
+		}
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-*s  %12.1f  %12.1f  %+8.1f%%\n", width, r.Metric, r.A, r.B, r.DeltaPct)
+	}
+}
+
+func printCounts(title string, m map[string]int) {
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%s:\n", title)
+	for _, k := range keys {
+		fmt.Printf("  %-16s %d\n", k, m[k])
+	}
+}
+
+func us(v int64) string {
+	if v >= 1000 {
+		return fmt.Sprintf("%.1fms", float64(v)/1000)
+	}
+	return fmt.Sprintf("%dus", v)
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"desword/internal/core"
+	"desword/internal/events"
 	"desword/internal/node"
 	"desword/internal/obs"
 	"desword/internal/poc"
@@ -88,11 +89,13 @@ func run() error {
 		clientCfg node.ClientConfig
 		cryptoCfg core.CryptoConfig
 		telCfg    telemetry.Config
+		evCfg     events.Config
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
 	clientCfg.RegisterFlags(flag.CommandLine)
 	cryptoCfg.RegisterFlags(flag.CommandLine)
 	telCfg.RegisterFlags(flag.CommandLine)
+	evCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	logger, err := logCfg.Setup(os.Stderr)
 	if err != nil {
@@ -104,10 +107,10 @@ func run() error {
 	if *assemble {
 		return runAssemble(logger, *proxyAddr, *task, *pairs, *pocs, clientCfg)
 	}
-	return runServe(logger, *id, *listen, *proxyAddr, *admin, *traces, *writePOC, clientCfg, cryptoCfg, telCfg)
+	return runServe(logger, *id, *listen, *proxyAddr, *admin, *traces, *writePOC, clientCfg, cryptoCfg, telCfg, evCfg)
 }
 
-func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, writePOC string, clientCfg node.ClientConfig, cryptoCfg core.CryptoConfig, telCfg telemetry.Config) error {
+func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, writePOC string, clientCfg node.ClientConfig, cryptoCfg core.CryptoConfig, telCfg telemetry.Config, evCfg events.Config) error {
 	if id == "" || tracesFile == "" {
 		return fmt.Errorf("-id and -traces are required in serve mode")
 	}
@@ -160,6 +163,18 @@ func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, wri
 		logger.Info("POC exported", "participant", id, "file", writePOC)
 	}
 
+	// The flight recorder: one wide event per handled request, in the ring
+	// always, in a JSONL journal when -events-dir is set.
+	sink, err := evCfg.Build("participant:" + id)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sink.Close(); cerr != nil {
+			logger.Warn("closing event journal", "err", cerr)
+		}
+	}()
+
 	// Local telemetry: registry snapshots on a ticker, -slo scoring, and a
 	// single-peer statusz so one participant is debuggable on its own.
 	collector, engine, err := telCfg.Build(obs.Default, "participant:"+id)
@@ -180,6 +195,7 @@ func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, wri
 	if admin != "" {
 		adminOpts := []obs.AdminOption{
 			obs.WithRoute("/debug/statusz", telemetry.StatuszHandler(monitor)),
+			obs.WithRoute("/debug/events", events.Explorer(sink.Ring())),
 		}
 		if engine != nil {
 			adminOpts = append(adminOpts, obs.WithHealth(engine.Health))
@@ -196,7 +212,8 @@ func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, wri
 		logger.Info("admin listener up", "addr", adminSrv.Addr())
 	}
 
-	srv, err := node.ServeParticipant(context.Background(), listen, member, node.WithTimeout(clientCfg.Timeout))
+	srv, err := node.ServeParticipant(context.Background(), listen, member,
+		node.WithTimeout(clientCfg.Timeout), node.WithEventSink(sink))
 	if err != nil {
 		return err
 	}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"desword/internal/core"
+	"desword/internal/events"
 	"desword/internal/node"
 	"desword/internal/obs"
 	"desword/internal/poc"
@@ -62,10 +63,12 @@ func run() error {
 		logCfg  obs.LogConfig
 		tcfg    node.ClientConfig
 		telCfg  telemetry.Config
+		evCfg   events.Config
 	)
 	logCfg.RegisterFlags(flag.CommandLine)
 	tcfg.RegisterFlags(flag.CommandLine)
 	telCfg.RegisterFlags(flag.CommandLine)
+	evCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	logger, err := logCfg.Setup(os.Stderr)
 	if err != nil {
@@ -98,6 +101,19 @@ func run() error {
 
 	directory := node.DirectoryResolver(dir, tcfg.Options()...)
 	defer directory.Close()
+
+	// The flight recorder: one wide event per completed query (and per
+	// handled node request), in the ring always, in a JSONL journal when
+	// -events-dir is set.
+	sink, err := evCfg.Build("proxy")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sink.Close(); cerr != nil {
+			logger.Warn("closing event journal", "err", cerr)
+		}
+	}()
 
 	// The collector snapshots the local registry on a ticker, scoring the
 	// -slo objectives and capturing profiles on breach; the monitor adds the
@@ -132,6 +148,7 @@ func run() error {
 	if *admin != "" {
 		adminOpts := []obs.AdminOption{
 			obs.WithRoute("/debug/statusz", telemetry.StatuszHandler(monitor)),
+			obs.WithRoute("/debug/events", events.Explorer(sink.Ring())),
 		}
 		if engine != nil {
 			adminOpts = append(adminOpts, obs.WithHealth(engine.Health))
@@ -149,8 +166,9 @@ func run() error {
 	}
 
 	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), directory.Resolver(),
-		core.WithProbeFanout(*fanout))
-	srv, err := node.ServeProxy(context.Background(), *listen, proxy, node.WithTimeout(tcfg.Timeout))
+		core.WithProbeFanout(*fanout), core.WithEventSink(sink))
+	srv, err := node.ServeProxy(context.Background(), *listen, proxy,
+		node.WithTimeout(tcfg.Timeout), node.WithEventSink(sink))
 	if err != nil {
 		return err
 	}

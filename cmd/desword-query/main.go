@@ -10,13 +10,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"sort"
+	"time"
 
 	"desword/internal/core"
+	"desword/internal/events"
 	"desword/internal/node"
 	"desword/internal/obs"
 	"desword/internal/poc"
@@ -37,6 +40,7 @@ func run() error {
 		quality   = flag.String("quality", "good", "quality-check outcome: good|bad")
 		scores    = flag.Bool("scores", false, "fetch the public reputation table instead")
 		audit     = flag.Bool("audit", false, "fetch and verify the tamper-evident score history")
+		jsonOut   = flag.Bool("json", false, "emit the query's canonical wide event as JSON instead of the human rendering")
 		sample    = flag.Float64("trace-sample", 0, "client-side trace sampling rate in [0,1]")
 		logCfg    obs.LogConfig
 		tcfg      node.ClientConfig
@@ -106,11 +110,15 @@ func run() error {
 
 	ctx, span := trace.Default.Start(context.Background(), "query.query_path",
 		trace.String("product", *product), trace.String("quality", *quality))
+	queryStart := time.Now()
 	result, err := client.QueryPath(ctx, poc.ProductID(*product), q)
 	span.SetError(err)
 	span.End()
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		return printEvent(result, *product, *quality, queryStart)
 	}
 	if len(result.Path) == 0 {
 		fmt.Printf("no participant admits processing %s — no verifiable origin exists\n", *product)
@@ -133,6 +141,46 @@ func run() error {
 	fmt.Printf("  complete=%v\n", result.Complete)
 	printViolations(result.Violations)
 	printTraceID(result.TraceID)
+	return nil
+}
+
+// printEvent emits the query's canonical wide event as indented JSON. The
+// proxy assembles it server-side and ships it with the path result; a proxy
+// predating the flight recorder returns none, so synthesize a client-side
+// approximation from the result to keep -json machine-parseable either way.
+func printEvent(result *core.Result, product, quality string, start time.Time) error {
+	ev := result.Event
+	if ev == nil {
+		ev = events.New(events.KindQuery, start)
+		ev.Service = "query"
+		ev.DurationUS = time.Since(start).Microseconds()
+		ev.TraceID = result.TraceID
+		ev.Product = product
+		ev.Quality = quality
+		ev.TaskID = result.TaskID
+		ev.PathLen = len(result.Path)
+		ev.Complete = result.Complete
+		switch {
+		case result.TaskID == "":
+			ev.Outcome = events.OutcomeNoOrigin
+		case result.Complete:
+			ev.Outcome = events.OutcomeComplete
+		default:
+			ev.Outcome = events.OutcomeIncomplete
+		}
+		for _, v := range result.Violations {
+			ev.Violations = append(ev.Violations, events.Violation{
+				Participant: string(v.Participant),
+				Type:        v.Type.String(),
+				Detail:      v.Detail,
+			})
+		}
+	}
+	out, err := json.MarshalIndent(ev, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
 	return nil
 }
 

@@ -12,8 +12,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"desword/internal/bench"
+	"desword/internal/events"
 	"desword/internal/obs"
 	"desword/internal/sim"
 )
@@ -29,7 +31,9 @@ func run() error {
 	cfg := sim.DefaultConfig()
 	var sweep string
 	var logCfg obs.LogConfig
+	var evCfg events.Config
 	logCfg.RegisterFlags(flag.CommandLine)
+	evCfg.RegisterFlags(flag.CommandLine)
 	flag.IntVar(&cfg.Products, "products", cfg.Products, "products processed per epoch")
 	flag.Float64Var(&cfg.PBad, "pbad", cfg.PBad, "probability a product is bad")
 	flag.Float64Var(&cfg.QueryRateGood, "qgood", cfg.QueryRateGood, "query probability for good products")
@@ -60,9 +64,31 @@ func run() error {
 	}
 	fmt.Printf("expected value per committed trace at p_bad=%.4f: %+.4f (break-even p_bad: %.4f)\n\n",
 		cfg.PBad, cfg.ExpectedPerTrace(), cfg.BreakEvenPBad())
-	table, err := bench.RunIncentive(cfg, pBads)
+
+	// With -events-dir set, every swept cell lands in a per-campaign journal
+	// as a durable campaign event, scannable with desword-events.
+	sink, err := evCfg.Build("sim")
 	if err != nil {
 		return err
 	}
-	return table.Render(os.Stdout)
+	defer func() {
+		if cerr := sink.Close(); cerr != nil {
+			slog.Warn("closing campaign journal", "err", cerr)
+		}
+	}()
+
+	rows := make([]sim.SweepRow, 0, len(pBads))
+	for _, p := range pBads {
+		c := cfg
+		c.PBad = p
+		rowStart := time.Now()
+		outcomes, err := sim.Run(c)
+		if err != nil {
+			return err
+		}
+		row := sim.SweepRow{PBad: p, Outcomes: outcomes}
+		rows = append(rows, row)
+		sim.EmitCampaign(sink, c, row, rowStart)
+	}
+	return bench.IncentiveTable(cfg, rows).Render(os.Stdout)
 }

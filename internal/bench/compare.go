@@ -110,6 +110,13 @@ func RunIncentive(cfg sim.Config, pBads []float64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return IncentiveTable(cfg, rows), nil
+}
+
+// IncentiveTable renders already-computed sweep rows as the E7 table.
+// Split from RunIncentive so desword-sim can journal each row as a campaign
+// event and still print the same table without re-running the sweep.
+func IncentiveTable(cfg sim.Config, rows []sim.SweepRow) *Table {
 	t := &Table{
 		Title: "E7 (Fig. 3 quantified): double-edged incentive, reputation per epoch",
 		Note: fmt.Sprintf("%d products/epoch, %d trials; q_good=%.2f q_bad=%.2f u+=%.1f u-=%.1f; break-even p_bad=%.4f",
@@ -129,5 +136,5 @@ func RunIncentive(cfg sim.Config, pBads []float64) (*Table, error) {
 			fmt.Sprintf("[%.1f, %.1f]", a.P05, a.P95),
 		)
 	}
-	return t, nil
+	return t
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"desword/internal/events"
 	"desword/internal/poc"
 	"desword/internal/reputation"
 	"desword/internal/trace"
@@ -22,6 +23,7 @@ type Proxy struct {
 	ledger      *reputation.Ledger
 	resolve     Resolver
 	probeFanout int
+	events      *events.Sink
 
 	mu     sync.RWMutex
 	lists  map[string]*poc.List // task id → POC list
@@ -47,6 +49,14 @@ func WithProbeFanout(n int) ProxyOption {
 			px.probeFanout = n
 		}
 	}
+}
+
+// WithEventSink makes the proxy emit one canonical wide event per completed
+// query into the flight recorder. The event is assembled (and attached to
+// Result.Event) with or without a sink; the sink adds the ring/journal
+// destinations.
+func WithEventSink(s *events.Sink) ProxyOption {
+	return func(px *Proxy) { px.events = s }
 }
 
 // queueEntry is one element of an initial participant's POC-queue: the pair
@@ -144,12 +154,19 @@ func (px *Proxy) QueryPath(ctx context.Context, id poc.ProductID, quality Qualit
 		Traces:  make(map[poc.ParticipantID]poc.Trace),
 		TraceID: span.TraceID(),
 	}
+	// The query's scope rides the context into every hop: proof-cache and
+	// pool-transport instrumentation attribute their counters to THIS query,
+	// and finishEvent copies them onto the wide event. Innermost scope wins,
+	// so a node-server scope further out never swallows them.
+	scope := events.NewScope()
+	ctx = events.WithScope(ctx, scope)
 
 	start, entry, firstNext := px.findStart(ctx, id, quality, result)
 	if start == "" {
 		// No initial participant admits processing the product in any task.
 		span.SetAttr(trace.Int("hops", 0), trace.Int("violations", len(result.Violations)))
 		px.settle(result)
+		px.finishEvent(result, scope, qStart)
 		return result, nil
 	}
 	result.TaskID = entry.taskID
@@ -162,7 +179,60 @@ func (px *Proxy) QueryPath(ctx context.Context, id poc.ProductID, quality Qualit
 		trace.Int("hops", len(result.Path)), trace.Int("violations", len(result.Violations)),
 		trace.Bool("complete", result.Complete))
 	px.settle(result)
+	px.finishEvent(result, scope, qStart)
 	return result, nil
+}
+
+// finishEvent assembles the query's canonical wide event from everything the
+// walk accumulated and emits it into the flight recorder when a sink is
+// configured. The event is attached to the result either way, so local and
+// remote queriers (desword-query -json) see the same record the proxy kept.
+func (px *Proxy) finishEvent(result *Result, scope *events.Scope, start time.Time) {
+	ev := events.New(events.KindQuery, start)
+	ev.DurationUS = time.Since(start).Microseconds()
+	ev.TraceID = result.TraceID
+	ev.Product = string(result.Product)
+	ev.Quality = result.Quality.String()
+	ev.TaskID = result.TaskID
+	ev.PathLen = len(result.Path)
+	ev.Complete = result.Complete
+	switch {
+	case result.TaskID == "":
+		ev.Outcome = events.OutcomeNoOrigin
+	case result.Complete:
+		ev.Outcome = events.OutcomeComplete
+	default:
+		ev.Outcome = events.OutcomeIncomplete
+	}
+	for _, h := range result.hops {
+		ev.AddHop(h)
+	}
+	for _, v := range result.Violations {
+		ev.Violations = append(ev.Violations, events.Violation{
+			Participant: string(v.Participant),
+			Type:        v.Type.String(),
+			Detail:      v.Detail,
+		})
+	}
+	ev.RepDeltas = result.repDeltas
+	scope.Fill(ev)
+	result.Event = ev
+	px.events.Emit(ev)
+}
+
+// recordHop appends one committed query interaction to the result's hop list.
+// It is called exactly where the interaction counters are updated — at commit
+// time — so discarded speculative probes never appear (see probeChildren).
+func recordHop(result *Result, v poc.ParticipantID, o identifyOutcome) {
+	result.hops = append(result.hops, events.Hop{
+		Participant: string(v),
+		Identified:  o.identified,
+		IdentifyUS:  o.timing.identifyUS,
+		ProveUS:     o.timing.proveUS,
+		VerifyUS:    o.timing.verifyUS,
+		DemandUS:    o.timing.demandUS,
+		Violations:  len(o.violations),
+	})
 }
 
 // findStart probes each initial participant's POC-queue (§IV.D) and returns
@@ -187,6 +257,7 @@ func (px *Proxy) findStart(ctx context.Context, id poc.ProductID, quality Qualit
 		for _, entry := range queues[initial] {
 			outcome := px.identify(ctx, entry.taskID, entry.credential, initial, id, quality)
 			px.counters.addInteraction(outcome.identified)
+			recordHop(result, initial, outcome)
 			result.Violations = append(result.Violations, outcome.violations...)
 			if outcome.identified {
 				if outcome.trace != nil {
@@ -200,20 +271,32 @@ func (px *Proxy) findStart(ctx context.Context, id poc.ProductID, quality Qualit
 	return "", queueEntry{}, ""
 }
 
+// hopTiming carries the proxy-side wall-clock breakdown of one query
+// interaction, in microseconds: the whole interaction (identify), the query
+// round trip (prove — dominated by the participant's proof generation), the
+// proxy-side proof verifications (verify), and the ownership-demand round
+// trip of the bad-product case (demand).
+type hopTiming struct {
+	identifyUS, proveUS, verifyUS, demandUS int64
+}
+
 // identifyOutcome is the result of one query interaction with a participant.
 type identifyOutcome struct {
 	identified bool
 	trace      *poc.Trace
 	next       poc.ParticipantID
 	violations []Violation
+	timing     hopTiming
 }
 
 // identify runs one query interaction (§IV.C step 1–2) with participant v
 // under its POC for the given task.
 func (px *Proxy) identify(ctx context.Context, taskID string, credential poc.POC, v poc.ParticipantID, id poc.ProductID, quality Quality) (outcome identifyOutcome) {
+	hopStart := time.Now()
 	ctx, span := trace.Default.StartChild(ctx, "hop.identify",
 		trace.String("participant", string(v)), trace.String("task", taskID))
 	defer func() {
+		outcome.timing.identifyUS = time.Since(hopStart).Microseconds()
 		span.SetAttr(trace.Bool("identified", outcome.identified),
 			trace.Int("violations", len(outcome.violations)))
 		span.End()
@@ -229,21 +312,27 @@ func (px *Proxy) identify(ctx context.Context, taskID string, credential poc.POC
 			Detail: fmt.Sprintf("resolving endpoint: %v", err),
 		}}}
 	}
+	queryStart := time.Now()
 	resp, err := responder.Query(ctx, taskID, id, quality)
+	proveUS := time.Since(queryStart).Microseconds()
 	if err != nil || resp == nil {
 		span.SetError(err)
-		return identifyOutcome{violations: []Violation{{
+		outcome = identifyOutcome{violations: []Violation{{
 			Participant: v, Type: ViolationUnreachable,
 			Detail: fmt.Sprintf("query failed: %v", err),
 		}}}
+		outcome.timing.proveUS = proveUS
+		return outcome
 	}
 
 	switch quality {
 	case Good:
-		return px.identifyGood(ctx, credential, v, id, resp)
+		outcome = px.identifyGood(ctx, credential, v, id, resp)
 	default:
-		return px.identifyBad(ctx, taskID, credential, v, id, resp, responder)
+		outcome = px.identifyBad(ctx, taskID, credential, v, id, resp, responder)
 	}
+	outcome.timing.proveUS = proveUS
+	return outcome
 }
 
 // identifyGood implements the good-product interaction: only a valid
@@ -260,30 +349,47 @@ func (px *Proxy) identifyGood(ctx context.Context, credential poc.POC, v poc.Par
 			Detail: "claimed processing without an ownership proof",
 		}}}
 	}
+	verifyStart := time.Now()
 	tr, err := poc.Verify(ctx, px.ps, credential, id, resp.Proof)
+	verifyUS := time.Since(verifyStart).Microseconds()
 	if err != nil {
-		return identifyOutcome{violations: []Violation{{
-			Participant: v, Type: ViolationClaimProcessing,
-			Detail: fmt.Sprintf("ownership proof rejected: %v", err),
-		}}}
+		return identifyOutcome{
+			violations: []Violation{{
+				Participant: v, Type: ViolationClaimProcessing,
+				Detail: fmt.Sprintf("ownership proof rejected: %v", err),
+			}},
+			timing: hopTiming{verifyUS: verifyUS},
+		}
 	}
-	return identifyOutcome{identified: true, trace: tr, next: resp.Next}
+	return identifyOutcome{identified: true, trace: tr, next: resp.Next,
+		timing: hopTiming{verifyUS: verifyUS}}
 }
 
 // identifyBad implements the bad-product interaction: a valid non-ownership
 // proof clears v; anything else identifies it, with an ownership demand to
 // recover the trace (§IV.C bad case).
 func (px *Proxy) identifyBad(ctx context.Context, taskID string, credential poc.POC, v poc.ParticipantID, id poc.ProductID, resp *Response, responder Responder) identifyOutcome {
+	var t hopTiming
+	// verify wraps poc.Verify, accumulating verification time for the hop's
+	// wide-event breakdown (the bad case can verify up to two proofs).
+	verify := func(proof *poc.Proof) (*poc.Trace, error) {
+		verifyStart := time.Now()
+		tr, err := poc.Verify(ctx, px.ps, credential, id, proof)
+		t.verifyUS += time.Since(verifyStart).Microseconds()
+		return tr, err
+	}
 	if resp.Claim == ClaimNotProcessed {
 		if resp.Proof != nil && resp.Proof.Kind == poc.NonOwnership {
-			if _, err := poc.Verify(ctx, px.ps, credential, id, resp.Proof); err == nil {
-				return identifyOutcome{} // cleared
+			if _, err := verify(resp.Proof); err == nil {
+				return identifyOutcome{timing: t} // cleared
 			}
 		}
 		// The non-ownership claim did not hold up: demand an ownership proof.
+		demandStart := time.Now()
 		demand, err := responder.DemandOwnership(ctx, taskID, id)
+		t.demandUS = time.Since(demandStart).Microseconds()
 		if err == nil && demand != nil && demand.Proof != nil && demand.Proof.Kind == poc.Ownership {
-			if tr, verr := poc.Verify(ctx, px.ps, credential, id, demand.Proof); verr == nil {
+			if tr, verr := verify(demand.Proof); verr == nil {
 				return identifyOutcome{
 					identified: true,
 					trace:      tr,
@@ -292,6 +398,7 @@ func (px *Proxy) identifyBad(ctx context.Context, taskID string, credential poc.
 						Participant: v, Type: ViolationClaimNonProcessing,
 						Detail: "claimed non-processing but holds a committed trace",
 					}},
+					timing: t,
 				}
 			}
 		}
@@ -303,12 +410,13 @@ func (px *Proxy) identifyBad(ctx context.Context, taskID string, credential poc.
 				Participant: v, Type: ViolationNoValidProof,
 				Detail: "produced neither a valid ownership nor non-ownership proof",
 			}},
+			timing: t,
 		}
 	}
 	// Claims processing in the bad case: verify the ownership proof.
 	if resp.Proof != nil && resp.Proof.Kind == poc.Ownership {
-		if tr, err := poc.Verify(ctx, px.ps, credential, id, resp.Proof); err == nil {
-			return identifyOutcome{identified: true, trace: tr, next: resp.Next}
+		if tr, err := verify(resp.Proof); err == nil {
+			return identifyOutcome{identified: true, trace: tr, next: resp.Next, timing: t}
 		}
 	}
 	return identifyOutcome{
@@ -317,6 +425,7 @@ func (px *Proxy) identifyBad(ctx context.Context, taskID string, credential poc.
 			Participant: v, Type: ViolationNoValidProof,
 			Detail: "claimed processing with an invalid ownership proof",
 		}},
+		timing: t,
 	}
 }
 
@@ -373,6 +482,7 @@ func (px *Proxy) walk(ctx context.Context, list *poc.List, taskID string, start,
 		visited[next] = true
 		outcome := px.identify(ctx, taskID, credential, next, id, quality)
 		px.counters.addInteraction(outcome.identified)
+		recordHop(result, next, outcome)
 		result.Violations = append(result.Violations, outcome.violations...)
 		if !outcome.identified {
 			// §III.B "wrong participant", case 1: the named next provably
@@ -426,6 +536,7 @@ func (px *Proxy) probeChildren(ctx context.Context, list *poc.List, taskID strin
 	commit := func(c candidate, outcome identifyOutcome) (poc.ParticipantID, poc.ParticipantID, bool) {
 		visited[c.child] = true
 		px.counters.addInteraction(outcome.identified)
+		recordHop(result, c.child, outcome)
 		result.Violations = append(result.Violations, outcome.violations...)
 		if !outcome.identified {
 			return "", "", false
@@ -472,12 +583,31 @@ func (px *Proxy) probeChildren(ctx context.Context, list *poc.List, taskID strin
 }
 
 // settle applies the double-edged award to the identified path and penalizes
-// every detected violation (§II.C).
+// every detected violation (§II.C). It records the net score change of every
+// affected participant on the result, so the query's wide event carries the
+// reputation consequences alongside the detection that caused them.
 func (px *Proxy) settle(result *Result) {
 	px.counters.addViolations(result.Violations)
 	countOutcome(result)
+	affected := make(map[poc.ParticipantID]float64, len(result.Path)+len(result.Violations))
+	for _, v := range result.Path {
+		affected[v] = px.ledger.Score(v)
+	}
+	for _, vio := range result.Violations {
+		if _, ok := affected[vio.Participant]; !ok {
+			affected[vio.Participant] = px.ledger.Score(vio.Participant)
+		}
+	}
 	px.strategy.AwardPath(px.ledger, result.Product, result.Quality, result.Path)
 	for _, v := range result.Violations {
 		px.strategy.PenalizeViolation(px.ledger, v.Participant, result.Product, result.Quality, v.Detail)
+	}
+	for v, before := range affected {
+		if delta := px.ledger.Score(v) - before; delta != 0 {
+			if result.repDeltas == nil {
+				result.repDeltas = make(map[string]float64, len(affected))
+			}
+			result.repDeltas[string(v)] = delta
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 
+	"desword/internal/events"
 	"desword/internal/poc"
 	"desword/internal/reputation"
 )
@@ -164,6 +165,18 @@ type Result struct {
 	// the query was not sampled). The full span timeline is retrievable
 	// from the proxy's /debug/traces/<id> admin endpoint.
 	TraceID string
+	// Event is the canonical wide event the proxy assembled for this query:
+	// outcome, per-hop timings, resource counters, violations, reputation
+	// deltas. Always populated by Proxy.QueryPath (whether or not a sink is
+	// configured), and carried across the wire to remote queriers.
+	Event *events.Event
+
+	// hops accumulates the committed query interactions in walk order;
+	// finishEvent copies them onto Event.
+	hops []events.Hop
+	// repDeltas is filled by settle: the net score change per affected
+	// participant.
+	repDeltas map[string]float64
 }
 
 // PathInfo assembles the ordered trace list — the product's path information

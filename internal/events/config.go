@@ -1,0 +1,68 @@
+package events
+
+import (
+	"flag"
+	"fmt"
+)
+
+// Config is the shared flight-recorder configuration of the cmd binaries:
+// one set of flags, one translation into a running Sink.
+type Config struct {
+	// Dir enables the JSONL journal in this directory (empty: ring only).
+	Dir string
+	// RingSize bounds the in-memory event ring.
+	RingSize int
+	// Fsync is the journal fsync policy (never|rotate|always).
+	Fsync string
+	// RotateBytes rotates journal segments beyond this size.
+	RotateBytes int64
+	// KeepFiles bounds retained journal segments.
+	KeepFiles int
+}
+
+// RegisterFlags registers the flight-recorder flags on fs (use
+// flag.CommandLine in main). Zero-valued fields pick up package defaults
+// first, so a binary can pre-seed its own defaults before calling this.
+func (c *Config) RegisterFlags(fs *flag.FlagSet) {
+	if c.RingSize == 0 {
+		c.RingSize = DefaultRingSize
+	}
+	if c.Fsync == "" {
+		c.Fsync = FsyncNever
+	}
+	if c.RotateBytes == 0 {
+		c.RotateBytes = DefaultRotateBytes
+	}
+	if c.KeepFiles == 0 {
+		c.KeepFiles = DefaultKeepFiles
+	}
+	fs.StringVar(&c.Dir, "events-dir", c.Dir, "append wide events to a JSONL journal in this directory (empty disables journaling; the in-memory ring stays on)")
+	fs.IntVar(&c.RingSize, "events-ring", c.RingSize, "wide events kept in the in-memory ring served by /debug/events")
+	fs.StringVar(&c.Fsync, "events-fsync", c.Fsync, "journal fsync policy: never|rotate|always")
+	fs.Int64Var(&c.RotateBytes, "events-rotate", c.RotateBytes, "journal segment size in bytes before rotation")
+	fs.IntVar(&c.KeepFiles, "events-keep", c.KeepFiles, "journal segments retained after rotation")
+}
+
+// Build assembles the sink: a ring always, a journal when Dir is set.
+func (c *Config) Build(service string) (*Sink, error) {
+	if c.Fsync == "" {
+		c.Fsync = FsyncNever
+	}
+	if !ValidFsync(c.Fsync) {
+		return nil, fmt.Errorf("events: -events-fsync %q: want %s|%s|%s",
+			c.Fsync, FsyncNever, FsyncRotate, FsyncAlways)
+	}
+	var journal *Journal
+	if c.Dir != "" {
+		var err error
+		journal, err = OpenJournal(c.Dir, JournalOptions{
+			RotateBytes: c.RotateBytes,
+			KeepFiles:   c.KeepFiles,
+			Fsync:       c.Fsync,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return NewSink(service, NewRing(c.RingSize), journal), nil
+}

@@ -1,0 +1,86 @@
+package events
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DefaultExplorerLimit bounds the /debug/events list when no ?limit is
+// given — the same default the /debug/traces index applies.
+const DefaultExplorerLimit = 100
+
+// explorerEntry is one served event plus its deep link into the trace
+// explorer, so a slow or violated query on /debug/events is one click from
+// its span timeline on /debug/traces/<id>.
+type explorerEntry struct {
+	*Event
+	TraceURL string `json:"trace_url,omitempty"`
+}
+
+// explorerPage is the /debug/events response body.
+type explorerPage struct {
+	Count  int             `json:"count"`
+	Events []explorerEntry `json:"events"`
+}
+
+// Explorer serves the ring's recent events:
+//
+//	GET /debug/events                → JSON list, newest first (limit 100)
+//	  ?kind=query|node_request|campaign
+//	  ?outcome=complete|incomplete|no_origin|ok|error
+//	  ?product=SUBSTRING
+//	  ?min_ms=N        (minimum duration)
+//	  ?limit=N         (0 = everything in the ring)
+//
+// Events carrying a trace id get a trace_url deep link to
+// /debug/traces/<id>. Mount it on the admin mux via obs.WithRoute.
+func Explorer(ring *Ring) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if ring == nil {
+			http.Error(w, "event recording disabled", http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		f := Filter{
+			Kind:    Kind(q.Get("kind")),
+			Outcome: Outcome(q.Get("outcome")),
+			Product: q.Get("product"),
+		}
+		if ms := q.Get("min_ms"); ms != "" {
+			n, err := strconv.Atoi(ms)
+			if err != nil || n < 0 {
+				http.Error(w, "malformed min_ms", http.StatusBadRequest)
+				return
+			}
+			f.MinDuration = time.Duration(n) * time.Millisecond
+		}
+		limit := DefaultExplorerLimit
+		if ls := q.Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n < 0 {
+				http.Error(w, "malformed limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		matches := ring.Query(f, limit)
+		page := explorerPage{Count: len(matches), Events: make([]explorerEntry, 0, len(matches))}
+		for _, ev := range matches {
+			entry := explorerEntry{Event: ev}
+			if ev.TraceID != "" {
+				entry.TraceURL = "/debug/traces/" + ev.TraceID
+			}
+			page.Events = append(page.Events, entry)
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(page)
+	})
+}

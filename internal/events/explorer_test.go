@@ -1,0 +1,162 @@
+package events
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func explorerFixture() *Ring {
+	r := NewRing(16)
+	fast := New(KindQuery, time.Unix(1700000000, 0).UTC())
+	fast.Product = "widget-fast"
+	fast.Outcome = OutcomeComplete
+	fast.DurationUS = 2_000
+	fast.TraceID = "trace_fast"
+	r.Add(fast)
+	slow := New(KindQuery, time.Unix(1700000001, 0).UTC())
+	slow.Product = "widget-slow"
+	slow.Outcome = OutcomeIncomplete
+	slow.DurationUS = 90_000
+	r.Add(slow)
+	node := New(KindNodeRequest, time.Unix(1700000002, 0).UTC())
+	node.Outcome = OutcomeOK
+	node.MsgType = "query"
+	r.Add(node)
+	return r
+}
+
+func getPage(t *testing.T, h http.Handler, url string) explorerPage {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, rec.Code, rec.Body.String())
+	}
+	var page explorerPage
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+	return page
+}
+
+func TestExplorerListsNewestFirst(t *testing.T) {
+	h := Explorer(explorerFixture())
+	page := getPage(t, h, "/debug/events")
+	if page.Count != 3 || len(page.Events) != 3 {
+		t.Fatalf("count = %d, want 3", page.Count)
+	}
+	if page.Events[0].Kind != KindNodeRequest || page.Events[2].Product != "widget-fast" {
+		t.Fatalf("order wrong: %+v", page.Events)
+	}
+}
+
+func TestExplorerFilters(t *testing.T) {
+	h := Explorer(explorerFixture())
+	if page := getPage(t, h, "/debug/events?kind=query"); page.Count != 2 {
+		t.Fatalf("kind filter: %d", page.Count)
+	}
+	if page := getPage(t, h, "/debug/events?outcome=incomplete"); page.Count != 1 || page.Events[0].Product != "widget-slow" {
+		t.Fatalf("outcome filter wrong")
+	}
+	if page := getPage(t, h, "/debug/events?product=slow"); page.Count != 1 {
+		t.Fatalf("product filter wrong")
+	}
+	if page := getPage(t, h, "/debug/events?min_ms=50"); page.Count != 1 || page.Events[0].Product != "widget-slow" {
+		t.Fatalf("min_ms filter wrong")
+	}
+	if page := getPage(t, h, "/debug/events?limit=1"); page.Count != 1 {
+		t.Fatalf("limit wrong")
+	}
+}
+
+func TestExplorerTraceDeepLink(t *testing.T) {
+	h := Explorer(explorerFixture())
+	page := getPage(t, h, "/debug/events?product=fast")
+	if page.Count != 1 {
+		t.Fatalf("count = %d", page.Count)
+	}
+	if page.Events[0].TraceURL != "/debug/traces/trace_fast" {
+		t.Fatalf("TraceURL = %q", page.Events[0].TraceURL)
+	}
+	// Events without a trace id get no link.
+	page = getPage(t, h, "/debug/events?product=slow")
+	if page.Events[0].TraceURL != "" {
+		t.Fatalf("unexpected TraceURL %q", page.Events[0].TraceURL)
+	}
+}
+
+func TestExplorerRejectsBadRequests(t *testing.T) {
+	h := Explorer(explorerFixture())
+	for _, url := range []string{"/debug/events?min_ms=x", "/debug/events?min_ms=-1", "/debug/events?limit=x", "/debug/events?limit=-2"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", url, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/debug/events", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want 405", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	Explorer(nil).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/events", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("nil ring: status %d, want 404", rec.Code)
+	}
+}
+
+func TestConfigBuild(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, RingSize: 4}
+	sink, err := cfg.Build("test")
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if sink.Ring() == nil || sink.Journal() == nil {
+		t.Fatal("Build with Dir must wire ring and journal")
+	}
+	ev := New(KindQuery, time.Now())
+	ev.Outcome = OutcomeComplete
+	sink.Emit(ev)
+	if ev.Service != "test" || ev.Schema != SchemaVersion {
+		t.Fatalf("Emit did not stamp service/schema: %+v", ev)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var got int
+	if _, err := ScanDir(dir, func(*Event) error { got++; return nil }); err != nil {
+		t.Fatalf("ScanDir: %v", err)
+	}
+	if got != 1 {
+		t.Fatalf("journal holds %d events, want 1", got)
+	}
+
+	ringOnly := Config{}
+	s2, err := ringOnly.Build("test")
+	if err != nil {
+		t.Fatalf("Build(ring only): %v", err)
+	}
+	if s2.Journal() != nil {
+		t.Fatal("empty Dir must not open a journal")
+	}
+	bad := Config{Fsync: "sometimes"}
+	if _, err := bad.Build("test"); err == nil {
+		t.Fatal("Build accepted an unknown fsync policy")
+	}
+}
+
+func TestNilSinkIsInert(t *testing.T) {
+	var s *Sink
+	s.Emit(New(KindQuery, time.Now()))
+	if s.Ring() != nil || s.Journal() != nil {
+		t.Fatal("nil sink leaked a handle")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}

@@ -1,0 +1,294 @@
+package events
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Journal segment naming: events-000042.jsonl. The sequence number orders
+// segments for offline scans and rotation pruning.
+const (
+	segmentPrefix = "events-"
+	segmentSuffix = ".jsonl"
+	segmentDigits = 6
+)
+
+// Fsync policies. The journal always writes through a plain append — the
+// policy only decides when the file is flushed to stable storage.
+const (
+	// FsyncNever leaves flushing to the OS page cache (default): cheapest,
+	// loses at most the unflushed tail on power loss — which reopen
+	// tolerates by construction.
+	FsyncNever = "never"
+	// FsyncRotate fsyncs a segment once, when it is rotated out (and on
+	// Close): bounded loss of one segment's tail.
+	FsyncRotate = "rotate"
+	// FsyncAlways fsyncs after every event: maximum durability, pays one
+	// fsync per query.
+	FsyncAlways = "always"
+)
+
+// ValidFsync reports whether s names a supported fsync policy.
+func ValidFsync(s string) bool {
+	return s == FsyncNever || s == FsyncRotate || s == FsyncAlways
+}
+
+// JournalOptions tunes a journal. Zero values select the defaults.
+type JournalOptions struct {
+	// RotateBytes rotates the active segment once it exceeds this size.
+	RotateBytes int64
+	// KeepFiles bounds retained segments; the oldest are pruned.
+	KeepFiles int
+	// Fsync is one of the Fsync* policies.
+	Fsync string
+}
+
+// Journal defaults: 4 MiB segments, 8 retained, no fsync.
+const (
+	DefaultRotateBytes = 4 << 20
+	DefaultKeepFiles   = 8
+)
+
+func (o JournalOptions) withDefaults() JournalOptions {
+	if o.RotateBytes <= 0 {
+		o.RotateBytes = DefaultRotateBytes
+	}
+	if o.KeepFiles <= 0 {
+		o.KeepFiles = DefaultKeepFiles
+	}
+	if o.Fsync == "" {
+		o.Fsync = FsyncNever
+	}
+	return o
+}
+
+// Journal is the crash-safe, append-only JSONL half of the flight recorder:
+// one event per line, size-rotated segments, a configurable fsync policy.
+// Opening an existing journal resumes the newest segment; a torn tail line
+// (a write interrupted by a crash) is truncated away and counted in
+// desword_events_dropped_total, so every line a reader ever sees is a
+// complete JSON document.
+type Journal struct {
+	dir  string
+	opts JournalOptions
+
+	mu   sync.Mutex
+	f    *os.File
+	seq  int
+	size int64
+}
+
+// OpenJournal opens (or creates) the journal in dir. The directory is
+// created if missing. If segments exist, appending resumes on the newest
+// one after tail recovery.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	opts = opts.withDefaults()
+	if !ValidFsync(opts.Fsync) {
+		return nil, fmt.Errorf("events: unknown fsync policy %q (want %s|%s|%s)",
+			opts.Fsync, FsyncNever, FsyncRotate, FsyncAlways)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("events: creating journal dir: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		newest := segs[len(segs)-1]
+		j.seq = newest.Seq
+		dropped, rerr := recoverTail(newest.Path)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if dropped {
+			mDropped.Inc()
+		}
+	} else {
+		j.seq = 1
+	}
+	if err := j.openSegment(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// Segment names one journal file.
+type Segment struct {
+	Seq  int
+	Path string
+}
+
+// ListSegments returns the journal segments under dir, oldest first.
+func ListSegments(dir string) ([]Segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("events: listing journal dir: %w", err)
+	}
+	segs := make([]Segment, 0, len(entries))
+	for _, e := range entries {
+		seq, ok := segmentSeq(e.Name())
+		if !ok || e.IsDir() {
+			continue
+		}
+		segs = append(segs, Segment{Seq: seq, Path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(segs, func(i, k int) bool { return segs[i].Seq < segs[k].Seq })
+	return segs, nil
+}
+
+// segmentSeq parses a segment file name.
+func segmentSeq(name string) (int, bool) {
+	if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	num := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+	seq, err := strconv.Atoi(num)
+	if err != nil || seq <= 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+func segmentName(seq int) string {
+	return fmt.Sprintf("%s%0*d%s", segmentPrefix, segmentDigits, seq, segmentSuffix)
+}
+
+// recoverTail truncates path to its last complete line. It reports whether a
+// torn tail was dropped. An empty or already-clean file is left untouched.
+func recoverTail(path string) (bool, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("events: reading journal tail: %w", err)
+	}
+	if len(b) == 0 || b[len(b)-1] == '\n' {
+		return false, nil
+	}
+	keep := int64(bytes.LastIndexByte(b, '\n') + 1)
+	if err := os.Truncate(path, keep); err != nil {
+		return false, fmt.Errorf("events: truncating torn journal tail: %w", err)
+	}
+	return true, nil
+}
+
+// openSegment opens the current sequence's file for appending.
+func (j *Journal) openSegment() error {
+	path := filepath.Join(j.dir, segmentName(j.seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("events: opening journal segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return fmt.Errorf("events: stat journal segment: %w", err)
+	}
+	j.f = f
+	j.size = st.Size()
+	mJournalBytes.Set(j.size)
+	return nil
+}
+
+// Append writes one encoded event line. The line must not contain a newline;
+// Append adds the terminator. Rotation happens after the write, so a single
+// oversized event still lands intact.
+func (j *Journal) Append(line []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("events: journal closed")
+	}
+	buf := make([]byte, 0, len(line)+1)
+	buf = append(buf, line...)
+	buf = append(buf, '\n')
+	n, err := j.f.Write(buf)
+	j.size += int64(n)
+	mJournalBytes.Set(j.size)
+	if err != nil {
+		// A partial write leaves a torn tail; the next reopen drops it.
+		return fmt.Errorf("events: appending journal line: %w", err)
+	}
+	if j.opts.Fsync == FsyncAlways {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("events: fsync journal: %w", err)
+		}
+	}
+	if j.size >= j.opts.RotateBytes {
+		return j.rotateLocked()
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment and starts the next one, pruning
+// segments beyond KeepFiles. Callers hold j.mu.
+func (j *Journal) rotateLocked() error {
+	if j.opts.Fsync != FsyncNever {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("events: fsync sealed segment: %w", err)
+		}
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("events: closing sealed segment: %w", err)
+	}
+	j.f = nil
+	j.seq++
+	mRotations.Inc()
+	if err := j.openSegment(); err != nil {
+		return err
+	}
+	return j.pruneLocked()
+}
+
+// pruneLocked removes the oldest segments beyond KeepFiles (the active one
+// included in the count). Callers hold j.mu.
+func (j *Journal) pruneLocked() error {
+	segs, err := ListSegments(j.dir)
+	if err != nil {
+		return err
+	}
+	for len(segs) > j.opts.KeepFiles {
+		if rerr := os.Remove(segs[0].Path); rerr != nil && !errors.Is(rerr, fs.ErrNotExist) {
+			return fmt.Errorf("events: pruning journal segment: %w", rerr)
+		}
+		segs = segs[1:]
+	}
+	return nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Close seals the active segment. For any policy but FsyncNever the segment
+// is flushed to stable storage first.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	if j.opts.Fsync != FsyncNever {
+		if err := j.f.Sync(); err != nil {
+			_ = j.f.Close()
+			j.f = nil
+			return fmt.Errorf("events: fsync on close: %w", err)
+		}
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("events: closing journal: %w", err)
+	}
+	return nil
+}

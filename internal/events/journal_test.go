@@ -1,0 +1,250 @@
+package events
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testEvent builds a minimal query event with a recognizable product id.
+func testEvent(product string) *Event {
+	ev := New(KindQuery, time.Unix(1700000000, 0).UTC())
+	ev.Product = product
+	ev.Outcome = OutcomeComplete
+	ev.DurationUS = 1234
+	return ev
+}
+
+func appendEvent(t *testing.T, j *Journal, product string) {
+	t.Helper()
+	line, err := testEvent(product).Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if err := j.Append(line); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+}
+
+func TestJournalAppendAndScan(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		appendEvent(t, j, "p")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var got int
+	stats, err := ScanDir(dir, func(*Event) error { got++; return nil })
+	if err != nil {
+		t.Fatalf("ScanDir: %v", err)
+	}
+	if got != 10 || stats.Lines != 10 || stats.Torn != 0 || stats.Malformed != 0 {
+		t.Fatalf("scan saw %d events, stats %+v; want 10 clean lines", got, stats)
+	}
+}
+
+// TestJournalCrashRecovery is the satellite-3 scenario: a process dies
+// mid-write leaving a torn tail line. Reopen must keep every complete line,
+// drop the torn tail, and count the drop in desword_events_dropped_total.
+func TestJournalCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		appendEvent(t, j, "survivor")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Simulate the crash: a half-written line with no terminator.
+	segs, err := ListSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("ListSegments: %v (%d segments)", err, len(segs))
+	}
+	f, err := os.OpenFile(segs[0].Path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("opening segment: %v", err)
+	}
+	if _, err := f.WriteString(`{"schema":1,"kind":"query","pro`); err != nil {
+		t.Fatalf("writing torn tail: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("closing segment: %v", err)
+	}
+
+	droppedBefore := mDropped.Value()
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	if got := mDropped.Value() - droppedBefore; got != 1 {
+		t.Fatalf("desword_events_dropped_total rose by %d, want 1", got)
+	}
+	// The journal must resume the same segment, appendable as if the torn
+	// write never happened.
+	appendEvent(t, j2, "after-crash")
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close after recovery: %v", err)
+	}
+
+	var products []string
+	stats, err := ScanDir(dir, func(ev *Event) error {
+		products = append(products, ev.Product)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanDir: %v", err)
+	}
+	if stats.Lines != 6 || stats.Torn != 0 || stats.Malformed != 0 {
+		t.Fatalf("post-recovery stats %+v; want 6 clean lines", stats)
+	}
+	for i := 0; i < 5; i++ {
+		if products[i] != "survivor" {
+			t.Fatalf("line %d = %q, want survivor", i, products[i])
+		}
+	}
+	if products[5] != "after-crash" {
+		t.Fatalf("last line = %q, want after-crash", products[5])
+	}
+}
+
+func TestJournalRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{RotateBytes: 1, KeepFiles: 3})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	// RotateBytes: 1 rotates after every append, so each event gets its own
+	// segment and pruning must keep only the newest three files.
+	for i := 0; i < 10; i++ {
+		appendEvent(t, j, "r")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatalf("ListSegments: %v", err)
+	}
+	if len(segs) > 3 {
+		t.Fatalf("prune kept %d segments, want at most 3", len(segs))
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Seq <= segs[i-1].Seq {
+			t.Fatalf("segments out of order: %+v", segs)
+		}
+	}
+}
+
+func TestJournalResumesNewestSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, JournalOptions{RotateBytes: 1})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	appendEvent(t, j, "a") // rotates: seq 1 sealed, seq 2 active
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	appendEvent(t, j2, "b")
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := ListSegments(dir)
+	if err != nil {
+		t.Fatalf("ListSegments: %v", err)
+	}
+	last := segs[len(segs)-1]
+	b, err := os.ReadFile(last.Path)
+	if err != nil {
+		t.Fatalf("reading newest segment: %v", err)
+	}
+	if !strings.Contains(string(b), `"b"`) {
+		t.Fatalf("newest segment %s does not hold the resumed append: %q", last.Path, b)
+	}
+}
+
+func TestJournalFsyncPolicies(t *testing.T) {
+	for _, policy := range []string{FsyncNever, FsyncRotate, FsyncAlways} {
+		t.Run(policy, func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := OpenJournal(dir, JournalOptions{Fsync: policy, RotateBytes: 256})
+			if err != nil {
+				t.Fatalf("OpenJournal(%s): %v", policy, err)
+			}
+			for i := 0; i < 8; i++ {
+				appendEvent(t, j, "f")
+			}
+			if err := j.Close(); err != nil {
+				t.Fatalf("Close(%s): %v", policy, err)
+			}
+			var got int
+			if _, err := ScanDir(dir, func(*Event) error { got++; return nil }); err != nil {
+				t.Fatalf("ScanDir(%s): %v", policy, err)
+			}
+			if got != 8 {
+				t.Fatalf("policy %s: scanned %d events, want 8", policy, got)
+			}
+		})
+	}
+	if _, err := OpenJournal(t.TempDir(), JournalOptions{Fsync: "sometimes"}); err == nil {
+		t.Fatal("OpenJournal accepted an unknown fsync policy")
+	}
+}
+
+func TestJournalAppendAfterClose(t *testing.T) {
+	j, err := OpenJournal(t.TempDir(), JournalOptions{})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := j.Append([]byte("{}")); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestSegmentSeqParsing(t *testing.T) {
+	cases := []struct {
+		name string
+		seq  int
+		ok   bool
+	}{
+		{"events-000001.jsonl", 1, true},
+		{"events-123456.jsonl", 123456, true},
+		{"events-000000.jsonl", 0, false},
+		{"events-abc.jsonl", 0, false},
+		{"trace-000001.jsonl", 0, false},
+		{"events-000001.json", 0, false},
+	}
+	for _, c := range cases {
+		seq, ok := segmentSeq(c.name)
+		if ok != c.ok || (ok && seq != c.seq) {
+			t.Errorf("segmentSeq(%q) = %d,%v; want %d,%v", c.name, seq, ok, c.seq, c.ok)
+		}
+	}
+	if got := segmentName(42); got != "events-000042.jsonl" {
+		t.Errorf("segmentName(42) = %q", got)
+	}
+	if filepath.Ext(segmentName(1)) != ".jsonl" {
+		t.Errorf("segment extension changed: %q", segmentName(1))
+	}
+}

@@ -1,0 +1,104 @@
+package events
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentEmitAndQuery exercises the sink under the race detector:
+// emitters, ring readers and a journal writer all at once — the shape of a
+// proxy emitting query events while /debug/events is being polled.
+func TestConcurrentEmitAndQuery(t *testing.T) {
+	cfg := Config{Dir: t.TempDir(), RingSize: 32}
+	sink, err := cfg.Build("race")
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ev := New(KindQuery, time.Now())
+				ev.Product = "race"
+				ev.Outcome = OutcomeComplete
+				ev.DurationUS = int64(i)
+				sink.Emit(ev)
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sink.Ring().Query(Filter{Product: "race"}, 10)
+				sink.Ring().Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := sink.Ring().Total(); got != writers*perWriter {
+		t.Fatalf("ring Total = %d, want %d", got, writers*perWriter)
+	}
+	var scanned int
+	if _, err := ScanDir(cfg.Dir, func(*Event) error { scanned++; return nil }); err != nil {
+		t.Fatalf("ScanDir: %v", err)
+	}
+	if scanned != writers*perWriter {
+		t.Fatalf("journal holds %d events, want %d", scanned, writers*perWriter)
+	}
+}
+
+// TestScopeConcurrent mirrors speculative child probes incrementing one
+// query's scope from several goroutines.
+func TestScopeConcurrent(t *testing.T) {
+	s := NewScope()
+	ctx := WithScope(context.Background(), s)
+	if ScopeFrom(ctx) != s {
+		t.Fatal("ScopeFrom lost the scope")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := ScopeFrom(ctx)
+			for i := 0; i < 100; i++ {
+				sc.CacheHit()
+				sc.CacheMiss()
+				sc.PoolReuse()
+				sc.PoolRetry()
+			}
+		}()
+	}
+	wg.Wait()
+	var ev Event
+	s.Fill(&ev)
+	if ev.CacheHits != 800 || ev.CacheMisses != 800 || ev.PoolReused != 800 || ev.PoolRetries != 800 {
+		t.Fatalf("scope counters = %+v, want 800 each", ev)
+	}
+}
+
+func TestScopeNilSafety(t *testing.T) {
+	var s *Scope
+	s.CacheHit()
+	s.CacheMiss()
+	s.PoolReuse()
+	s.PoolRetry()
+	s.Fill(&Event{})
+	if got := ScopeFrom(context.Background()); got != nil {
+		t.Fatalf("ScopeFrom(empty ctx) = %v", got)
+	}
+	ctx := WithScope(context.Background(), nil)
+	if got := ScopeFrom(ctx); got != nil {
+		t.Fatalf("WithScope(nil) stored something: %v", got)
+	}
+}

@@ -1,0 +1,114 @@
+package events
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultRingSize bounds the in-memory event ring when a non-positive
+// capacity is requested.
+const DefaultRingSize = 512
+
+// Ring is a bounded buffer of the most recent events, the in-memory half of
+// the flight recorder: always on, queried by /debug/events. Events are
+// stored by pointer and treated as frozen (see Event).
+type Ring struct {
+	mu    sync.Mutex
+	buf   []*Event
+	next  int
+	total uint64
+}
+
+// NewRing builds a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Ring{buf: make([]*Event, 0, capacity)}
+}
+
+// Add stores one event, evicting the oldest beyond capacity.
+func (r *Ring) Add(ev *Event) {
+	if ev == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+}
+
+// Len returns the number of stored events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Total returns the number of events ever added, including evicted ones.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Filter selects events. Zero values match everything; string matches are
+// exact except Product, which is a substring match (investigators grep by
+// id fragments).
+type Filter struct {
+	Kind        Kind
+	Outcome     Outcome
+	Product     string
+	MinDuration time.Duration
+}
+
+// Match reports whether the event passes the filter.
+func (f Filter) Match(ev *Event) bool {
+	if ev == nil {
+		return false
+	}
+	if f.Kind != "" && ev.Kind != f.Kind {
+		return false
+	}
+	if f.Outcome != "" && ev.Outcome != f.Outcome {
+		return false
+	}
+	if f.Product != "" && !strings.Contains(ev.Product, f.Product) {
+		return false
+	}
+	if f.MinDuration > 0 && time.Duration(ev.DurationUS)*time.Microsecond < f.MinDuration {
+		return false
+	}
+	return true
+}
+
+// Query returns up to limit matching events, newest first. A non-positive
+// limit returns every match.
+func (r *Ring) Query(f Filter, limit int) []*Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Event, 0, min(len(r.buf), max(limit, 0)))
+	for i := 0; i < len(r.buf); i++ {
+		// Walk backwards from the newest slot.
+		idx := (r.next - 1 - i + 2*len(r.buf)) % len(r.buf)
+		if len(r.buf) < cap(r.buf) {
+			// Ring not yet full: slots are in insertion order, next unused.
+			idx = len(r.buf) - 1 - i
+		}
+		ev := r.buf[idx]
+		if !f.Match(ev) {
+			continue
+		}
+		out = append(out, ev)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package events
+
+import (
+	"testing"
+	"time"
+)
+
+func ringEvent(product string, d time.Duration, outcome Outcome) *Event {
+	ev := New(KindQuery, time.Unix(1700000000, 0).UTC())
+	ev.Product = product
+	ev.Outcome = outcome
+	ev.DurationUS = d.Microseconds()
+	return ev
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i, p := range []string{"a", "b", "c", "d", "e"} {
+		r.Add(ringEvent(p, time.Duration(i)*time.Millisecond, OutcomeComplete))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	got := r.Query(Filter{}, 0)
+	if len(got) != 3 {
+		t.Fatalf("Query returned %d events, want 3", len(got))
+	}
+	// Newest first, oldest two evicted.
+	for i, want := range []string{"e", "d", "c"} {
+		if got[i].Product != want {
+			t.Fatalf("Query[%d].Product = %q, want %q", i, got[i].Product, want)
+		}
+	}
+}
+
+func TestRingQueryNewestFirstBeforeFull(t *testing.T) {
+	r := NewRing(8)
+	r.Add(ringEvent("first", time.Millisecond, OutcomeComplete))
+	r.Add(ringEvent("second", time.Millisecond, OutcomeComplete))
+	got := r.Query(Filter{}, 0)
+	if len(got) != 2 || got[0].Product != "second" || got[1].Product != "first" {
+		t.Fatalf("partial ring order wrong: %+v", got)
+	}
+}
+
+func TestRingQueryLimit(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 6; i++ {
+		r.Add(ringEvent("p", time.Millisecond, OutcomeComplete))
+	}
+	if got := r.Query(Filter{}, 2); len(got) != 2 {
+		t.Fatalf("limit 2 returned %d events", len(got))
+	}
+}
+
+func TestRingFilters(t *testing.T) {
+	r := NewRing(16)
+	r.Add(ringEvent("widget-1", 5*time.Millisecond, OutcomeComplete))
+	r.Add(ringEvent("widget-2", 50*time.Millisecond, OutcomeIncomplete))
+	node := New(KindNodeRequest, time.Unix(1700000000, 0).UTC())
+	node.Outcome = OutcomeOK
+	r.Add(node)
+
+	if got := r.Query(Filter{Kind: KindQuery}, 0); len(got) != 2 {
+		t.Fatalf("kind filter returned %d, want 2", len(got))
+	}
+	if got := r.Query(Filter{Outcome: OutcomeIncomplete}, 0); len(got) != 1 || got[0].Product != "widget-2" {
+		t.Fatalf("outcome filter wrong: %+v", got)
+	}
+	if got := r.Query(Filter{Product: "idget"}, 0); len(got) != 2 {
+		t.Fatalf("product substring filter returned %d, want 2", len(got))
+	}
+	if got := r.Query(Filter{MinDuration: 10 * time.Millisecond}, 0); len(got) != 1 || got[0].Product != "widget-2" {
+		t.Fatalf("min-duration filter wrong: %+v", got)
+	}
+	if (Filter{}).Match(nil) {
+		t.Fatal("nil event matched")
+	}
+}
+
+func TestRingZeroCapacityDefaults(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i <= DefaultRingSize; i++ {
+		r.Add(ringEvent("p", time.Millisecond, OutcomeComplete))
+	}
+	if r.Len() != DefaultRingSize {
+		t.Fatalf("Len = %d, want default %d", r.Len(), DefaultRingSize)
+	}
+}
+
+func TestEventAddHopTruncation(t *testing.T) {
+	ev := New(KindQuery, time.Now())
+	for i := 0; i < MaxHops+7; i++ {
+		ev.AddHop(Hop{Participant: "p"})
+	}
+	if len(ev.Hops) != MaxHops {
+		t.Fatalf("Hops = %d, want cap %d", len(ev.Hops), MaxHops)
+	}
+	if ev.HopsTruncated != 7 {
+		t.Fatalf("HopsTruncated = %d, want 7", ev.HopsTruncated)
+	}
+}
+
+func TestEventEncodeDecodeRoundTrip(t *testing.T) {
+	ev := New(KindQuery, time.Unix(1700000000, 0).UTC())
+	ev.Product = "widget"
+	ev.Outcome = OutcomeComplete
+	ev.TraceID = "abc"
+	ev.AddHop(Hop{Participant: "P_one", Identified: true, IdentifyUS: 10, ProveUS: 7, VerifyUS: 2})
+	ev.Violations = []Violation{{Participant: "P_two", Type: "no-valid-proof", Detail: "x"}}
+	ev.RepDeltas = map[string]float64{"P_one": 1.5}
+	ev.SetField("p_bad", 0.25)
+
+	line, err := ev.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	back, err := Decode(line)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if back.Product != "widget" || back.TraceID != "abc" || len(back.Hops) != 1 ||
+		back.Hops[0].ProveUS != 7 || back.Violations[0].Type != "no-valid-proof" ||
+		back.RepDeltas["P_one"] != 1.5 || back.Fields["p_bad"] != 0.25 {
+		t.Fatalf("round trip mangled event: %+v", back)
+	}
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+}

@@ -1,0 +1,218 @@
+package events
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeJournal materializes events as one journal segment under dir.
+func writeJournal(t *testing.T, dir string, evs ...*Event) {
+	t.Helper()
+	j, err := OpenJournal(dir, JournalOptions{})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	for _, ev := range evs {
+		line, err := ev.Encode()
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if err := j.Append(line); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func queryEvent(product string, us int64, outcome Outcome) *Event {
+	ev := New(KindQuery, time.Unix(1700000000, 0).UTC())
+	ev.Product = product
+	ev.Outcome = outcome
+	ev.DurationUS = us
+	ev.PathLen = 3
+	ev.CacheHits = 2
+	ev.CacheMisses = 1
+	ev.PoolReused = 4
+	ev.PoolRetries = 1
+	return ev
+}
+
+func TestScanDirToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, queryEvent("a", 100, OutcomeComplete), queryEvent("b", 200, OutcomeComplete))
+	segs, err := ListSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("ListSegments: %v (%d)", err, len(segs))
+	}
+	f, err := os.OpenFile(segs[0].Path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.WriteString(`{"schema":1,"ki`); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	var got int
+	stats, err := ScanDir(dir, func(*Event) error { got++; return nil })
+	if err != nil {
+		t.Fatalf("ScanDir: %v", err)
+	}
+	if got != 2 || stats.Lines != 2 || stats.Torn != 1 || stats.Malformed != 0 {
+		t.Fatalf("got %d events, stats %+v; want 2 events, 1 torn", got, stats)
+	}
+}
+
+func TestScanDirCountsMalformedLines(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, queryEvent("a", 100, OutcomeComplete))
+	segs, _ := ListSegments(dir)
+	f, err := os.OpenFile(segs[0].Path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.WriteString("not json at all\n"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var got int
+	stats, err := ScanDir(dir, func(*Event) error { got++; return nil })
+	if err != nil {
+		t.Fatalf("ScanDir: %v", err)
+	}
+	if got != 1 || stats.Malformed != 1 {
+		t.Fatalf("got %d events, stats %+v; want 1 event, 1 malformed", got, stats)
+	}
+}
+
+func TestScanDirEmpty(t *testing.T) {
+	if _, err := ScanDir(t.TempDir(), func(*Event) error { return nil }); err == nil {
+		t.Fatal("ScanDir on an empty dir succeeded; want a no-segments error")
+	}
+	if _, err := ScanDir(filepath.Join(t.TempDir(), "missing"), func(*Event) error { return nil }); err == nil {
+		t.Fatal("ScanDir on a missing dir succeeded")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	dir := t.TempDir()
+	evs := []*Event{
+		queryEvent("alpha", 100, OutcomeComplete),
+		queryEvent("beta", 400, OutcomeComplete),
+		queryEvent("gamma", 200, OutcomeIncomplete),
+		queryEvent("delta", 800, OutcomeNoOrigin),
+	}
+	evs[2].Violations = []Violation{
+		{Participant: "P_x", Type: "no-valid-proof"},
+		{Participant: "P_y", Type: "wrong-next-hop"},
+	}
+	node := New(KindNodeRequest, time.Unix(1700000000, 0).UTC())
+	node.Outcome = OutcomeOK
+	node.DurationUS = 50
+	writeJournal(t, dir, append(evs, node)...)
+
+	s, err := Summarize(dir, Filter{}, 2)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.Total != 5 || s.Queries != 4 {
+		t.Fatalf("Total=%d Queries=%d, want 5/4", s.Total, s.Queries)
+	}
+	if s.ByKind["query"] != 4 || s.ByKind["node_request"] != 1 {
+		t.Fatalf("ByKind = %v", s.ByKind)
+	}
+	if s.ByOutcome["complete"] != 2 || s.ByOutcome["incomplete"] != 1 || s.ByOutcome["no_origin"] != 1 {
+		t.Fatalf("ByOutcome = %v", s.ByOutcome)
+	}
+	if s.Hops != 12 {
+		t.Fatalf("Hops = %d, want 12", s.Hops)
+	}
+	if s.Violations["no-valid-proof"] != 1 || s.Violations["wrong-next-hop"] != 1 {
+		t.Fatalf("Violations = %v", s.Violations)
+	}
+	if s.CacheHits != 8 || s.CacheMisses != 4 || s.PoolReused != 16 || s.PoolRetries != 4 {
+		t.Fatalf("counter sums wrong: %+v", s)
+	}
+	lat := s.QueryLatency
+	if lat.Count != 4 || lat.MeanUS != 375 || lat.P50US != 200 || lat.MaxUS != 800 {
+		t.Fatalf("latency = %+v", lat)
+	}
+	if len(s.Slowest) != 2 || s.Slowest[0].Product != "delta" || s.Slowest[1].Product != "beta" {
+		t.Fatalf("Slowest = %+v", s.Slowest)
+	}
+
+	// Filtered view: outcome=complete only.
+	fs, err := Summarize(dir, Filter{Outcome: OutcomeComplete}, 0)
+	if err != nil {
+		t.Fatalf("Summarize(filtered): %v", err)
+	}
+	if fs.Total != 2 || fs.Queries != 2 || len(fs.Slowest) != 0 {
+		t.Fatalf("filtered summary = %+v", fs)
+	}
+}
+
+func TestInsertSlowestOrder(t *testing.T) {
+	var top []*Event
+	for _, us := range []int64{300, 100, 900, 500, 700} {
+		top = insertSlowest(top, queryEvent("p", us, OutcomeComplete), 3)
+	}
+	want := []int64{900, 700, 500}
+	if len(top) != 3 {
+		t.Fatalf("len = %d", len(top))
+	}
+	for i, w := range want {
+		if top[i].DurationUS != w {
+			t.Fatalf("top[%d] = %d, want %d", i, top[i].DurationUS, w)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := &Summary{
+		Total: 10, Queries: 10,
+		QueryLatency: LatencyStats{MeanUS: 100, P50US: 90, P99US: 200, MaxUS: 250},
+		Hops:         30,
+		ByOutcome:    map[string]int{"complete": 9, "incomplete": 1},
+		Violations:   map[string]int{"no-valid-proof": 2},
+		CacheHits:    5,
+	}
+	b := &Summary{
+		Total: 10, Queries: 10,
+		QueryLatency: LatencyStats{MeanUS: 150, P50US: 90, P99US: 400, MaxUS: 500},
+		Hops:         30,
+		ByOutcome:    map[string]int{"complete": 10},
+		Violations:   map[string]int{},
+		CacheHits:    10,
+	}
+	rows := Diff(a, b)
+	byMetric := make(map[string]DiffRow, len(rows))
+	for _, r := range rows {
+		byMetric[r.Metric] = r
+	}
+	if r := byMetric["query_latency_mean_us"]; r.A != 100 || r.B != 150 || r.DeltaPct != 50 {
+		t.Fatalf("mean row = %+v", r)
+	}
+	if r := byMetric["violations"]; r.A != 2 || r.B != 0 || r.DeltaPct != -100 {
+		t.Fatalf("violations row = %+v", r)
+	}
+	if r, ok := byMetric["outcome_incomplete"]; !ok || r.A != 1 || r.B != 0 {
+		t.Fatalf("outcome_incomplete row = %+v (ok=%v)", r, ok)
+	}
+	if r := byMetric["cache_hits"]; r.DeltaPct != 100 {
+		t.Fatalf("cache_hits row = %+v", r)
+	}
+}
+
+func TestLatencyFromEmpty(t *testing.T) {
+	if got := latencyFrom(nil); got != (LatencyStats{}) {
+		t.Fatalf("latencyFrom(nil) = %+v", got)
+	}
+}

@@ -1,0 +1,100 @@
+package events
+
+import (
+	"log/slog"
+	"time"
+
+	"desword/internal/obs"
+)
+
+// Flight-recorder metrics. Dropped counts lines lost to torn-tail recovery
+// at reopen and events that failed to encode — the offline aggregates are
+// trustworthy only when it stays at zero.
+var (
+	mEmitted = obs.Default.Counter("desword_events_emitted_total",
+		"Wide events emitted into the flight recorder, by all sinks in the process.")
+	mDropped = obs.Default.Counter("desword_events_dropped_total",
+		"Wide events lost: torn journal tails truncated at reopen and encode failures.")
+	mRotations = obs.Default.Counter("desword_events_journal_rotations_total",
+		"Journal segment rotations.")
+	mJournalBytes = obs.Default.Gauge("desword_events_journal_bytes",
+		"Bytes in the journal's active segment.")
+)
+
+// Sink is the destination wide events are emitted into: always a bounded
+// in-memory ring (the /debug/events view), optionally an append-only JSONL
+// journal. A nil *Sink is valid and inert, so instrumented code emits
+// unconditionally.
+type Sink struct {
+	service string
+	ring    *Ring
+	journal *Journal
+}
+
+// NewSink builds a sink over a ring and an optional journal. The service
+// name is stamped on events that do not carry one.
+func NewSink(service string, ring *Ring, journal *Journal) *Sink {
+	if ring == nil {
+		ring = NewRing(0)
+	}
+	return &Sink{service: service, ring: ring, journal: journal}
+}
+
+// Ring exposes the sink's in-memory ring (the /debug/events explorer
+// mounts it).
+func (s *Sink) Ring() *Ring {
+	if s == nil {
+		return nil
+	}
+	return s.ring
+}
+
+// Journal exposes the sink's journal, nil when journaling is disabled.
+func (s *Sink) Journal() *Journal {
+	if s == nil {
+		return nil
+	}
+	return s.journal
+}
+
+// Emit records one event: finalized, added to the ring, appended to the
+// journal when one is configured. The event is frozen from here on. Journal
+// write failures are logged and counted, never propagated — the flight
+// recorder must not fail the query it records.
+func (s *Sink) Emit(ev *Event) {
+	if s == nil || ev == nil {
+		return
+	}
+	if ev.Schema == 0 {
+		ev.Schema = SchemaVersion
+	}
+	if ev.Service == "" {
+		ev.Service = s.service
+	}
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	s.ring.Add(ev)
+	mEmitted.Inc()
+	if s.journal == nil {
+		return
+	}
+	line, err := ev.Encode()
+	if err != nil {
+		mDropped.Inc()
+		slog.Warn("events: dropping unencodable event", "kind", ev.Kind, "err", err)
+		return
+	}
+	if err := s.journal.Append(line); err != nil {
+		mDropped.Inc()
+		slog.Warn("events: journal append failed", "err", err)
+	}
+}
+
+// Close seals the journal, if any.
+func (s *Sink) Close() error {
+	if s == nil || s.journal == nil {
+		return nil
+	}
+	return s.journal.Close()
+}

@@ -1,0 +1,157 @@
+package events_test
+
+import (
+	"context"
+	"testing"
+
+	"desword/internal/core"
+	"desword/internal/events"
+	"desword/internal/node"
+	"desword/internal/obs"
+	"desword/internal/poc"
+	"desword/internal/reputation"
+	"desword/internal/supplychain"
+	"desword/internal/zkedb"
+)
+
+// TestEventsSmoke is the CI end-to-end gate (make events-smoke): it deploys a
+// small chain over real TCP with the flight recorder journaling on the proxy,
+// runs good and bad queries, then scans the journal offline the way
+// desword-events does and asserts the aggregates agree with the proxy's live
+// metrics — the property that makes journals trustworthy evidence. It lives
+// in package events_test because it imports node (which imports events).
+func TestEventsSmoke(t *testing.T) {
+	const hops = 3
+	ps, err := poc.PSGen(zkedb.TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, parts := supplychain.LineGraph(hops)
+	members := make(map[poc.ParticipantID]*core.Member, hops)
+	for id, p := range parts {
+		members[id] = core.NewMember(ps, p)
+	}
+	tags, err := supplychain.MintTags("evsmoke", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := core.RunDistribution(ps, g, members, "p0", tags, nil, supplychain.FirstChildSplitter, "task-evsmoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The proxy journals into a per-test directory; participants run bare, as
+	// a deployment where only the query authority keeps durable evidence.
+	dir := t.TempDir()
+	cfg := events.Config{Dir: dir}
+	sink, err := cfg.Build("proxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := make(map[poc.ParticipantID]string, hops)
+	for id, m := range members {
+		srv, err := node.ServeParticipant(context.Background(), "127.0.0.1:0", m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs[id] = srv.Addr()
+	}
+	directory := node.DirectoryResolver(addrs)
+	defer directory.Close()
+	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), directory.Resolver(),
+		core.WithEventSink(sink))
+	proxySrv, err := node.ServeProxy(context.Background(), "127.0.0.1:0", proxy,
+		node.WithEventSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxySrv.Close()
+	client := node.NewProxyClient(proxySrv.Addr())
+	defer client.Close()
+	if err := client.RegisterList(context.Background(), "task-evsmoke", dist.List); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live-metric baseline: the registry is process-global and other tests
+	// ran before this one, so everything below compares deltas.
+	goodCtr := obs.Default.Counter("desword_queries_total", "Completed path queries.", "quality", "good")
+	badCtr := obs.Default.Counter("desword_queries_total", "Completed path queries.", "quality", "bad")
+	hopCtr := obs.Default.Counter("desword_query_hops_total", "Query interactions performed.")
+	goodBefore, badBefore, hopsBefore := goodCtr.Value(), badCtr.Value(), hopCtr.Value()
+
+	const goodQueries, badQueries = 3, 1
+	for i := 0; i < goodQueries; i++ {
+		result, err := client.QueryPath(context.Background(), poc.ProductID("evsmoke1"), core.Good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(result.Path) != hops {
+			t.Fatalf("query identified %d of %d hops", len(result.Path), hops)
+		}
+		if result.Event == nil {
+			t.Fatal("path result carried no wide event")
+		}
+	}
+	if _, err := client.QueryPath(context.Background(), poc.ProductID("evsmoke1"), core.Bad); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seal the journal, then scan it offline exactly like desword-events.
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := events.Summarize(dir, events.Filter{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Stats.Torn != 0 || sum.Stats.Malformed != 0 {
+		t.Fatalf("clean shutdown left damaged journal lines: %+v", sum.Stats)
+	}
+
+	// The journal's aggregates must agree with the proxy's live metrics.
+	total := goodQueries + badQueries
+	if sum.Queries != total {
+		t.Fatalf("journal holds %d query events, want %d", sum.Queries, total)
+	}
+	if got := goodCtr.Value() - goodBefore; got != uint64(sum.ByQuality["good"]) {
+		t.Fatalf("good queries: metrics %d, journal %d", got, sum.ByQuality["good"])
+	}
+	if got := badCtr.Value() - badBefore; got != uint64(sum.ByQuality["bad"]) {
+		t.Fatalf("bad queries: metrics %d, journal %d", got, sum.ByQuality["bad"])
+	}
+	if got := hopCtr.Value() - hopsBefore; got != uint64(sum.Hops) {
+		t.Fatalf("hops: metrics %d, journal %d", got, sum.Hops)
+	}
+	if sum.ByOutcome[string(events.OutcomeComplete)] != total {
+		t.Fatalf("outcomes: %+v, want %d complete", sum.ByOutcome, total)
+	}
+	if n := len(sum.Violations); n != 0 {
+		t.Fatalf("honest chain produced violations: %+v", sum.Violations)
+	}
+
+	// The proxy's node server journals its own handled requests too: at
+	// least one query_path request per query must appear.
+	if sum.ByKind["node_request"] < total {
+		t.Fatalf("journal holds %d node_request events, want >= %d", sum.ByKind["node_request"], total)
+	}
+	if sum.ByKind["query"] != total {
+		t.Fatalf("journal holds %d query events, want %d", sum.ByKind["query"], total)
+	}
+
+	// Top-N slow queries carry per-hop breakdowns an investigator can read.
+	if len(sum.Slowest) != 2 {
+		t.Fatalf("summarizer kept %d slowest, want 2", len(sum.Slowest))
+	}
+	for _, ev := range sum.Slowest {
+		if len(ev.Hops) != hops {
+			t.Fatalf("slow query has %d hops, want %d: %+v", len(ev.Hops), hops, ev)
+		}
+		for _, h := range ev.Hops {
+			if h.Participant == "" || !h.Identified || h.IdentifyUS <= 0 {
+				t.Fatalf("hop breakdown incomplete: %+v", h)
+			}
+		}
+	}
+}

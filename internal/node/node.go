@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"desword/internal/core"
+	"desword/internal/events"
 	"desword/internal/obs"
 	"desword/internal/poc"
 	"desword/internal/reputation"
@@ -40,6 +41,7 @@ var ErrServerClosed = errors.New("node: server closed")
 type options struct {
 	timeout    time.Duration
 	drainGrace time.Duration
+	eventSink  *events.Sink
 
 	// Pooled-transport tunables (clients only).
 	pooled        bool
@@ -74,6 +76,12 @@ func WithDrainGrace(d time.Duration) Option {
 			o.drainGrace = d
 		}
 	}
+}
+
+// WithEventSink makes a server emit one node_request wide event per handled
+// request into the flight recorder (servers only; clients ignore it).
+func WithEventSink(s *events.Sink) Option {
+	return func(o *options) { o.eventSink = s }
 }
 
 // WithPoolSize bounds the open connections a client keeps per endpoint.
@@ -307,10 +315,22 @@ func (s *server) serveConn(conn net.Conn, handle func(context.Context, *wire.Env
 			ctx, span = trace.Default.StartRemote(ctx, "server."+env.Type, traceID, spanID,
 				trace.String("role", s.role), trace.String("peer", conn.RemoteAddr().String()))
 		}
+		// With a flight recorder attached, a per-request scope attributes
+		// handler-side resource counters (participant proof-cache hits, …) to
+		// this request's node_request event. A proxy's query_path handler
+		// installs its own, innermost scope for the query event.
+		var reqScope *events.Scope
+		if s.opts.eventSink != nil {
+			reqScope = events.NewScope()
+			ctx = events.WithScope(ctx, reqScope)
+		}
 		respType, payload := handle(ctx, env)
 		if respType == wire.TypeError {
 			s.metrics.errHandle.Inc()
 			span.SetAttr(trace.Bool("error", true))
+		}
+		if s.opts.eventSink != nil {
+			s.emitRequestEvent(env, conn, span, respType, payload, reqScope, start)
 		}
 		if span != nil {
 			slog.InfoContext(ctx, "traced request handled",
@@ -351,6 +371,27 @@ func (s *server) serveConn(conn net.Conn, handle func(context.Context, *wire.Env
 			return // server closing: deliver the response, then hang up
 		}
 	}
+}
+
+// emitRequestEvent records one handled request as a node_request wide event:
+// message type, peer, outcome, duration, and whatever resource counters the
+// handler accumulated in the request scope.
+func (s *server) emitRequestEvent(env *wire.Envelope, conn net.Conn, span *trace.Span, respType string, payload any, scope *events.Scope, start time.Time) {
+	ev := events.New(events.KindNodeRequest, start)
+	ev.DurationUS = time.Since(start).Microseconds()
+	ev.MsgType = env.Type
+	ev.Peer = conn.RemoteAddr().String()
+	ev.TraceID = span.TraceID()
+	if respType == wire.TypeError {
+		ev.Outcome = events.OutcomeError
+		if er, ok := payload.(wire.ErrorResponse); ok {
+			ev.Error = er.Message
+		}
+	} else {
+		ev.Outcome = events.OutcomeOK
+	}
+	scope.Fill(ev)
+	s.opts.eventSink.Emit(ev)
 }
 
 // Addr returns the server's listen address.

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"desword/internal/events"
 	"desword/internal/trace"
 	"desword/internal/wire"
 )
@@ -207,6 +208,9 @@ func (p *Pool) exchangeAttempts(ctx context.Context, span *trace.Span, msgType s
 		resp, reused, wrote, err := p.attempt(ctx, req)
 		if err == nil {
 			span.SetAttr(trace.Bool("reused", reused), trace.Int("attempt", attempt+1))
+			if reused {
+				events.ScopeFrom(ctx).PoolReuse()
+			}
 			p.noteSuccess()
 			span.Adopt(resp.Spans)
 			return resp, nil
@@ -218,6 +222,7 @@ func (p *Pool) exchangeAttempts(ctx context.Context, span *trace.Span, msgType s
 		}
 		p.retries.Add(1)
 		poolConns.retries.Inc()
+		events.ScopeFrom(ctx).PoolRetry()
 		if !sleepCtx(ctx, backoffDelay(p.o.backoff, attempt)) {
 			return nil, fmt.Errorf("node: retrying %s to %s: %w (last error: %w)", msgType, p.addr, ctx.Err(), err)
 		}

@@ -119,10 +119,16 @@ type tracedTrace struct {
 	Tree    []*trace.SpanNode `json:"tree"`
 }
 
+// DefaultTraceIndexLimit caps the /debug/traces index when no explicit
+// ?limit= is given: a recorder can hold thousands of traces, and the index
+// exists to find recent ones, not to dump history.
+const DefaultTraceIndexLimit = 100
+
 // TraceExplorer serves the recorder's completed traces:
 //
 //	GET /debug/traces        → JSON list of trace summaries, newest first
-//	                           (?n=K limits the list)
+//	                           (?limit=K caps the list, default 100;
+//	                           ?n=K is an alias from the first revision)
 //	GET /debug/traces/<id>   → JSON span tree of one trace
 //
 // It is mounted on every AdminMux; tests can mount it over a private
@@ -139,10 +145,16 @@ func TraceExplorer(rec *trace.Recorder) http.Handler {
 		enc.SetIndent("", "  ")
 		if id == "" {
 			summaries := rec.Recent()
-			if nStr := r.URL.Query().Get("n"); nStr != "" {
-				if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(summaries) {
-					summaries = summaries[:n]
+			limit := DefaultTraceIndexLimit
+			for _, key := range []string{"n", "limit"} {
+				if s := r.URL.Query().Get(key); s != "" {
+					if v, err := strconv.Atoi(s); err == nil && v >= 0 {
+						limit = v
+					}
 				}
+			}
+			if limit < len(summaries) {
+				summaries = summaries[:limit]
 			}
 			_ = enc.Encode(summaries)
 			return

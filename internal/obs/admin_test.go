@@ -1,10 +1,16 @@
 package obs
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"desword/internal/trace"
 )
 
 // get fetches a URL and returns status and body.
@@ -57,6 +63,56 @@ func TestAdminEndpoints(t *testing.T) {
 	status, body = get(t, base+"/debug/pprof/")
 	if status != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ = %d (body %d bytes)", status, len(body))
+	}
+}
+
+// TestTraceExplorerIndexLimit pins the /debug/traces index contract: newest
+// first, capped at DefaultTraceIndexLimit unless ?limit= (or its historical
+// alias ?n=) says otherwise.
+func TestTraceExplorerIndexLimit(t *testing.T) {
+	tr := trace.New("test", 1, 300)
+	const total = DefaultTraceIndexLimit + 50
+	for i := 0; i < total; i++ {
+		_, span := tr.Start(context.Background(), fmt.Sprintf("t-%03d", i))
+		span.End()
+	}
+	srv := httptest.NewServer(TraceExplorer(tr.Recorder()))
+	defer srv.Close()
+
+	index := func(query string) []trace.Summary {
+		t.Helper()
+		status, body := get(t, srv.URL+"/debug/traces"+query)
+		if status != http.StatusOK {
+			t.Fatalf("index%s status = %d", query, status)
+		}
+		var out []trace.Summary
+		if err := json.Unmarshal([]byte(body), &out); err != nil {
+			t.Fatalf("decoding index%s: %v", query, err)
+		}
+		return out
+	}
+
+	got := index("")
+	if len(got) != DefaultTraceIndexLimit {
+		t.Fatalf("default index length = %d, want %d", len(got), DefaultTraceIndexLimit)
+	}
+	if got[0].Name != fmt.Sprintf("t-%03d", total-1) {
+		t.Fatalf("index not newest-first: first entry %q", got[0].Name)
+	}
+	if got := index("?limit=5"); len(got) != 5 {
+		t.Fatalf("?limit=5 returned %d entries", len(got))
+	}
+	if got := index("?n=3"); len(got) != 3 {
+		t.Fatalf("?n=3 alias returned %d entries", len(got))
+	}
+	if got := index("?limit=0"); len(got) != 0 {
+		t.Fatalf("?limit=0 returned %d entries", len(got))
+	}
+	if got := index(fmt.Sprintf("?limit=%d", total+100)); len(got) != total {
+		t.Fatalf("oversized limit returned %d entries, want all %d", len(got), total)
+	}
+	if got := index("?limit=bogus"); len(got) != DefaultTraceIndexLimit {
+		t.Fatalf("malformed limit returned %d entries, want default %d", len(got), DefaultTraceIndexLimit)
 	}
 }
 

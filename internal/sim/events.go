@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"time"
+
+	"desword/internal/events"
+)
+
+// EmitCampaign records one sweep row as a durable campaign event: the full
+// configuration that produced it plus the per-strategy outcome distributions.
+// desword-sim emits one per swept p_bad into a per-campaign journal, so
+// incentive experiments leave the same kind of offline evidence trail as
+// production queries — scannable, diffable, and reproducible from the
+// recorded seed. A nil sink records nothing.
+func EmitCampaign(sink *events.Sink, cfg Config, row SweepRow, start time.Time) {
+	ev := events.New(events.KindCampaign, start)
+	ev.DurationUS = time.Since(start).Microseconds()
+	ev.Outcome = events.OutcomeOK
+	ev.SetField("p_bad", row.PBad)
+	ev.SetField("products", cfg.Products)
+	ev.SetField("trials", cfg.Trials)
+	ev.SetField("seed", cfg.Seed)
+	ev.SetField("q_good", cfg.QueryRateGood)
+	ev.SetField("q_bad", cfg.QueryRateBad)
+	ev.SetField("u_pos", cfg.PositiveUnit)
+	ev.SetField("u_neg", cfg.NegativeUnit)
+	ev.SetField("delete_frac", cfg.DeleteFrac)
+	ev.SetField("add_frac", cfg.AddFrac)
+	ev.SetField("break_even_p_bad", cfg.BreakEvenPBad())
+	ev.SetField("honest", row.Outcomes[Honest])
+	ev.SetField("deleter", row.Outcomes[Deleter])
+	ev.SetField("adder", row.Outcomes[Adder])
+	sink.Emit(ev)
+}

@@ -15,6 +15,7 @@ import (
 	"math/rand/v2"
 
 	"desword/internal/core"
+	"desword/internal/events"
 	"desword/internal/poc"
 	"desword/internal/reputation"
 	"desword/internal/trace"
@@ -298,7 +299,9 @@ type QueryPathRequest struct {
 	Quality int           `json:"quality"`
 }
 
-// PathResult is the wire form of a core.Result.
+// PathResult is the wire form of a core.Result. Event is the canonical wide
+// event the proxy assembled for the query, so remote queriers
+// (desword-query -json) see the same flight-recorder record the proxy kept.
 type PathResult struct {
 	Product    poc.ProductID                   `json:"product"`
 	Quality    int                             `json:"quality"`
@@ -308,6 +311,7 @@ type PathResult struct {
 	Violations []core.Violation                `json:"violations"`
 	Complete   bool                            `json:"complete"`
 	TraceID    string                          `json:"trace_id,omitempty"`
+	Event      *events.Event                   `json:"event,omitempty"`
 }
 
 // EncodePathResult converts a core.Result to its wire form.
@@ -321,6 +325,7 @@ func EncodePathResult(r *core.Result) *PathResult {
 		Violations: r.Violations,
 		Complete:   r.Complete,
 		TraceID:    r.TraceID,
+		Event:      r.Event,
 	}
 }
 
@@ -335,6 +340,7 @@ func DecodePathResult(r *PathResult) *core.Result {
 		Violations: r.Violations,
 		Complete:   r.Complete,
 		TraceID:    r.TraceID,
+		Event:      r.Event,
 	}
 }
 

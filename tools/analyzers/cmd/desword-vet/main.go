@@ -33,6 +33,7 @@ import (
 	"desword/tools/analyzers/passes/ctxfirst"
 	"desword/tools/analyzers/passes/determinism"
 	"desword/tools/analyzers/passes/errwrap"
+	"desword/tools/analyzers/passes/eventfield"
 	"desword/tools/analyzers/passes/metriclabel"
 	"desword/tools/analyzers/passes/shadow"
 )
@@ -43,6 +44,7 @@ var analyzers = []*analysis.Analyzer{
 	ctxfirst.Analyzer,
 	determinism.Analyzer,
 	errwrap.Analyzer,
+	eventfield.Analyzer,
 	metriclabel.Analyzer,
 	shadow.Analyzer,
 }

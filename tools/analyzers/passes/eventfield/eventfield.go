@@ -1,0 +1,65 @@
+// Package eventfield hardens the wide-event vocabulary.
+//
+// System invariant: internal/events journals are a long-lived, greppable
+// evidence trail — desword-events aggregates them, CI diffs them, and
+// operators query them by field name. Event.SetField writes its name
+// verbatim into every journal line, so a dynamic name is an open-ended
+// vocabulary: the offline tooling can never enumerate it, a typo'd name
+// silently forks the schema, and per-request names bloat journals without
+// bound (the cardinality concern of metriclabel, transplanted to disk).
+// The analyzer therefore requires every (*events.Event).SetField name to
+// be a compile-time constant matching ^[a-z_]+$, mirroring the metric-name
+// discipline of desword/metriclabel.
+package eventfield
+
+import (
+	"go/ast"
+	"regexp"
+
+	"desword/tools/analyzers/analysis"
+	"desword/tools/analyzers/internal/lintutil"
+)
+
+var nameRe = regexp.MustCompile(`^[a-z_]+$`)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "eventfield",
+	Doc:  "wide-event field names passed to events.Event.SetField must be compile-time constants matching ^[a-z_]+$",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := lintutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "SetField" {
+		return
+	}
+	recv := lintutil.ReceiverExpr(call)
+	if recv == nil || !lintutil.IsPkgPathSuffixNamed(pass.TypesInfo.TypeOf(recv), "internal/events", "Event") {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	name, constant := lintutil.ConstString(pass.TypesInfo, call.Args[0])
+	switch {
+	case !constant:
+		pass.Reportf(call.Args[0].Pos(),
+			"wide-event field name must be a compile-time constant; a dynamic name is an open-ended journal vocabulary offline tooling cannot enumerate")
+	case !nameRe.MatchString(name):
+		pass.Reportf(call.Args[0].Pos(), "wide-event field name %q must match %s", name, nameRe)
+	}
+}

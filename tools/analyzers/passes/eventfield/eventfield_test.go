@@ -1,0 +1,12 @@
+package eventfield_test
+
+import (
+	"testing"
+
+	"desword/tools/analyzers/analysistest"
+	"desword/tools/analyzers/passes/eventfield"
+)
+
+func TestEventField(t *testing.T) {
+	analysistest.Run(t, "testdata", eventfield.Analyzer, "internal/sim")
+}

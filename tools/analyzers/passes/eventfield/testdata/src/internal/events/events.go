@@ -1,0 +1,15 @@
+// Package events is a minimal model of the real internal/events Event so
+// the eventfield fixtures type-check; the analyzer matches it by the
+// internal/events path suffix and the Event type name.
+package events
+
+type Event struct {
+	Fields map[string]any
+}
+
+func (e *Event) SetField(name string, value any) {
+	if e.Fields == nil {
+		e.Fields = make(map[string]any)
+	}
+	e.Fields[name] = value
+}

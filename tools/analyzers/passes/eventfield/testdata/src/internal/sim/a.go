@@ -1,0 +1,38 @@
+// Package sim exercises eventfield against the events fixture: field names
+// must be compile-time constants matching ^[a-z_]+$; values may be anything.
+package sim
+
+import "internal/events"
+
+const pBad = "p_bad"
+
+func good(ev *events.Event, trials int) {
+	ev.SetField(pBad, 0.05)
+	ev.SetField("trials", trials)
+	ev.SetField("break_even_p_bad", 0.0526)
+}
+
+func dynamicName(ev *events.Event, strategy string) {
+	ev.SetField(strategy+"_mean", 1.0) // want "wide-event field name must be a compile-time constant"
+}
+
+func badName(ev *events.Event) {
+	ev.SetField("p50Latency", 12) // want "wide-event field name \"p50Latency\" must match"
+}
+
+func digitName(ev *events.Event) {
+	ev.SetField("p_95", 3.2) // want "wide-event field name \"p_95\" must match"
+}
+
+func suppressed(ev *events.Event, which string) {
+	//lint:ignore desword/eventfield fixture: the name set is closed at this call site
+	ev.SetField(which, true)
+}
+
+// fake has the same method shape but is not the events Event; calls on it
+// are out of scope.
+type fake struct{}
+
+func (fake) SetField(name string, value any) {}
+
+func notTheEvent(f fake, n string) { f.SetField(n, "dynamic but fine") }
