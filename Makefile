@@ -1,7 +1,7 @@
 GO ?= go
 VET := bin/desword-vet
 
-.PHONY: all check build test vet fmt race bench bench-smoke telemetry-smoke events-smoke lint analyzers tidy fuzz-short
+.PHONY: all check build test vet fmt race bench bench-smoke telemetry-smoke events-smoke store-smoke lint analyzers tidy fuzz-short
 
 all: check
 
@@ -26,7 +26,7 @@ fmt:
 	fi
 
 race:
-	$(GO) test -race ./internal/obs ./internal/node ./internal/core ./internal/trace ./internal/wire ./internal/zkedb ./internal/poc ./internal/telemetry ./internal/events
+	$(GO) test -race ./internal/obs ./internal/node ./internal/core ./internal/trace ./internal/wire ./internal/zkedb ./internal/zkedb/store ./internal/poc ./internal/telemetry ./internal/events
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -58,6 +58,14 @@ telemetry-smoke:
 # the proxy's live metrics and that slow queries carry hop breakdowns.
 events-smoke:
 	$(GO) test -run '^TestEventsSmoke$$' -count=1 -v ./internal/events
+
+# store-smoke runs the durable node-store lifecycle end to end (see
+# TestStoreSmoke): commit a file-backed tree with small batches, update it
+# incrementally, reopen it cold and verify ownership and non-ownership
+# proofs against the updated commitment — the whole DESIGN.md §13 path a
+# restarted participant depends on.
+store-smoke:
+	$(GO) test -run '^TestStoreSmoke$$' -count=1 -v ./internal/zkedb
 
 # lint is the correctness gate beyond tier-1: the project analyzers
 # (desword-vet, see DESIGN.md §9) run through go vet's unitchecker driver
@@ -93,6 +101,7 @@ tidy:
 # so decoder regressions surface without waiting for a long fuzz campaign.
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz='^FuzzProofUnmarshal$$' -fuzztime=20s ./internal/zkedb
+	$(GO) test -run='^$$' -fuzz='^FuzzStoreReopen$$' -fuzztime=20s ./internal/zkedb/store
 	$(GO) test -run='^$$' -fuzz='^FuzzReadMessage$$' -fuzztime=20s ./internal/wire
 	$(GO) test -run='^$$' -fuzz='^FuzzEnvelopeHeaderCompat$$' -fuzztime=20s ./internal/wire
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeProof$$' -fuzztime=20s ./internal/wire

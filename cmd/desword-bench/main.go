@@ -51,7 +51,7 @@ type renderer interface {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all|tmc|fig4a|fig4b|table2|fig5|baseline|incentive|e2e|transport|crypto|telemetry|events|ablation")
+		exp        = flag.String("exp", "all", "experiment: all|tmc|fig4a|fig4b|table2|fig5|baseline|incentive|e2e|transport|crypto|telemetry|events|ablation|store")
 		modulus    = flag.Int("modulus", 1024, "RSA modulus bits for the qTMC layer")
 		reps       = flag.Int("reps", 10, "repetitions per timing point (paper smooths over 50)")
 		dbSize     = flag.Int("db", 8, "committed traces per participant in macro benches")
@@ -180,6 +180,26 @@ func run() error {
 			}
 			if err := render(bench.RunAblationTreeScheme(qhs, *modulus, *reps)); err != nil {
 				return fmt.Errorf("A4: %w", err)
+			}
+			return nil
+		}},
+		{"store", func() error {
+			// A shallow wide geometry: 40-bit digests hold 10k+ keys with
+			// negligible collision odds while keeping per-key path cost low
+			// enough that the two full rebuilds E13a needs stay tractable.
+			params := zkedb.Params{Q: 16, H: 10, KeyBits: 40, ModulusBits: 512}
+			base, ks := 10000, []int{1, 16, 256}
+			lazyBase, cacheNodes := 2000, 64
+			if *fast {
+				params = zkedb.TestParams()
+				base, ks = 400, []int{1, 8, 64}
+				lazyBase, cacheNodes = 400, 32
+			}
+			if err := render(bench.RunStoreIncremental(params, base, ks)); err != nil {
+				return fmt.Errorf("E13a: %w", err)
+			}
+			if err := render(bench.RunStoreLazy(params, lazyBase, cacheNodes, *reps)); err != nil {
+				return fmt.Errorf("E13b: %w", err)
 			}
 			return nil
 		}},

@@ -134,7 +134,11 @@ func runServe(logger *slog.Logger, id, listen, proxyAddr, admin, tracesFile, wri
 	}
 	logger.Info("fetched public parameter", "proxy", proxyAddr)
 
-	member := core.NewMember(ps, supplychain.NewParticipant(poc.ParticipantID(id)), cryptoCfg.MemberOptions()...)
+	memberOpts, err := cryptoCfg.MemberOptions()
+	if err != nil {
+		return err
+	}
+	member := core.NewMember(ps, supplychain.NewParticipant(poc.ParticipantID(id)), memberOpts...)
 	for _, tr := range sc.Traces {
 		if err := member.Participant().RecordTrace(poc.Trace{Product: tr.Product, Data: []byte(tr.Data)}); err != nil {
 			return err

@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"desword/internal/zkedb"
+	"desword/internal/zkedb/store"
+)
+
+// This file implements experiment E13: the node-store ablation for the
+// pluggable ZK-EDB storage layer (DESIGN.md §13). E13a isolates what
+// incremental Update buys a participant handed k new product ids over a
+// large already-committed tree — the paper's distribution phase repeated,
+// where a full POC-Agg rebuild is the strawman. E13b isolates what lazy
+// hydration buys a file-backed prover: proofs stay correct after a cold
+// reopen while the resident node count stays bounded far below the tree.
+
+// storeSeed makes every E13 build deterministic, which is what lets the
+// incremental-vs-rebuild comparison assert byte-identical commitments
+// rather than just similar timings.
+var storeSeed = []byte("desword-bench-store-seed")
+
+// storeDB builds n distinct trace values keyed with the given prefix.
+func storeDB(prefix string, n int) map[string][]byte {
+	db := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%s-%05d", prefix, i)
+		db[key] = []byte("participant=vS;product=" + key + ";op=process")
+	}
+	return db
+}
+
+// RunStoreIncremental times incremental Update batches of k new ids against
+// the full Commit rebuild a participant would otherwise pay, on one growing
+// tree of base keys. The deltas accumulate, and the finale recommits the
+// final database from scratch with the same seed and asserts the updated
+// tree reached the byte-identical commitment.
+func RunStoreIncremental(params zkedb.Params, base int, ks []int) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("E13a: incremental Update vs full Commit (q=%d h=%d)", params.Q, params.H),
+		Note: fmt.Sprintf("%d committed keys; Update(k) revises only the k touched root-to-leaf paths; seeded builds, so the finale checks byte-identity against a fresh rebuild",
+			base),
+		Headers: []string{"operation", "keys touched", "time", "vs full Commit"},
+	}
+	crs, err := zkedb.CRSGen(params)
+	if err != nil {
+		return nil, err
+	}
+	db := storeDB("store-id", base)
+	start := time.Now()
+	_, dec, err := crs.Commit(db, zkedb.CommitOptions{Seed: storeSeed})
+	if err != nil {
+		return nil, err
+	}
+	full := time.Since(start)
+	t.AddRow(fmt.Sprintf("full Commit (%d keys)", base), fmt.Sprint(base), Ms(full), "1.00x")
+
+	var com zkedb.Commitment
+	for _, k := range ks {
+		delta := storeDB(fmt.Sprintf("store-upd%d", k), k)
+		for key, val := range delta {
+			db[key] = val
+		}
+		start = time.Now()
+		com, err = dec.Update(context.Background(), delta)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		t.AddRow(fmt.Sprintf("Update (k=%d)", k), fmt.Sprint(k), Ms(elapsed),
+			fmt.Sprintf("%.0fx faster", float64(full)/float64(elapsed)))
+	}
+
+	start = time.Now()
+	rebuilt, _, err := crs.Commit(db, zkedb.CommitOptions{Seed: storeSeed})
+	if err != nil {
+		return nil, err
+	}
+	rebuildTime := time.Since(start)
+	identical := "byte-identical: true"
+	if !rebuilt.Equal(com) {
+		identical = "byte-identical: FALSE"
+	}
+	t.AddRow(fmt.Sprintf("full rebuild (%d keys)", len(db)), fmt.Sprint(len(db)),
+		Ms(rebuildTime), identical)
+	if !rebuilt.Equal(com) {
+		return t, fmt.Errorf("bench: updated commitment diverged from fresh rebuild")
+	}
+	return t, nil
+}
+
+// RunStoreLazy times proofs against the same seeded tree on the in-memory
+// backend (everything resident) and on a file backend reopened cold with a
+// bounded hydration cache, verifying every proof and reporting how many
+// nodes stay resident relative to the stored tree.
+func RunStoreLazy(params zkedb.Params, base, cacheNodes, reps int) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("E13b: lazy file-backed proving (q=%d h=%d)", params.Q, params.H),
+		Note: fmt.Sprintf("%d committed keys, mean over %d proofs, all verified; the file tree is reopened cold so every path hydrates through the store",
+			base, reps),
+		Headers: []string{"backend", "prove own", "prove non-own", "resident nodes", "stored records"},
+	}
+	crs, err := zkedb.CRSGen(params)
+	if err != nil {
+		return nil, err
+	}
+	db := storeDB("store-id", base)
+	ownKey := "store-id-00000"
+	absentKey := "store-id-absent"
+
+	// In-memory baseline: the legacy configuration, whole tree resident.
+	memCom, memDec, err := crs.Commit(db, zkedb.CommitOptions{Seed: storeSeed})
+	if err != nil {
+		return nil, err
+	}
+	memOwn, memNon, err := measureProofs(crs, memCom, memDec, ownKey, absentKey, reps)
+	if err != nil {
+		return nil, err
+	}
+	memTotal, err := storedRecords(memDec.Store())
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("mem (unbounded)", Ms(memOwn), Ms(memNon),
+		fmt.Sprint(memDec.ResidentNodes()), fmt.Sprint(memTotal))
+
+	// File backend: commit, close, reopen cold, prove lazily.
+	dir, err := os.MkdirTemp("", "desword-bench-store")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "tree.kv")
+	kv, err := store.OpenFile(path, store.FileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	fileCom, fileDec, err := crs.Commit(db, zkedb.CommitOptions{Seed: storeSeed, Store: kv})
+	if err != nil {
+		return nil, err
+	}
+	if !fileCom.Equal(memCom) {
+		return nil, fmt.Errorf("bench: file-backed commitment diverged from mem")
+	}
+	_ = fileDec
+	if err := kv.Close(); err != nil {
+		return nil, err
+	}
+	reopened, err := store.OpenFile(path, store.FileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer reopened.Close()
+	coldDec, err := zkedb.OpenDecommitment(crs, reopened, cacheNodes)
+	if err != nil {
+		return nil, err
+	}
+	fileOwn, fileNon, err := measureProofs(crs, fileCom, coldDec, ownKey, absentKey, reps)
+	if err != nil {
+		return nil, err
+	}
+	fileTotal, err := storedRecords(reopened)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow(fmt.Sprintf("file (cache=%d)", cacheNodes), Ms(fileOwn), Ms(fileNon),
+		fmt.Sprint(coldDec.ResidentNodes()), fmt.Sprint(fileTotal))
+	return t, nil
+}
+
+// measureProofs times reps ownership and non-ownership proofs, verifying
+// each against the commitment.
+func measureProofs(crs *zkedb.CRS, com zkedb.Commitment, dec *zkedb.Decommitment, ownKey, absentKey string, reps int) (own, non time.Duration, err error) {
+	prove := func(key string, wantPresent bool) (time.Duration, error) {
+		elapsed := Measure(reps, func() {
+			proof, perr := dec.Prove(context.Background(), key)
+			if perr != nil {
+				panic(perr)
+			}
+			_, present, verr := crs.Verify(com, key, proof)
+			if verr != nil {
+				panic(verr)
+			}
+			if present != wantPresent {
+				panic(fmt.Sprintf("bench: key %q present=%v, want %v", key, present, wantPresent))
+			}
+		})
+		return elapsed, nil
+	}
+	if own, err = prove(ownKey, true); err != nil {
+		return 0, 0, err
+	}
+	if non, err = prove(absentKey, false); err != nil {
+		return 0, 0, err
+	}
+	return own, non, nil
+}
+
+// storedRecords counts the tree records (nodes + soft entries) a store
+// holds — the denominator for the resident-nodes bound.
+func storedRecords(kv store.KV) (int, error) {
+	nodes, err := kv.List("n/")
+	if err != nil {
+		return 0, err
+	}
+	softs, err := kv.List("s/")
+	if err != nil {
+		return 0, err
+	}
+	return len(nodes) + len(softs), nil
+}

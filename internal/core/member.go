@@ -10,6 +10,7 @@ import (
 	"desword/internal/rfid"
 	"desword/internal/supplychain"
 	"desword/internal/trace"
+	"desword/internal/zkedb/store"
 )
 
 // Member is a DE-Sword participant runtime: a supply-chain participant plus
@@ -17,13 +18,20 @@ import (
 // task. A Member answers queries honestly; the adversary package wraps it to
 // implement the threat model.
 type Member struct {
-	ps   *poc.PublicParams
-	part *supplychain.Participant
-	agg  poc.AggOptions
+	ps     *poc.PublicParams
+	part   *supplychain.Participant
+	agg    poc.AggOptions
+	stores StoreFactory
 
 	mu    sync.RWMutex
 	tasks map[string]*memberTask
 }
+
+// StoreFactory opens the node store backing one task's commitment tree.
+// CommitTask calls it once per task; the returned store must be empty (a
+// factory re-committing a task is expected to discard the task's previous
+// store first).
+type StoreFactory func(taskID string) (store.KV, error)
 
 // memberTask is the per-distribution-task state a member keeps.
 type memberTask struct {
@@ -41,6 +49,14 @@ type MemberOption func(*Member)
 // default-sized cache.
 func WithAggOptions(opts poc.AggOptions) MemberOption {
 	return func(m *Member) { m.agg = opts }
+}
+
+// WithTaskStores makes CommitTask back each task's commitment tree with a
+// store from the factory instead of the default in-memory map — the
+// file-backed path that keeps a trace database larger than RAM provable
+// (DESIGN.md §13). nil restores the default.
+func WithTaskStores(f StoreFactory) MemberOption {
+	return func(m *Member) { m.stores = f }
 }
 
 // NewMember wraps a supply-chain participant with DE-Sword state.
@@ -63,8 +79,19 @@ func (m *Member) Participant() *supplychain.Participant { return m.part }
 // snapshot is taken at call time, so any dishonest database mutation must
 // happen before this call — exactly the paper's threat window.
 func (m *Member) CommitTask(taskID string) (poc.POC, error) {
-	credential, dpoc, err := poc.Agg(m.ps, m.part.ID(), m.part.Traces(), m.agg)
+	agg := m.agg
+	if m.stores != nil {
+		kv, err := m.stores(taskID)
+		if err != nil {
+			return poc.POC{}, fmt.Errorf("core: %s opening store for task %s: %w", m.part.ID(), taskID, err)
+		}
+		agg.Commit.Store = kv
+	}
+	credential, dpoc, err := poc.Agg(m.ps, m.part.ID(), m.part.Traces(), agg)
 	if err != nil {
+		if agg.Commit.Store != nil {
+			agg.Commit.Store.Close()
+		}
 		return poc.POC{}, fmt.Errorf("core: %s committing task %s: %w", m.part.ID(), taskID, err)
 	}
 	m.mu.Lock()
@@ -74,6 +101,27 @@ func (m *Member) CommitTask(taskID string) (poc.POC, error) {
 		dpoc:       dpoc,
 		next:       make(map[poc.ProductID]poc.ParticipantID),
 	}
+	return credential, nil
+}
+
+// UpdateTask advances an already-committed task with newly processed traces
+// (a follow-on distribution handing this member more product ids): the
+// DPOC's commitment tree is revised incrementally along only the touched
+// paths — not rebuilt — and the refreshed credential is returned for
+// re-registration with the proxy. Queries in flight complete against the
+// old credential.
+func (m *Member) UpdateTask(ctx context.Context, taskID string, traces []poc.Trace) (poc.POC, error) {
+	entry, err := m.task(taskID)
+	if err != nil {
+		return poc.POC{}, err
+	}
+	credential, err := entry.dpoc.Update(ctx, traces)
+	if err != nil {
+		return poc.POC{}, fmt.Errorf("core: %s updating task %s: %w", m.part.ID(), taskID, err)
+	}
+	m.mu.Lock()
+	entry.credential = credential
+	m.mu.Unlock()
 	return credential, nil
 }
 

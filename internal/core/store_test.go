@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"desword/internal/poc"
+	"desword/internal/supplychain"
+)
+
+// TestMemberFileTaskStores pins the durable-member path: CommitTask through
+// a FileTaskStores factory lands the tree in a per-task store file, queries
+// prove against it, and re-committing the task replaces the previous file
+// instead of tripping the non-empty-store guard.
+func TestMemberFileTaskStores(t *testing.T) {
+	ps := corePS(t)
+	dir := t.TempDir()
+	m := NewMember(ps, supplychain.NewParticipant("v1"),
+		WithTaskStores(FileTaskStores(dir, 0)))
+	if err := m.Participant().RecordTrace(poc.Trace{Product: "id-1", Data: []byte("op=process")}); err != nil {
+		t.Fatal(err)
+	}
+	credential, err := m.CommitTask("task/1")
+	if err != nil {
+		t.Fatalf("CommitTask: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !strings.HasPrefix(entries[0].Name(), "task-") {
+		t.Fatalf("expected one task store file in %s, got %v", dir, entries)
+	}
+	if strings.ContainsAny(entries[0].Name(), "/\\") {
+		t.Fatalf("unsanitized store file name %q", entries[0].Name())
+	}
+	resp, err := m.Query(context.Background(), "task/1", "id-1", Good)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if resp.Claim != ClaimProcessed {
+		t.Fatalf("Claim = %v, want processed", resp.Claim)
+	}
+	if _, err := poc.Verify(context.Background(), ps, credential, "id-1", resp.Proof); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	// Re-commit of the same task must discard the old file, not collide.
+	if _, err := m.CommitTask("task/1"); err != nil {
+		t.Fatalf("re-CommitTask: %v", err)
+	}
+}
+
+// TestMemberUpdateTask pins the incremental-commit path at the member layer:
+// UpdateTask revises the committed tree with late-arriving traces, returns a
+// refreshed credential, and both old and new products prove against it.
+func TestMemberUpdateTask(t *testing.T) {
+	ps := corePS(t)
+	m := NewMember(ps, supplychain.NewParticipant("v2"))
+	if err := m.Participant().RecordTrace(poc.Trace{Product: "id-old", Data: []byte("op=old")}); err != nil {
+		t.Fatal(err)
+	}
+	oldCred, err := m.CommitTask("task-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newCred, err := m.UpdateTask(context.Background(), "task-1",
+		[]poc.Trace{{Product: "id-new", Data: []byte("op=new")}})
+	if err != nil {
+		t.Fatalf("UpdateTask: %v", err)
+	}
+	if newCred.Equal(oldCred) {
+		t.Fatal("UpdateTask returned the stale credential")
+	}
+	got, err := m.POC("task-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(newCred) {
+		t.Fatal("member kept the stale credential after UpdateTask")
+	}
+	for id, wantData := range map[poc.ProductID]string{"id-old": "op=old", "id-new": "op=new"} {
+		resp, err := m.Query(context.Background(), "task-1", id, Good)
+		if err != nil {
+			t.Fatalf("Query(%s): %v", id, err)
+		}
+		tr, err := poc.Verify(context.Background(), ps, newCred, id, resp.Proof)
+		if err != nil {
+			t.Fatalf("Verify(%s) against updated credential: %v", id, err)
+		}
+		if tr == nil || string(tr.Data) != wantData {
+			t.Fatalf("Verify(%s) recovered %v, want %q", id, tr, wantData)
+		}
+	}
+	// Duplicate product ids within one batch must be rejected, like Agg
+	// rejects them within one database.
+	if _, err := m.UpdateTask(context.Background(), "task-1", []poc.Trace{
+		{Product: "id-dup", Data: []byte("a")},
+		{Product: "id-dup", Data: []byte("b")},
+	}); !errors.Is(err, poc.ErrDuplicateTrace) {
+		t.Fatalf("duplicate UpdateTask = %v, want ErrDuplicateTrace", err)
+	}
+	// Re-recording an already-committed product is an amendment, not an
+	// error: the trace value is replaced along its path.
+	amended, err := m.UpdateTask(context.Background(), "task-1",
+		[]poc.Trace{{Product: "id-old", Data: []byte("op=amended")}})
+	if err != nil {
+		t.Fatalf("amending UpdateTask: %v", err)
+	}
+	resp, err := m.Query(context.Background(), "task-1", "id-old", Good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := poc.Verify(context.Background(), ps, amended, "id-old", resp.Proof)
+	if err != nil || tr == nil || string(tr.Data) != "op=amended" {
+		t.Fatalf("amended trace verify = (%v, %v), want op=amended", tr, err)
+	}
+	// Uncommitted tasks cannot be updated.
+	if _, err := m.UpdateTask(context.Background(), "task-none", nil); !errors.Is(err, ErrNotCommitted) {
+		t.Fatalf("UpdateTask on missing task = %v, want ErrNotCommitted", err)
+	}
+}
+
+// TestCryptoConfigStoreFlags pins the flag translation: backend names map to
+// factories (or errors), and MemberOptions carries them through.
+func TestCryptoConfigStoreFlags(t *testing.T) {
+	var c CryptoConfig
+	if f, err := c.TaskStores(); err != nil || f != nil {
+		t.Fatalf("default TaskStores = (%v, %v), want (nil, nil)", f, err)
+	}
+	c.Store = "mem"
+	if f, err := c.TaskStores(); err != nil || f != nil {
+		t.Fatalf("mem TaskStores = (%v, %v), want (nil, nil)", f, err)
+	}
+	c.Store = "bogus"
+	if _, err := c.TaskStores(); err == nil {
+		t.Fatal("bogus backend accepted")
+	}
+	if _, err := c.MemberOptions(); err == nil {
+		t.Fatal("MemberOptions swallowed the bad backend")
+	}
+	c.Store = "file"
+	c.StoreDir = filepath.Join(t.TempDir(), "stores")
+	factory, err := c.TaskStores()
+	if err != nil || factory == nil {
+		t.Fatalf("file TaskStores = (%v, %v)", factory, err)
+	}
+	kv, err := factory("task 1:weird/id")
+	if err != nil {
+		t.Fatalf("factory: %v", err)
+	}
+	defer kv.Close()
+	entries, err := os.ReadDir(c.StoreDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || strings.ContainsAny(entries[0].Name(), " /:") {
+		t.Fatalf("expected one sanitized store file, got %v", entries)
+	}
+	opts, err := c.MemberOptions()
+	if err != nil {
+		t.Fatalf("MemberOptions: %v", err)
+	}
+	if len(opts) != 2 {
+		t.Fatalf("MemberOptions returned %d options, want agg + stores", len(opts))
+	}
+}

@@ -5,19 +5,31 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"desword/internal/group"
 	"desword/internal/mercurial"
 	"desword/internal/qmercurial"
+	"desword/internal/zkedb/store"
 )
 
 // This file makes the prover's secret state (Decommitment / DE-Sword's DPOC)
-// durable. A participant stores its DPOC in its own database to answer
-// queries later (§IV.B); re-running Commit after a restart would produce a
-// *different* commitment (fresh randomness) and orphan the POC already
-// submitted to the proxy, so the exact tree — including the position-pinned
-// soft commitments already shown to verifiers — must round-trip.
+// durable as a portable JSON snapshot. A participant stores its DPOC in its
+// own database to answer queries later (§IV.B); re-running Commit after a
+// restart would produce a *different* commitment (fresh randomness) and
+// orphan the POC already submitted to the proxy, so the exact tree —
+// including the position-pinned soft commitments already shown to verifiers —
+// must round-trip.
+//
+// The snapshot is one self-contained JSON document regardless of which node
+// store backs the tree: MarshalJSON walks the store, so the same tree
+// marshals to the same bytes on every backend (pinned by the cross-backend
+// tests). File-store deployments normally rely on the store itself for
+// durability (OpenDecommitment) and use snapshots for export/migration;
+// RestoreDecommitmentStore loads a legacy snapshot into any empty store.
 
 // ErrBadState reports a malformed serialized decommitment.
 var ErrBadState = errors.New("zkedb: malformed decommitment state")
@@ -28,6 +40,7 @@ type persistState struct {
 	DB     map[string][]byte `json:"db"`
 	Root   *persistNode      `json:"root"`
 	Soft   []persistSoft     `json:"soft"`
+	Seed   []byte            `json:"seed,omitempty"`
 }
 
 // persistNode mirrors node.
@@ -65,7 +78,7 @@ type persistMercHard struct {
 	R1 *big.Int `json:"r1"`
 }
 
-// persistSoft mirrors one soft-cache entry.
+// persistSoft mirrors one soft entry.
 type persistSoft struct {
 	Prefix []int             `json:"prefix"`
 	Com    persistCommitment `json:"com"`
@@ -93,15 +106,44 @@ func decodeCommitment(p *persistCommitment) (mercurial.Commitment, error) {
 	return mercurial.Commitment{C0: c0, C1: c1}, nil
 }
 
-func encodeNode(n *node) *persistNode {
+// peekNode resolves a node for a persistence walk: cache first, then the
+// store, without inserting into the cache — snapshotting a bounded-cache
+// tree must not evict the prover's working set.
+func (d *Decommitment) peekNode(pk string) (*node, error) {
+	if pk == "" {
+		return d.root, nil
+	}
+	sk := nodeStoreKey(pk)
+	d.mu.Lock()
+	if el, ok := d.ents[sk]; ok {
+		n := el.Value.(*cacheSlot).n
+		d.mu.Unlock()
+		return n, nil
+	}
+	d.mu.Unlock()
+	val, ok, err := d.kv.Get(sk)
+	if err != nil {
+		return nil, fmt.Errorf("zkedb: loading node %q: %w", pk, err)
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: node %x missing from store", ErrBadState, pk)
+	}
+	n, err := decodeNodeRecord(val, d.crs.Params)
+	if err != nil {
+		return nil, fmt.Errorf("zkedb: node %x: %w", pk, err)
+	}
+	return n, nil
+}
+
+// persistTree converts the stored subtree at pk into its snapshot form.
+func (d *Decommitment) persistTree(pk string, n *node) (*persistNode, error) {
 	out := &persistNode{Level: n.level}
-	if n.children == nil {
-		leafCom := n.leafCom
-		out.LeafCom = encodeCommitment(leafCom)
+	if n.leaf {
+		out.LeafCom = encodeCommitment(n.leafCom)
 		out.LeafDec = &persistMercHard{M: n.leafDec.M, R0: n.leafDec.R0, R1: n.leafDec.R1}
 		out.LeafKey = n.leafKey
 		out.LeafValue = n.leafValue
-		return out
+		return out, nil
 	}
 	out.QCom = encodeCommitment(n.qCom.MC)
 	out.QDec = &persistHardDec{
@@ -110,17 +152,96 @@ func encodeNode(n *node) *persistNode {
 		V:        n.qDec.V,
 		MCDec:    persistMercHard{M: n.qDec.MCDec.M, R0: n.qDec.MCDec.R0, R1: n.qDec.MCDec.R1},
 	}
-	out.Children = make(map[int]*persistNode, len(n.children))
-	for slot, child := range n.children {
-		out.Children[slot] = encodeNode(child)
+	out.Children = make(map[int]*persistNode, len(n.slots))
+	for _, slot := range n.slots {
+		childPk := pk + string([]byte{byte(slot)})
+		child, err := d.peekNode(childPk)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := d.persistTree(childPk, child)
+		if err != nil {
+			return nil, err
+		}
+		out.Children[slot] = rec
 	}
-	return out
+	return out, nil
 }
 
-func decodeNode(p *persistNode, params Params) (*node, error) {
+// MarshalJSON serializes the full prover state by walking the node store.
+// The output contains every secret the participant holds (trace values,
+// decommitment randomness, the build seed if any) and must be stored as
+// confidentially as the database itself.
+func (d *Decommitment) MarshalJSON() ([]byte, error) {
+	d.treeMu.RLock()
+	defer d.treeMu.RUnlock()
+	root, err := d.persistTree("", d.root)
+	if err != nil {
+		return nil, err
+	}
+	state := persistState{
+		Params: d.crs.Params,
+		DB:     make(map[string][]byte),
+		Root:   root,
+		Seed:   d.seed,
+	}
+	dbKeys, err := d.kv.List(nsDB)
+	if err != nil {
+		return nil, fmt.Errorf("zkedb: listing db entries: %w", err)
+	}
+	for _, sk := range dbKeys {
+		val, ok, err := d.kv.Get(sk)
+		if err != nil {
+			return nil, fmt.Errorf("zkedb: reading db entry %q: %w", sk, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: db entry %q vanished", ErrBadState, sk)
+		}
+		state.DB[strings.TrimPrefix(sk, nsDB)] = val
+	}
+	// Soft entries serialize in sorted prefix order so the same tree always
+	// marshals to the same bytes (desword/determinism): the audit trail may
+	// hash persisted state, and store iteration order must not leak into it.
+	// List already returns sorted keys, and the "s/"-prefixed order equals
+	// the prefix order the legacy format used.
+	softKeys, err := d.kv.List(nsSoft)
+	if err != nil {
+		return nil, fmt.Errorf("zkedb: listing soft entries: %w", err)
+	}
+	state.Soft = make([]persistSoft, 0, len(softKeys))
+	for _, sk := range softKeys {
+		val, ok, err := d.kv.Get(sk)
+		if err != nil {
+			return nil, fmt.Errorf("zkedb: reading soft entry %q: %w", sk, err)
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: soft entry %q vanished", ErrBadState, sk)
+		}
+		entry, err := decodeSoftRecord(val)
+		if err != nil {
+			return nil, fmt.Errorf("zkedb: soft entry %q: %w", sk, err)
+		}
+		prefix := strings.TrimPrefix(sk, nsSoft)
+		digits := make([]int, len(prefix))
+		for i := 0; i < len(prefix); i++ {
+			digits[i] = int(prefix[i])
+		}
+		state.Soft = append(state.Soft, persistSoft{
+			Prefix: digits,
+			Com:    *encodeCommitment(entry.com),
+			R0:     entry.dec.R0,
+			R1:     entry.dec.R1,
+		})
+	}
+	return json.Marshal(state)
+}
+
+// restoreNode loads one snapshot node (and its subtree) into the store.
+func (d *Decommitment) restoreNode(pk string, p *persistNode) (*node, error) {
 	if p == nil {
 		return nil, ErrBadState
 	}
+	params := d.crs.Params
 	n := &node{level: p.Level}
 	if p.Children == nil && p.QCom == nil {
 		// Leaf node.
@@ -131,10 +252,14 @@ func decodeNode(p *persistNode, params Params) (*node, error) {
 		if err != nil {
 			return nil, err
 		}
+		n.leaf = true
 		n.leafCom = com
 		n.leafDec = mercurial.HardDecommit{M: p.LeafDec.M, R0: p.LeafDec.R0, R1: p.LeafDec.R1}
 		n.leafKey = p.LeafKey
 		n.leafValue = p.LeafValue
+		if err := d.putNode(pk, n); err != nil {
+			return nil, err
+		}
 		return n, nil
 	}
 	if p.QDec == nil || len(p.QDec.Messages) != params.Q {
@@ -151,61 +276,39 @@ func decodeNode(p *persistNode, params Params) (*node, error) {
 		V:        p.QDec.V,
 		MCDec:    mercurial.HardDecommit{M: p.QDec.MCDec.M, R0: p.QDec.MCDec.R0, R1: p.QDec.MCDec.R1},
 	}
-	n.children = make(map[int]*node, len(p.Children))
-	for slot, child := range p.Children {
+	n.slots = make([]int, 0, len(p.Children))
+	for slot := range p.Children {
 		if slot < 0 || slot >= params.Q {
 			return nil, fmt.Errorf("%w: child slot %d out of range", ErrBadState, slot)
 		}
-		decoded, err := decodeNode(child, params)
-		if err != nil {
+		n.slots = append(n.slots, slot)
+	}
+	sort.Ints(n.slots)
+	for _, slot := range n.slots {
+		childPk := pk + string([]byte{byte(slot)})
+		if _, err := d.restoreNode(childPk, p.Children[slot]); err != nil {
 			return nil, err
 		}
-		n.children[slot] = decoded
+	}
+	if err := d.putNode(pk, n); err != nil {
+		return nil, err
 	}
 	return n, nil
 }
 
-// MarshalJSON serializes the full prover state. The output contains every
-// secret the participant holds (trace values, decommitment randomness) and
-// must be stored as confidentially as the database itself.
-func (d *Decommitment) MarshalJSON() ([]byte, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	state := persistState{
-		Params: d.crs.Params,
-		DB:     d.db,
-		Root:   encodeNode(d.root),
-		Soft:   make([]persistSoft, 0, len(d.soft)),
-	}
-	// Soft entries are serialized in sorted prefix order so the same tree
-	// always marshals to the same bytes (desword/determinism): the audit
-	// trail may hash persisted state, and map iteration order must not
-	// leak into it.
-	prefixes := make([]string, 0, len(d.soft))
-	for prefix := range d.soft {
-		prefixes = append(prefixes, prefix)
-	}
-	sort.Strings(prefixes)
-	for _, prefix := range prefixes {
-		entry := d.soft[prefix]
-		digits := make([]int, len(prefix))
-		for i := 0; i < len(prefix); i++ {
-			digits[i] = int(prefix[i])
-		}
-		state.Soft = append(state.Soft, persistSoft{
-			Prefix: digits,
-			Com:    *encodeCommitment(entry.com),
-			R0:     entry.dec.R0,
-			R1:     entry.dec.R1,
-		})
-	}
-	return json.Marshal(state)
+// RestoreDecommitment reconstructs a Decommitment under the given CRS from
+// the JSON produced by MarshalJSON, backed by a fresh in-memory store. The
+// CRS must be the one the state was committed under (the geometry is
+// checked; the key material is trusted).
+func RestoreDecommitment(crs *CRS, data []byte) (*Decommitment, error) {
+	return RestoreDecommitmentStore(crs, data, nil, 0)
 }
 
-// RestoreDecommitment reconstructs a Decommitment under the given CRS from
-// the JSON produced by MarshalJSON. The CRS must be the one the state was
-// committed under (the geometry is checked; the key material is trusted).
-func RestoreDecommitment(crs *CRS, data []byte) (*Decommitment, error) {
+// RestoreDecommitmentStore is RestoreDecommitment into a caller-supplied
+// empty store — the migration path from a legacy JSON snapshot to a
+// file-backed tree. kv == nil selects a fresh in-memory store; cacheNodes
+// bounds the hydrated cache as CommitOptions.CacheNodes does.
+func RestoreDecommitmentStore(crs *CRS, data []byte, kv store.KV, cacheNodes int) (*Decommitment, error) {
 	var state persistState
 	if err := json.Unmarshal(data, &state); err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrBadState, err)
@@ -214,19 +317,36 @@ func RestoreDecommitment(crs *CRS, data []byte) (*Decommitment, error) {
 		return nil, fmt.Errorf("%w: state geometry %+v does not match CRS %+v",
 			ErrBadState, state.Params, crs.Params)
 	}
-	root, err := decodeNode(state.Root, crs.Params)
+	if kv == nil {
+		kv = store.NewMem()
+	}
+	if _, ok, err := kv.Get(metaParamsKey); err != nil {
+		return nil, fmt.Errorf("zkedb: probing store: %w", err)
+	} else if ok {
+		return nil, ErrStoreInUse
+	}
+	dec := newDecommitment(crs, kv, state.Seed, cacheNodes)
+	if err := dec.writeMeta(); err != nil {
+		return nil, err
+	}
+	dbKeys := make([]string, 0, len(state.DB))
+	for k := range state.DB {
+		dbKeys = append(dbKeys, k)
+	}
+	sort.Strings(dbKeys)
+	for _, k := range dbKeys {
+		if err := kv.Put(dbStoreKey(k), state.DB[k]); err != nil {
+			return nil, fmt.Errorf("zkedb: storing db entry: %w", err)
+		}
+	}
+	root, err := dec.restoreNode("", state.Root)
 	if err != nil {
 		return nil, err
 	}
-	dec := &Decommitment{
-		crs:  crs,
-		db:   state.DB,
-		root: root,
-		soft: make(map[string]*softEntry, len(state.Soft)),
+	if root.leaf {
+		return nil, fmt.Errorf("%w: malformed root node", ErrBadState)
 	}
-	if dec.db == nil {
-		dec.db = make(map[string][]byte)
-	}
+	dec.root = root
 	for _, s := range state.Soft {
 		com, err := decodeCommitment(&s.Com)
 		if err != nil {
@@ -235,10 +355,59 @@ func RestoreDecommitment(crs *CRS, data []byte) (*Decommitment, error) {
 		if s.R0 == nil || s.R1 == nil {
 			return nil, fmt.Errorf("%w: soft entry missing randomness", ErrBadState)
 		}
-		dec.soft[prefixKey(s.Prefix)] = &softEntry{
-			com: com,
-			dec: mercurial.SoftDecommit{R0: s.R0, R1: s.R1},
+		entry := &softEntry{com: com, dec: mercurial.SoftDecommit{R0: s.R0, R1: s.R1}}
+		if err := dec.putSoft(prefixKey(s.Prefix), entry); err != nil {
+			return nil, err
 		}
 	}
+	if err := kv.Flush(); err != nil {
+		return nil, fmt.Errorf("zkedb: flushing store: %w", err)
+	}
 	return dec, nil
+}
+
+// SaveFile atomically writes the serialized decommitment to path: the
+// snapshot lands in a temp file in the same directory (mode 0600 — it holds
+// every secret the participant has), is synced, and is renamed over the
+// target, so a crash mid-save can never leave a torn or half-written
+// snapshot where a good one used to be.
+func (d *Decommitment) SaveFile(path string) error {
+	data, err := json.Marshal(d)
+	if err != nil {
+		return fmt.Errorf("zkedb: serializing decommitment: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("zkedb: creating snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("zkedb: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("zkedb: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("zkedb: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("zkedb: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadDecommitmentFile restores a decommitment from a SaveFile snapshot.
+func LoadDecommitmentFile(crs *CRS, path string) (*Decommitment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("zkedb: reading snapshot: %w", err)
+	}
+	return RestoreDecommitment(crs, data)
 }

@@ -42,16 +42,17 @@ func TestClaim1ForgedNonOwnershipViaTeases(t *testing.T) {
 	}
 
 	forged := &Proof{Kind: ProofNonOwnership, Levels: make([]LevelOpening, 0, len(own.Levels))}
-	dec.mu.Lock()
 	cur := dec.root
 	digits := crs.digits(crs.digest(key))
 	for level := 0; level < crs.Params.H; level++ {
 		sop, serr := crs.Key.SOpenHard(cur.qDec, digits[level])
 		if serr != nil {
-			dec.mu.Unlock()
 			t.Fatal(serr)
 		}
-		child := cur.children[digits[level]]
+		child, cerr := dec.childAt(digits[:level+1], nil)
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
 		forged.Levels = append(forged.Levels, LevelOpening{Soft: &sop, Child: child.commitment()})
 		cur = child
 	}
@@ -59,7 +60,6 @@ func TestClaim1ForgedNonOwnershipViaTeases(t *testing.T) {
 	// the absent message.
 	leafTease := crs.Key.TMC.SOpenHard(cur.leafDec)
 	leafTease.M = crs.absentMessage(key)
-	dec.mu.Unlock()
 	forged.LeafTease = &leafTease
 
 	if _, _, err := crs.Verify(com, key, forged); err == nil {
@@ -202,18 +202,23 @@ func TestSlotIndexForgery(t *testing.T) {
 	// Re-open level 0 at a different slot (valid opening of that slot!) and
 	// present the soft commitment pinned there as the child.
 	wrongSlot := (digits[0] + 1) % crs.Params.Q
-	dec.mu.Lock()
 	op, oerr := crs.Key.HOpen(dec.root.qDec, wrongSlot)
-	var child mercurial.Commitment
-	if c, ok := dec.root.children[wrongSlot]; ok {
-		child = c.commitment()
-	} else {
-		prefix := []int{wrongSlot}
-		child = dec.soft[prefixKey(prefix)].com
-	}
-	dec.mu.Unlock()
 	if oerr != nil {
 		t.Fatal(oerr)
+	}
+	var child mercurial.Commitment
+	if dec.root.hasSlot(wrongSlot) {
+		c, cerr := dec.childAt([]int{wrongSlot}, nil)
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
+		child = c.commitment()
+	} else {
+		entry, serr := dec.softAt([]int{wrongSlot}, nil)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		child = entry.com
 	}
 	forged := &Proof{
 		Kind:     ProofOwnership,
@@ -313,14 +318,12 @@ func TestLeafFlavourConfusion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dec.mu.Lock()
 	digits := crs.digits(crs.digest(key))
-	cur := dec.root
-	for level := 0; level < crs.Params.H; level++ {
-		cur = cur.children[digits[level]]
+	cur, err := dec.childAt(digits, nil)
+	if err != nil {
+		t.Fatal(err)
 	}
 	leafTease := crs.Key.TMC.SOpenHard(cur.leafDec)
-	dec.mu.Unlock()
 
 	forged := &Proof{
 		Kind:      ProofNonOwnership,

@@ -29,10 +29,14 @@
 // proofs with different values (Claim 2).
 //
 // The four algorithms match the paper's ZK-EDB API: CRSGen, (crs) Commit
-// [EDB-commit], (dec) Prove [EDB-proof], (crs) Verify [EDB-Verify].
+// [EDB-commit], (dec) Prove [EDB-proof], (crs) Verify [EDB-Verify]. Beyond
+// the paper, Update (update.go) revises a commitment incrementally, and the
+// tree itself lives in a pluggable node store (package zkedb/store) with
+// lazy hydration, so a database is no longer bounded by RAM (DESIGN.md §13).
 package zkedb
 
 import (
+	"container/list"
 	"context"
 	"crypto/rand"
 	"crypto/sha256"
@@ -50,6 +54,7 @@ import (
 	"desword/internal/qmercurial"
 	"desword/internal/rsavc"
 	"desword/internal/trace"
+	"desword/internal/zkedb/store"
 )
 
 // slotMessageBits is the size of the hash binding a child commitment into
@@ -62,6 +67,7 @@ var (
 	ErrDigestCollision = errors.New("zkedb: two keys share a digest path")
 	ErrBadProof        = errors.New("zkedb: proof rejected")
 	ErrUnknownKey      = errors.New("zkedb: key not covered by this decommitment")
+	ErrStoreInUse      = errors.New("zkedb: store already holds a committed tree")
 )
 
 // Params fixes the tree geometry. Q is the branching factor (a power of
@@ -216,12 +222,16 @@ func (c *CRS) absentMessage(key string) *big.Int {
 	return c.Key.TMC.Group().HashToScalar([]byte("zkedb/absent"), []byte(key))
 }
 
-// node is a materialized tree node held by the prover. Internal nodes
-// (level < H) carry a hard q-mercurial commitment; the leaf level (level == H)
-// carries a hard mercurial commitment to the key/value.
+// node is a hydrated tree node. Internal nodes (level < H) carry a hard
+// q-mercurial commitment and the sorted list of occupied child slots; the
+// leaf level (level == H) carries a hard mercurial commitment to the
+// key/value. Children are NOT held by pointer: the prover resolves them by
+// tree position through the node store, hydrating lazily during proofs.
+// Nodes are immutable once built — Update replaces touched nodes wholesale.
 type node struct {
-	level    int
-	children map[int]*node
+	level int
+	leaf  bool
+	slots []int // sorted occupied child slots (internal nodes only)
 
 	qCom qmercurial.Commitment
 	qDec qmercurial.HardDecommit
@@ -232,6 +242,21 @@ type node struct {
 	leafValue []byte
 }
 
+// hasSlot reports whether the internal node has a committed child at slot.
+func (n *node) hasSlot(slot int) bool {
+	i := sort.SearchInts(n.slots, slot)
+	return i < len(n.slots) && n.slots[i] == slot
+}
+
+// commitment returns the node's mercurial-layer commitment regardless of
+// whether it is internal or a leaf.
+func (n *node) commitment() mercurial.Commitment {
+	if n.leaf {
+		return n.leafCom
+	}
+	return n.qCom.MC
+}
+
 // softEntry is a soft commitment pinned to a tree position, created either at
 // commit time (empty child slots of materialized nodes) or lazily during
 // non-ownership proofs.
@@ -240,20 +265,64 @@ type softEntry struct {
 	dec mercurial.SoftDecommit
 }
 
+// cacheSlot is one resident entry of the hydrated-state LRU: a node or a
+// soft entry, keyed by namespaced store key.
+type cacheSlot struct {
+	key string
+	n   *node
+	s   *softEntry
+}
+
 // Decommitment is the prover's secret state (the paper's Dec / DE-Sword's
-// DPOC): the materialized tree, the underlying database, and the cache of
-// position-pinned soft commitments. Safe for concurrent Prove calls.
+// DPOC): the committed tree and database, resident in a pluggable node
+// store, plus a bounded cache of hydrated nodes and position-pinned soft
+// commitments. Safe for concurrent Prove calls; Update excludes proofs via
+// an internal tree lock.
 type Decommitment struct {
-	mu   sync.Mutex
 	crs  *CRS
-	db   map[string][]byte
-	root *node
-	soft map[string]*softEntry // key: digit path prefix, one byte per digit
+	kv   store.KV
+	seed []byte
+
+	// treeMu orders tree mutation against readers: Prove and MarshalJSON
+	// hold it shared, Update exclusively.
+	treeMu sync.RWMutex
+
+	// mu guards the hydrated-state cache below (and soft-entry creation).
+	mu    sync.Mutex
+	bound int        // max resident cache entries; 0 = unbounded
+	ll    *list.List // front = most recently used
+	ents  map[string]*list.Element
+	root  *node // pinned: never evicted, resolved without the store
+	cm    *cacheMetrics
 }
 
 // Params exposes the tree geometry this decommitment was committed under,
 // for callers annotating telemetry about proofs they hold.
 func (d *Decommitment) Params() Params { return d.crs.Params }
+
+// Store exposes the node store backing this decommitment.
+func (d *Decommitment) Store() store.KV { return d.kv }
+
+// Commitment returns the database commitment this decommitment opens — the
+// root node's q-mercurial commitment. It reflects the latest Update.
+func (d *Decommitment) Commitment() Commitment {
+	d.treeMu.RLock()
+	defer d.treeMu.RUnlock()
+	return Commitment{Root: d.root.qCom}
+}
+
+// newDecommitment wires an empty prover state over kv.
+func newDecommitment(crs *CRS, kv store.KV, seed []byte, bound int) *Decommitment {
+	return &Decommitment{
+		crs:   crs,
+		kv:    kv,
+		seed:  seed,
+		bound: bound,
+		ll:    list.New(),
+		ents:  make(map[string]*list.Element),
+		cm:    cacheMetricsFor(kv.Name()),
+	}
+}
 
 type keyItem struct {
 	key    string
@@ -262,7 +331,8 @@ type keyItem struct {
 }
 
 // CommitOptions configures Commit. The zero value selects the defaults:
-// one worker per CPU and fresh crypto/rand commitment randomness.
+// one worker per CPU, fresh crypto/rand commitment randomness, an in-memory
+// node store, and an unbounded hydrated-node cache.
 type CommitOptions struct {
 	// Workers bounds the worker pool fanning the q-ary subtree build out
 	// across slots. 0 selects runtime.GOMAXPROCS(0); 1 forces the serial
@@ -272,10 +342,24 @@ type CommitOptions struct {
 	// deterministic generator keyed by (Seed, tree position) instead of
 	// crypto/rand, making the build reproducible bit for bit at any worker
 	// count. Position keying means no draw depends on build order, which is
-	// what lets the parallel build match the serial one exactly. A seeded
-	// commitment forfeits hiding against anyone holding the seed; it exists
-	// for tests and byte-identity pinning, not production.
+	// what lets the parallel build match the serial one exactly — and what
+	// lets Update recompute a touched path to the same bytes a fresh build
+	// would produce. A seeded commitment forfeits hiding against anyone
+	// holding the seed; it exists for tests and byte-identity pinning, not
+	// production. The seed is retained in the decommitment state (it is as
+	// secret as the decommitment itself).
 	Seed []byte
+	// Store, when non-nil, is the node store the committed tree is written
+	// to — typically a *store.File so the tree survives restarts and can be
+	// reopened with OpenDecommitment. nil selects a fresh in-memory store.
+	// The store must be empty: committing into a store that already holds a
+	// tree returns ErrStoreInUse.
+	Store store.KV
+	// CacheNodes bounds the resident hydrated-state cache (nodes + soft
+	// entries). 0 keeps everything resident (the legacy behaviour, right
+	// for the in-memory backend); with a file store a bound keeps peak
+	// memory proportional to the working set instead of the tree.
+	CacheNodes int
 }
 
 // workerCount resolves the effective pool size.
@@ -292,21 +376,31 @@ func (o CommitOptions) workerCount() int {
 // openings are independent (Catalano–Fiore), so the fan-out changes nothing
 // about the output. Pass CommitOptions{} for the defaults.
 func (c *CRS) Commit(db map[string][]byte, opts CommitOptions) (Commitment, *Decommitment, error) {
+	kv := opts.Store
+	if kv == nil {
+		kv = store.NewMem()
+	}
+	if _, ok, err := kv.Get(metaParamsKey); err != nil {
+		return Commitment{}, nil, fmt.Errorf("zkedb: probing store: %w", err)
+	} else if ok {
+		return Commitment{}, nil, ErrStoreInUse
+	}
 	items := make([]keyItem, 0, len(db))
 	for k, v := range db {
 		items = append(items, keyItem{key: k, value: v, digits: c.digits(c.digest(k))})
 	}
 	// Deterministic build order keeps error behaviour reproducible.
 	sort.Slice(items, func(i, j int) bool { return items[i].key < items[j].key })
-	dec := &Decommitment{
-		crs:  c,
-		db:   make(map[string][]byte, len(db)),
-		soft: make(map[string]*softEntry),
+	dec := newDecommitment(c, kv, opts.Seed, opts.CacheNodes)
+	if err := dec.writeMeta(); err != nil {
+		return Commitment{}, nil, err
 	}
-	for k, v := range db {
-		cp := make([]byte, len(v))
-		copy(cp, v)
-		dec.db[k] = cp
+	for _, it := range items {
+		cp := make([]byte, len(it.value))
+		copy(cp, it.value)
+		if err := kv.Put(dbStoreKey(it.key), cp); err != nil {
+			return Commitment{}, nil, fmt.Errorf("zkedb: storing db entry: %w", err)
+		}
 	}
 	b := &builder{crs: c, dec: dec, seed: opts.Seed}
 	if spare := opts.workerCount() - 1; spare > 0 {
@@ -317,11 +411,14 @@ func (c *CRS) Commit(db map[string][]byte, opts CommitOptions) (Commitment, *Dec
 		return Commitment{}, nil, err
 	}
 	dec.root = root
+	if err := kv.Flush(); err != nil {
+		return Commitment{}, nil, fmt.Errorf("zkedb: flushing store: %w", err)
+	}
 	return Commitment{Root: root.qCom}, dec, nil
 }
 
-// builder carries the per-Commit build state: the worker-pool semaphore and
-// the randomness mode.
+// builder carries the per-build state shared by Commit and Update: the
+// worker-pool semaphore and the randomness mode.
 type builder struct {
 	crs  *CRS
 	dec  *Decommitment
@@ -344,7 +441,9 @@ func (b *builder) rnd(prefix []int) io.Reader {
 	return newCommitDRBG(b.seed, prefix)
 }
 
-// build materializes the subtree at the given level/prefix covering items.
+// build materializes the subtree at the given level/prefix covering items,
+// registering every built node (and pinned soft commitment) in the
+// decommitment's store and cache.
 func (b *builder) build(level int, prefix []int, items []keyItem) (*node, error) {
 	c := b.crs
 	if level == c.Params.H {
@@ -353,23 +452,28 @@ func (b *builder) build(level int, prefix []int, items []keyItem) (*node, error)
 		}
 		it := items[0]
 		com, leafDec := c.Key.TMC.HComFrom(b.rnd(prefix), c.leafMessage(it.key, it.value))
-		return &node{
+		n := &node{
 			level:     level,
+			leaf:      true,
 			leafCom:   com,
 			leafDec:   leafDec,
 			leafKey:   it.key,
 			leafValue: it.value,
-		}, nil
+		}
+		if err := b.dec.putNode(prefixKey(prefix), n); err != nil {
+			return nil, err
+		}
+		return n, nil
 	}
 	bySlot := make(map[int][]keyItem)
 	for _, it := range items {
 		d := it.digits[level]
 		bySlot[d] = append(bySlot[d], it)
 	}
-	n := &node{level: level, children: make(map[int]*node, len(bySlot))}
+	n := &node{level: level, slots: make([]int, 0, len(bySlot))}
 	messages := make([]*big.Int, c.Params.Q)
-	// Children land in a slice, not the node map, so spawned workers write
-	// disjoint indices; the map is filled after the join below.
+	// Children land in a slice, not the cache map, so spawned workers write
+	// disjoint indices; slot messages are filled after the join below.
 	children := make([]*node, c.Params.Q)
 	errs := make([]error, c.Params.Q)
 	var wg sync.WaitGroup
@@ -380,10 +484,14 @@ func (b *builder) build(level int, prefix []int, items []keyItem) (*node, error)
 			// Empty subtree: pin a soft commitment to this position now so the
 			// parent's vector is fixed; non-ownership proofs extend from here.
 			com, sdec := c.Key.TMC.SComFrom(b.rnd(childPrefix))
-			b.dec.putSoft(prefixKey(childPrefix), &softEntry{com: com, dec: sdec})
+			if err := b.dec.putSoft(prefixKey(childPrefix), &softEntry{com: com, dec: sdec}); err != nil {
+				errs[slot] = err
+				continue
+			}
 			messages[slot] = slotHash(com)
 			continue
 		}
+		n.slots = append(n.slots, slot)
 		if b.sem != nil {
 			select {
 			case b.sem <- struct{}{}:
@@ -413,7 +521,6 @@ func (b *builder) build(level int, prefix []int, items []keyItem) (*node, error)
 		if child == nil {
 			continue
 		}
-		n.children[slot] = child
 		messages[slot] = slotHash(child.commitment())
 	}
 	qCom, qDec, err := c.Key.HComFrom(b.rnd(prefix), messages)
@@ -422,19 +529,13 @@ func (b *builder) build(level int, prefix []int, items []keyItem) (*node, error)
 	}
 	n.qCom = qCom
 	n.qDec = qDec
+	if err := b.dec.putNode(prefixKey(prefix), n); err != nil {
+		return nil, err
+	}
 	return n, nil
 }
 
-// commitment returns the node's mercurial-layer commitment regardless of
-// whether it is internal or a leaf.
-func (n *node) commitment() mercurial.Commitment {
-	if n.children == nil {
-		return n.leafCom
-	}
-	return n.qCom.MC
-}
-
-// prefixKey encodes a digit path as a cache key.
+// prefixKey encodes a digit path as a store/cache key.
 func prefixKey(prefix []int) string {
 	buf := make([]byte, len(prefix))
 	for i, d := range prefix {
@@ -484,20 +585,38 @@ type Proof struct {
 	LeafTease *mercurial.Tease       `json:"leaf_tease,omitempty"`
 }
 
+// proveStats accumulates per-proof store activity for span attributes.
+type proveStats struct {
+	loaded  int // nodes/softs hydrated from the store during this proof
+	created int // soft entries lazily created during this proof
+}
+
 // Prove generates the proof for key (the paper's EDB-proof): an ownership
 // proof when the key is in the committed database, a non-ownership proof
 // otherwise. When ctx carries an active trace span, generation is recorded
-// as a "zkedb.prove" child span tagged with the tree geometry, the proof
-// kind, and any attributes attached via WithProveAttrs. ctx cancellation is
-// honoured between tree levels, so an expired deadline aborts a proof
-// mid-walk instead of paying for the remaining openings.
+// as a "zkedb.prove" child span tagged with the tree geometry, the store
+// backend, the number of nodes hydrated from the store, the proof kind, and
+// any attributes attached via WithProveAttrs. ctx cancellation is honoured
+// between tree levels, so an expired deadline aborts a proof mid-walk
+// instead of paying for the remaining openings.
 func (d *Decommitment) Prove(ctx context.Context, key string) (*Proof, error) {
 	attrs := append([]trace.Attr{
 		trace.Int("q", d.crs.Params.Q), trace.Int("h", d.crs.Params.H),
+		trace.String("store", d.kv.Name()),
 	}, proveAttrs(ctx)...)
 	_, span := trace.Default.StartChild(ctx, "zkedb.prove", attrs...)
 	timer := obs.StartTimer()
-	proof, err := d.prove(ctx, key)
+	st := &proveStats{}
+	d.treeMu.RLock()
+	proof, err := d.prove(ctx, key, st)
+	if err == nil && st.created > 0 {
+		// A non-ownership proof extended a soft chain: commit it so the
+		// commitments just shown to a verifier survive a restart (repeat
+		// queries must answer with the same chain).
+		err = d.kv.Flush()
+	}
+	d.treeMu.RUnlock()
+	span.SetAttr(trace.Int("loaded_nodes", st.loaded))
 	if err == nil {
 		d.crs.metrics().prove(proof.Kind).ObserveTimer(timer)
 		span.SetAttr(trace.String("kind", proof.Kind.String()))
@@ -508,14 +627,27 @@ func (d *Decommitment) Prove(ctx context.Context, key string) (*Proof, error) {
 	return proof, err
 }
 
-func (d *Decommitment) prove(ctx context.Context, key string) (*Proof, error) {
-	// The tree and db maps are immutable after Commit; only the soft cache
-	// mutates, under its own lock in softAt. Proofs for different keys
-	// therefore run concurrently without serializing on d.mu.
-	if _, ok := d.db[key]; ok {
-		return d.proveOwnership(ctx, key)
+func (d *Decommitment) prove(ctx context.Context, key string, st *proveStats) (*Proof, error) {
+	// The tree is immutable between Updates (excluded by treeMu); only the
+	// hydrated-state cache mutates, under its own lock. Proofs for different
+	// keys therefore run concurrently without serializing on d.mu.
+	present, err := d.hasKey(key)
+	if err != nil {
+		return nil, err
 	}
-	return d.proveNonOwnership(ctx, key)
+	if present {
+		return d.proveOwnership(ctx, key, st)
+	}
+	return d.proveNonOwnership(ctx, key, st)
+}
+
+// hasKey reports whether key is in the committed database.
+func (d *Decommitment) hasKey(key string) (bool, error) {
+	_, ok, err := d.kv.Get(dbStoreKey(key))
+	if err != nil {
+		return false, fmt.Errorf("zkedb: reading db entry for %q: %w", key, err)
+	}
+	return ok, nil
 }
 
 // checkCtx reports a proof-aborting cancellation, wrapped so callers can
@@ -527,7 +659,7 @@ func checkCtx(ctx context.Context, key string, level int) error {
 	return nil
 }
 
-func (d *Decommitment) proveOwnership(ctx context.Context, key string) (*Proof, error) {
+func (d *Decommitment) proveOwnership(ctx context.Context, key string, st *proveStats) (*Proof, error) {
 	c := d.crs
 	digits := c.digits(c.digest(key))
 	proof := &Proof{Kind: ProofOwnership, Levels: make([]LevelOpening, 0, c.Params.H)}
@@ -537,9 +669,12 @@ func (d *Decommitment) proveOwnership(ctx context.Context, key string) (*Proof, 
 			return nil, err
 		}
 		slot := digits[level]
-		child, ok := cur.children[slot]
-		if !ok {
+		if !cur.hasSlot(slot) {
 			return nil, fmt.Errorf("%w: %q (tree path broken at level %d)", ErrUnknownKey, key, level)
+		}
+		child, err := d.childAt(digits[:level+1], st)
+		if err != nil {
+			return nil, err
 		}
 		op, err := c.Key.HOpen(cur.qDec, slot)
 		if err != nil {
@@ -557,7 +692,7 @@ func (d *Decommitment) proveOwnership(ctx context.Context, key string) (*Proof, 
 	return proof, nil
 }
 
-func (d *Decommitment) proveNonOwnership(ctx context.Context, key string) (*Proof, error) {
+func (d *Decommitment) proveNonOwnership(ctx context.Context, key string, st *proveStats) (*Proof, error) {
 	c := d.crs
 	digits := c.digits(c.digest(key))
 	proof := &Proof{Kind: ProofNonOwnership, Levels: make([]LevelOpening, 0, c.Params.H)}
@@ -570,9 +705,12 @@ func (d *Decommitment) proveNonOwnership(ctx context.Context, key string) (*Proo
 			return nil, err
 		}
 		slot := digits[level]
-		child, ok := cur.children[slot]
-		if !ok {
+		if !cur.hasSlot(slot) {
 			break // transition to the soft segment
+		}
+		child, err := d.childAt(digits[:level+1], st)
+		if err != nil {
+			return nil, err
 		}
 		op, err := c.Key.SOpenHard(cur.qDec, slot)
 		if err != nil {
@@ -589,7 +727,10 @@ func (d *Decommitment) proveNonOwnership(ctx context.Context, key string) (*Proo
 	// created at commit time. Tease the hard node toward it, then descend a
 	// (cached) chain of soft commitments to the leaf.
 	slot := digits[level]
-	entry := d.softAt(digits[:level+1])
+	entry, err := d.softAt(digits[:level+1], st)
+	if err != nil {
+		return nil, err
+	}
 	op, err := c.Key.SOpenHard(cur.qDec, slot)
 	if err != nil {
 		return nil, fmt.Errorf("zkedb: teasing level %d: %w", level, err)
@@ -601,7 +742,10 @@ func (d *Decommitment) proveNonOwnership(ctx context.Context, key string) (*Proo
 		if err := checkCtx(ctx, key, level); err != nil {
 			return nil, err
 		}
-		next := d.softAt(digits[:level+1])
+		next, err := d.softAt(digits[:level+1], st)
+		if err != nil {
+			return nil, err
+		}
 		sop, err := c.Key.SOpenSoft(
 			qmercurial.SoftDecommit{MCDec: entry.dec}, digits[level], slotHash(next.com))
 		if err != nil {
@@ -617,31 +761,6 @@ func (d *Decommitment) proveNonOwnership(ctx context.Context, key string) (*Proo
 	}
 	proof.LeafTease = &tease
 	return proof, nil
-}
-
-// softAt returns the soft commitment pinned at the given digit path,
-// creating and caching it if this is the first query to pass through. It is
-// the only Prove-path writer of Decommitment state, so it alone takes the
-// lock (shared with putSoft and MarshalJSON).
-func (d *Decommitment) softAt(prefix []int) *softEntry {
-	k := prefixKey(prefix)
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if entry, ok := d.soft[k]; ok {
-		return entry
-	}
-	com, sdec := d.crs.Key.TMC.SCom()
-	entry := &softEntry{com: com, dec: sdec}
-	d.soft[k] = entry
-	return entry
-}
-
-// putSoft pins a commit-time soft entry; parallel subtree workers insert
-// concurrently.
-func (d *Decommitment) putSoft(key string, entry *softEntry) {
-	d.mu.Lock()
-	d.soft[key] = entry
-	d.mu.Unlock()
 }
 
 // Verify checks a proof for key against a commitment (the paper's

@@ -323,7 +323,7 @@ func TestCannotProveNonOwnershipOfPresentKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dec.proveNonOwnership(context.Background(), "product-000"); err == nil {
+	if _, err := dec.proveNonOwnership(context.Background(), "product-000", &proveStats{}); err == nil {
 		t.Fatal("honest prover must refuse non-ownership of a present key")
 	}
 }

@@ -8,5 +8,5 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
-	analysistest.Run(t, "testdata", determinism.Analyzer, "internal/qmercurial", "internal/trace")
+	analysistest.Run(t, "testdata", determinism.Analyzer, "internal/qmercurial", "internal/trace", "internal/zkedb/store")
 }

@@ -1,0 +1,39 @@
+// Package store is a golden fixture for determinism: the node-store backends
+// sit on the proof path (replay order decides the tree a prover reopens), so
+// they inherit the same wall-clock and map-iteration bans as the proof
+// packages themselves.
+package store
+
+import (
+	"sort"
+	"time"
+)
+
+func stampedBatch() int64 {
+	return time.Now().UnixNano() // want "time.Now in a proof package"
+}
+
+func listUnsorted(index map[string][]byte) []string {
+	var keys []string
+	for k := range index {
+		keys = append(keys, k) // want "append to keys inside range over map"
+	}
+	return keys
+}
+
+func listSorted(index map[string][]byte) []string {
+	var keys []string
+	for k := range index {
+		keys = append(keys, k) // sorted below, so iteration order cannot leak
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func countLive(index map[string][]byte) int {
+	n := 0
+	for range index {
+		n++ // order-independent: counting is fine
+	}
+	return n
+}
