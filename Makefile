@@ -26,7 +26,7 @@ fmt:
 	fi
 
 race:
-	$(GO) test -race ./internal/obs ./internal/node ./internal/core ./internal/trace ./internal/wire ./internal/zkedb ./internal/zkedb/store ./internal/poc ./internal/telemetry ./internal/events
+	$(GO) test -race ./internal/obs ./internal/node ./internal/core ./internal/trace ./internal/wire ./internal/zkedb ./internal/zkedb/store ./internal/poc ./internal/telemetry ./internal/events ./internal/reputation
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -76,6 +76,7 @@ store-smoke:
 # advisory extras rather than gates.
 lint: analyzers fmt tidy
 	$(GO) vet -vettool=$(abspath $(VET)) ./...
+	cd tools/analyzers && $(GO) vet -vettool=$(abspath $(VET)) ./...
 	cd tools/analyzers && $(GO) test ./...
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./...; \

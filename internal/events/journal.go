@@ -81,9 +81,9 @@ type Journal struct {
 	opts JournalOptions
 
 	mu   sync.Mutex
-	f    *os.File
-	seq  int
-	size int64
+	f    *os.File // guarded by mu; active segment
+	seq  int      // guarded by mu
+	size int64    // guarded by mu
 }
 
 // OpenJournal opens (or creates) the journal in dir. The directory is
@@ -116,7 +116,7 @@ func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
 	} else {
 		j.seq = 1
 	}
-	if err := j.openSegment(); err != nil {
+	if err := j.openSegmentLocked(); err != nil {
 		return nil, err
 	}
 	return j, nil
@@ -183,8 +183,8 @@ func recoverTail(path string) (bool, error) {
 	return true, nil
 }
 
-// openSegment opens the current sequence's file for appending.
-func (j *Journal) openSegment() error {
+// openSegmentLocked opens the current sequence's file for appending.
+func (j *Journal) openSegmentLocked() error {
 	path := filepath.Join(j.dir, segmentName(j.seq))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -245,7 +245,7 @@ func (j *Journal) rotateLocked() error {
 	j.f = nil
 	j.seq++
 	mRotations.Inc()
-	if err := j.openSegment(); err != nil {
+	if err := j.openSegmentLocked(); err != nil {
 		return err
 	}
 	return j.pruneLocked()

@@ -15,9 +15,9 @@ const DefaultRingSize = 512
 // stored by pointer and treated as frozen (see Event).
 type Ring struct {
 	mu    sync.Mutex
-	buf   []*Event
-	next  int
-	total uint64
+	buf   []*Event // guarded by mu
+	next  int      // guarded by mu
+	total uint64   // guarded by mu
 }
 
 // NewRing builds a ring holding up to capacity events.

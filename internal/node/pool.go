@@ -111,14 +111,14 @@ type Pool struct {
 	sem chan struct{}
 
 	mu     sync.Mutex
-	idle   []pooledConn // LIFO: most recently used last
-	open   int          // live conns, in-use + idle
-	closed bool
+	idle   []pooledConn // guarded by mu; LIFO: most recently used last
+	open   int          // guarded by mu; live conns, in-use + idle
+	closed bool         // guarded by mu
 
-	// Endpoint health, guarded by mu.
-	fails     int       // consecutive transport failures
-	downUntil time.Time // zero when the endpoint is considered up
-	lastErr   error     // last failure, reported by fast-fails
+	// Endpoint health.
+	fails     int       // guarded by mu; consecutive transport failures
+	downUntil time.Time // guarded by mu; zero when the endpoint is considered up
+	lastErr   error     // guarded by mu; last failure, reported by fast-fails
 
 	// Per-pool counters (process-wide aggregates live in poolMetrics).
 	dials, reuses, retries, fastFails, waits atomic.Uint64

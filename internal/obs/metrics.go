@@ -124,7 +124,7 @@ type Histogram struct {
 	// actively carry a trace id pay the lock, and those sit on sampled (and
 	// therefore already allocation-heavy) request paths.
 	exMu      sync.Mutex
-	exemplars []Exemplar
+	exemplars []Exemplar // guarded by exMu
 }
 
 // MaxExemplars bounds the exemplar store of one histogram series.
@@ -240,7 +240,7 @@ type series struct {
 // paths should fetch their handles once and keep them.
 type Registry struct {
 	mu       sync.RWMutex
-	families map[string]*family
+	families map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

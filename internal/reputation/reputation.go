@@ -65,9 +65,9 @@ type Event struct {
 // use.
 type Ledger struct {
 	mu     sync.RWMutex
-	scores map[supplychain.ParticipantID]float64
-	events []Event
-	audit  []AuditEntry
+	scores map[supplychain.ParticipantID]float64 // guarded by mu
+	events []Event                               // guarded by mu
+	audit  []AuditEntry                          // guarded by mu
 }
 
 // NewLedger returns an empty ledger.

@@ -30,10 +30,10 @@ type Collector struct {
 	sampler  *RuntimeSampler
 
 	mu    sync.Mutex
-	ring  []*Snapshot // newest last, ≤ ringSize
-	stats []SeriesStat
+	ring  []*Snapshot  // guarded by mu; newest last, ≤ ringSize
+	stats []SeriesStat // guarded by mu
 
-	started  bool
+	started  bool // guarded by mu
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -133,6 +133,9 @@ func (c *Collector) Stop() {
 	c.mu.Unlock()
 	if started {
 		<-c.done
+	}
+	if c.sink != nil {
+		c.sink.Wait()
 	}
 }
 

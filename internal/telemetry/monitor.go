@@ -22,10 +22,10 @@ type Monitor struct {
 	timeout    time.Duration
 
 	mu    sync.Mutex
-	names []string
-	peers map[string]*peerState
+	names []string              // guarded by mu
+	peers map[string]*peerState // guarded by mu
 
-	started  bool
+	started  bool // guarded by mu
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}

@@ -27,7 +27,8 @@ type ProfileSink struct {
 	CPUDuration time.Duration
 
 	inFlight atomic.Bool
-	mu       sync.Mutex // serialises prune against concurrent captures
+	wg       sync.WaitGroup // joins the async capture goroutine (Wait)
+	mu       sync.Mutex     // serialises prune against concurrent captures
 	seq      atomic.Uint64
 
 	// now and onDone are test seams.
@@ -52,7 +53,9 @@ func (p *ProfileSink) CaptureAsync(reason string) bool {
 	if !p.inFlight.CompareAndSwap(false, true) {
 		return false
 	}
+	p.wg.Add(1)
 	go func() {
+		defer p.wg.Done()
 		err := p.capture(reason)
 		p.inFlight.Store(false)
 		if p.onDone != nil {
@@ -60,6 +63,15 @@ func (p *ProfileSink) CaptureAsync(reason string) bool {
 		}
 	}()
 	return true
+}
+
+// Wait blocks until any in-flight async capture has finished. Shutdown
+// paths call it so a capture never outlives the process teardown.
+func (p *ProfileSink) Wait() {
+	if p == nil {
+		return
+	}
+	p.wg.Wait()
 }
 
 // Capture runs one capture synchronously (tests, CLI hooks).

@@ -29,9 +29,9 @@ type RuntimeSampler struct {
 	// mutex serializes Sample callers: the collector's ticker loop and any
 	// explicit Tick both land here.
 	mu          sync.Mutex
-	lastGC      uint32
-	lastPauseNs uint64
-	lastCPU     float64
+	lastGC      uint32  // guarded by mu
+	lastPauseNs uint64  // guarded by mu
+	lastCPU     float64 // guarded by mu
 
 	pageSize float64
 	ticksPer float64

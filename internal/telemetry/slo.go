@@ -121,8 +121,8 @@ type Engine struct {
 	lookback   int
 
 	mu      sync.Mutex
-	history [][]bool // per objective, newest last, ≤ lookback
-	status  []ObjectiveStatus
+	history [][]bool          // guarded by mu; per objective, newest last, ≤ lookback
+	status  []ObjectiveStatus // guarded by mu
 }
 
 // NewEngine builds an engine. lookback ≤ 0 selects DefaultLookback.

@@ -98,8 +98,8 @@ func sortNodes(ns []*SpanNode) {
 type Recorder struct {
 	mu     sync.Mutex
 	cap    int
-	traces map[string]*TraceData
-	order  []string // completion order, oldest first
+	traces map[string]*TraceData // guarded by mu
+	order  []string              // guarded by mu; completion order, oldest first
 }
 
 // NewRecorder builds a recorder holding up to capacity traces.

@@ -79,7 +79,7 @@ type collector struct {
 
 	mu      sync.Mutex
 	traceID string
-	spans   []SpanData
+	spans   []SpanData // guarded by mu
 }
 
 func (c *collector) add(data SpanData) {

@@ -25,17 +25,20 @@ type cacheMetrics struct {
 	evicted *obs.Counter
 }
 
-var (
-	cacheMetricsMu  sync.Mutex
-	cacheMetricsMap = make(map[string]*cacheMetrics)
-)
+// cacheMetricsRegistry interns the per-backend counter sets.
+type cacheMetricsRegistry struct {
+	mu sync.Mutex
+	m  map[string]*cacheMetrics // guarded by mu
+}
+
+var cacheReg = cacheMetricsRegistry{m: make(map[string]*cacheMetrics)}
 
 // cacheMetricsFor returns the counters for one backend, building them once
 // per backend name.
 func cacheMetricsFor(backend string) *cacheMetrics {
-	cacheMetricsMu.Lock()
-	defer cacheMetricsMu.Unlock()
-	if m, ok := cacheMetricsMap[backend]; ok {
+	cacheReg.mu.Lock()
+	defer cacheReg.mu.Unlock()
+	if m, ok := cacheReg.m[backend]; ok {
 		return m
 	}
 	m := &cacheMetrics{
@@ -46,15 +49,15 @@ func cacheMetricsFor(backend string) *cacheMetrics {
 			"ZK-EDB hydrated tree nodes and soft entries evicted from the resident cache.",
 			"backend", backend),
 	}
-	cacheMetricsMap[backend] = m
+	cacheReg.m[backend] = m
 	return m
 }
 
-// cacheInsert registers a hydrated entry, evicting from the LRU tail when
+// cacheInsertLocked registers a hydrated entry, evicting from the LRU tail when
 // the bound is exceeded. d.mu must be held. The root is never inserted (it
 // is pinned on the Decommitment itself), so eviction can never orphan the
 // tree.
-func (d *Decommitment) cacheInsert(key string, cs *cacheSlot) {
+func (d *Decommitment) cacheInsertLocked(key string, cs *cacheSlot) {
 	if el, ok := d.ents[key]; ok {
 		el.Value = cs
 		d.ll.MoveToFront(el)
@@ -75,8 +78,8 @@ func (d *Decommitment) cacheInsert(key string, cs *cacheSlot) {
 	}
 }
 
-// cacheDelete drops a hydrated entry, if resident. d.mu must be held.
-func (d *Decommitment) cacheDelete(key string) {
+// cacheDeleteLocked drops a hydrated entry, if resident. d.mu must be held.
+func (d *Decommitment) cacheDeleteLocked(key string) {
 	if el, ok := d.ents[key]; ok {
 		d.ll.Remove(el)
 		delete(d.ents, key)
@@ -102,7 +105,7 @@ func (d *Decommitment) putNode(pk string, n *node) error {
 		return nil
 	}
 	d.mu.Lock()
-	d.cacheInsert(nodeStoreKey(pk), &cacheSlot{key: nodeStoreKey(pk), n: n})
+	d.cacheInsertLocked(nodeStoreKey(pk), &cacheSlot{key: nodeStoreKey(pk), n: n})
 	d.mu.Unlock()
 	return nil
 }
@@ -140,7 +143,7 @@ func (d *Decommitment) nodeAt(pk string, st *proveStats) (*node, error) {
 	}
 	d.cm.loaded.Inc()
 	d.mu.Lock()
-	d.cacheInsert(sk, &cacheSlot{key: sk, n: n})
+	d.cacheInsertLocked(sk, &cacheSlot{key: sk, n: n})
 	d.mu.Unlock()
 	return n, nil
 }
@@ -156,7 +159,7 @@ func (d *Decommitment) putSoft(pk string, entry *softEntry) error {
 		return fmt.Errorf("zkedb: storing soft entry %q: %w", pk, err)
 	}
 	d.mu.Lock()
-	d.cacheInsert(softStoreKey(pk), &cacheSlot{key: softStoreKey(pk), s: entry})
+	d.cacheInsertLocked(softStoreKey(pk), &cacheSlot{key: softStoreKey(pk), s: entry})
 	d.mu.Unlock()
 	return nil
 }
@@ -191,7 +194,7 @@ func (d *Decommitment) softAt(prefix []int, st *proveStats) (*softEntry, error) 
 			st.loaded++
 		}
 		d.cm.loaded.Inc()
-		d.cacheInsert(sk, &cacheSlot{key: sk, s: entry})
+		d.cacheInsertLocked(sk, &cacheSlot{key: sk, s: entry})
 		return entry, nil
 	}
 	var rnd io.Reader = rand.Reader
@@ -206,7 +209,7 @@ func (d *Decommitment) softAt(prefix []int, st *proveStats) (*softEntry, error) 
 	if st != nil {
 		st.created++
 	}
-	d.cacheInsert(sk, &cacheSlot{key: sk, s: entry})
+	d.cacheInsertLocked(sk, &cacheSlot{key: sk, s: entry})
 	return entry, nil
 }
 

@@ -75,12 +75,12 @@ type File struct {
 	path string
 
 	mu         sync.Mutex
-	f          *os.File
-	size       int64 // committed append offset
-	index      map[string]span
-	pendingPut map[string][]byte
-	pendingDel map[string]struct{}
-	closed     bool
+	f          *os.File            // guarded by mu
+	size       int64               // guarded by mu; committed append offset
+	index      map[string]span     // guarded by mu
+	pendingPut map[string][]byte   // guarded by mu
+	pendingDel map[string]struct{} // guarded by mu
+	closed     bool                // guarded by mu
 }
 
 // OpenFile opens (or creates) a file-backed store at path, replaying every
@@ -98,16 +98,16 @@ func OpenFile(path string, opts FileOptions) (*File, error) {
 		pendingPut: make(map[string][]byte),
 		pendingDel: make(map[string]struct{}),
 	}
-	if err := s.replay(); err != nil {
+	if err := s.replayLocked(); err != nil {
 		_ = f.Close()
 		return nil, err
 	}
 	return s, nil
 }
 
-// replay scans the log, rebuilding the index from committed batches, and
+// replayLocked scans the log, rebuilding the index from committed batches, and
 // truncates the file back to the end of the last valid commit marker.
-func (s *File) replay() error {
+func (s *File) replayLocked() error {
 	info, err := s.f.Stat()
 	if err != nil {
 		return fmt.Errorf("store: stat %s: %w", s.path, err)
@@ -294,7 +294,7 @@ func (s *File) Put(key string, val []byte) error {
 	}
 	s.pendingPut[key] = cp
 	delete(s.pendingDel, key)
-	full := s.batchFull()
+	full := s.batchFullLocked()
 	s.mu.Unlock()
 	if full {
 		return s.Flush()
@@ -311,7 +311,7 @@ func (s *File) Delete(key string) error {
 	}
 	delete(s.pendingPut, key)
 	s.pendingDel[key] = struct{}{}
-	full := s.batchFull()
+	full := s.batchFullLocked()
 	s.mu.Unlock()
 	if full {
 		return s.Flush()
@@ -319,9 +319,9 @@ func (s *File) Delete(key string) error {
 	return nil
 }
 
-// batchFull reports whether the staged batch has reached the auto-flush
+// batchFullLocked reports whether the staged batch has reached the auto-flush
 // threshold. Caller holds s.mu.
-func (s *File) batchFull() bool {
+func (s *File) batchFullLocked() bool {
 	if s.opts.BatchPuts < 0 {
 		return false
 	}

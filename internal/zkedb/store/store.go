@@ -79,7 +79,7 @@ var (
 // store and reproduces the pre-store behaviour of the ZK-EDB exactly.
 type Mem struct {
 	mu sync.RWMutex
-	m  map[string][]byte
+	m  map[string][]byte // guarded by mu
 }
 
 // NewMem returns an empty in-memory store.

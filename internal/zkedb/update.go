@@ -199,7 +199,7 @@ func (d *Decommitment) purgeSoftsUnder(pk string) error {
 			return fmt.Errorf("zkedb: deleting soft entry %q: %w", k, err)
 		}
 		d.mu.Lock()
-		d.cacheDelete(k)
+		d.cacheDeleteLocked(k)
 		d.mu.Unlock()
 	}
 	return nil

@@ -289,10 +289,10 @@ type Decommitment struct {
 
 	// mu guards the hydrated-state cache below (and soft-entry creation).
 	mu    sync.Mutex
-	bound int        // max resident cache entries; 0 = unbounded
-	ll    *list.List // front = most recently used
-	ents  map[string]*list.Element
-	root  *node // pinned: never evicted, resolved without the store
+	bound int                      // max resident cache entries; 0 = unbounded
+	ll    *list.List               // guarded by mu; front = most recently used
+	ents  map[string]*list.Element // guarded by mu
+	root  *node                    // pinned: never evicted, resolved without the store
 	cm    *cacheMetrics
 }
 

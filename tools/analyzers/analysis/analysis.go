@@ -87,6 +87,40 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package
 	return sup.Filter(a.ID(), pass.diags), nil
 }
 
+// RunAll drives the as analyzers over one package through a *shared*
+// suppression index, so directive usage is visible across the whole
+// suite, then appends the malformed- and stale-directive reports and
+// sorts. known is the driver's full registry — it may be a superset of
+// as (the -only flag), so a directive for a real-but-skipped analyzer is
+// neither "unknown" nor judged stale; nil means as is the registry.
+// This is what the drivers (standalone, unitchecker, the module-clean
+// gate) call; Run stays for single-analyzer golden tests, which must not
+// judge a fixture's directives against analyzers that did not run.
+func RunAll(as, known []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	if known == nil {
+		known = as
+	}
+	sup := CollectSuppressions(fset, files)
+	ran := make(map[string]bool, len(as))
+	registry := make(map[string]bool, len(known))
+	for _, a := range known {
+		registry[a.ID()] = true
+	}
+	var diags []Diagnostic
+	for _, a := range as {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.ID(), err)
+		}
+		diags = append(diags, sup.Filter(a.ID(), pass.diags)...)
+		ran[a.ID()] = true
+	}
+	diags = append(diags, sup.Malformed()...)
+	diags = append(diags, sup.Stale(ran, registry)...)
+	SortDiagnostics(fset, diags)
+	return diags, nil
+}
+
 // ignoreRe matches "lint:ignore desword/name[,desword/name2] reason" after
 // the comment marker has been stripped.
 var ignoreRe = regexp.MustCompile(`^lint:ignore\s+(\S+)(.*)$`)
@@ -99,6 +133,9 @@ type Suppression struct {
 	Analyzers []string
 	Reason    string
 	Pos       token.Pos
+	// hits counts the diagnostics this directive suppressed across every
+	// analyzer run sharing the index — the input to the staleness audit.
+	hits int
 }
 
 // Suppressions indexes the lint:ignore comments of one package.
@@ -190,11 +227,60 @@ func (s *Suppressions) suppressed(id string, d Diagnostic) bool {
 	for _, sup := range s.byFileLine[pos.Filename][pos.Line] {
 		for _, a := range sup.Analyzers {
 			if a == id || a == Prefix+"*" {
+				sup.hits++
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// Stale audits the directives after every analyzer has filtered through
+// this index: a //lint:ignore that suppressed zero diagnostics is dead
+// weight that silently disables a check for whoever edits that line
+// next, so it is a finding in its own right. ran holds the IDs of the
+// analyzers that actually executed — a directive for an analyzer that
+// was skipped (-only) is not judged — and registry holds every ID the
+// driver knows, so a typo in the analyzer name is distinguished from a
+// directive that merely stopped matching. Directives outside the
+// desword/ namespace (for third-party tools) are left alone.
+func (s *Suppressions) Stale(ran, registry map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, byLine := range s.byFileLine {
+		for _, sups := range byLine {
+			for _, sup := range sups {
+				out = append(out, staleDiag(sup, ran, registry)...)
+			}
+		}
+	}
+	return out
+}
+
+func staleDiag(sup *Suppression, ran, registry map[string]bool) []Diagnostic {
+	audited := false
+	for _, a := range sup.Analyzers {
+		if !strings.HasPrefix(a, Prefix) {
+			continue
+		}
+		if a != Prefix+"*" && !registry[a] {
+			return []Diagnostic{{
+				Pos:      sup.Pos,
+				Message:  fmt.Sprintf("lint:ignore names unknown analyzer %s", a),
+				Analyzer: Prefix + "lint",
+			}}
+		}
+		if a == Prefix+"*" || ran[a] {
+			audited = true
+		}
+	}
+	if !audited || sup.hits > 0 {
+		return nil
+	}
+	return []Diagnostic{{
+		Pos:      sup.Pos,
+		Message:  fmt.Sprintf("stale lint:ignore: %s suppresses no diagnostics; remove it", strings.Join(sup.Analyzers, ",")),
+		Analyzer: Prefix + "lint",
+	}}
 }
 
 // SortDiagnostics orders diagnostics by file, line, column, analyzer for

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// staleSrc exercises the staleness audit: directives that suppress a
+// diagnostic, directives that suppress nothing, typoed analyzer names,
+// and third-party directives outside the desword/ namespace.
+const staleSrc = `package p
+
+func used() {
+	//lint:ignore desword/hit this one earns its keep
+	bad()
+}
+
+func stale() {
+	//lint:ignore desword/hit nothing on the next line trips the analyzer
+	good()
+}
+
+func skipped() {
+	//lint:ignore desword/cold the cold analyzer is registered but not run
+	good()
+}
+
+func typo() {
+	//lint:ignore desword/hitt typo in the analyzer name
+	bad()
+}
+
+func foreign() {
+	//lint:ignore SA1000 a third-party directive is not ours to audit
+	good()
+}
+
+func wildcardStale() {
+	//lint:ignore desword/* the wildcard is audited like a named directive
+	good()
+}
+
+func bad()  {}
+func good() {}
+`
+
+func parseStaleSrc(t *testing.T) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", staleSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// hitAnalyzer reports one diagnostic at every call of bad().
+var hitAnalyzer = &Analyzer{
+	Name: "hit",
+	Doc:  "flags calls of bad",
+	Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "bad" {
+						p.Reportf(call.Pos(), "call of bad")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// coldAnalyzer is registered but never run (the -only scenario).
+var coldAnalyzer = &Analyzer{
+	Name: "cold",
+	Doc:  "registered but skipped",
+	Run:  func(*Pass) error { return nil },
+}
+
+func TestStaleSuppressionAudit(t *testing.T) {
+	fset, files := parseStaleSrc(t)
+	diags, err := RunAll(
+		[]*Analyzer{hitAnalyzer},
+		[]*Analyzer{hitAnalyzer, coldAnalyzer},
+		fset, files, nil, nil,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byMsg := make(map[string]int)
+	for _, d := range diags {
+		byMsg[d.Message] = fset.Position(d.Pos).Line
+		if d.Analyzer != Prefix+"lint" && d.Analyzer != Prefix+"hit" {
+			t.Errorf("diagnostic attributed to %s: %s", d.Analyzer, d.Message)
+		}
+	}
+
+	wantMsgs := []string{
+		// stale(): directive for a ran analyzer with zero hits.
+		"stale lint:ignore: desword/hit suppresses no diagnostics; remove it",
+		// typo(): unknown name is distinguished from stale.
+		"lint:ignore names unknown analyzer desword/hitt",
+		// typo()'s bad() call survives, since desword/hitt suppresses nothing.
+		"call of bad",
+		// wildcardStale(): the wildcard hit nothing either.
+		"stale lint:ignore: desword/* suppresses no diagnostics; remove it",
+	}
+	for _, m := range wantMsgs {
+		if _, ok := byMsg[m]; !ok {
+			t.Errorf("missing diagnostic %q in %v", m, diags)
+		}
+	}
+	if len(diags) != len(wantMsgs) {
+		t.Errorf("got %d diagnostics, want %d: %v", len(diags), len(wantMsgs), diags)
+	}
+
+	for _, d := range diags {
+		line := fset.Position(d.Pos).Line
+		switch {
+		case strings.Contains(d.Message, "desword/cold"):
+			t.Errorf("skipped analyzer's directive judged stale: %s", d.Message)
+		case strings.Contains(d.Message, "SA1000"):
+			t.Errorf("third-party directive audited: %s", d.Message)
+		case d.Message == "stale lint:ignore: desword/hit suppresses no diagnostics; remove it":
+			if want := srcLine(t, staleSrc, "nothing on the next line"); line != want {
+				t.Errorf("stale report at line %d, want %d", line, want)
+			}
+		}
+	}
+}
+
+// srcLine returns the 1-based line of the first line containing substr.
+func srcLine(t *testing.T, src, substr string) int {
+	t.Helper()
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, substr) {
+			return i + 1
+		}
+	}
+	t.Fatalf("no line contains %q", substr)
+	return 0
+}

@@ -9,6 +9,7 @@ package analysistest
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -84,7 +85,14 @@ type want struct {
 	matched bool
 }
 
-var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+// wantRe matches `// want "rx"` with an optional `+N` line offset before
+// the patterns: `// want +2 "rx"` expects the diagnostic N lines below
+// the comment. CFG analyzers report exit-path findings at the return
+// statement or the closing brace — lines a comment cannot share — and
+// the offset lets a fixture pin those without restructuring the code.
+// Patterns are double-quoted or backquoted; backquotes spare regexps the
+// double escaping, as in upstream analysistest.
+var wantRe = regexp.MustCompile(`//\s*want\s+(?:\+(\d+)\s+)?(["` + "`" + `].*)$`)
 
 func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
 	t.Helper()
@@ -92,43 +100,65 @@ func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want 
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
+				w, err := parseWants(fset, c)
+				if err != nil {
+					t.Fatal(err)
 				}
-				pos := fset.Position(c.Pos())
-				for _, q := range splitQuoted(m[1]) {
-					pattern, err := strconv.Unquote(q)
-					if err != nil {
-						t.Fatalf("bad want pattern %s at %s: %v", q, pos, err)
-					}
-					rx, err := regexp.Compile(pattern)
-					if err != nil {
-						t.Fatalf("bad want regexp %q at %s: %v", pattern, pos, err)
-					}
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: pattern, rx: rx})
-				}
+				wants = append(wants, w...)
 			}
 		}
 	}
 	return wants
 }
 
-// splitQuoted extracts the double-quoted chunks of a want payload.
+// parseWants extracts the expectations of one comment, applying its +N
+// offset to every pattern it carries.
+func parseWants(fset *token.FileSet, c *ast.Comment) ([]*want, error) {
+	m := wantRe.FindStringSubmatch(c.Text)
+	if m == nil {
+		return nil, nil
+	}
+	pos := fset.Position(c.Pos())
+	line := pos.Line
+	if m[1] != "" {
+		off, err := strconv.Atoi(m[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad want offset %q at %s: %w", m[1], pos, err)
+		}
+		line += off
+	}
+	var wants []*want
+	for _, q := range splitQuoted(m[2]) {
+		pattern, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %s at %s: %w", q, pos, err)
+		}
+		rx, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q at %s: %w", pattern, pos, err)
+		}
+		wants = append(wants, &want{file: pos.Filename, line: line, pattern: pattern, rx: rx})
+	}
+	return wants, nil
+}
+
+// splitQuoted extracts the double-quoted and backquoted chunks of a want
+// payload. strconv.Unquote handles both forms downstream.
 func splitQuoted(s string) []string {
 	var out []string
 	for {
 		s = strings.TrimSpace(s)
-		if !strings.HasPrefix(s, `"`) {
+		if len(s) == 0 || (s[0] != '"' && s[0] != '`') {
 			return out
 		}
+		quote := s[0]
 		end := 1
 		for end < len(s) {
-			if s[end] == '\\' {
+			if quote == '"' && s[end] == '\\' {
 				end += 2
 				continue
 			}
-			if s[end] == '"' {
+			if s[end] == quote {
 				break
 			}
 			end++
@@ -248,12 +278,12 @@ func ensureStdExport(path string) error {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+		return fmt.Errorf("go list -export %s: %w\n%s", path, err, stderr.String())
 	}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p struct{ ImportPath, Export string }
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return err

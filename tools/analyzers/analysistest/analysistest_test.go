@@ -1,0 +1,90 @@
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseComments returns every comment of src in order.
+func parseComments(t *testing.T, src string) (*token.FileSet, []*ast.Comment) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs []*ast.Comment
+	for _, cg := range f.Comments {
+		cs = append(cs, cg.List...)
+	}
+	return fset, cs
+}
+
+func TestParseWants(t *testing.T) {
+	const src = `package p
+
+func f() {
+	_ = 1 // want "plain"
+	_ = 2 // want +3 "offset"
+	_ = 3 // want ` + "`raw \\d+ pattern`" + `
+	_ = 4 // want "two" "patterns"
+	_ = 5 // want +1 "off" ` + "`and raw`" + `
+	_ = 6 // not a want
+}
+`
+	fset, cs := parseComments(t, src)
+	var got []*want
+	for _, c := range cs {
+		ws, err := parseWants(fset, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, ws...)
+	}
+
+	wantOut := []struct {
+		line    int
+		pattern string
+	}{
+		{4, "plain"},
+		{8, "offset"}, // comment on line 5, +3
+		{6, `raw \d+ pattern`},
+		{7, "two"},
+		{7, "patterns"},
+		{9, "off"}, // comment on line 8, +1 applies to every pattern
+		{9, "and raw"},
+	}
+	if len(got) != len(wantOut) {
+		t.Fatalf("parsed %d wants, want %d", len(got), len(wantOut))
+	}
+	for i, w := range got {
+		if w.line != wantOut[i].line || w.pattern != wantOut[i].pattern {
+			t.Errorf("want[%d] = line %d pattern %q, want line %d pattern %q",
+				i, w.line, w.pattern, wantOut[i].line, wantOut[i].pattern)
+		}
+	}
+
+	// The compiled regexp must honor the raw pattern.
+	if !got[2].rx.MatchString("raw 42 pattern") {
+		t.Errorf("raw pattern did not compile to a matching regexp")
+	}
+}
+
+func TestParseWantsErrors(t *testing.T) {
+	cases := []string{
+		`package p
+// want "unbalanced\"`,
+		`package p
+// want "bad regexp ("`,
+	}
+	for _, src := range cases {
+		fset, cs := parseComments(t, src)
+		for _, c := range cs {
+			if ws, err := parseWants(fset, c); err == nil && len(ws) > 0 {
+				t.Errorf("parseWants(%q) = %v, want error or no wants", c.Text, ws)
+			}
+		}
+	}
+}

@@ -1,0 +1,534 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and offers a small forward dataflow engine on top of
+// them. It is the stdlib-only substrate the concurrency-discipline
+// analyzers (lockbalance, guardedby, goroutinelife, sendclosed) share:
+// where the syntactic passes inspect one node at a time, these need to
+// reason about *paths* — "is the mutex released on every way out of this
+// function", "is this send reachable after that close" — which takes
+// basic blocks and a fixpoint.
+//
+// The graph is deliberately simple. Blocks hold leaf statements
+// (assignments, calls, sends, defers, returns, ...); structured control
+// statements (if/for/switch/select) dissolve into edges, except
+// *ast.RangeStmt, which lands in its loop-head block because it also
+// assigns the iteration variables. Conditions are recorded on the block
+// that evaluates them. Every function has one Entry and one synthetic
+// Exit; returns, panics and terminating calls (os.Exit, log.Fatal,
+// runtime.Goexit, testing Fatal/Skip) edge to Exit with the kind of
+// departure recorded, so analyzers can treat a panic path differently
+// from a normal return.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ExitKind says how control leaves a block that edges to Exit.
+type ExitKind int
+
+const (
+	// ExitNone: the block does not edge to Exit.
+	ExitNone ExitKind = iota
+	// ExitReturn: an explicit return statement.
+	ExitReturn
+	// ExitFall: control falls off the end of the function body.
+	ExitFall
+	// ExitPanic: a panic or terminating call (os.Exit, log.Fatal, ...).
+	ExitPanic
+)
+
+// A Block is one basic block: a maximal straight-line statement sequence.
+type Block struct {
+	// Index is the block's position in Graph.Blocks; Entry is 0.
+	Index int
+	// Kind labels why the block exists ("entry", "exit", "if.then",
+	// "for.head", "select.comm", ...) for tests and -debug dumps.
+	Kind string
+	// Stmts are the leaf statements executed in order. A RangeStmt
+	// appears in its loop-head block; other control statements dissolve
+	// into edges.
+	Stmts []ast.Stmt
+	// Cond is the condition evaluated at the end of the block, when the
+	// block branches on one (if/for conditions, switch tags).
+	Cond ast.Expr
+	// Succs and Preds are the control-flow edges.
+	Succs, Preds []*Block
+	// Exit records how this block reaches the synthetic Exit block, if
+	// it does.
+	Exit ExitKind
+	// End is the position an analyzer should anchor an "at function
+	// exit" diagnostic to for this block: the return statement, the
+	// terminating call, or the body's closing brace on fall-off.
+	End token.Pos
+}
+
+// A Graph is the CFG of one function body.
+type Graph struct {
+	// Blocks holds every block, Entry first. Unreachable blocks (code
+	// after return/goto) are retained but excluded from Reachable.
+	Blocks []*Block
+	// Entry is the function's entry block, Exit the synthetic exit all
+	// departures converge on. Exit holds no statements.
+	Entry, Exit *Block
+}
+
+// builder carries the per-function construction state.
+type builder struct {
+	g   *Graph
+	cur *Block
+	// breaks/continues map the innermost enclosing targets; labeled
+	// variants are looked up in labels.
+	breaks, continues []*Block
+	// labels maps a label name to its head block (for goto/labeled
+	// break/continue). Forward gotos are patched once the label is seen.
+	labels       map[string]*Block
+	labelBreak   map[string]*Block // break <label> target (statement after)
+	labelCont    map[string]*Block // continue <label> target (loop head)
+	pendingGotos map[string][]*Block
+	// pendingLabel is set by buildLabeled so the next pushLoop mirrors
+	// its targets under the label; contIsLoop tracks whether each pushed
+	// frame registered a continue target (switch/select do not).
+	pendingLabel string
+	contIsLoop   []bool
+	end          token.Pos // closing brace of the function body
+}
+
+// New builds the CFG of one function body. body may be nil (a function
+// declared without a body); the graph then has only Entry and Exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*Block{}, labelBreak: map[string]*Block{}, labelCont: map[string]*Block{}, pendingGotos: map[string][]*Block{}}
+	entry := b.newBlock("entry")
+	g.Entry = entry
+	b.cur = entry
+	if body != nil {
+		b.end = body.Rbrace
+		b.stmtList(body.List)
+	}
+	// Exit is created last so test dumps read top-down, but every edge
+	// recorded during the walk targets it through b.exitEdge's deferred
+	// list — simplest is to create it now and move it to the end.
+	exit := b.newBlock("exit")
+	g.Exit = exit
+	// Fall off the end of the body.
+	if b.cur != nil && !b.terminated(b.cur) {
+		b.cur.Exit = ExitFall
+		b.cur.End = b.end
+		b.edge(b.cur, exit)
+	}
+	// Departures recorded during the walk now get their Exit edges.
+	for _, blk := range g.Blocks {
+		if blk.Exit != ExitNone && blk != exit && !hasSucc(blk, exit) {
+			b.edge(blk, exit)
+		}
+	}
+	// Unresolved gotos (labels that never appeared — broken code) fall
+	// through to exit so the graph stays connected.
+	for _, srcs := range b.pendingGotos {
+		for _, src := range srcs {
+			b.edge(src, exit)
+		}
+	}
+	return g
+}
+
+func hasSucc(b, s *Block) bool {
+	for _, x := range b.Succs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// terminated reports whether blk already departed (return/panic/branch):
+// no fall-through edge should leave it.
+func (b *builder) terminated(blk *Block) bool {
+	return blk.Exit != ExitNone || blk.Kind == "dead"
+}
+
+// startBlock begins a new block and makes it current, fall-through
+// linking it to the previous current block.
+func (b *builder) startBlock(kind string) *Block {
+	blk := b.newBlock(kind)
+	if b.cur != nil && !b.terminated(b.cur) {
+		b.edge(b.cur, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		condBlk := b.cur
+		condBlk.Cond = s.Cond
+		after := b.newBlock("if.after")
+		then := b.newBlock("if.then")
+		b.edge(condBlk, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		if !b.terminated(b.cur) {
+			b.edge(b.cur, after)
+		}
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(condBlk, els)
+			b.cur = els
+			b.stmt(s.Else)
+			if !b.terminated(b.cur) {
+				b.edge(b.cur, after)
+			}
+		} else {
+			b.edge(condBlk, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.startBlock("for.head")
+		head.Cond = s.Cond
+		after := b.newBlock("for.after")
+		body := b.newBlock("for.body")
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			b.edge(post, head)
+		}
+		b.pushLoop(after, post)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if !b.terminated(b.cur) {
+			b.edge(b.cur, post)
+		}
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.startBlock("range.head")
+		head.Stmts = append(head.Stmts, s) // carries the iteration assignment
+		after := b.newBlock("range.after")
+		body := b.newBlock("range.body")
+		b.edge(head, body)
+		b.edge(head, after)
+		b.pushLoop(after, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if !b.terminated(b.cur) {
+			b.edge(b.cur, head)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.switchBody(s.Tag, s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		// The assign (x := y.(type)) evaluates in the dispatch block.
+		if s.Assign != nil {
+			b.cur.Stmts = append(b.cur.Stmts, s.Assign)
+		}
+		b.switchBody(nil, s.Body.List)
+
+	case *ast.SelectStmt:
+		dispatch := b.cur
+		after := b.newBlock("select.after")
+		hasDefault := false
+		b.pushLoop(after, nil) // break inside select targets after
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock("select.comm")
+			b.edge(dispatch, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			} else {
+				hasDefault = true
+			}
+			b.stmtList(cc.Body)
+			if !b.terminated(b.cur) {
+				b.edge(b.cur, after)
+			}
+		}
+		b.popLoop()
+		// A select with no cases blocks forever; with cases, control only
+		// continues through one of them, so no dispatch→after edge. The
+		// hasDefault distinction matters only for would-block analyses,
+		// which can recover it from the comm blocks.
+		_ = hasDefault
+		if len(s.Body.List) == 0 {
+			dispatch.Exit = ExitPanic // blocks forever: no normal exit
+			dispatch.End = s.Pos()
+		}
+		b.cur = after
+
+	case *ast.LabeledStmt:
+		label := s.Label.Name
+		head := b.startBlock("label." + label)
+		b.labels[label] = head
+		for _, src := range b.pendingGotos[label] {
+			b.edge(src, head)
+		}
+		delete(b.pendingGotos, label)
+		// Labeled loops/switches register their break/continue targets
+		// under the label while building the inner statement.
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.buildLabeled(label, inner)
+		default:
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.GOTO:
+			if s.Label == nil {
+				// Broken source (error-tolerant parse): no target.
+				b.cur = b.newBlock("dead")
+				return
+			}
+			name := s.Label.Name
+			if tgt, ok := b.labels[name]; ok {
+				b.edge(b.cur, tgt)
+			} else {
+				b.pendingGotos[name] = append(b.pendingGotos[name], b.cur)
+			}
+			b.cur = b.newBlock("dead")
+		case token.BREAK:
+			tgt := b.breakTarget(s.Label)
+			b.edge(b.cur, tgt)
+			b.cur = b.newBlock("dead")
+		case token.CONTINUE:
+			tgt := b.continueTarget(s.Label)
+			b.edge(b.cur, tgt)
+			b.cur = b.newBlock("dead")
+		case token.FALLTHROUGH:
+			// Handled structurally by switchBody; nothing to record here.
+		}
+
+	case *ast.ReturnStmt:
+		b.cur.Stmts = append(b.cur.Stmts, s)
+		b.cur.Exit = ExitReturn
+		b.cur.End = s.Pos()
+		b.cur = b.newBlock("dead")
+
+	case *ast.ExprStmt:
+		b.cur.Stmts = append(b.cur.Stmts, s)
+		if call, ok := s.X.(*ast.CallExpr); ok && Terminates(call) {
+			b.cur.Exit = ExitPanic
+			b.cur.End = s.Pos()
+			b.cur = b.newBlock("dead")
+		}
+
+	default:
+		// Leaf statements: assignments, declarations, sends, go, defer,
+		// incdec, empty.
+		b.cur.Stmts = append(b.cur.Stmts, s)
+	}
+}
+
+// switchBody lowers (type-)switch case clauses: dispatch fans out to every
+// case, fallthrough chains a case body into the next one, and a missing
+// default adds the dispatch→after edge.
+func (b *builder) switchBody(tag ast.Expr, clauses []ast.Stmt) {
+	dispatch := b.cur
+	dispatch.Cond = tag
+	after := b.newBlock("switch.after")
+	hasDefault := false
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock("switch.case")
+	}
+	b.pushLoop(after, nil) // break inside a switch targets after
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(dispatch, blocks[i])
+		b.cur = blocks[i]
+		falls := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if falls && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+		} else if !b.terminated(b.cur) {
+			b.edge(b.cur, after)
+		}
+	}
+	b.popLoop()
+	if !hasDefault {
+		b.edge(dispatch, after)
+	}
+	b.cur = after
+}
+
+// buildLabeled builds a loop/switch/select with label-targeted
+// break/continue registered. It re-dispatches into stmt after recording
+// the label targets, which stmt's loop handling will have pushed by the
+// time a branch statement inside the body looks them up — so the
+// registration happens through a small handshake: stmt pushes the
+// unlabeled targets, and we mirror the top of the stack under the label.
+func (b *builder) buildLabeled(label string, s ast.Stmt) {
+	b.pendingLabel = label
+	b.stmt(s)
+	b.pendingLabel = ""
+}
+
+// pushLoop records the innermost break/continue targets. cont is nil for
+// switch/select, where continue still refers to the enclosing loop.
+func (b *builder) pushLoop(brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	if cont != nil {
+		b.continues = append(b.continues, cont)
+	}
+	if b.pendingLabel != "" {
+		b.labelBreak[b.pendingLabel] = brk
+		if cont != nil {
+			b.labelCont[b.pendingLabel] = cont
+		}
+		b.pendingLabel = ""
+	}
+	b.contIsLoop = append(b.contIsLoop, cont != nil)
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if b.contIsLoop[len(b.contIsLoop)-1] {
+		b.continues = b.continues[:len(b.continues)-1]
+	}
+	b.contIsLoop = b.contIsLoop[:len(b.contIsLoop)-1]
+}
+
+func (b *builder) breakTarget(label *ast.Ident) *Block {
+	if label != nil {
+		if tgt, ok := b.labelBreak[label.Name]; ok {
+			return tgt
+		}
+	}
+	if n := len(b.breaks); n > 0 {
+		return b.breaks[n-1]
+	}
+	return b.g.Exit
+}
+
+func (b *builder) continueTarget(label *ast.Ident) *Block {
+	if label != nil {
+		if tgt, ok := b.labelCont[label.Name]; ok {
+			return tgt
+		}
+	}
+	if n := len(b.continues); n > 0 {
+		return b.continues[n-1]
+	}
+	return b.g.Exit
+}
+
+// Terminates reports whether call never returns, judged syntactically:
+// the builtin panic, os.Exit, log.Fatal*, runtime.Goexit, and the
+// testing Fatal/Fatalf/FailNow/Skip* family. Syntactic matching keeps the
+// builder independent of type information; the rare same-named local
+// function costs an edge to Exit, never a missed path.
+func Terminates(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Goexit", "Fatal", "Fatalf", "Fatalln", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}
+
+// Reachable returns the blocks reachable from Entry, in Blocks order.
+// Analyzers iterate these; diagnostics in dead code help nobody.
+func (g *Graph) Reachable() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	var out []*Block
+	for _, b := range g.Blocks {
+		if seen[b.Index] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// String renders the graph compactly for tests: one line per reachable
+// block, "i:kind[nStmts] -> succs".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, b := range g.Reachable() {
+		fmt.Fprintf(&sb, "%d:%s[%d]", b.Index, b.Kind, len(b.Stmts))
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " %d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

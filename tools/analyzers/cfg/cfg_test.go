@@ -1,0 +1,319 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of func f and returns its CFG.
+func parseBody(t testing.TB, src string) (*Graph, *ast.FuncDecl) {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, file)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return New(fd.Body), fd
+}
+
+// TestGraphShapes pins the block/edge structure of every control
+// construct the builder lowers. The golden strings come from
+// Graph.String(): "index:kind[stmtCount] -> succ indexes", reachable
+// blocks only, entry first.
+func TestGraphShapes(t *testing.T) {
+	tests := []struct {
+		name, src, want string
+	}{
+		{
+			name: "straightline",
+			src:  "x := 1\nx++\n_ = x",
+			want: "0:entry[3] -> 1\n1:exit[0]\n",
+		},
+		{
+			name: "if",
+			src:  "x := 1\nif x > 0 {\n\tx = 2\n}\n_ = x",
+			want: "0:entry[1] -> 2 1\n1:if.after[1] -> 3\n2:if.then[1] -> 1\n3:exit[0]\n",
+		},
+		{
+			name: "ifelse_return",
+			src:  "if true {\n\treturn\n} else {\n\t_ = 1\n}\n_ = 2",
+			want: "0:entry[0] -> 2 4\n1:if.after[1] -> 5\n2:if.then[1] -> 5\n4:if.else[1] -> 1\n5:exit[0]\n",
+		},
+		{
+			name: "for_full",
+			src:  "for i := 0; i < 3; i++ {\n\t_ = i\n}",
+			want: "0:entry[1] -> 1\n1:for.head[0] -> 3 2\n2:for.after[0] -> 5\n3:for.body[1] -> 4\n4:for.post[1] -> 1\n5:exit[0]\n",
+		},
+		{
+			name: "for_break_continue",
+			src:  "for {\n\tif true {\n\t\tbreak\n\t}\n\tcontinue\n}",
+			want: "0:entry[0] -> 1\n1:for.head[0] -> 3\n2:for.after[0] -> 8\n3:for.body[0] -> 5 4\n4:if.after[0] -> 1\n5:if.then[0] -> 2\n8:exit[0]\n",
+		},
+		{
+			name: "range",
+			src:  "for i := range 3 {\n\t_ = i\n}",
+			want: "0:entry[0] -> 1\n1:range.head[1] -> 3 2\n2:range.after[0] -> 4\n3:range.body[1] -> 1\n4:exit[0]\n",
+		},
+		{
+			name: "switch_fallthrough_default",
+			src:  "switch x := 1; x {\ncase 1:\n\t_ = 1\n\tfallthrough\ncase 2:\n\t_ = 2\ndefault:\n\t_ = 3\n}",
+			want: "0:entry[1] -> 2 3 4\n1:switch.after[0] -> 5\n2:switch.case[1] -> 3\n3:switch.case[1] -> 1\n4:switch.case[1] -> 1\n5:exit[0]\n",
+		},
+		{
+			name: "switch_no_default",
+			src:  "switch 1 {\ncase 1:\n\t_ = 1\n}",
+			want: "0:entry[0] -> 2 1\n1:switch.after[0] -> 3\n2:switch.case[1] -> 1\n3:exit[0]\n",
+		},
+		{
+			name: "typeswitch",
+			src:  "var v any\nswitch v.(type) {\ncase int:\n\t_ = 1\ndefault:\n}",
+			want: "0:entry[2] -> 2 3\n1:switch.after[0] -> 4\n2:switch.case[1] -> 1\n3:switch.case[0] -> 1\n4:exit[0]\n",
+		},
+		{
+			name: "select",
+			src:  "ch := make(chan int)\nselect {\ncase v := <-ch:\n\t_ = v\ndefault:\n\t_ = 1\n}",
+			want: "0:entry[1] -> 2 3\n1:select.after[0] -> 4\n2:select.comm[2] -> 1\n3:select.comm[1] -> 1\n4:exit[0]\n",
+		},
+		{
+			name: "goto_backward",
+			src:  "x := 0\nL:\nx++\nif x < 3 {\n\tgoto L\n}",
+			want: "0:entry[1] -> 1\n1:label.L[1] -> 3 2\n2:if.after[0] -> 5\n3:if.then[0] -> 1\n5:exit[0]\n",
+		},
+		{
+			name: "labeled_break",
+			src:  "outer:\nfor {\n\tfor {\n\t\tbreak outer\n\t}\n}",
+			want: "0:entry[0] -> 1\n1:label.outer[0] -> 2\n2:for.head[0] -> 4\n3:for.after[0] -> 9\n4:for.body[0] -> 5\n5:for.head[0] -> 7\n7:for.body[0] -> 3\n9:exit[0]\n",
+		},
+		{
+			name: "labeled_continue",
+			src:  "outer:\nfor {\n\tfor {\n\t\tcontinue outer\n\t}\n}",
+			want: "0:entry[0] -> 1\n1:label.outer[0] -> 2\n2:for.head[0] -> 4\n4:for.body[0] -> 5\n5:for.head[0] -> 7\n7:for.body[0] -> 2\n",
+		},
+		{
+			name: "panic_terminates",
+			src:  "if true {\n\tpanic(\"x\")\n}\n_ = 1",
+			want: "0:entry[0] -> 2 1\n1:if.after[1] -> 4\n2:if.then[1] -> 4\n4:exit[0]\n",
+		},
+		{
+			name: "defer_is_leaf",
+			src:  "defer func() {}()\n_ = 1",
+			want: "0:entry[2] -> 1\n1:exit[0]\n",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g, fd := parseBody(t, tt.src)
+			if got := g.String(); got != tt.want {
+				t.Errorf("graph mismatch\n--- got ---\n%s--- want ---\n%s", got, tt.want)
+			}
+			checkInvariants(t, g, fd)
+		})
+	}
+}
+
+// TestExitKinds pins how departures are classified and anchored.
+func TestExitKinds(t *testing.T) {
+	g, _ := parseBody(t, "if true {\n\treturn\n}\n_ = 1")
+	var kinds []ExitKind
+	for _, b := range g.Reachable() {
+		if b.Exit != ExitNone {
+			kinds = append(kinds, b.Exit)
+			if !b.End.IsValid() {
+				t.Errorf("block %d: exit %v with no End position", b.Index, b.Exit)
+			}
+		}
+	}
+	// Blocks list in creation order: the if.after (fall-off) block is
+	// allocated before the then (return) block.
+	if len(kinds) != 2 || kinds[0] != ExitFall || kinds[1] != ExitReturn {
+		t.Errorf("exit kinds = %v, want [ExitFall ExitReturn]", kinds)
+	}
+
+	g, _ = parseBody(t, "panic(\"x\")")
+	for _, b := range g.Reachable() {
+		if len(b.Stmts) > 0 && b.Exit != ExitPanic {
+			t.Errorf("panic block has exit kind %v, want ExitPanic", b.Exit)
+		}
+	}
+}
+
+// TestEmptyBody covers functions without a body.
+func TestEmptyBody(t *testing.T) {
+	g := New(nil)
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("nil-body graph missing entry/exit")
+	}
+}
+
+// leafCount counts the leaf statements the builder is expected to place
+// into blocks, walking the same structure the builder lowers.
+func leafStmts(body *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	var walk func(ast.Stmt)
+	walkList := func(list []ast.Stmt) {
+		for _, s := range list {
+			walk(s)
+		}
+	}
+	walk = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			walkList(s.List)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			walkList(s.Body.List)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			walkList(s.Body.List)
+			if s.Post != nil {
+				walk(s.Post)
+			}
+		case *ast.RangeStmt:
+			out = append(out, s) // lands in its head block
+			walkList(s.Body.List)
+		case *ast.SwitchStmt:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			for _, c := range s.Body.List {
+				walkList(c.(*ast.CaseClause).Body)
+			}
+		case *ast.TypeSwitchStmt:
+			if s.Init != nil {
+				walk(s.Init)
+			}
+			if s.Assign != nil {
+				out = append(out, s.Assign)
+			}
+			for _, c := range s.Body.List {
+				walkList(c.(*ast.CaseClause).Body)
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm != nil {
+					walk(cc.Comm)
+				}
+				walkList(cc.Body)
+			}
+		case *ast.LabeledStmt:
+			walk(s.Stmt)
+		case *ast.BranchStmt:
+			// dissolves into an edge (fallthrough) or block end
+		case nil:
+		default:
+			out = append(out, s)
+		}
+	}
+	walkList(body.List)
+	return out
+}
+
+// checkInvariants asserts the partition property: every leaf statement
+// of the source lands in exactly one block, and edges are symmetric.
+func checkInvariants(t testing.TB, g *Graph, fd *ast.FuncDecl) {
+	t.Helper()
+	seen := make(map[ast.Stmt]int)
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			seen[s]++
+		}
+	}
+	for _, s := range leafStmts(fd.Body) {
+		if n := seen[s]; n != 1 {
+			t.Errorf("statement at %v appears in %d blocks, want 1", s.Pos(), n)
+		}
+		delete(seen, s)
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Errorf("block statement at %v recorded %d times", s.Pos(), n)
+		}
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d missing back-pointer", b.Index, s.Index)
+			}
+		}
+	}
+}
+
+// TestForwardFixpoint exercises the dataflow engine with a reaching
+// "tainted" bit through a loop: taint set in the body must reach the
+// after-block even though the head joins tainted and clean paths.
+func TestForwardFixpoint(t *testing.T) {
+	g, _ := parseBody(t, "x := 0\nfor x < 3 {\n\tx++\n}\n_ = x")
+	res := Forward(g, Problem[bool]{
+		Entry: false,
+		Transfer: func(b *Block, in bool) bool {
+			for _, s := range b.Stmts {
+				if _, ok := s.(*ast.IncDecStmt); ok {
+					return true
+				}
+			}
+			return in
+		},
+		Join:  func(a, b bool) bool { return a || b },
+		Equal: func(a, b bool) bool { return a == b },
+	})
+	if !res.Seen[g.Exit.Index] || !res.In[g.Exit.Index] {
+		t.Errorf("taint did not reach exit: seen=%v in=%v", res.Seen[g.Exit.Index], res.In[g.Exit.Index])
+	}
+}
+
+// FuzzStatementPartition feeds arbitrary function bodies through the
+// builder and asserts the partition invariant — every leaf statement in
+// exactly one block — plus edge symmetry. Parse failures are skipped;
+// the corpus seeds every construct the table tests cover.
+func FuzzStatementPartition(f *testing.F) {
+	f.Add("x := 1\nif x > 0 {\n\tx = 2\n}")
+	f.Add("for i := 0; i < 3; i++ {\n\tcontinue\n}")
+	f.Add("L:\nfor {\n\tswitch 1 {\n\tcase 1:\n\t\tbreak L\n\tdefault:\n\t\tgoto L\n\t}\n}")
+	f.Add("ch := make(chan int)\nselect {\ncase <-ch:\n\treturn\ndefault:\n}\nclose(ch)")
+	f.Add("defer func() {\n\trecover()\n}()\npanic(1)")
+	f.Add("for k, v := range map[int]int{} {\n\t_, _ = k, v\n}")
+	f.Fuzz(func(t *testing.T, body string) {
+		file := "package p\nfunc f() {\n" + body + "\n}\n"
+		fset := token.NewFileSet()
+		parsed, err := parser.ParseFile(fset, "f.go", file, 0)
+		if err != nil {
+			t.Skip()
+		}
+		fd, ok := parsed.Decls[0].(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			t.Skip()
+		}
+		// Reject bodies whose braces escaped the function (the wrapper
+		// must hold the whole input or positions lie).
+		if !strings.Contains(file[fset.Position(fd.Body.Pos()).Offset:], body[:min(len(body), 1)]) {
+			t.Skip()
+		}
+		g := New(fd.Body)
+		checkInvariants(t, g, fd)
+		// Reachability must at least include entry, and String must not
+		// panic or loop.
+		_ = g.String()
+		if len(g.Reachable()) == 0 {
+			t.Fatal("no reachable blocks")
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package cfg
+
+// This file is the forward dataflow half of the package: a worklist
+// fixpoint over the block graph, parameterized by the client's fact type.
+// The analyzers' lattices are tiny (lock states, closed-channel sets), so
+// the engine optimizes for clarity over asymptotics: facts are joined
+// per-edge and blocks re-queue until their input stabilizes. Termination
+// is the client's obligation (a finite lattice and a monotone join); a
+// generous iteration cap turns a broken lattice into a silent stop
+// instead of a hung analyzer.
+
+// A Problem describes one forward dataflow analysis over a Graph.
+type Problem[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Transfer applies one block's statements to the incoming fact and
+	// returns the outgoing fact. It must not mutate in.
+	Transfer func(b *Block, in F) F
+	// Join merges two facts at a control-flow merge. It must not mutate
+	// its operands.
+	Join func(a, b F) F
+	// Equal reports fact equality; the fixpoint stops when every
+	// block's input fact stops changing.
+	Equal func(a, b F) bool
+}
+
+// Result holds the fixpoint facts of one analysis.
+type Result[F any] struct {
+	// In and Out are the per-block facts; indexes follow Block.Index.
+	// Unreachable blocks keep the zero fact and Seen[i] == false.
+	In, Out []F
+	Seen    []bool
+}
+
+// Forward runs the problem to fixpoint and returns the per-block facts.
+func Forward[F any](g *Graph, p Problem[F]) *Result[F] {
+	n := len(g.Blocks)
+	res := &Result[F]{In: make([]F, n), Out: make([]F, n), Seen: make([]bool, n)}
+	res.In[g.Entry.Index] = p.Entry
+	res.Seen[g.Entry.Index] = true
+
+	work := []*Block{g.Entry}
+	queued := make([]bool, n)
+	queued[g.Entry.Index] = true
+	// Cap: every block may be revisited once per lattice step; 4·|B|·32
+	// covers any lattice an analyzer here plausibly builds.
+	for steps := 0; len(work) > 0 && steps < 128*n+1024; steps++ {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		out := p.Transfer(b, res.In[b.Index])
+		res.Out[b.Index] = out
+		for _, s := range b.Succs {
+			var next F
+			if res.Seen[s.Index] {
+				next = p.Join(res.In[s.Index], out)
+			} else {
+				next = out
+			}
+			if !res.Seen[s.Index] || !p.Equal(res.In[s.Index], next) {
+				res.In[s.Index] = next
+				res.Seen[s.Index] = true
+				if !queued[s.Index] {
+					work = append(work, s)
+					queued[s.Index] = true
+				}
+			}
+		}
+	}
+	return res
+}

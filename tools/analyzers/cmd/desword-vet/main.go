@@ -34,7 +34,11 @@ import (
 	"desword/tools/analyzers/passes/determinism"
 	"desword/tools/analyzers/passes/errwrap"
 	"desword/tools/analyzers/passes/eventfield"
+	"desword/tools/analyzers/passes/goroutinelife"
+	"desword/tools/analyzers/passes/guardedby"
+	"desword/tools/analyzers/passes/lockbalance"
 	"desword/tools/analyzers/passes/metriclabel"
+	"desword/tools/analyzers/passes/sendclosed"
 	"desword/tools/analyzers/passes/shadow"
 )
 
@@ -45,7 +49,11 @@ var analyzers = []*analysis.Analyzer{
 	determinism.Analyzer,
 	errwrap.Analyzer,
 	eventfield.Analyzer,
+	goroutinelife.Analyzer,
+	guardedby.Analyzer,
+	lockbalance.Analyzer,
 	metriclabel.Analyzer,
+	sendclosed.Analyzer,
 	shadow.Analyzer,
 }
 
@@ -124,20 +132,13 @@ func standalone(dir string, as []*analysis.Analyzer, patterns []string) int {
 	return exit
 }
 
-// analyze runs every analyzer over one package and returns the surviving
-// diagnostics plus malformed-suppression reports, sorted.
+// analyze runs the selected analyzers over one package through a shared
+// suppression index and returns the surviving diagnostics plus the
+// malformed- and stale-suppression reports, sorted. A //lint:ignore that
+// suppresses nothing is a finding: it silently disables a check for the
+// next edit to that line.
 func analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, as []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
-	var diags []analysis.Diagnostic
-	for _, a := range as {
-		ds, err := analysis.Run(a, fset, files, pkg, info)
-		if err != nil {
-			return nil, err
-		}
-		diags = append(diags, ds...)
-	}
-	diags = append(diags, analysis.CollectSuppressions(fset, files).Malformed()...)
-	analysis.SortDiagnostics(fset, diags)
-	return diags, nil
+	return analysis.RunAll(as, analyzers, fset, files, pkg, info)
 }
 
 func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {

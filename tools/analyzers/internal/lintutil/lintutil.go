@@ -97,3 +97,68 @@ func ReceiverExpr(call *ast.CallExpr) ast.Expr {
 	}
 	return nil
 }
+
+// InspectNoFuncLit walks n in source order, calling f for every node,
+// but does not descend into function literals: their bodies execute at
+// another time (a goroutine, a defer, a stored callback) and must not be
+// confused with the enclosing function's own control flow. CFG-based
+// analyzers visit each literal separately via Functions.
+func InspectNoFuncLit(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		f(n)
+		return true
+	})
+}
+
+// InspectLeaf walks one CFG leaf statement in source order. Like
+// InspectNoFuncLit it skips function literals, and it additionally stops
+// at a range statement's body: the CFG keeps the *ast.RangeStmt in its
+// loop-head block (the node carries the per-iteration assignment), while
+// the body statements are lowered into blocks of their own — so a walker
+// that descended into Body would see every body statement twice and
+// charge its effects to the head block.
+func InspectLeaf(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			f(n)
+			for _, sub := range []ast.Node{n.Key, n.Value, n.X} {
+				if sub != nil {
+					InspectLeaf(sub, f)
+				}
+			}
+			return false
+		}
+		f(n)
+		return true
+	})
+}
+
+// Functions calls fn for every function body in f — declarations and
+// function literals alike — so a CFG analyzer covers goroutine and
+// callback bodies as functions of their own. decl is the *ast.FuncDecl
+// or *ast.FuncLit that owns the body.
+func Functions(f *ast.File, fn func(decl ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n, n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n, n.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,260 @@
+// Package lockflow models mutex lock state for the CFG analyzers.
+// lockbalance and guardedby share everything here: recognizing
+// sync.Mutex / sync.RWMutex / sync.Locker calls, canonicalizing the
+// receiver expression into a lock identity ("p.mu"), and the dataflow
+// lattice that tracks which identities are held — exclusively, shared,
+// or only on some paths — together with whether a deferred unlock
+// covers them.
+package lockflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"desword/tools/analyzers/cfg"
+	"desword/tools/analyzers/internal/lintutil"
+)
+
+// Kind is how a lock identity is held.
+type Kind int
+
+const (
+	// None: a state entry exists (e.g. a pending deferred unlock) but
+	// the lock is not held.
+	None Kind = iota
+	// Exclusive: held via Lock.
+	Exclusive
+	// Read: held via RLock — or held on all paths but with mixed
+	// exclusive/read kinds, where Read is the weaker truth.
+	Read
+	// Maybe: held on some predecessor paths and free on others. The
+	// inconsistency itself is what lockbalance reports at exit.
+	Maybe
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Exclusive:
+		return "Lock"
+	case Read:
+		return "RLock"
+	case Maybe:
+		return "Lock (on some paths)"
+	}
+	return "none"
+}
+
+// Held reports whether the kind means the lock may be held.
+func (k Kind) Held() bool { return k == Exclusive || k == Read || k == Maybe }
+
+// A Lock is the tracked state of one lock identity.
+type Lock struct {
+	Kind Kind
+	// Pos is the acquisition site (the first Lock/RLock that set Kind).
+	Pos token.Pos
+	// Deferred: a defer covering an unlock of this identity was
+	// registered on this path, so being held at exit is fine.
+	Deferred bool
+}
+
+// State maps lock identity → state. The zero value (nil) is "nothing
+// held". States are treated as immutable; apply copies on write.
+type State map[string]Lock
+
+func (s State) clone() State {
+	out := make(State, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Equal reports deep equality of two states.
+func Equal(a, b State) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// Join merges the states of two predecessor paths. An identity held on
+// one side only becomes Maybe; held on both sides with different kinds
+// degrades to Read (the weaker claim); Deferred survives only when both
+// paths registered the defer.
+func Join(a, b State) State {
+	out := make(State, len(a)+len(b))
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			out[k] = joinLock(va, vb)
+		} else {
+			out[k] = maybe(va)
+		}
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = maybe(vb)
+		}
+	}
+	return out
+}
+
+func joinLock(a, b Lock) Lock {
+	j := Lock{Pos: a.Pos, Deferred: a.Deferred && b.Deferred}
+	if j.Pos == token.NoPos {
+		j.Pos = b.Pos
+	}
+	switch {
+	case a.Kind == b.Kind:
+		j.Kind = a.Kind
+	case a.Kind == Maybe || b.Kind == Maybe:
+		j.Kind = Maybe
+	case a.Kind == None || b.Kind == None:
+		j.Kind = Maybe
+	default: // Exclusive vs Read on different paths: held either way
+		j.Kind = Read
+	}
+	return j
+}
+
+func maybe(l Lock) Lock {
+	if !l.Kind.Held() {
+		// A non-held entry (pending defer) on one path only: drop to a
+		// plain non-entry by keeping None — nothing to enforce.
+		return Lock{Kind: None, Pos: l.Pos}
+	}
+	return Lock{Kind: Maybe, Pos: l.Pos, Deferred: l.Deferred}
+}
+
+// An Op is one lock operation found in a statement, in source order.
+type Op struct {
+	ID      string // canonical receiver, e.g. "p.mu"
+	Read    bool   // RLock/RUnlock rather than Lock/Unlock
+	Acquire bool   // Lock/RLock rather than Unlock/RUnlock
+	Defer   bool   // the op sits under a defer (directly or in its func literal)
+	Pos     token.Pos
+}
+
+// lockMethods maps the sync method names we track.
+var lockMethods = map[string]struct{ read, acquire bool }{
+	"Lock":    {false, true},
+	"Unlock":  {false, false},
+	"RLock":   {true, true},
+	"RUnlock": {true, false},
+}
+
+// Ops extracts the lock operations of one statement in source order.
+// Function literals are skipped — their bodies run at another time and
+// are analyzed as functions of their own — except the immediate literal
+// of a defer statement, whose operations are recorded as deferred.
+func Ops(info *types.Info, stmt ast.Stmt) []Op {
+	var out []Op
+	if d, ok := stmt.(*ast.DeferStmt); ok {
+		if op, ok := callOp(info, d.Call); ok {
+			op.Defer = true
+			return []Op{op}
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			lintutil.InspectNoFuncLit(lit.Body, func(n ast.Node) {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if op, ok := callOp(info, call); ok {
+						op.Defer = true
+						out = append(out, op)
+					}
+				}
+			})
+		}
+		return out
+	}
+	lintutil.InspectLeaf(stmt, func(n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := callOp(info, call); ok {
+				out = append(out, op)
+			}
+		}
+	})
+	return out
+}
+
+// callOp recognizes one mu.Lock()-shaped call.
+func callOp(info *types.Info, call *ast.CallExpr) (Op, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return Op{}, false
+	}
+	m, ok := lockMethods[sel.Sel.Name]
+	if !ok {
+		return Op{}, false
+	}
+	fn := lintutil.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return Op{}, false
+	}
+	return Op{ID: types.ExprString(sel.X), Read: m.read, Acquire: m.acquire, Pos: call.Pos()}, true
+}
+
+// Apply folds one operation into a state, returning the new state and
+// the identity's prior entry (for double-lock reporting by the caller).
+func Apply(st State, op Op) (State, Lock) {
+	prev := st[op.ID]
+	out := st.clone()
+	switch {
+	case op.Defer && !op.Acquire:
+		// defer mu.Unlock(): mark the identity covered at exit. The
+		// entry survives even when nothing is held yet — the matching
+		// Lock may follow the defer on this path.
+		cur := prev
+		cur.Deferred = true
+		out[op.ID] = cur
+	case op.Defer && op.Acquire:
+		// defer mu.Lock() is pathological; ignore rather than model.
+	case op.Acquire:
+		kind := Exclusive
+		if op.Read {
+			kind = Read
+		}
+		out[op.ID] = Lock{Kind: kind, Pos: op.Pos, Deferred: prev.Deferred}
+	default: // plain unlock
+		if prev.Deferred {
+			out[op.ID] = Lock{Kind: None, Pos: token.NoPos, Deferred: true}
+		} else {
+			delete(out, op.ID)
+		}
+	}
+	return out, prev
+}
+
+// Transfer applies every lock operation of a block in order. It is the
+// Problem.Transfer both analyzers hand to cfg.Forward.
+func Transfer(info *types.Info) func(b *cfg.Block, in State) State {
+	return func(b *cfg.Block, in State) State {
+		st := in
+		for _, stmt := range b.Stmts {
+			for _, op := range Ops(info, stmt) {
+				st, _ = Apply(st, op)
+			}
+		}
+		return st
+	}
+}
+
+// Analyze runs the lock-state dataflow over one function body and
+// returns the graph plus the fixpoint facts. entry seeds the locks
+// assumed held on function entry (nil for none) — how guardedby models
+// caller-holds-the-lock helpers.
+func Analyze(info *types.Info, body *ast.BlockStmt, entry State) (*cfg.Graph, *cfg.Result[State]) {
+	g := cfg.New(body)
+	res := cfg.Forward(g, cfg.Problem[State]{
+		Entry:    entry,
+		Transfer: Transfer(info),
+		Join:     Join,
+		Equal:    Equal,
+	})
+	return g, res
+}

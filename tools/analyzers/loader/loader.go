@@ -9,6 +9,7 @@ package loader
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -66,7 +67,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
 	}
 
 	var all []*listPackage
@@ -74,7 +75,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPackage
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
 			return nil, fmt.Errorf("go list output: %w", err)

@@ -1,0 +1,12 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"desword/tools/analyzers/analysistest"
+	"desword/tools/analyzers/passes/goroutinelife"
+)
+
+func TestGoroutinelife(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutinelife.Analyzer, "internal/node", "internal/sim")
+}

@@ -1,0 +1,128 @@
+// Package node is the goroutinelife golden fixture: it sits on an
+// enforced path (internal/node), so every `go` statement must carry a
+// join or cancellation signal.
+package node
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// leak has no lifecycle signal; `go leak()` is the fire-and-forget shape.
+func leak() {
+	for {
+		work()
+	}
+}
+
+type C struct {
+	stop chan struct{}
+	out  chan int
+}
+
+// loop is cancellable through c.stop; `go c.loop()` resolves to this body.
+func (c *C) loop() {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case c.out <- 1:
+		}
+	}
+}
+
+func runWith(ctx context.Context) {
+	for ctx.Err() == nil {
+		work()
+	}
+}
+
+func produce(out chan<- int) {
+	for i := 0; i < 3; i++ {
+		out <- i
+	}
+	close(out)
+}
+
+// fire-and-forget literals are findings.
+func badLit() {
+	go func() { // want `goroutine is neither joinable nor cancellable: no WaitGroup\.Done, channel send/close/receive, or context check in its body`
+		work()
+	}()
+}
+
+// so are fire-and-forget named calls whose body has no signal.
+func badNamed() {
+	go leak() // want `goroutine is neither joinable nor cancellable`
+}
+
+// cancellable: the body receives from a stop channel.
+func okStop(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// joinable: the body signals completion through a WaitGroup.
+func okWait(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// joinable: the body sends its result on a channel.
+func okSend(done chan error) {
+	go func() {
+		work()
+		done <- nil
+	}()
+}
+
+// joinable: the body closes a completion channel.
+func okClose(done chan struct{}) {
+	go func() {
+		work()
+		close(done)
+	}()
+}
+
+// cancellable: the body ranges over its input until the sender closes it.
+func okRange(in chan int) {
+	go func() {
+		for v := range in {
+			_ = v
+		}
+	}()
+}
+
+// cancellable: the body polls ctx.Err, even via a nested literal.
+func okCtx(ctx context.Context) {
+	go func() {
+		helper := func() bool { return ctx.Err() == nil }
+		for helper() {
+			work()
+		}
+	}()
+}
+
+// a named call is judged by its resolved body.
+func okNamed(c *C) {
+	go c.loop()
+}
+
+// passing a lifecycle handle means the callee manages itself with it.
+func okHandleArgs(ctx context.Context, out chan int) {
+	go runWith(ctx)
+	go produce(out)
+}

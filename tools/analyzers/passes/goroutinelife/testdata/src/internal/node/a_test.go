@@ -1,0 +1,8 @@
+package node
+
+import "testing"
+
+// Test files are exempt: the test binary's lifetime bounds the goroutine.
+func TestFireAndForget(t *testing.T) {
+	go work()
+}

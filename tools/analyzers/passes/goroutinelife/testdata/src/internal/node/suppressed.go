@@ -1,0 +1,7 @@
+package node
+
+// A reviewed exception: a process-lifetime worker, documented as such.
+func daemon() {
+	//lint:ignore desword/goroutinelife fixture models a process-lifetime worker
+	go leak()
+}

@@ -1,0 +1,157 @@
+// Package a is the guardedby golden fixture: `// guarded by mu` field
+// contracts checked at every access, with the recognized escapes
+// (constructors, sync/atomic, test files) and the annotation-validation
+// findings.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Pool struct {
+	mu   sync.Mutex
+	rwmu sync.RWMutex
+
+	idle []int // guarded by mu
+	// guarded by rwmu
+	hits int
+	seq  uint64        // guarded by mu
+	gen  atomic.Uint64 // guarded by mu (atomic type: carries its own synchronization)
+}
+
+// access under the exclusive lock is the contract being honored.
+func (p *Pool) take() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.idle[0]
+	p.idle = p.idle[1:]
+	return n
+}
+
+// reads under RLock are fine.
+func (p *Pool) readHits() int {
+	p.rwmu.RLock()
+	defer p.rwmu.RUnlock()
+	return p.hits
+}
+
+// a bare read without the mutex held.
+func (p *Pool) badRead() int {
+	return p.idle[0] // want `read of Pool\.idle without holding p\.mu \(field is guarded by mu\)`
+}
+
+// a bare write.
+func (p *Pool) badWrite(n int) {
+	p.idle = append(p.idle, n) // want `write of Pool\.idle without holding p\.mu` `read of Pool\.idle without holding p\.mu`
+}
+
+// writing under a read lock tears concurrent readers.
+func (p *Pool) writeUnderRLock() {
+	p.rwmu.RLock()
+	defer p.rwmu.RUnlock()
+	p.hits++ // want `write to Pool\.hits while p\.rwmu is only read-locked; writes need p\.rwmu\.Lock\(\)`
+}
+
+// locked on only some paths to the access.
+func (p *Pool) maybeHeld(c bool) int {
+	if c {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	return len(p.idle) // want `read of Pool\.idle: p\.mu is held on only some paths to this point`
+}
+
+// taking a guarded field's address is a write-shaped escape.
+func (p *Pool) addrOf() *[]int {
+	return &p.idle // want `write of Pool\.idle without holding p\.mu`
+}
+
+// constructor escape: the value cannot be shared yet.
+func newPool(ns []int) *Pool {
+	p := &Pool{}
+	p.idle = append(p.idle, ns...)
+	p.hits = 0
+	return p
+}
+
+// new() is a constructor too.
+func newPoolNew() *Pool {
+	p := new(Pool)
+	p.seq = 1
+	return p
+}
+
+// sync/atomic calls on a guarded plain field carry their own
+// synchronization; fields of an atomic type are exempt everywhere.
+func (p *Pool) counters() uint64 {
+	atomic.AddUint64(&p.seq, 1)
+	p.gen.Add(1)
+	return atomic.LoadUint64(&p.seq) + p.gen.Load()
+}
+
+// a plain access to the atomically-annotated field still needs the lock.
+func (p *Pool) badSeq() uint64 {
+	return p.seq // want `read of Pool\.seq without holding p\.mu`
+}
+
+// the lock state is per-path: released before the access.
+func (p *Pool) unlockedTooEarly() int {
+	p.mu.Lock()
+	p.mu.Unlock()
+	return p.idle[0] // want `read of Pool\.idle without holding p\.mu`
+}
+
+// annotation validation: the guard must be an existing sibling mutex.
+type Bad struct {
+	data []int // guarded by nosuch // want `guarded by nosuch: Bad has no field "nosuch"`
+	m    sync.Map
+	rows []int // guarded by m // want `guarded by m: Bad\.m is sync\.Map, not a sync mutex`
+}
+
+// a goroutine body runs concurrently: it starts with nothing held even
+// though the launcher holds the lock.
+func (p *Pool) spawn() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		p.idle = nil // want `write of Pool\.idle without holding p\.mu`
+	}()
+}
+
+// any other literal inherits the lock state at its position: a sort
+// comparator or callback invoked under the lock is fine...
+func (p *Pool) inherited() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sum := func() int {
+		n := 0
+		for _, v := range p.idle {
+			n += v
+		}
+		return n
+	}
+	return sum()
+}
+
+// ...and one positioned before the Lock starts without it.
+func (p *Pool) inheritedUnlocked() func() int {
+	f := func() int { return len(p.idle) } // want `read of Pool\.idle without holding p\.mu`
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return f
+}
+
+// a *Locked method is the caller-holds-the-lock convention: it is checked
+// as if every mutex field of its receiver were held.
+func (p *Pool) takeLocked() int {
+	n := p.idle[0]
+	p.idle = p.idle[1:]
+	p.hits++
+	return n
+}
+
+// the convention only covers the receiver's own mutexes.
+func (p *Pool) otherLocked(q *Pool) {
+	q.idle = nil // want `write of Pool\.idle without holding q\.mu`
+}

@@ -1,0 +1,13 @@
+package a
+
+import "testing"
+
+// Test files are exempt: single-threaded inspection is legitimate and
+// `make race` covers the rest. No diagnostics expected here.
+func TestInspect(t *testing.T) {
+	p := &Pool{}
+	p.idle = []int{1}
+	if p.idle[0] != 1 {
+		t.Fatal("unexpected")
+	}
+}

@@ -1,0 +1,7 @@
+package a
+
+// A reviewed exception: a stats snapshot that tolerates a torn read.
+func (p *Pool) approxLen() int {
+	//lint:ignore desword/guardedby fixture models a tolerated racy read
+	return len(p.idle)
+}

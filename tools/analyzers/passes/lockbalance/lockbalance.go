@@ -1,0 +1,114 @@
+// Package lockbalance checks that every mutex acquired in a function is
+// released on every path out of it, and that no path re-locks a mutex it
+// already holds.
+//
+// Paper invariant: the proxy and participant processes must answer every
+// query — the soundness argument of §V assumes liveness of the honest
+// parties. A single early return that skips an Unlock wedges every later
+// request on that mutex, and `make race` cannot prove the absence of such
+// a path: the race detector observes executions, not the CFG. This pass
+// walks the control-flow graph of each function (tools/analyzers/cfg)
+// with a lock-state dataflow (internal/lockflow) and reports:
+//
+//   - a return path on which an acquired sync.Mutex/RWMutex is still
+//     held with no deferred unlock covering it — anchored at the return
+//     statement (or the closing brace on fall-off), since that is where
+//     the leak escapes;
+//   - a path that is only *sometimes* holding the lock when it returns
+//     (locked on one branch, released on another) — the classic
+//     forgotten-unlock-before-early-return shape;
+//   - Lock/RLock on an identity already held exclusively on the same
+//     path, and Lock while read-held: both self-deadlock with a
+//     non-reentrant sync mutex.
+//
+// Paths that leave via panic or a terminating call (os.Exit, log.Fatal,
+// testing's Fatal family) are exempt: the process or goroutine is dying
+// and deferred handlers are the only cleanup that can run anyway.
+// Unlocking a mutex this function never locked is deliberately not
+// reported — caller-holds-the-lock helpers are a legitimate idiom — and
+// each function literal is analyzed as a function of its own, so a
+// goroutine body balances its locks independently of its parent.
+package lockbalance
+
+import (
+	"go/ast"
+	"sort"
+
+	"desword/tools/analyzers/analysis"
+	"desword/tools/analyzers/cfg"
+	"desword/tools/analyzers/internal/lintutil"
+	"desword/tools/analyzers/internal/lockflow"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockbalance",
+	Doc:  "mutexes must be released on every exit path and never re-locked on the same path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		lintutil.Functions(f, func(decl ast.Node, body *ast.BlockStmt) {
+			checkFunc(pass, body)
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	g, res := lockflow.Analyze(pass.TypesInfo, body, nil)
+	for _, b := range g.Reachable() {
+		if !res.Seen[b.Index] {
+			continue
+		}
+		// Re-simulate the block once from its fixpoint input, reporting
+		// double-locks as they occur. (Reporting inside the fixpoint
+		// transfer would duplicate per iteration.)
+		st := res.In[b.Index]
+		for _, stmt := range b.Stmts {
+			for _, op := range lockflow.Ops(pass.TypesInfo, stmt) {
+				var prev lockflow.Lock
+				st, prev = lockflow.Apply(st, op)
+				if !op.Acquire || op.Defer {
+					continue
+				}
+				switch {
+				case prev.Kind == lockflow.Exclusive:
+					pass.Reportf(op.Pos, "%s is already locked (Lock at line %d); locking again deadlocks",
+						op.ID, pass.Fset.Position(prev.Pos).Line)
+				case prev.Kind == lockflow.Read && !op.Read:
+					pass.Reportf(op.Pos, "%s.Lock() while read-locked (RLock at line %d); sync.RWMutex is not upgradable",
+						op.ID, pass.Fset.Position(prev.Pos).Line)
+				}
+			}
+		}
+		// Exit discipline: anything still held on a normal departure
+		// (return or fall-off; panic paths exempt) must be covered by a
+		// deferred unlock.
+		if b.Exit != cfg.ExitReturn && b.Exit != cfg.ExitFall {
+			continue
+		}
+		for _, id := range sortedIDs(st) {
+			l := st[id]
+			if !l.Kind.Held() || l.Deferred {
+				continue
+			}
+			if l.Kind == lockflow.Maybe {
+				pass.Reportf(b.End, "%s may still be held here (%s at line %d is not released on every path to this return)",
+					id, l.Kind, pass.Fset.Position(l.Pos).Line)
+			} else {
+				pass.Reportf(b.End, "%s is still held at function exit (%s at line %d); unlock it or use defer",
+					id, l.Kind, pass.Fset.Position(l.Pos).Line)
+			}
+		}
+	}
+}
+
+func sortedIDs(st lockflow.State) []string {
+	ids := make([]string, 0, len(st))
+	for id := range st {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

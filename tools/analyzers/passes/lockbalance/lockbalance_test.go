@@ -1,0 +1,12 @@
+package lockbalance_test
+
+import (
+	"testing"
+
+	"desword/tools/analyzers/analysistest"
+	"desword/tools/analyzers/passes/lockbalance"
+)
+
+func TestLockbalance(t *testing.T) {
+	analysistest.Run(t, "testdata", lockbalance.Analyzer, "a")
+}

@@ -1,0 +1,155 @@
+// Package a is the lockbalance golden fixture: leaked locks at returns
+// and fall-off, maybe-held merges, double locks, RLock upgrades — and the
+// legal shapes (defer, balanced pairs, panic exits, caller-holds helpers)
+// that must stay silent.
+package a
+
+import (
+	"errors"
+	"sync"
+)
+
+var (
+	mu sync.Mutex
+	rw sync.RWMutex
+)
+
+type pool struct {
+	mu   sync.Mutex
+	idle []int
+}
+
+func work() {}
+
+// balanced lock/unlock pairs are silent.
+func balanced() {
+	mu.Lock()
+	work()
+	mu.Unlock()
+}
+
+// defer covers every exit path, including early returns.
+func deferred(fail bool) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if fail {
+		return errors.New("fail")
+	}
+	return nil
+}
+
+// defer inside a function literal is still a deferred unlock.
+func deferredLit() {
+	mu.Lock()
+	defer func() {
+		mu.Unlock()
+	}()
+	work()
+}
+
+// leak at an explicit return: the diagnostic anchors at the return.
+func leakReturn() error {
+	mu.Lock()
+	return errors.New("fail") // want `mu is still held at function exit \(Lock at line \d+\); unlock it or use defer`
+}
+
+// leak at fall-off: the diagnostic anchors at the closing brace, a line
+// no comment can share — this is what the want +N offset is for.
+func leakFall() {
+	mu.Lock()
+	work()
+	// want +1 `mu is still held at function exit`
+}
+
+// the classic early-return leak: unlocked on the happy path only.
+func earlyReturn(fail bool) error {
+	mu.Lock()
+	if fail {
+		return errors.New("fail") // want `mu is still held at function exit`
+	}
+	mu.Unlock()
+	return nil
+}
+
+// locked on only one branch: Maybe at the merged exit.
+func maybeHeld(cond bool) {
+	if cond {
+		mu.Lock()
+	}
+	work()
+	// want +1 `mu may still be held here \(Lock \(on some paths\) at line \d+ is not released on every path to this return\)`
+}
+
+// re-locking a held mutex self-deadlocks.
+func double() {
+	mu.Lock()
+	mu.Lock() // want `mu is already locked \(Lock at line \d+\); locking again deadlocks`
+	mu.Unlock()
+}
+
+// sync.RWMutex cannot be upgraded in place.
+func upgrade() {
+	rw.RLock()
+	rw.Lock() // want `rw\.Lock\(\) while read-locked \(RLock at line \d+\); sync\.RWMutex is not upgradable`
+	rw.Unlock()
+}
+
+// RLock/RUnlock balance like Lock/Unlock.
+func readers() int {
+	rw.RLock()
+	defer rw.RUnlock()
+	return 1
+}
+
+// identities are per-receiver expression: p.mu leaks independently of mu.
+func (p *pool) leakMethod(fail bool) error {
+	p.mu.Lock()
+	if fail {
+		return errors.New("fail") // want `p\.mu is still held at function exit`
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// panic exits are exempt: only deferred handlers run anyway.
+func panics() {
+	mu.Lock()
+	panic("fatal")
+}
+
+// unlocking a mutex this function never locked is the caller-holds idiom,
+// deliberately unreported.
+func (p *pool) takeLocked() int {
+	n := p.idle[0]
+	p.idle = p.idle[1:]
+	p.mu.Unlock()
+	return n
+}
+
+// a function literal balances its locks as a function of its own: the
+// goroutine body below is clean, and its Lock does not leak into spawn.
+func spawn() {
+	go func() {
+		mu.Lock()
+		defer mu.Unlock()
+		work()
+	}()
+}
+
+// a leak inside a literal is reported inside the literal.
+func spawnLeak() {
+	go func() {
+		mu.Lock()
+		work()
+		// want +1 `mu is still held at function exit`
+	}()
+}
+
+// a loop that locks and unlocks per iteration is clean.
+func loop(n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		work()
+		mu.Unlock()
+	}
+}

@@ -1,0 +1,244 @@
+// Package sendclosed finds channel operations that panic at runtime or
+// invert channel ownership: sends reachable after a close of the same
+// channel value, a second close reachable after the first, and a
+// function that closes a channel it consumes.
+//
+// Paper invariant: the pipeline's shutdown paths (collector stop
+// channels, the journal's rotation, the pool's drain) communicate over
+// channels; `close` is the broadcast primitive, and both send-on-closed
+// and close-of-closed are unrecoverable panics that take a proxy serving
+// thousands of in-flight queries down with them. The race detector only
+// sees the interleaving that actually panicked; this pass walks the CFG
+// (tools/analyzers/cfg) with a closed-channel dataflow and reports the
+// path itself.
+//
+// The Go idiom is that the *sender* owns the close. Close on a
+// receive-only channel is already a compile error, so the misuse that
+// survives the compiler is its moral twin: a function that receives from
+// (or ranges over) a channel and also closes it, without ever sending —
+// a consumer closing its producer's channel. That is reported at the
+// close site. Reassigning a channel variable (ch = make(...)) resets its
+// tracked state, and function literals are analyzed as functions of
+// their own: a goroutine body's sends are concurrent with, not ordered
+// after, the enclosing function's close.
+package sendclosed
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"desword/tools/analyzers/analysis"
+	"desword/tools/analyzers/cfg"
+	"desword/tools/analyzers/internal/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sendclosed",
+	Doc:  "no channel send or close reachable after a close of the same channel; consumers must not close",
+	Run:  run,
+}
+
+// closedState tracks one channel identity on one path.
+type closedState struct {
+	pos      token.Pos // the close site
+	definite bool      // closed on every path here vs only some
+}
+
+// state maps channel identity (rendered expression) → closed state.
+type state map[string]closedState
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func equal(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		if vb, ok := b[k]; !ok || va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+func join(a, b state) state {
+	out := make(state, len(a)+len(b))
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			out[k] = closedState{pos: va.pos, definite: va.definite && vb.definite}
+		} else {
+			out[k] = closedState{pos: va.pos}
+		}
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = closedState{pos: vb.pos}
+		}
+	}
+	return out
+}
+
+// chanOp is one channel operation found in a statement, in source order.
+type chanOp struct {
+	id   string
+	pos  token.Pos
+	kind opKind
+}
+
+type opKind int
+
+const (
+	opClose opKind = iota
+	opSend
+	opAssign // channel variable rebound: state resets
+)
+
+func ops(info *types.Info, stmt ast.Stmt) []chanOp {
+	var out []chanOp
+	lintutil.InspectLeaf(stmt, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinClose(info, n) {
+				out = append(out, chanOp{id: types.ExprString(n.Args[0]), pos: n.Pos(), kind: opClose})
+			}
+		case *ast.SendStmt:
+			out = append(out, chanOp{id: types.ExprString(n.Chan), pos: n.Arrow, kind: opSend})
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if t := info.Types[lhs].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						out = append(out, chanOp{id: types.ExprString(lhs), pos: lhs.Pos(), kind: opAssign})
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		lintutil.Functions(f, func(decl ast.Node, body *ast.BlockStmt) {
+			checkFunc(pass, body)
+		})
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	res := cfg.Forward(g, cfg.Problem[state]{
+		Entry: nil,
+		Transfer: func(b *cfg.Block, in state) state {
+			st := in
+			for _, stmt := range b.Stmts {
+				for _, op := range ops(pass.TypesInfo, stmt) {
+					st = apply(st, op)
+				}
+			}
+			return st
+		},
+		Join:  join,
+		Equal: equal,
+	})
+
+	// Report phase: re-simulate each reachable block from its fixpoint
+	// input (reporting inside Transfer would duplicate per iteration).
+	for _, b := range g.Reachable() {
+		if !res.Seen[b.Index] {
+			continue
+		}
+		st := res.In[b.Index]
+		for _, stmt := range b.Stmts {
+			for _, op := range ops(pass.TypesInfo, stmt) {
+				if prev, closed := st[op.id]; closed {
+					line := pass.Fset.Position(prev.pos).Line
+					switch {
+					case op.kind == opSend && prev.definite:
+						pass.Reportf(op.pos, "send on %s after close (closed at line %d); this panics", op.id, line)
+					case op.kind == opSend:
+						pass.Reportf(op.pos, "send on %s that is closed on some paths here (closed at line %d)", op.id, line)
+					case op.kind == opClose && prev.definite:
+						pass.Reportf(op.pos, "close of %s which is already closed (closed at line %d); this panics", op.id, line)
+					}
+				}
+				st = apply(st, op)
+			}
+		}
+	}
+
+	checkConsumerClose(pass, body)
+}
+
+// isBuiltinClose recognizes a call of the close builtin (not a local
+// function that happens to be named close).
+func isBuiltinClose(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+func apply(st state, op chanOp) state {
+	out := st.clone()
+	switch op.kind {
+	case opClose:
+		out[op.id] = closedState{pos: op.pos, definite: true}
+	case opAssign:
+		delete(out, op.id)
+	}
+	return out
+}
+
+// checkConsumerClose reports a close of a channel this function receives
+// from but never sends on — the consumer closing the producer's channel.
+// Sends are counted anywhere in the function's text, function literals
+// included: a function that spawns producer goroutines, joins them and
+// then closes their channel is the owning side, not a consumer.
+func checkConsumerClose(pass *analysis.Pass, body *ast.BlockStmt) {
+	recv := make(map[string]bool)
+	sent := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok {
+			sent[types.ExprString(s.Chan)] = true
+		}
+		return true
+	})
+	type closeSite struct {
+		id  string
+		pos token.Pos
+	}
+	var closes []closeSite
+	lintutil.InspectNoFuncLit(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				recv[types.ExprString(n.X)] = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					recv[types.ExprString(n.X)] = true
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltinClose(pass.TypesInfo, n) {
+				closes = append(closes, closeSite{id: types.ExprString(n.Args[0]), pos: n.Pos()})
+			}
+		}
+	})
+	for _, c := range closes {
+		if recv[c.id] && !sent[c.id] {
+			pass.Reportf(c.pos, "close of %s by its consumer (this function receives from it and never sends); the sender owns the close", c.id)
+		}
+	}
+}

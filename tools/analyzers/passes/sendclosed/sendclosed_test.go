@@ -1,0 +1,12 @@
+package sendclosed_test
+
+import (
+	"testing"
+
+	"desword/tools/analyzers/analysistest"
+	"desword/tools/analyzers/passes/sendclosed"
+)
+
+func TestSendclosed(t *testing.T) {
+	analysistest.Run(t, "testdata", sendclosed.Analyzer, "a")
+}

@@ -1,0 +1,130 @@
+// Package a is the sendclosed golden fixture: sends and closes reachable
+// after a close of the same channel, consumer-side closes, and the legal
+// shapes (producer close-after-send, reassignment, concurrent literals)
+// that must stay silent.
+package a
+
+func work() {}
+
+// the producer idiom: send everything, then close. Silent.
+func producer(out chan int) {
+	for i := 0; i < 3; i++ {
+		out <- i
+	}
+	close(out)
+}
+
+// a send definitely after the close panics.
+func sendAfterClose() {
+	ch := make(chan int)
+	close(ch)
+	ch <- 1 // want `send on ch after close \(closed at line \d+\); this panics`
+}
+
+// closing twice panics.
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want `close of ch which is already closed \(closed at line \d+\); this panics`
+}
+
+// closed on only one branch: the send is a some-paths finding.
+func maybeClosed(c bool) {
+	ch := make(chan int)
+	if c {
+		close(ch)
+	}
+	ch <- 1 // want `send on ch that is closed on some paths here \(closed at line \d+\)`
+}
+
+// a close inside a loop after a definite close reports on every path in.
+func closeThenLoop() {
+	ch := make(chan struct{})
+	close(ch)
+	for i := 0; i < 2; i++ {
+		close(ch) // want `close of ch which is already closed`
+	}
+}
+
+// a close only inside the loop is a maybe-state on the back edge; the
+// pass deliberately reports only definite re-closes, so this is silent.
+func closeInLoop(n int) {
+	ch := make(chan struct{})
+	for i := 0; i < n; i++ {
+		close(ch)
+	}
+	_ = ch
+}
+
+// rebinding the variable resets its tracked state.
+func reassign() {
+	ch := make(chan int)
+	close(ch)
+	ch = make(chan int)
+	ch <- 1
+	close(ch)
+}
+
+// identities are per-expression: closing one field says nothing about
+// another.
+type pipes struct {
+	a chan int
+	b chan int
+}
+
+func (p *pipes) closeA() {
+	close(p.a)
+	p.b <- 1
+	p.a <- 1 // want `send on p\.a after close`
+}
+
+// a consumer that closes the channel it drains inverts ownership.
+func consumer(in chan int) {
+	for v := range in {
+		_ = v
+	}
+	close(in) // want `close of in by its consumer \(this function receives from it and never sends\); the sender owns the close`
+}
+
+// receiving with <- counts as consuming too.
+func consumerRecv(in chan int) {
+	v := <-in
+	_ = v
+	close(in) // want `close of in by its consumer`
+}
+
+// a function that both sends and receives owns the channel; its close is
+// legal.
+func owner() {
+	ch := make(chan int, 1)
+	ch <- 1
+	<-ch
+	close(ch)
+}
+
+// function literals are functions of their own: the goroutine's sends are
+// concurrent with, not ordered after, the enclosing close, and its own
+// state starts fresh.
+func spawn(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+	close(ch)
+}
+
+// fan-in: spawning producers, joining them, then closing and draining
+// their channel is owner behaviour — the literals' sends count, so the
+// consumer-close check stays quiet.
+func fanIn(work []int, join func()) {
+	errCh := make(chan int, len(work))
+	for range work {
+		go func() {
+			errCh <- 1
+		}()
+	}
+	join()
+	close(errCh)
+	for v := range errCh {
+		_ = v
+	}
+}
