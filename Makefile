@@ -1,7 +1,7 @@
 GO ?= go
 VET := bin/desword-vet
 
-.PHONY: all check build test vet fmt race bench bench-smoke telemetry-smoke events-smoke store-smoke lint analyzers tidy fuzz-short
+.PHONY: all check build test vet fmt race bench bench-smoke telemetry-smoke events-smoke store-smoke saturation-smoke lint analyzers tidy fuzz-short
 
 all: check
 
@@ -66,6 +66,14 @@ events-smoke:
 # restarted participant depends on.
 store-smoke:
 	$(GO) test -run '^TestStoreSmoke$$' -count=1 -v ./internal/zkedb
+
+# saturation-smoke runs a miniature E14 end to end (see TestSaturationSmoke):
+# open-loop load against sharded and unsharded proxy deployments over real
+# TCP, then assertions on the recorded JSON report — per-shard walk counters
+# account for every completed query, and the forced-overload pass actually
+# shed through the admission gate.
+saturation-smoke:
+	$(GO) test -run '^TestSaturationSmoke$$' -count=1 -v ./internal/bench
 
 # lint is the correctness gate beyond tier-1: the project analyzers
 # (desword-vet, see DESIGN.md §9) run through go vet's unitchecker driver

@@ -12,7 +12,8 @@
 //
 // Experiments: tmc (E1), fig4a (E2), fig4b (E3), table2 (E4), fig5 (E5),
 // baseline (E6), incentive (E7), e2e (E8), transport (E9), crypto (E10),
-// telemetry (E11), events (E12), ablation (A1–A4).
+// telemetry (E11), events (E12), ablation (A1–A4), store (E13),
+// saturation (E14).
 //
 // With -metrics-out, the process-wide metrics registry (proof generation and
 // verification timings, query latencies, …) is snapshotted to the file after
@@ -51,7 +52,8 @@ type renderer interface {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all|tmc|fig4a|fig4b|table2|fig5|baseline|incentive|e2e|transport|crypto|telemetry|events|ablation|store")
+		exp        = flag.String("exp", "all", "experiment: all|tmc|fig4a|fig4b|table2|fig5|baseline|incentive|e2e|transport|crypto|telemetry|events|ablation|store|saturation")
+		satOut     = flag.String("saturation-out", "BENCH_saturation.json", "write the E14 machine-readable report (p50/p99 vs offered load, shed counters, per-shard stats) to this JSON file")
 		modulus    = flag.Int("modulus", 1024, "RSA modulus bits for the qTMC layer")
 		reps       = flag.Int("reps", 10, "repetitions per timing point (paper smooths over 50)")
 		dbSize     = flag.Int("db", 8, "committed traces per participant in macro benches")
@@ -202,6 +204,24 @@ func run() error {
 				return fmt.Errorf("E13b: %w", err)
 			}
 			return nil
+		}},
+		{"saturation", func() error {
+			// E14 measures the proxy tier (shard routing, coalescing,
+			// admission), not the crypto: test-size ZK-EDB parameters keep
+			// per-hop proof cost small so the offered-load sweep saturates
+			// queueing, not modular exponentiation.
+			params := zkedb.TestParams()
+			shardCounts := []int{1, 4}
+			qpsLevels := []int{50, 200, 800}
+			chainLen, products := 4, 32
+			duration := 2 * time.Second
+			if *fast {
+				shardCounts = []int{1, 2}
+				qpsLevels = []int{50, 200}
+				chainLen, products = 3, 16
+				duration = 500 * time.Millisecond
+			}
+			return render(bench.RunSaturation(params, shardCounts, qpsLevels, chainLen, products, duration, *satOut))
 		}},
 	}
 

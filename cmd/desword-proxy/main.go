@@ -58,13 +58,14 @@ func run() error {
 		height  = flag.Int("height", 32, "ZK-EDB tree height")
 		keyBits = flag.Int("keybits", 128, "product-id digest bits")
 		modulus = flag.Int("modulus", 1024, "RSA modulus bits")
-		fanout  = flag.Int("probe-fanout", core.DefaultProbeFanout, "concurrent child probes during a path walk (1 = serial)")
 		sample  = flag.Float64("trace-sample", 0, "fraction of path queries to trace in [0,1]; traces appear under /debug/traces on the admin listener")
+		pxCfg   core.ProxyConfig
 		logCfg  obs.LogConfig
 		tcfg    node.ClientConfig
 		telCfg  telemetry.Config
 		evCfg   events.Config
 	)
+	pxCfg.RegisterFlags(flag.CommandLine)
 	logCfg.RegisterFlags(flag.CommandLine)
 	tcfg.RegisterFlags(flag.CommandLine)
 	telCfg.RegisterFlags(flag.CommandLine)
@@ -165,14 +166,20 @@ func run() error {
 		logger.Info("admin listener up", "addr", adminSrv.Addr())
 	}
 
-	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), directory.Resolver(),
-		core.WithProbeFanout(*fanout), core.WithEventSink(sink))
-	srv, err := node.ServeProxy(context.Background(), *listen, proxy,
-		node.WithTimeout(tcfg.Timeout), node.WithEventSink(sink))
+	pxCfg.EventSink = sink
+	proxy := core.NewProxyWithConfig(ps, reputation.DefaultStrategy(), directory.Resolver(), pxCfg)
+	srvOpts := []node.Option{node.WithTimeout(tcfg.Timeout), node.WithEventSink(sink)}
+	if pxCfg.AdmissionWorkers > 0 || pxCfg.AdmissionQueue != 0 {
+		// The same admission settings gate the TCP front door, so overload
+		// is shed before a request even reaches the proxy core.
+		srvOpts = append(srvOpts, node.WithAdmission(pxCfg.AdmissionWorkers, pxCfg.AdmissionQueue))
+	}
+	srv, err := node.ServeProxy(context.Background(), *listen, proxy, srvOpts...)
 	if err != nil {
 		return err
 	}
-	logger.Info("proxy listening", "addr", srv.Addr(), "participants", len(dir))
+	logger.Info("proxy listening", "addr", srv.Addr(), "participants", len(dir),
+		"shards", proxy.Config().Shards)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

@@ -5,10 +5,17 @@
 // Usage:
 //
 //	desword-query -proxy 127.0.0.1:7700 -product drug-1 -quality good
+//	desword-query -proxy 127.0.0.1:7700 -batch drug-1 drug-2 drug-3
+//	echo drug-1 | desword-query -proxy 127.0.0.1:7700 -batch
 //	desword-query -proxy 127.0.0.1:7700 -scores
+//
+// -batch sends one query_path_batch message for every id given as positional
+// arguments (or, with none, one id per stdin line) and reports each id's
+// outcome independently — one unreachable product never fails the rest.
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -16,6 +23,7 @@ import (
 	"log/slog"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"desword/internal/core"
@@ -37,6 +45,7 @@ func run() error {
 	var (
 		proxyAddr = flag.String("proxy", "127.0.0.1:7700", "proxy address")
 		product   = flag.String("product", "", "product id to query")
+		batch     = flag.Bool("batch", false, "batch mode: query every product id given as an argument (or per stdin line) in one round trip")
 		quality   = flag.String("quality", "good", "quality-check outcome: good|bad")
 		scores    = flag.Bool("scores", false, "fetch the public reputation table instead")
 		audit     = flag.Bool("audit", false, "fetch and verify the tamper-evident score history")
@@ -95,9 +104,6 @@ func run() error {
 		return nil
 	}
 
-	if *product == "" {
-		return fmt.Errorf("-product is required (or use -scores)")
-	}
 	var q core.Quality
 	switch *quality {
 	case "good":
@@ -106,6 +112,18 @@ func run() error {
 		q = core.Bad
 	default:
 		return fmt.Errorf("unknown quality %q (want good|bad)", *quality)
+	}
+
+	if *batch {
+		ids, err := batchIDs(flag.Args())
+		if err != nil {
+			return err
+		}
+		return runBatch(client, ids, q, *quality, *jsonOut)
+	}
+
+	if *product == "" {
+		return fmt.Errorf("-product is required (or use -batch or -scores)")
 	}
 
 	ctx, span := trace.Default.Start(context.Background(), "query.query_path",
@@ -141,6 +159,100 @@ func run() error {
 	fmt.Printf("  complete=%v\n", result.Complete)
 	printViolations(result.Violations)
 	printTraceID(result.TraceID)
+	return nil
+}
+
+// batchIDs collects the batch's product ids from the positional arguments,
+// or — with none — one id per stdin line (blank lines skipped), so id lists
+// pipe in from files and other tools.
+func batchIDs(args []string) ([]poc.ProductID, error) {
+	var ids []poc.ProductID
+	if len(args) > 0 {
+		for _, a := range args {
+			ids = append(ids, poc.ProductID(a))
+		}
+		return ids, nil
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if id := strings.TrimSpace(sc.Text()); id != "" {
+			ids = append(ids, poc.ProductID(id))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading product ids from stdin: %w", err)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("-batch needs product ids (arguments or stdin lines)")
+	}
+	return ids, nil
+}
+
+// batchJSON is the -json rendering of one batch: the batch trace id plus one
+// entry per id, each carrying the query's canonical wide event or its error.
+type batchJSON struct {
+	TraceID string          `json:"trace_id,omitempty"`
+	Items   []batchItemJSON `json:"items"`
+}
+
+type batchItemJSON struct {
+	Product string        `json:"product"`
+	Error   string        `json:"error,omitempty"`
+	Shed    bool          `json:"shed,omitempty"`
+	Event   *events.Event `json:"event,omitempty"`
+}
+
+// runBatch sends one query_path_batch round trip and renders the per-id
+// outcomes. The command exits zero as long as the batch itself ran —
+// per-id failures are data, reported inline.
+func runBatch(client *node.ProxyClient, ids []poc.ProductID, q core.Quality, quality string, jsonOut bool) error {
+	ctx, span := trace.Default.Start(context.Background(), "query.query_path_batch",
+		trace.Int("batch_size", len(ids)), trace.String("quality", quality))
+	result, err := client.QueryPathBatch(ctx, ids, q)
+	span.SetError(err)
+	span.End()
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		out := batchJSON{TraceID: result.TraceID, Items: make([]batchItemJSON, len(result.Items))}
+		for i, item := range result.Items {
+			j := batchItemJSON{Product: string(item.Product), Shed: item.Shed}
+			if item.Err != nil {
+				j.Error = item.Err.Error()
+			} else if item.Result != nil {
+				j.Event = item.Result.Event
+			}
+			out.Items[i] = j
+		}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+	var ok, failed, shed int
+	fmt.Printf("batch of %d %s queries (trace=%s):\n", len(ids), quality, result.TraceID)
+	for _, item := range result.Items {
+		switch {
+		case item.Shed:
+			shed++
+			fmt.Printf("  %-12s SHED: %v\n", item.Product, item.Err)
+		case item.Err != nil:
+			failed++
+			fmt.Printf("  %-12s ERROR: %v\n", item.Product, item.Err)
+		case item.Result == nil || len(item.Result.Path) == 0:
+			ok++
+			fmt.Printf("  %-12s no verifiable origin\n", item.Product)
+		default:
+			ok++
+			fmt.Printf("  %-12s path=%d hops complete=%v violations=%d task=%s\n",
+				item.Product, len(item.Result.Path), item.Result.Complete,
+				len(item.Result.Violations), item.Result.TaskID)
+		}
+	}
+	fmt.Printf("  %d ok, %d failed, %d shed\n", ok, failed, shed)
 	return nil
 }
 

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"desword/internal/zkedb"
+)
+
+// TestSaturationSmoke runs a miniature E14 end to end: a real TCP
+// deployment, open-loop load at two levels, sharded and unsharded proxies,
+// and a forced-overload pass. It then re-reads the JSON report the run
+// recorded and asserts the two signals the experiment exists for: the shed
+// counters fired, and the per-shard metrics show the partition actually
+// spreading work.
+func TestSaturationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation smoke drives a TCP deployment")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_saturation.json")
+	table, err := RunSaturation(zkedb.TestParams(), []int{1, 2}, []int{50, 200}, 3, 16,
+		300*time.Millisecond, out)
+	if err != nil {
+		t.Fatalf("RunSaturation: %v", err)
+	}
+	if len(table.Rows) != 5 { // 2 shard counts × 2 levels + 1 forced
+		t.Fatalf("table has %d rows, want 5", len(table.Rows))
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("reading report: %v", err)
+	}
+	var report SaturationReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("parsing report: %v", err)
+	}
+	if len(report.Runs) != 3 {
+		t.Fatalf("report has %d runs, want 3", len(report.Runs))
+	}
+
+	// Every non-forced level must have completed real queries.
+	for _, run := range report.Runs[:2] {
+		for _, p := range run.Points {
+			if p.Done == 0 {
+				t.Fatalf("shards=%d qps=%d completed no queries", run.Shards, p.OfferedQPS)
+			}
+			if p.P50MS <= 0 || p.P99MS < p.P50MS {
+				t.Fatalf("shards=%d qps=%d quantiles p50=%v p99=%v", run.Shards, p.OfferedQPS, p.P50MS, p.P99MS)
+			}
+		}
+	}
+
+	// The 2-shard run's per-shard metrics must show the partition at work:
+	// two shard entries whose led walks sum to every completed query (minus
+	// coalesced joins, which ride a leader's walk).
+	sharded := report.Runs[1]
+	if sharded.Shards != 2 || len(sharded.ShardStats) != 2 {
+		t.Fatalf("sharded run stats = %+v", sharded.ShardStats)
+	}
+	var walks, coalesced, done uint64
+	for _, s := range sharded.ShardStats {
+		walks += s.Queries
+		coalesced += s.Coalesced
+	}
+	for _, p := range sharded.Points {
+		done += uint64(p.Done)
+	}
+	if walks == 0 {
+		t.Fatal("sharded run led no walks")
+	}
+	if walks+coalesced != done {
+		t.Fatalf("walks(%d) + coalesced(%d) != done(%d)", walks, coalesced, done)
+	}
+	for _, s := range sharded.ShardStats {
+		if s.Queries == 0 {
+			t.Fatalf("shard %d never led a walk: %+v", s.Shard, sharded.ShardStats)
+		}
+	}
+
+	// The forced-overload pass (one admission worker, no waiting room, max
+	// offered load) must have shed.
+	forced := report.Runs[2]
+	if !forced.Forced {
+		t.Fatal("final run is not the forced-overload pass")
+	}
+	var shed int
+	for _, p := range forced.Points {
+		shed += p.Shed
+	}
+	if shed == 0 {
+		t.Fatalf("forced overload shed nothing: %+v", forced.Points)
+	}
+}

@@ -138,15 +138,15 @@ func TestProbeFanoutPreservesSerialOutcome(t *testing.T) {
 // TestProbeFanoutOptionBounds pins the option's guard rails.
 func TestProbeFanoutOptionBounds(t *testing.T) {
 	px := NewProxy(corePS(t), reputation.DefaultStrategy(), nil)
-	if px.probeFanout != DefaultProbeFanout {
-		t.Fatalf("default fan-out = %d, want %d", px.probeFanout, DefaultProbeFanout)
+	if px.cfg.ProbeFanout != DefaultProbeFanout {
+		t.Fatalf("default fan-out = %d, want %d", px.cfg.ProbeFanout, DefaultProbeFanout)
 	}
 	px = NewProxy(corePS(t), reputation.DefaultStrategy(), nil, WithProbeFanout(0), WithProbeFanout(-3))
-	if px.probeFanout != DefaultProbeFanout {
-		t.Fatalf("non-positive fan-out must keep the default, got %d", px.probeFanout)
+	if px.cfg.ProbeFanout != DefaultProbeFanout {
+		t.Fatalf("non-positive fan-out must keep the default, got %d", px.cfg.ProbeFanout)
 	}
 	px = NewProxy(corePS(t), reputation.DefaultStrategy(), nil, WithProbeFanout(2))
-	if px.probeFanout != 2 {
-		t.Fatalf("fan-out = %d, want 2", px.probeFanout)
+	if px.cfg.ProbeFanout != 2 {
+		t.Fatalf("fan-out = %d, want 2", px.cfg.ProbeFanout)
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"desword/internal/events"
@@ -17,17 +16,21 @@ import (
 // the public parameter, stores submitted POC lists, maintains one POC-queue
 // per initial participant (§IV.D), answers product path information queries,
 // and maintains the public reputation ledger.
+//
+// Internally the proxy is a sharded tier (ProxyConfig.Shards): query-path
+// state is partitioned across N shard workers by product-id hash, concurrent
+// queries for the same product coalesce onto one walk, and an optional
+// admission gate sheds excess load at the front door instead of queueing it
+// into timeouts. The single-shard default behaves exactly like the
+// historical proxy.
 type Proxy struct {
-	ps          *poc.PublicParams
-	strategy    reputation.Strategy
-	ledger      *reputation.Ledger
-	resolve     Resolver
-	probeFanout int
-	events      *events.Sink
-
-	mu     sync.RWMutex
-	lists  map[string]*poc.List // task id → POC list
-	queues map[poc.ParticipantID][]queueEntry
+	cfg      ProxyConfig
+	ps       *poc.PublicParams
+	strategy reputation.Strategy
+	resolve  Resolver
+	events   *events.Sink
+	gate     *Gate
+	router   *shardRouter
 
 	counters statsCounter
 }
@@ -37,16 +40,23 @@ type Proxy struct {
 const DefaultProbeFanout = 4
 
 // ProxyOption configures a Proxy.
-type ProxyOption func(*Proxy)
+//
+// Deprecated: the variadic options are superseded by ProxyConfig, which
+// carries every proxy-tier knob (shards, fan-outs, admission control) in one
+// struct shared by desword-proxy and tests. They remain as thin adapters
+// over the config for existing callers.
+type ProxyOption func(*ProxyConfig)
 
 // WithProbeFanout sets how many candidate children probeChildren interrogates
 // concurrently. 1 restores the fully serial walk; non-positive values keep
 // the default. The observable outcome is identical at any fan-out — see
 // probeChildren.
+//
+// Deprecated: set ProxyConfig.ProbeFanout instead.
 func WithProbeFanout(n int) ProxyOption {
-	return func(px *Proxy) {
+	return func(cfg *ProxyConfig) {
 		if n > 0 {
-			px.probeFanout = n
+			cfg.ProbeFanout = n
 		}
 	}
 }
@@ -55,8 +65,10 @@ func WithProbeFanout(n int) ProxyOption {
 // query into the flight recorder. The event is assembled (and attached to
 // Result.Event) with or without a sink; the sink adds the ring/journal
 // destinations.
+//
+// Deprecated: set ProxyConfig.EventSink instead.
 func WithEventSink(s *events.Sink) ProxyOption {
-	return func(px *Proxy) { px.events = s }
+	return func(cfg *ProxyConfig) { cfg.EventSink = s }
 }
 
 // queueEntry is one element of an initial participant's POC-queue: the pair
@@ -66,62 +78,152 @@ type queueEntry struct {
 	credential poc.POC
 }
 
-// NewProxy creates a proxy. The resolver supplies reachable endpoints for
-// participants; the strategy configures the double-edged award.
+// NewProxy creates a single-flavour proxy from the deprecated variadic
+// options. The resolver supplies reachable endpoints for participants; the
+// strategy configures the double-edged award.
+//
+// Deprecated: use NewProxyWithConfig, which exposes the full proxy tier
+// (sharding, batch fan-out, admission control).
 func NewProxy(ps *poc.PublicParams, strategy reputation.Strategy, resolve Resolver, opts ...ProxyOption) *Proxy {
-	px := &Proxy{
-		ps:          ps,
-		strategy:    strategy,
-		ledger:      reputation.NewLedger(),
-		resolve:     resolve,
-		probeFanout: DefaultProbeFanout,
-		lists:       make(map[string]*poc.List),
-		queues:      make(map[poc.ParticipantID][]queueEntry),
-	}
+	var cfg ProxyConfig
 	for _, opt := range opts {
-		opt(px)
+		opt(&cfg)
+	}
+	return NewProxyWithConfig(ps, strategy, resolve, cfg)
+}
+
+// NewProxyWithConfig creates a proxy tier from one options struct. The zero
+// ProxyConfig reproduces the historical single-shard, ungated proxy.
+func NewProxyWithConfig(ps *poc.PublicParams, strategy reputation.Strategy, resolve Resolver, cfg ProxyConfig) *Proxy {
+	resolved := cfg.withDefaults()
+	px := &Proxy{
+		cfg:      resolved,
+		ps:       ps,
+		strategy: strategy,
+		resolve:  resolve,
+		events:   resolved.EventSink,
+		router:   newShardRouter(resolved.Shards),
+	}
+	if resolved.gated() {
+		px.gate = NewGate("proxy", resolved.AdmissionWorkers, resolved.AdmissionQueue)
 	}
 	return px
 }
+
+// Config returns the proxy's resolved configuration.
+func (px *Proxy) Config() ProxyConfig { return px.cfg }
 
 // PublicParams returns the public parameter ps that participants use to
 // build POCs.
 func (px *Proxy) PublicParams() *poc.PublicParams { return px.ps }
 
-// Ledger returns the public reputation ledger.
-func (px *Proxy) Ledger() *reputation.Ledger { return px.ledger }
+// Ledger returns shard 0's reputation ledger. With one shard (the default)
+// this is the whole public ledger, exactly as before sharding.
+//
+// Deprecated: a sharded proxy settles each product's awards on the ledger of
+// the shard owning the product; use Scores, Score and AuditShards, which
+// aggregate across shards.
+func (px *Proxy) Ledger() *reputation.Ledger { return px.router.shards[0].ledger }
+
+// Score returns a participant's reputation score summed across every
+// shard ledger. Awards are additive deltas, so the sum over the partition
+// equals the single-ledger score of the unsharded proxy.
+func (px *Proxy) Score(v poc.ParticipantID) float64 {
+	var total float64
+	for _, sh := range px.router.shards {
+		total += sh.ledger.Score(v)
+	}
+	return total
+}
+
+// Scores returns the public reputation table: every participant's score
+// summed across the shard ledgers.
+func (px *Proxy) Scores() map[poc.ParticipantID]float64 {
+	out := make(map[poc.ParticipantID]float64)
+	for _, sh := range px.router.shards {
+		for v, s := range sh.ledger.Scores() {
+			out[v] += s
+		}
+	}
+	return out
+}
+
+// AuditShards returns each shard's tamper-evident score history alongside
+// its pinned head, in shard order. Each shard chain verifies independently
+// with reputation.VerifyAuditChain; the union of the replayed chains yields
+// the public score table.
+func (px *Proxy) AuditShards() []reputation.ShardChain {
+	out := make([]reputation.ShardChain, len(px.router.shards))
+	for i, sh := range px.router.shards {
+		head, count := sh.ledger.Head()
+		out[i] = reputation.ShardChain{
+			Shard:   i,
+			Entries: sh.ledger.AuditLog(),
+			Head:    head,
+			Count:   count,
+		}
+	}
+	return out
+}
 
 // RegisterList stores a POC list submitted by an initial participant at the
 // end of a distribution task, and inserts (ps, POC_v̄) into the POC-queue of
-// each of the list's initial participants (§IV.D).
+// each of the list's initial participants (§IV.D). The list fans out to
+// every shard worker: a list is immutable task metadata any product's walk
+// may need, so each shard keeps its own pointer-level index and the query
+// path never crosses a shard boundary for it.
 func (px *Proxy) RegisterList(taskID string, list *poc.List) error {
 	if err := list.Validate(); err != nil {
 		return fmt.Errorf("core: rejecting POC list for %s: %w", taskID, err)
 	}
-	px.mu.Lock()
-	defer px.mu.Unlock()
-	if _, dup := px.lists[taskID]; dup {
-		return fmt.Errorf("%w: %s", ErrAlreadyRegistered, taskID)
-	}
-	px.lists[taskID] = list
-	for _, initial := range list.Initials() {
+	// Pre-resolve the initials' credentials once; per-shard insertion below
+	// is then infallible, so a duplicate cannot leave shards half-updated.
+	initials := list.Initials()
+	credentials := make([]poc.POC, len(initials))
+	for i, initial := range initials {
 		credential, err := list.POC(initial)
 		if err != nil {
 			return err
 		}
-		px.queues[initial] = append(px.queues[initial], queueEntry{taskID: taskID, credential: credential})
+		credentials[i] = credential
+	}
+	// The first shard arbitrates duplicates: every registration takes the
+	// shards in order, so a taskID either lands on all shards or none.
+	first := px.router.shards[0]
+	first.mu.Lock()
+	if _, dup := first.lists[taskID]; dup {
+		first.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrAlreadyRegistered, taskID)
+	}
+	first.insertListLocked(taskID, list, initials, credentials)
+	first.mu.Unlock()
+	for _, sh := range px.router.shards[1:] {
+		sh.mu.Lock()
+		sh.insertListLocked(taskID, list, initials, credentials)
+		sh.mu.Unlock()
 	}
 	px.counters.addTask()
 	mTasksRegistered.Inc()
 	return nil
 }
 
-// Tasks returns the registered task ids, sorted.
+// insertListLocked indexes one validated list on the shard. Callers hold
+// sh.mu.
+func (sh *proxyShard) insertListLocked(taskID string, list *poc.List, initials []poc.ParticipantID, credentials []poc.POC) {
+	sh.lists[taskID] = list
+	for i, initial := range initials {
+		sh.queues[initial] = append(sh.queues[initial], queueEntry{taskID: taskID, credential: credentials[i]})
+	}
+}
+
+// Tasks returns the registered task ids, sorted. Every shard indexes every
+// list, so shard 0's view is the proxy's view.
 func (px *Proxy) Tasks() []string {
-	px.mu.RLock()
-	defer px.mu.RUnlock()
-	out := make([]string, 0, len(px.lists))
-	for id := range px.lists {
+	sh := px.router.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make([]string, 0, len(sh.lists))
+	for id := range sh.lists {
 		out = append(out, id)
 	}
 	sort.Strings(out)
@@ -133,12 +235,57 @@ func (px *Proxy) Tasks() []string {
 // participants, walks the path hop by hop verifying proofs against the POC
 // list, detects the dishonest behaviours of §III.B, and applies the
 // double-edged reputation award to the identified path.
+//
+// QueryPath is the batch=1 case of the proxy's one query path: admission at
+// the front door, product-hash routing to the owning shard, single-flight
+// coalescing with concurrent queries for the same product, then the walk.
+// Shed queries return an error wrapping ErrLoadShed.
 func (px *Proxy) QueryPath(ctx context.Context, id poc.ProductID, quality Quality) (*Result, error) {
 	if quality != Good && quality != Bad {
 		return nil, fmt.Errorf("core: invalid quality %v", quality)
 	}
+	item := px.queryItem(ctx, id, quality)
+	return item.Result, item.Err
+}
+
+// queryItem is the shared single-product path both QueryPath and
+// QueryPathBatch drive: admission gate, shard routing, coalescing, walk.
+func (px *Proxy) queryItem(ctx context.Context, id poc.ProductID, quality Quality) BatchItem {
+	item := BatchItem{Product: id}
+	release, err := px.gate.Acquire(ctx)
+	if err != nil {
+		item.Err = err
+		item.Shed = true
+		px.emitShedEvent(id, quality, err)
+		return item
+	}
+	defer release()
+	sh := px.router.shardFor(id)
+	item.Result, item.Err = sh.queryCoalesced(ctx, flightKey{product: id, quality: quality}, func() (*Result, error) {
+		return px.runQuery(ctx, sh, id, quality)
+	})
+	return item
+}
+
+// emitShedEvent records a load-shed query in the flight recorder: the query
+// never ran, but overload must be visible in the same stream as the work it
+// displaced.
+func (px *Proxy) emitShedEvent(id poc.ProductID, quality Quality, err error) {
+	ev := events.New(events.KindQuery, time.Now())
+	ev.Product = string(id)
+	ev.Quality = quality.String()
+	ev.Outcome = events.OutcomeLoadShed
+	ev.Error = err.Error()
+	px.events.Emit(ev)
+}
+
+// runQuery performs one walk on the owning shard. It is always entered
+// through the shard's single-flight table, so at most one walk per
+// (product, quality) runs at a time.
+func (px *Proxy) runQuery(ctx context.Context, sh *proxyShard, id poc.ProductID, quality Quality) (*Result, error) {
 	ctx, span := trace.Default.Start(ctx, "proxy.query_path",
-		trace.String("product", string(id)), trace.String("quality", quality.String()))
+		trace.String("product", string(id)), trace.String("quality", quality.String()),
+		trace.Int("shard", sh.id))
 	defer span.End()
 	qStart := time.Now()
 	// Sampled queries stamp their trace id on the latency observation, so
@@ -161,24 +308,24 @@ func (px *Proxy) QueryPath(ctx context.Context, id poc.ProductID, quality Qualit
 	scope := events.NewScope()
 	ctx = events.WithScope(ctx, scope)
 
-	start, entry, firstNext := px.findStart(ctx, id, quality, result)
+	start, entry, firstNext := px.findStart(ctx, sh, id, quality, result)
 	if start == "" {
 		// No initial participant admits processing the product in any task.
 		span.SetAttr(trace.Int("hops", 0), trace.Int("violations", len(result.Violations)))
-		px.settle(result)
+		px.settle(sh, result)
 		px.finishEvent(result, scope, qStart)
 		return result, nil
 	}
 	result.TaskID = entry.taskID
 
-	px.mu.RLock()
-	list := px.lists[entry.taskID]
-	px.mu.RUnlock()
+	sh.mu.RLock()
+	list := sh.lists[entry.taskID]
+	sh.mu.RUnlock()
 	px.walk(ctx, list, entry.taskID, start, firstNext, id, quality, result)
 	span.SetAttr(trace.String("task", entry.taskID),
 		trace.Int("hops", len(result.Path)), trace.Int("violations", len(result.Violations)),
 		trace.Bool("complete", result.Complete))
-	px.settle(result)
+	px.settle(sh, result)
 	px.finishEvent(result, scope, qStart)
 	return result, nil
 }
@@ -238,20 +385,20 @@ func recordHop(result *Result, v poc.ParticipantID, o identifyOutcome) {
 // findStart probes each initial participant's POC-queue (§IV.D) and returns
 // the first initial identified as having processed the product, along with
 // the queue entry that anchored the identification.
-func (px *Proxy) findStart(ctx context.Context, id poc.ProductID, quality Quality, result *Result) (poc.ParticipantID, queueEntry, poc.ParticipantID) {
+func (px *Proxy) findStart(ctx context.Context, sh *proxyShard, id poc.ProductID, quality Quality, result *Result) (poc.ParticipantID, queueEntry, poc.ParticipantID) {
 	ctx, span := trace.Default.StartChild(ctx, "poc_queue.find_start")
 	defer span.End()
-	px.mu.RLock()
-	initials := make([]poc.ParticipantID, 0, len(px.queues))
-	for v := range px.queues {
+	sh.mu.RLock()
+	initials := make([]poc.ParticipantID, 0, len(sh.queues))
+	for v := range sh.queues {
 		initials = append(initials, v)
 	}
 	sort.Slice(initials, func(i, j int) bool { return initials[i] < initials[j] })
-	queues := make(map[poc.ParticipantID][]queueEntry, len(px.queues))
-	for v, q := range px.queues {
+	queues := make(map[poc.ParticipantID][]queueEntry, len(sh.queues))
+	for v, q := range sh.queues {
 		queues[v] = append([]queueEntry(nil), q...)
 	}
-	px.mu.RUnlock()
+	sh.mu.RUnlock()
 
 	for _, initial := range initials {
 		for _, entry := range queues[initial] {
@@ -507,15 +654,15 @@ func (px *Proxy) walk(ctx context.Context, list *poc.List, taskID string, start,
 // processed the product, returning the first identified child and that
 // child's claimed next hop.
 //
-// Probes run speculatively with a bounded fan-out (WithProbeFanout), but the
-// outcome is committed strictly in list order, so the result is identical to
-// the serial walk at any fan-out: the first identified child in list order
-// wins; violations land in stable order; probes launched past the winner are
-// cancelled and their outcomes discarded entirely — not marked visited, not
-// counted, not recorded — exactly as if they had never been interrogated.
-// Speculation is safe because the probe interaction is read-only on the
-// participant side (query and, in the bad case, the ownership demand both
-// answer from the committed DPOC).
+// Probes run speculatively with a bounded fan-out (ProxyConfig.ProbeFanout),
+// but the outcome is committed strictly in list order, so the result is
+// identical to the serial walk at any fan-out: the first identified child in
+// list order wins; violations land in stable order; probes launched past the
+// winner are cancelled and their outcomes discarded entirely — not marked
+// visited, not counted, not recorded — exactly as if they had never been
+// interrogated. Speculation is safe because the probe interaction is
+// read-only on the participant side (query and, in the bad case, the
+// ownership demand both answer from the committed DPOC).
 func (px *Proxy) probeChildren(ctx context.Context, list *poc.List, taskID string, cur poc.ParticipantID, id poc.ProductID, quality Quality, visited map[poc.ParticipantID]bool, result *Result) (poc.ParticipantID, poc.ParticipantID) {
 	type candidate struct {
 		child      poc.ParticipantID
@@ -548,7 +695,7 @@ func (px *Proxy) probeChildren(ctx context.Context, list *poc.List, taskID strin
 		return c.child, outcome.next, true
 	}
 
-	if px.probeFanout <= 1 || len(cands) <= 1 {
+	if px.cfg.ProbeFanout <= 1 || len(cands) <= 1 {
 		for _, c := range cands {
 			outcome := px.identify(ctx, taskID, c.credential, c.child, id, quality)
 			if child, next, ok := commit(c, outcome); ok {
@@ -560,7 +707,7 @@ func (px *Proxy) probeChildren(ctx context.Context, list *poc.List, taskID strin
 
 	probeCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	sem := make(chan struct{}, px.probeFanout)
+	sem := make(chan struct{}, px.cfg.ProbeFanout)
 	outcomes := make([]chan identifyOutcome, len(cands))
 	for i := range cands {
 		outcomes[i] = make(chan identifyOutcome, 1)
@@ -583,27 +730,30 @@ func (px *Proxy) probeChildren(ctx context.Context, list *poc.List, taskID strin
 }
 
 // settle applies the double-edged award to the identified path and penalizes
-// every detected violation (§II.C). It records the net score change of every
-// affected participant on the result, so the query's wide event carries the
-// reputation consequences alongside the detection that caused them.
-func (px *Proxy) settle(result *Result) {
+// every detected violation (§II.C) on the shard that owns the product. It
+// records the net score change of every affected participant on the result,
+// so the query's wide event carries the reputation consequences alongside
+// the detection that caused them. Award deltas are state-independent, so
+// settling on the owning shard's ledger sums to exactly the single-ledger
+// outcome.
+func (px *Proxy) settle(sh *proxyShard, result *Result) {
 	px.counters.addViolations(result.Violations)
 	countOutcome(result)
 	affected := make(map[poc.ParticipantID]float64, len(result.Path)+len(result.Violations))
 	for _, v := range result.Path {
-		affected[v] = px.ledger.Score(v)
+		affected[v] = sh.ledger.Score(v)
 	}
 	for _, vio := range result.Violations {
 		if _, ok := affected[vio.Participant]; !ok {
-			affected[vio.Participant] = px.ledger.Score(vio.Participant)
+			affected[vio.Participant] = sh.ledger.Score(vio.Participant)
 		}
 	}
-	px.strategy.AwardPath(px.ledger, result.Product, result.Quality, result.Path)
+	px.strategy.AwardPath(sh.ledger, result.Product, result.Quality, result.Path)
 	for _, v := range result.Violations {
-		px.strategy.PenalizeViolation(px.ledger, v.Participant, result.Product, result.Quality, v.Detail)
+		px.strategy.PenalizeViolation(sh.ledger, v.Participant, result.Product, result.Quality, v.Detail)
 	}
 	for v, before := range affected {
-		if delta := px.ledger.Score(v) - before; delta != 0 {
+		if delta := sh.ledger.Score(v) - before; delta != 0 {
 			if result.repDeltas == nil {
 				result.repDeltas = make(map[string]float64, len(affected))
 			}

@@ -62,6 +62,10 @@ const (
 	OutcomeOK Outcome = "ok"
 	// OutcomeError: the request failed.
 	OutcomeError Outcome = "error"
+	// OutcomeLoadShed: admission control rejected the work before it ran —
+	// the queue was full or the deadline could not be met. Distinct from
+	// OutcomeError so overload shows up as shedding, not as failures.
+	OutcomeLoadShed Outcome = "load_shed"
 )
 
 // Hop is one committed proxy↔participant query interaction. Timings are

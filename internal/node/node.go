@@ -43,6 +43,10 @@ type options struct {
 	drainGrace time.Duration
 	eventSink  *events.Sink
 
+	// Admission control (servers only); see WithAdmission.
+	admissionWorkers int
+	admissionQueue   int
+
 	// Pooled-transport tunables (clients only).
 	pooled        bool
 	poolSize      int
@@ -82,6 +86,22 @@ func WithDrainGrace(d time.Duration) Option {
 // request into the flight recorder (servers only; clients ignore it).
 func WithEventSink(s *events.Sink) Option {
 	return func(o *options) { o.eventSink = s }
+}
+
+// WithAdmission puts a bounded admission gate in front of a server's request
+// handling: at most workers requests run at once, at most queue more wait
+// (negative queue = no waiting room, 0 = 2×workers), and requests that
+// provably cannot meet their deadline are shed immediately with a load_shed
+// outcome instead of queueing into a timeout. Servers only; the default (no
+// call) admits everything, the historical behaviour.
+func WithAdmission(workers, queue int) Option {
+	return func(o *options) {
+		if workers <= 0 {
+			workers = core.DefaultAdmissionWorkers
+		}
+		o.admissionWorkers = workers
+		o.admissionQueue = queue
+	}
 }
 
 // WithPoolSize bounds the open connections a client keeps per endpoint.
@@ -178,6 +198,7 @@ type server struct {
 	opts    options
 	role    string
 	metrics *serverMetrics
+	gate    *core.Gate // nil unless WithAdmission: nil admits everything
 
 	// baseCtx is the root of every request handler's context, derived from
 	// the ctx the caller handed to ServeParticipant/ServeProxy and canceled
@@ -206,6 +227,9 @@ func (s *server) start(ctx context.Context, ln net.Listener, role string, o opti
 	s.role = role
 	s.baseCtx, s.baseCancel = context.WithCancel(ctx)
 	s.metrics = newServerMetrics(role)
+	if o.admissionWorkers > 0 {
+		s.gate = core.NewGate("node_"+role, o.admissionWorkers, o.admissionQueue)
+	}
 	s.conns = make(map[net.Conn]*connState)
 	s.wg.Add(1)
 	go func() {
@@ -324,13 +348,35 @@ func (s *server) serveConn(conn net.Conn, handle func(context.Context, *wire.Env
 			reqScope = events.NewScope()
 			ctx = events.WithScope(ctx, reqScope)
 		}
-		respType, payload := handle(ctx, env)
-		if respType == wire.TypeError {
-			s.metrics.errHandle.Inc()
-			span.SetAttr(trace.Bool("error", true))
+		// Admission: with a gate configured, the handler runs under a real
+		// deadline (the server's request timeout) so the gate's
+		// deadline-aware drop has something to predict against, and overload
+		// is answered with a cheap load_shed error instead of a queued
+		// timeout. Without a gate this is one nil check.
+		var respType string
+		var payload any
+		var shed bool
+		handlerCtx, cancel := ctx, context.CancelFunc(nil)
+		if s.gate != nil {
+			handlerCtx, cancel = context.WithTimeout(ctx, s.opts.timeout)
+		}
+		if release, aerr := s.gate.Acquire(handlerCtx); aerr != nil {
+			shed = true
+			respType, payload = wire.TypeError, wire.ErrorResponse{Message: aerr.Error()}
+			span.SetAttr(trace.Bool("load_shed", true))
+		} else {
+			respType, payload = handle(handlerCtx, env)
+			release()
+			if respType == wire.TypeError {
+				s.metrics.errHandle.Inc()
+				span.SetAttr(trace.Bool("error", true))
+			}
+		}
+		if cancel != nil {
+			cancel()
 		}
 		if s.opts.eventSink != nil {
-			s.emitRequestEvent(env, conn, span, respType, payload, reqScope, start)
+			s.emitRequestEvent(env, conn, span, respType, payload, reqScope, start, shed)
 		}
 		if span != nil {
 			slog.InfoContext(ctx, "traced request handled",
@@ -376,18 +422,26 @@ func (s *server) serveConn(conn net.Conn, handle func(context.Context, *wire.Env
 // emitRequestEvent records one handled request as a node_request wide event:
 // message type, peer, outcome, duration, and whatever resource counters the
 // handler accumulated in the request scope.
-func (s *server) emitRequestEvent(env *wire.Envelope, conn net.Conn, span *trace.Span, respType string, payload any, scope *events.Scope, start time.Time) {
+func (s *server) emitRequestEvent(env *wire.Envelope, conn net.Conn, span *trace.Span, respType string, payload any, scope *events.Scope, start time.Time, shed bool) {
 	ev := events.New(events.KindNodeRequest, start)
 	ev.DurationUS = time.Since(start).Microseconds()
 	ev.MsgType = env.Type
 	ev.Peer = conn.RemoteAddr().String()
 	ev.TraceID = span.TraceID()
-	if respType == wire.TypeError {
+	switch {
+	case shed:
+		// Admission control rejected the request before it ran: overload,
+		// not failure — dashboards must tell the two apart.
+		ev.Outcome = events.OutcomeLoadShed
+		if er, ok := payload.(wire.ErrorResponse); ok {
+			ev.Error = er.Message
+		}
+	case respType == wire.TypeError:
 		ev.Outcome = events.OutcomeError
 		if er, ok := payload.(wire.ErrorResponse); ok {
 			ev.Error = er.Message
 		}
-	} else {
+	default:
 		ev.Outcome = events.OutcomeOK
 	}
 	scope.Fill(ev)
@@ -691,18 +745,48 @@ func (s *ProxyServer) handle(ctx context.Context, env *wire.Envelope) (string, a
 			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
 		}
 		return wire.TypePathResult, wire.EncodePathResult(result)
-	case wire.TypeScores:
-		return wire.TypeScoreTable, wire.ScoreTable{Scores: s.proxy.Ledger().Scores()}
-	case wire.TypeAuditLog:
-		head, count := s.proxy.Ledger().Head()
-		return wire.TypeAuditChain, wire.AuditChain{
-			Entries: s.proxy.Ledger().AuditLog(),
-			Head:    head[:],
-			Count:   count,
+	case wire.TypeQueryPathBatch:
+		var req wire.QueryPathBatchRequest
+		if err := env.Decode(&req); err != nil {
+			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
 		}
+		if req.Schema > wire.BatchSchemaVersion {
+			return wire.TypeError, wire.ErrorResponse{Message: fmt.Sprintf(
+				"batch schema %d newer than supported %d", req.Schema, wire.BatchSchemaVersion)}
+		}
+		result, err := s.proxy.QueryPathBatch(ctx, req.Products, core.Quality(req.Quality), core.BatchOptions{})
+		if err != nil {
+			return wire.TypeError, wire.ErrorResponse{Message: err.Error()}
+		}
+		return wire.TypeBatchResult, wire.EncodeBatchResult(result)
+	case wire.TypeScores:
+		return wire.TypeScoreTable, wire.ScoreTable{Scores: s.proxy.Scores()}
+	case wire.TypeAuditLog:
+		return wire.TypeAuditChain, encodeAuditChains(s.proxy.AuditShards())
 	default:
 		return wire.TypeError, wire.ErrorResponse{Message: "unknown message type " + env.Type}
 	}
+}
+
+// encodeAuditChains renders the proxy's shard ledgers in the wire form.
+// One shard emits the legacy single-chain encoding unchanged; more shards
+// emit per-shard chains with the top level pinning only the total count, so
+// a pre-shard verifier fails loudly instead of accepting an empty history
+// (see wire.AuditChain).
+func encodeAuditChains(shards []reputation.ShardChain) wire.AuditChain {
+	if len(shards) == 1 {
+		return wire.AuditChain{
+			Entries: shards[0].Entries,
+			Head:    shards[0].Head[:],
+			Count:   shards[0].Count,
+		}
+	}
+	out := wire.AuditChain{Head: make([]byte, 32), Shards: make([]wire.AuditChain, len(shards))}
+	for i, sc := range shards {
+		out.Count += sc.Count
+		out.Shards[i] = wire.AuditChain{Entries: sc.Entries, Head: sc.Head[:], Count: sc.Count}
+	}
+	return out
 }
 
 // ProxyClient reaches a remote proxy through a persistent connection pool;
@@ -773,6 +857,32 @@ func (c *ProxyClient) QueryPath(ctx context.Context, id poc.ProductID, quality c
 	return wire.DecodePathResult(&result), nil
 }
 
+// QueryPathBatch runs one path query per product id at the proxy with
+// partial-failure semantics: the call errors only when the batch as a whole
+// could not run; per-id failures and load sheds land on their BatchItem.
+// Quality applies to the whole batch.
+func (c *ProxyClient) QueryPathBatch(ctx context.Context, ids []poc.ProductID, quality core.Quality) (*core.BatchResult, error) {
+	env, err := c.pool.Exchange(ctx, wire.TypeQueryPathBatch, wire.QueryPathBatchRequest{
+		Schema:   wire.BatchSchemaVersion,
+		Products: ids,
+		Quality:  int(quality),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if env.Type != wire.TypeBatchResult {
+		return nil, remoteError(env)
+	}
+	var result wire.BatchResult
+	if err := env.Decode(&result); err != nil {
+		return nil, err
+	}
+	if len(result.Items) != len(ids) {
+		return nil, fmt.Errorf("node: batch returned %d items for %d products", len(result.Items), len(ids))
+	}
+	return wire.DecodeBatchResult(&result), nil
+}
+
 // Telemetry fetches a snapshot of the remote proxy's metrics registry.
 func (c *ProxyClient) Telemetry(ctx context.Context) (*telemetry.Snapshot, error) {
 	return fetchTelemetry(ctx, c.pool)
@@ -808,15 +918,47 @@ func (c *ProxyClient) AuditLog(ctx context.Context) ([]reputation.AuditEntry, er
 	if err := env.Decode(&chain); err != nil {
 		return nil, err
 	}
-	var head [32]byte
-	if len(chain.Head) != len(head) {
-		return nil, fmt.Errorf("node: malformed audit head (%d bytes)", len(chain.Head))
+	// Sharded proxies publish one independent chain per shard ledger; each
+	// verifies on its own, the top-level count must pin the total, and the
+	// entries come back in shard order (awards are additive, so any
+	// concatenation order replays to the same score table).
+	if len(chain.Shards) > 0 {
+		var total uint64
+		var entries []reputation.AuditEntry
+		for i, sc := range chain.Shards {
+			head, err := auditHead(sc.Head)
+			if err != nil {
+				return nil, err
+			}
+			if err := reputation.VerifyAuditChain(sc.Entries, head, sc.Count); err != nil {
+				return nil, fmt.Errorf("node: proxy published a broken audit chain (shard %d): %w", i, err)
+			}
+			total += sc.Count
+			entries = append(entries, sc.Entries...)
+		}
+		if total != chain.Count {
+			return nil, fmt.Errorf("node: shard chains carry %d entries, top level pins %d", total, chain.Count)
+		}
+		return entries, nil
 	}
-	copy(head[:], chain.Head)
+	head, err := auditHead(chain.Head)
+	if err != nil {
+		return nil, err
+	}
 	if err := reputation.VerifyAuditChain(chain.Entries, head, chain.Count); err != nil {
 		return nil, fmt.Errorf("node: proxy published a broken audit chain: %w", err)
 	}
 	return chain.Entries, nil
+}
+
+// auditHead parses a wire audit head into its fixed-size form.
+func auditHead(b []byte) ([32]byte, error) {
+	var head [32]byte
+	if len(b) != len(head) {
+		return head, fmt.Errorf("node: malformed audit head (%d bytes)", len(b))
+	}
+	copy(head[:], b)
+	return head, nil
 }
 
 // remoteError converts an unexpected envelope into an error.

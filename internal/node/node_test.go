@@ -42,6 +42,13 @@ func (d *deployment) stop(id poc.ParticipantID) error {
 
 func deploy(t *testing.T, n int, dishonest map[poc.ParticipantID]core.Responder) *deployment {
 	t.Helper()
+	return deployWithConfig(t, n, dishonest, core.ProxyConfig{})
+}
+
+// deployWithConfig is deploy with an explicit proxy-tier configuration, for
+// tests exercising sharding and admission over real TCP.
+func deployWithConfig(t *testing.T, n int, dishonest map[poc.ParticipantID]core.Responder, cfg core.ProxyConfig) *deployment {
+	t.Helper()
 	ps, err := poc.PSGen(zkedb.TestParams())
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +97,7 @@ func deploy(t *testing.T, n int, dishonest map[poc.ParticipantID]core.Responder)
 			t.Errorf("closing resolver pools: %v", cerr)
 		}
 	})
-	proxy := core.NewProxy(ps, reputation.DefaultStrategy(), resolver.Resolver())
+	proxy := core.NewProxyWithConfig(ps, reputation.DefaultStrategy(), resolver.Resolver(), cfg)
 	proxySrv, err := ServeProxy(context.Background(), "127.0.0.1:0", proxy)
 	if err != nil {
 		t.Fatal(err)

@@ -103,6 +103,34 @@ func VerifyAuditChain(entries []AuditEntry, head [32]byte, count uint64) error {
 	return nil
 }
 
+// ShardChain is one shard ledger's published audit history: a sharded proxy
+// settles each product's awards on the ledger of the shard owning the
+// product, so the public history is a set of independent chains, one per
+// shard. Each chain verifies on its own with VerifyAuditChain; the union of
+// the replayed chains yields the public score table (awards are additive, so
+// partition order does not matter).
+type ShardChain struct {
+	Shard   int          `json:"shard"`
+	Entries []AuditEntry `json:"entries"`
+	Head    [32]byte     `json:"head"`
+	Count   uint64       `json:"count"`
+}
+
+// VerifyShardChains verifies every shard chain independently and returns the
+// merged replayed score table.
+func VerifyShardChains(chains []ShardChain) (map[supplychain.ParticipantID]float64, error) {
+	out := make(map[supplychain.ParticipantID]float64)
+	for _, c := range chains {
+		if err := VerifyAuditChain(c.Entries, c.Head, c.Count); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", c.Shard, err)
+		}
+		for v, s := range ReplayScores(c.Entries) {
+			out[v] += s
+		}
+	}
+	return out, nil
+}
+
 // ReplayScores recomputes the score table implied by a verified history, so
 // a customer can check the proxy's published scores against the audited
 // events.

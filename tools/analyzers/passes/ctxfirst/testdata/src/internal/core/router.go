@@ -1,0 +1,55 @@
+// router.go mirrors the shard-router / admission-gate shapes introduced by
+// the proxy tier (internal/core/router.go, admission.go): gate acquisition,
+// coalesced query closures and shard-local walks all sit on the query path,
+// so every one of them must thread the caller's context first and never mint
+// a root of its own.
+package core
+
+import "context"
+
+type gate struct{}
+
+// Acquire is the admission-gate shape: ctx-first, caller's deadline decides
+// whether the waiter sheds.
+func (g *gate) Acquire(ctx context.Context) (func(), error) {
+	_ = ctx
+	return func() {}, nil
+}
+
+// acquireMisplaced hides the context from callers behind the component name.
+func (g *gate) acquireMisplaced(component string, ctx context.Context) error { // want "acquireMisplaced takes context.Context as parameter 1; it must be the first parameter"
+	_ = component
+	_ = ctx
+	return nil
+}
+
+type shard struct{}
+
+// queryCoalesced is the single-flight shape: the leader's walk closure takes
+// the context it was parked under, first.
+func (s *shard) queryCoalesced(ctx context.Context, key string, walk func(context.Context) error) error {
+	return walk(ctx)
+}
+
+// shardKeyed puts the routing key ahead of the context — callers lose the
+// at-a-glance guarantee that cancellation reaches the walk.
+func (s *shard) shardKeyed(key string, ctx context.Context) error { // want "shardKeyed takes context.Context as parameter 1; it must be the first parameter"
+	_ = key
+	_ = ctx
+	return nil
+}
+
+// detachedWalk is the admission bug ctxfirst exists to catch: a follower
+// retrying as leader must inherit the caller's deadline, not restart from a
+// fresh root that outlives every client.
+func (s *shard) detachedWalk(walk func(context.Context) error) error {
+	return walk(context.Background()) // want "context.Background\\(\\) in library code"
+}
+
+// coalesceLit pins the func-literal case: the walk closures handed to the
+// single-flight layer are checked like named functions.
+var coalesceLit = func(key string, ctx context.Context) error { // want "func literal takes context.Context as parameter 1"
+	_ = key
+	_ = ctx
+	return nil
+}

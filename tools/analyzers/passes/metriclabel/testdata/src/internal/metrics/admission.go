@@ -1,0 +1,50 @@
+// admission.go exercises metriclabel against the proxy-tier metric shapes
+// (internal/core/admission.go, router.go): per-component admission counters
+// and per-shard walk counters. The discipline under test: names and label
+// KEYS are compile-time constants; label VALUES (component, shard index) may
+// be dynamic — they are escaped at exposition and bounded by the deployment.
+package metrics
+
+import (
+	"internal/obs"
+	"strconv"
+)
+
+// goodAdmission is the real gate's pattern: constant names and keys, the
+// component and shed reason as dynamic values.
+func goodAdmission(r *obs.Registry, component string) {
+	r.Counter("desword_admission_admitted_total", "requests admitted", "component", component)
+	r.Counter("desword_admission_shed_total", "requests shed", "component", component, "reason", "queue_full")
+	r.Gauge("desword_admission_queue_depth", "waiters queued", "component", component)
+	r.Histogram("desword_admission_wait_seconds", "time spent queued", []float64{0.001, 0.01, 0.1}, "component", component)
+}
+
+// goodShard is the router's pattern: the shard index is a dynamic label
+// VALUE, which is fine — cardinality is bounded by -shards.
+func goodShard(r *obs.Registry, id int) {
+	r.Counter("desword_shard_queries_total", "walks led by this shard", "shard", strconv.Itoa(id))
+}
+
+// nameFromComponent bakes the dynamic component into the family name instead
+// of a label — one series family per component string, unbounded.
+func nameFromComponent(r *obs.Registry, component string) {
+	r.Counter("desword_admission_"+component+"_total", "per-component family") // want "metric name must be a compile-time constant"
+}
+
+// shedReasonAsKey inverts the reason label: the dynamic reason becomes the
+// key and would be emitted unescaped in the exposition.
+func shedReasonAsKey(r *obs.Registry, reason string) {
+	r.Counter("desword_admission_shed_total", "requests shed", reason, "1") // want "metric label key must be a compile-time constant"
+}
+
+// shardKeyCase gets the key grammar wrong: keys share the ^[a-z_]+$ name
+// grammar, so a capitalised key is rejected at vet time.
+func shardKeyCase(r *obs.Registry, id int) {
+	r.Counter("desword_shard_coalesced_total", "joins", "Shard", strconv.Itoa(id)) // want "metric label key \"Shard\" must match"
+}
+
+// shardValueOnly forgets the value half of the shard pair; the registry
+// would panic at runtime, the analyzer catches it at vet time.
+func shardValueOnly(r *obs.Registry) {
+	r.Counter("desword_shard_queries_total", "walks", "shard") // want "odd label list \\(1 values\\)"
+}
